@@ -1,0 +1,22 @@
+"""Shared fixtures for the bench suite.
+
+Each bench module regenerates one table or figure of the paper.  All
+training runs go through a session-scoped :class:`ExperimentRunner` with a
+disk cache, so results are shared across benches (the Fig. 6 curves are the
+Table IV GNMT runs) and across invocations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: regenerates a table/figure of the paper")

@@ -1,0 +1,52 @@
+"""Fig. 5 — Inception-V3: per-step time of placements found by the three
+RL approaches over the training process.
+
+Paper shape: all three approaches find the optimal placement; EAGLE reaches
+it fastest (in environment time); Hierarchical Planner suffers invalid
+placements early while EAGLE and Post avoid them almost entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import scale_profile, default_spec, render_curves
+
+APPROACHES = [
+    ("Hierarchical Planner", "hierarchical", "reinforce"),
+    ("Post", "post", "ppo_ce"),
+    ("EAGLE", "eagle", "ppo"),
+]
+
+
+@pytest.mark.paper
+def test_fig5_inception_curves(runner, benchmark):
+    def build():
+        outcomes = {}
+        for label, agent, algo in APPROACHES:
+            outcomes[label] = runner.run(default_spec("inception_v3", agent, algo))
+        return outcomes
+
+    outcomes = benchmark.pedantic(build, rounds=1, iterations=1)
+    curves = {k: (o.history_env_time, o.history_best) for k, o in outcomes.items()}
+    print()
+    print(render_curves("Fig. 5: Inception-V3 training process", curves))
+    for label, o in outcomes.items():
+        print(f"  {label:<22s} best={o.best_time:.3f}s invalid={o.num_invalid}/{o.num_samples}")
+
+    if scale_profile() != "full":
+        return  # shape targets only hold for the paper-sized graphs
+
+    bests = {k: o.best_time for k, o in outcomes.items()}
+    # All three approaches find (near-)optimal placements.
+    assert max(bests.values()) <= min(bests.values()) * 1.10
+
+    def time_to_best(o, tol=1.01):
+        target = o.best_time * tol
+        for t, b in zip(o.history_env_time, o.history_best):
+            if 0 < b <= target:
+                return t
+        return o.history_env_time[-1]
+
+    # EAGLE is the fastest to reach its optimum.
+    tt = {k: time_to_best(o) for k, o in outcomes.items()}
+    assert tt["EAGLE"] <= min(tt.values()) * 1.25

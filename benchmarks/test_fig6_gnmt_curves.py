@@ -1,0 +1,43 @@
+"""Fig. 6 — GNMT: per-step time of placements found by the three RL
+approaches over the training process.
+
+Paper shape: Hierarchical Planner and EAGLE find good placements early and
+keep improving below the human-expert level; Post converges quickly but to
+a local optimum well above the others.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import scale_profile, default_spec, render_curves
+
+APPROACHES = [
+    ("Hierarchical Planner", "hierarchical", "reinforce"),
+    ("Post", "post", "ppo_ce"),
+    ("EAGLE", "eagle", "ppo"),
+]
+
+
+@pytest.mark.paper
+def test_fig6_gnmt_curves(runner, benchmark):
+    def build():
+        outcomes = {}
+        for label, agent, algo in APPROACHES:
+            outcomes[label] = runner.run(default_spec("gnmt", agent, algo))
+        expert = runner.run(default_spec("gnmt", "human_expert", "none"))
+        return outcomes, expert
+
+    outcomes, expert = benchmark.pedantic(build, rounds=1, iterations=1)
+    curves = {k: (o.history_env_time, o.history_best) for k, o in outcomes.items()}
+    print()
+    print(render_curves("Fig. 6: GNMT training process", curves))
+    print(f"  human expert reference: {expert.final_time:.3f}s")
+
+    if scale_profile() != "full":
+        return  # shape targets only hold for the paper-sized graphs
+
+    bests = {k: o.best_time for k, o in outcomes.items()}
+    # EAGLE is the best and beats the expert; Post is stuck above it.
+    assert bests["EAGLE"] <= min(bests.values()) * 1.05
+    assert bests["EAGLE"] < expert.final_time
+    assert bests["Post"] > bests["EAGLE"]

@@ -1,0 +1,42 @@
+"""Fig. 7 — BERT: per-step time of placements found by the three RL
+approaches over the training process.
+
+Paper shape: Hierarchical Planner fails to learn BERT (its curve converges
+far above the others); Post is stable and good from the first hour; EAGLE
+explores aggressively and ends with the best placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import scale_profile, default_spec, render_curves
+
+APPROACHES = [
+    ("Hierarchical Planner", "hierarchical", "reinforce"),
+    ("Post", "post", "ppo_ce"),
+    ("EAGLE", "eagle", "ppo"),
+]
+
+
+@pytest.mark.paper
+def test_fig7_bert_curves(runner, benchmark):
+    def build():
+        return {
+            label: runner.run(default_spec("bert", agent, algo))
+            for label, agent, algo in APPROACHES
+        }
+
+    outcomes = benchmark.pedantic(build, rounds=1, iterations=1)
+    curves = {k: (o.history_env_time, o.history_best) for k, o in outcomes.items()}
+    print()
+    print(render_curves("Fig. 7: BERT training process", curves))
+    for label, o in outcomes.items():
+        print(f"  {label:<22s} best={o.best_time:.3f}s invalid={o.num_invalid}/{o.num_samples}")
+
+    if scale_profile() != "full":
+        return  # shape targets only hold for the paper-sized graphs
+
+    bests = {k: o.best_time for k, o in outcomes.items()}
+    # EAGLE finds the best BERT placement; HP does not beat EAGLE.
+    assert bests["EAGLE"] <= min(bests.values()) * 1.05
+    assert bests["Hierarchical Planner"] >= bests["EAGLE"]

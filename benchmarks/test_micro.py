@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the substrates (true pytest-benchmark timings).
+
+These track the throughput of the pieces the RL loop spends its time in:
+the simulator, graph construction, partitioning, feature extraction, agent
+sampling, and a PPO update.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EagleAgent, PlacementSearch, SearchConfig
+from repro.graph.models import build_benchmark
+from repro.grouping import MetisGrouper, OpFeatureExtractor, partition_kway
+from repro.rl import RolloutBatch, make_algorithm
+from repro.sim import PlacementEnvironment, Simulator, Topology
+
+
+@pytest.fixture(scope="module")
+def gnmt_graph():
+    return build_benchmark("gnmt")
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return Topology.default_4gpu()
+
+
+def test_bench_graph_build(benchmark):
+    benchmark(build_benchmark, "inception_v3")
+
+
+def test_bench_simulator_eval(benchmark, gnmt_graph, topology):
+    sim = Simulator(gnmt_graph, topology)
+    rng = np.random.default_rng(0)
+    placements = rng.integers(1, 3, size=(32, gnmt_graph.num_ops))
+    it = iter(range(10**9))
+
+    def run():
+        return sim.step_time(placements[next(it) % 32])
+
+    benchmark(run)
+
+
+def test_bench_simulator_construction(benchmark, gnmt_graph, topology):
+    benchmark(Simulator, gnmt_graph, topology)
+
+
+def test_bench_metis_partition(benchmark, gnmt_graph):
+    benchmark(partition_kway, gnmt_graph, 64)
+
+
+def test_bench_feature_extraction(benchmark, gnmt_graph):
+    benchmark(OpFeatureExtractor, gnmt_graph)
+
+
+def test_bench_eagle_sampling(benchmark, gnmt_graph, topology):
+    agent = EagleAgent(
+        gnmt_graph, topology.num_devices, num_groups=32, placer_hidden=64,
+        warm_start=None, seed=0,
+    )
+    benchmark(agent.sample_placements, 10)
+
+
+def test_bench_ppo_update(benchmark, gnmt_graph, topology):
+    agent = EagleAgent(
+        gnmt_graph, topology.num_devices, num_groups=32, placer_hidden=64,
+        warm_start=None, seed=0,
+    )
+    algo = make_algorithm("ppo", agent, epochs=1)
+    samples = agent.sample_placements(10)
+    for s in samples:
+        s.reward, s.valid = -1.0, True
+    batch = RolloutBatch(samples, np.random.default_rng(0).normal(size=10))
+    benchmark(algo.update, batch)

@@ -1,0 +1,54 @@
+"""Table I — per-step time of placements found by the hierarchical model
+with different groupers (feed-forward vs METIS vs Networkx fluid).
+
+Paper values (seconds):
+
+    Models        Feed-forward  METIS  Networkx
+    Inception-V3  0.067         0.071  0.072
+    GNMT          1.418         1.537  2.041
+    BERT          5.534         7.526  7.584
+
+Shape targets: the learned feed-forward grouper stays competitive with the
+heuristics on every model (within 20 %).  Note the tension inside the paper
+itself: Table I has the FF grouper winning (best placement found), while
+Fig. 2 shows its *converged* BERT placement worse than the heuristics' — in
+our smaller budgets the stable heuristic groupings sometimes edge out the
+churning learned one, which is exactly the phenomenon EAGLE is designed
+around.  All three columns use the hierarchical model's training algorithm
+(policy gradient with the EMA baseline).
+"""
+
+import pytest
+
+from repro.bench import scale_profile, MODELS, default_spec, render_table
+
+COLUMNS = [
+    ("Feed-forward", "hierarchical", "reinforce"),
+    ("METIS", "metis_seq2seq_after", "reinforce"),
+    ("Networkx", "networkx_seq2seq_after", "reinforce"),
+]
+
+
+@pytest.mark.paper
+def test_table1_groupers(runner, benchmark):
+    def build():
+        results = {}
+        for model in MODELS:
+            row = []
+            for _, agent, algo in COLUMNS:
+                out = runner.run(default_spec(model, agent, algo))
+                row.append(out.final_time)
+            results[model] = row
+        return results
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_table("Table I: per-step time (s) by grouper", [c[0] for c in COLUMNS], results))
+
+    if scale_profile() != "full":
+        return  # shape targets only hold for the paper-sized graphs
+
+    for model in MODELS:
+        ff, metis, nx = results[model]
+        # The learned grouper is competitive with the best heuristic.
+        assert ff <= min(metis, nx) * 1.20, f"{model}: feed-forward grouper not competitive"

@@ -1,0 +1,48 @@
+"""Table II — per-step time with the METIS grouper and different placers.
+
+Paper values (seconds):
+
+    Models        Seq2Seq(before)  Seq2Seq(after)  GCN
+    Inception-V3  0.067            0.067           0.072
+    GNMT          1.440            1.418           2.040
+    BERT          4.120            5.534           7.214
+
+Shape targets: the sequential decoders beat the GCN placer on the large
+models (the GCN decides each group independently, §III-C), and the two
+attention variants are close on the small model.
+"""
+
+import pytest
+
+from repro.bench import scale_profile, MODELS, default_spec, render_table
+
+COLUMNS = [
+    ("Seq2Seq(before)", "metis_seq2seq_before", "ppo"),
+    ("Seq2Seq(after)", "metis_seq2seq_after", "ppo"),
+    ("GCN", "metis_gcn", "ppo"),
+]
+
+
+@pytest.mark.paper
+def test_table2_placers(runner, benchmark):
+    def build():
+        results = {}
+        for model in MODELS:
+            results[model] = [
+                runner.run(default_spec(model, agent, algo)).final_time
+                for _, agent, algo in COLUMNS
+            ]
+        return results
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_table("Table II: per-step time (s) by placer (METIS grouping)", [c[0] for c in COLUMNS], results))
+
+    if scale_profile() != "full":
+        return  # shape targets only hold for the paper-sized graphs
+
+    for model in ("gnmt", "bert"):
+        before, after, gcn = results[model]
+        assert min(before, after) <= gcn * 1.05, f"{model}: seq2seq should beat the GCN placer"
+    before, after, _ = results["inception_v3"]
+    assert abs(before - after) / after < 0.15, "attention variants should tie on Inception"

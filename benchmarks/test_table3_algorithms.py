@@ -1,0 +1,44 @@
+"""Table III — per-step time of placements found by EAGLE under the three
+training algorithms (REINFORCE, PPO, PPO + cross-entropy minimisation).
+
+Paper values (seconds):
+
+    Models        REINFORCE  PPO    PPO+CE
+    Inception-V3  0.067      0.067  0.067
+    GNMT          2.216      1.379  1.507
+    BERT          2.425      2.287  2.488
+
+Shape targets: PPO is the best algorithm on the large models (REINFORCE's
+high variance and PPO+CE's local-optimum tendency lose, §III-D); all three
+tie on Inception.
+"""
+
+import pytest
+
+from repro.bench import scale_profile, MODELS, default_spec, render_table
+
+ALGORITHMS = ["reinforce", "ppo", "ppo_ce"]
+
+
+@pytest.mark.paper
+def test_table3_algorithms(runner, benchmark):
+    def build():
+        results = {}
+        for model in MODELS:
+            results[model] = [
+                runner.run(default_spec(model, "eagle", algo)).final_time for algo in ALGORITHMS
+            ]
+        return results
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_table("Table III: EAGLE per-step time (s) by training algorithm", ALGORITHMS, results))
+
+    if scale_profile() != "full":
+        return  # shape targets only hold for the paper-sized graphs
+
+    for model in ("gnmt", "bert"):
+        reinforce, ppo, ppo_ce = results[model]
+        assert ppo <= min(reinforce, ppo_ce) * 1.08, f"{model}: PPO should be the best algorithm"
+    inc = results["inception_v3"]
+    assert max(inc) <= min(inc) * 1.10, "all algorithms should tie on Inception"

@@ -1,0 +1,73 @@
+"""Table IV — final per-step time of all approaches (the headline table).
+
+Paper values (seconds; OOM = out of memory):
+
+    Models        SingleGPU  HumanExpert  HierPlanner  Post   EAGLE(PPO)  EAGLE(PPO+CE)
+    Inception-V3  0.071      0.071        0.067        0.067  0.067       0.067
+    GNMT          OOM        1.661        1.418        2.031  1.379       1.503
+    BERT          OOM        OOM          5.534        2.812  2.287       2.488
+
+Shape targets:
+* Single GPU OOMs on GNMT and BERT; the human expert also OOMs on BERT.
+* On GNMT the learned agents beat the expert, Post converges to a worse
+  local optimum than EAGLE, and EAGLE(PPO) is the best overall.
+* On BERT EAGLE(PPO) beats Post.
+* On Inception everything lands within a few percent of the single-GPU
+  placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import scale_profile, MODELS, default_spec, render_table
+
+COLUMNS = [
+    ("Single GPU", "single_gpu", "none"),
+    ("Human Experts", "human_expert", "none"),
+    ("Hierarchical Planner", "hierarchical", "reinforce"),
+    ("Post", "post", "ppo_ce"),
+    ("EAGLE (PPO)", "eagle", "ppo"),
+    ("EAGLE (PPO+CE)", "eagle", "ppo_ce"),
+]
+
+
+@pytest.mark.paper
+def test_table4_final(runner, benchmark):
+    def build():
+        results = {}
+        for model in MODELS:
+            results[model] = [
+                runner.run(default_spec(model, agent, algo)).final_time
+                for _, agent, algo in COLUMNS
+            ]
+        return results
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_table("Table IV: per-step time (s) of all approaches", [c[0] for c in COLUMNS], results))
+
+    single, expert, hp, post, eagle_ppo, eagle_ce = range(6)
+
+    if scale_profile() != "full":
+        return  # shape targets only hold for the paper-sized graphs
+
+    # OOM pattern.
+    assert np.isfinite(results["inception_v3"][single])
+    assert not np.isfinite(results["gnmt"][single]), "GNMT must OOM on a single GPU"
+    assert not np.isfinite(results["bert"][single]), "BERT must OOM on a single GPU"
+    assert not np.isfinite(results["bert"][expert]), "BERT has no expert placement"
+
+    # GNMT: EAGLE(PPO) best; learned agents beat the expert; Post worst RL.
+    g = results["gnmt"]
+    assert g[eagle_ppo] <= min(g[hp], g[post], g[eagle_ce]) * 1.05
+    assert g[eagle_ppo] < g[expert]
+    assert g[post] > g[eagle_ppo]
+
+    # BERT: EAGLE(PPO) beats Post.
+    b = results["bert"]
+    assert b[eagle_ppo] <= b[post] * 1.05
+
+    # Inception: every approach within ~10 % of single GPU.
+    inc = results["inception_v3"]
+    finite = [v for v in inc if np.isfinite(v)]
+    assert max(finite) <= min(finite) * 1.12

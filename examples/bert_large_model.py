@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""BERT: place a model that fits on no single device (the paper's headline).
+
+BERT-Base at sequence length 384 / batch 24 needs far more than one simulated
+12 GB GPU, and no expert model-parallel placement exists (§IV-B): every
+baseline except the RL agents reports OOM.  This example compares EAGLE with
+the Post baseline on discovering a valid, fast placement, as in the paper's
+Fig. 7 / Table IV.
+
+Run:  python examples/bert_large_model.py [--samples N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    EagleAgent,
+    PlacementEnvironment,
+    PlacementSearch,
+    PostAgent,
+    SearchConfig,
+    human_expert_placement,
+)
+from repro.graph.models import build_benchmark
+from repro.sim import OutOfMemoryError
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=300)
+    args = parser.parse_args()
+
+    print("Building BERT-Base (12 layers, seq 384, batch 24, per-head attention)...")
+    graph = build_benchmark("bert")
+    print(f"  {graph}")
+
+    env = PlacementEnvironment(graph, seed=0)
+    try:
+        env.simulator.simulate(human_expert_placement(graph, env.topology))
+        print("Expert placement: unexpectedly fits!")
+    except OutOfMemoryError:
+        print("Human expert / single GPU: OOM — RL placement is mandatory.")
+
+    results = {}
+    for name, make_agent, algo in [
+        ("Post (PPO+CE)", lambda: PostAgent(graph, env.num_devices, 64, seed=0), "ppo_ce"),
+        (
+            "EAGLE (PPO)",
+            lambda: EagleAgent(graph, env.num_devices, 64, placer_hidden=128, seed=0),
+            "ppo",
+        ),
+    ]:
+        run_env = PlacementEnvironment(graph, seed=0)
+        agent = make_agent()
+        config = SearchConfig(max_samples=args.samples, entropy_coef=0.1, entropy_coef_final=0.01)
+        print(f"\nTraining {name} for {args.samples} placements...")
+        res = PlacementSearch(agent, run_env, algo, config).run()
+        results[name] = res
+        print(
+            f"  best {res.final_time * 1000:.0f} ms/step, "
+            f"{res.num_invalid}/{res.num_samples} invalid placements"
+        )
+
+    eagle, post = results["EAGLE (PPO)"], results["Post (PPO+CE)"]
+    delta = 100 * (post.final_time - eagle.final_time) / post.final_time
+    print(f"\nEAGLE vs Post: {delta:+.1f}% (paper: +18.7%)")
+
+    bd = env.simulator.simulate(eagle.best_placement)
+    print("\nEAGLE's best placement, per device:")
+    for dev, busy, mem in zip(env.topology.devices, bd.device_busy, bd.device_memory):
+        cap = dev.memory_bytes / 2**30
+        print(
+            f"  {dev.name:8s} busy {busy * 1000:7.0f} ms   "
+            f"resident {mem / 2**30:5.2f}/{cap:.1f} GiB"
+        )
+
+
+if __name__ == "__main__":
+    main()

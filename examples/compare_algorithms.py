@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Compare the three training algorithms on one model (the paper's §III-D).
+
+Trains the same EAGLE architecture with REINFORCE, PPO and PPO+CE on
+Inception-V3 and prints the per-algorithm convergence traces — the
+experiment behind Table III.
+
+Run:  python examples/compare_algorithms.py [--model inception_v3|gnmt|bert]
+"""
+
+import argparse
+
+from repro import EagleAgent, PlacementEnvironment, PlacementSearch, SearchConfig
+from repro.bench.tables import render_curves
+from repro.graph.models import build_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="inception_v3", choices=["inception_v3", "gnmt", "bert"])
+    parser.add_argument("--samples", type=int, default=150)
+    args = parser.parse_args()
+
+    print(f"Building {args.model}...")
+    graph = build_benchmark(args.model)
+
+    curves = {}
+    finals = {}
+    for algo in ("reinforce", "ppo", "ppo_ce"):
+        env = PlacementEnvironment(graph, seed=0)
+        agent = EagleAgent(graph, env.num_devices, num_groups=32, placer_hidden=64, seed=0)
+        config = SearchConfig(max_samples=args.samples)
+        print(f"Training with {algo} ({args.samples} placements)...")
+        res = PlacementSearch(agent, env, algo, config).run()
+        curves[algo] = (res.history.env_time, res.history.best_so_far)
+        finals[algo] = res.final_time
+        print(f"  final: {res.final_time * 1000:.1f} ms/step")
+
+    print()
+    print(render_curves(f"Training process on {args.model}", curves))
+    best = min(finals, key=finals.get)
+    print(f"\nBest algorithm here: {best} (paper finds PPO best on the large models)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e . --no-use-pep517` (legacy `setup.py develop`) is the
+supported editable-install path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — a full reproduction of *EAGLE: Expedited Device Placement with
+Automatic Grouping for Large Models* (IPPS 2021).
+
+Quickstart::
+
+    from repro import EagleAgent, PlacementEnvironment, PlacementSearch
+    from repro.graph.models import build_benchmark
+
+    graph = build_benchmark("inception_v3")
+    env = PlacementEnvironment(graph)
+    agent = EagleAgent(graph, env.num_devices, num_groups=64,
+                       placer_hidden=128, seed=0)
+    result = PlacementSearch(agent, env, algorithm="ppo").run()
+    print(result.best_time, "s/step")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from . import graph, sim, nn, rl, grouping, placement, core, bench
+from .core import (
+    EagleAgent,
+    HierarchicalPlannerAgent,
+    PostAgent,
+    FixedGroupingSeq2SeqAgent,
+    FixedGroupingGCNAgent,
+    PlacementSearch,
+    SearchConfig,
+    single_gpu_placement,
+    human_expert_placement,
+)
+from .sim import PlacementEnvironment, Topology, Simulator, CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "sim",
+    "nn",
+    "rl",
+    "grouping",
+    "placement",
+    "core",
+    "bench",
+    "EagleAgent",
+    "HierarchicalPlannerAgent",
+    "PostAgent",
+    "FixedGroupingSeq2SeqAgent",
+    "FixedGroupingGCNAgent",
+    "PlacementSearch",
+    "SearchConfig",
+    "single_gpu_placement",
+    "human_expert_placement",
+    "PlacementEnvironment",
+    "Topology",
+    "Simulator",
+    "CostModel",
+    "__version__",
+]

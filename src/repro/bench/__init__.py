@@ -1,0 +1,32 @@
+"""Experiment harness regenerating the paper's tables and figures (S8)."""
+
+from .runner import ExperimentSpec, ExperimentOutcome, ExperimentRunner, cache_dir, scale_profile
+from .experiments import (
+    MODELS,
+    AGENT_KINDS,
+    build_experiment_graph,
+    make_environment,
+    make_agent,
+    default_spec,
+    sample_budget,
+)
+from .tables import format_time, render_table, render_curves, downsample_curve
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentOutcome",
+    "ExperimentRunner",
+    "cache_dir",
+    "scale_profile",
+    "MODELS",
+    "AGENT_KINDS",
+    "build_experiment_graph",
+    "make_environment",
+    "make_agent",
+    "default_spec",
+    "sample_budget",
+    "format_time",
+    "render_table",
+    "render_curves",
+    "downsample_curve",
+]

@@ -1,0 +1,78 @@
+"""Table/figure rendering for the bench harness.
+
+Formats results in the paper's layout (models as rows) and renders the
+training-process figures as compact ASCII sparkline series, so every bench
+prints exactly the rows/series its table or figure reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["format_time", "render_table", "render_curves", "downsample_curve"]
+
+
+def format_time(value: float) -> str:
+    """Seconds → the paper's 3-decimal format; infinity → ``OOM``."""
+    if value is None or not np.isfinite(value):
+        return "OOM"
+    return f"{value:.3f}"
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    note: str = "",
+) -> str:
+    """Render a paper-style table: one row per model, per-step times in
+    seconds (lower is better)."""
+    header = ["Models", *columns]
+    body: List[List[str]] = [[name, *[format_time(v) for v in vals]] for name, vals in rows.items()]
+    widths = [max(len(r[i]) for r in [header, *body]) for i in range(len(header))]
+    lines = [title]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def downsample_curve(
+    x: Sequence[float], y: Sequence[float], points: int = 24
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce a (time, best-so-far) trace to ``points`` samples for display."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) == 0:
+        return x, y
+    idx = np.unique(np.linspace(0, len(x) - 1, min(points, len(x))).astype(int))
+    return x[idx], y[idx]
+
+
+def render_curves(
+    title: str,
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    xlabel: str = "environment time (s)",
+    ylabel: str = "best per-step time (s)",
+    points: int = 24,
+) -> str:
+    """Render best-so-far training curves as aligned numeric series.
+
+    ``series`` maps a label to ``(env_time, best_so_far)``.  Invalid entries
+    (-1 placeholders from the cache) are skipped.
+    """
+    lines = [title, f"  x: {xlabel}   y: {ylabel}"]
+    for label, (x, y) in series.items():
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        keep = np.isfinite(y) & (y > 0)
+        x, y = x[keep], y[keep]
+        xs, ys = downsample_curve(x, y, points)
+        pts = " ".join(f"{xv:8.0f}:{yv:7.3f}" for xv, yv in zip(xs, ys))
+        lines.append(f"  {label:<24s} {pts}")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro info  --model gnmt                   # graph profile
+    python -m repro eval  --model bert --placement expert
+    python -m repro place --model gnmt --agent eagle --algorithm ppo \
+                          --samples 300 --checkpoint out.npz
+    python -m repro gantt --model inception_v3 --placement single_gpu
+
+All commands run against the simulated 4-GPU environment (the paper's
+machine); ``--gpus`` / ``--gpu-mem`` customise it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--model", default="inception_v3", choices=["inception_v3", "gnmt", "bert"])
+        p.add_argument("--gpus", type=int, default=4, help="number of simulated GPUs")
+        p.add_argument("--gpu-mem", type=float, default=9.5, help="usable GiB per GPU")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("info", help="print a graph profile")
+    add_common(p)
+
+    p = sub.add_parser("eval", help="evaluate a predefined placement")
+    add_common(p)
+    p.add_argument("--placement", default="single_gpu", choices=["single_gpu", "expert", "scotch"])
+
+    p = sub.add_parser("place", help="run an RL placement search")
+    add_common(p)
+    p.add_argument("--agent", default="eagle", help="agent kind (see repro.bench.AGENT_KINDS)")
+    p.add_argument("--algorithm", default="ppo", choices=["reinforce", "ppo", "ppo_ce", "ppo_value"])
+    p.add_argument("--samples", type=int, default=200)
+    p.add_argument("--groups", type=int, default=64)
+    p.add_argument("--hidden", type=int, default=128)
+    p.add_argument("--checkpoint", default=None, help="write an .npz checkpoint here")
+
+    p = sub.add_parser("gantt", help="render a placement's execution timeline")
+    add_common(p)
+    p.add_argument("--placement", default="single_gpu", choices=["single_gpu", "expert", "scotch"])
+    p.add_argument("--width", type=int, default=80)
+
+    return parser
+
+
+def _make_env(args):
+    from .graph.models import build_benchmark
+    from .sim import PlacementEnvironment, Topology
+
+    graph = build_benchmark(args.model)
+    topo = Topology.default_4gpu(num_gpus=args.gpus, gpu_memory_bytes=int(args.gpu_mem * 2**30))
+    return graph, PlacementEnvironment(graph, topo, seed=args.seed)
+
+
+def _predefined(name: str, graph, env):
+    from .core.heuristic_placement import scotch_style_placement
+    from .core.predefined import human_expert_placement, single_gpu_placement
+
+    if name == "single_gpu":
+        return single_gpu_placement(graph, env.topology)
+    if name == "expert":
+        return human_expert_placement(graph, env.topology)
+    return scotch_style_placement(graph, env.topology, env.simulator.cost_model)
+
+
+def cmd_info(args) -> int:
+    from .graph.serialization import graph_summary
+
+    graph, env = _make_env(args)
+    print(graph_summary(graph))
+    caps = ", ".join(f"{d.name} ({d.memory_bytes / 2**30:.1f} GiB)" for d in env.topology.devices)
+    print(f"environment: {caps}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from .sim import OutOfMemoryError
+
+    graph, env = _make_env(args)
+    placement = _predefined(args.placement, graph, env)
+    try:
+        bd = env.simulator.simulate(placement)
+    except OutOfMemoryError as exc:
+        print(f"{args.placement}: OOM — {exc}")
+        return 1
+    print(f"{args.placement}: {bd.makespan * 1000:.1f} ms/step")
+    for dev, busy, mem in zip(env.topology.devices, bd.device_busy, bd.device_memory):
+        print(f"  {dev.name:10s} busy {busy * 1000:8.1f} ms   resident {mem / 2**30:6.2f} GiB")
+    print(f"  comm {bd.comm_bytes / 2**20:.1f} MiB/step, dispatch floor {bd.dispatch_total * 1000:.1f} ms")
+    return 0
+
+
+def cmd_place(args) -> int:
+    from .bench.experiments import make_agent
+    from .core import PlacementSearch, SearchConfig
+
+    graph, env = _make_env(args)
+    agent = make_agent(
+        args.agent, graph, env.num_devices,
+        num_groups=args.groups, placer_hidden=args.hidden, seed=args.seed,
+        topology=env.topology,
+    )
+    config = SearchConfig(max_samples=args.samples, entropy_coef=0.1, entropy_coef_final=0.01)
+
+    def progress(n, best, stats):
+        if n % 50 == 0:
+            best_ms = best * 1000 if np.isfinite(best) else float("nan")
+            print(f"  {n:5d}/{args.samples} samples, best {best_ms:8.1f} ms/step")
+
+    result = PlacementSearch(agent, env, args.algorithm, config).run(progress=progress)
+    print(f"best placement: {result.final_time * 1000:.1f} ms/step "
+          f"({result.num_invalid}/{result.num_samples} invalid)")
+    if args.checkpoint:
+        from .core.checkpoint import save_checkpoint
+
+        save_checkpoint(args.checkpoint, agent, result)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    from .sim import OutOfMemoryError
+    from .sim.trace import ascii_gantt
+
+    graph, env = _make_env(args)
+    placement = _predefined(args.placement, graph, env)
+    try:
+        bd = env.simulator.simulate(placement, record_trace=True)
+    except OutOfMemoryError as exc:
+        print(f"{args.placement}: OOM — {exc}")
+        return 1
+    print(ascii_gantt(graph, env.topology, placement, bd, width=args.width))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "info": cmd_info,
+        "eval": cmd_eval,
+        "place": cmd_place,
+        "gantt": cmd_gantt,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Base class for all placement agents.
+
+An agent owns the policy networks and knows how to (a) sample a batch of
+placements with their behaviour log-probs, (b) re-score stored samples
+differentiably for the training algorithms, and (c) emit its greedy (mode)
+placement for final evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from ..grouping.features import OpFeatureExtractor
+from ..nn import Module, Tensor
+from ..rl.rollout import PlacementSample
+
+__all__ = ["PlacementAgentBase"]
+
+
+class PlacementAgentBase(Module):
+    """Common state and interface of the placement agents.
+
+    Parameters
+    ----------
+    graph:
+        The computational graph to place.
+    num_devices:
+        Size of the device action space.
+    num_groups:
+        Number of operation groups (256 in the paper; smaller in the scaled
+        benches).
+    seed:
+        Seed of the agent's private sampling RNG.
+    """
+
+    def __init__(self, graph: OpGraph, num_devices: int, num_groups: int, seed: int = 0) -> None:
+        super().__init__()
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.graph = graph
+        self.num_devices = num_devices
+        self.num_groups = num_groups
+        self.extractor = OpFeatureExtractor(graph)
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def sample_placements(self, batch: int) -> List[PlacementSample]:
+        """Sample ``batch`` placements (rewards left unfilled)."""
+        raise NotImplementedError
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]) -> Tuple[Tensor, Tensor]:
+        """Differentiable joint log-prob of each sample + mean entropy."""
+        raise NotImplementedError
+
+    def greedy_placement(self) -> np.ndarray:
+        """The mode of the current policy, as an op-level placement."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _op_placement(assignment: np.ndarray, devices: np.ndarray) -> np.ndarray:
+        """Compose group assignment (op→group) with devices (group→device)."""
+        return np.asarray(devices, dtype=np.int64)[np.asarray(assignment, dtype=np.int64)]

@@ -1,0 +1,81 @@
+"""Checkpointing: save and resume a placement-search run.
+
+A checkpoint bundles the agent's parameters, the best placement found, and
+the search trace into one ``.npz`` file, so long searches can be resumed or
+their winning placements shipped to the training job.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from .agent_base import PlacementAgentBase
+from .search import SearchHistory, SearchResult
+
+__all__ = ["save_checkpoint", "load_checkpoint", "restore_agent"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(path: str, agent: PlacementAgentBase, result: SearchResult) -> None:
+    """Write agent parameters + search outcome to ``path`` (.npz)."""
+    payload: Dict[str, np.ndarray] = {}
+    for name, arr in agent.state_dict().items():
+        payload[f"param::{name}"] = arr
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "best_time": result.best_time,
+        "final_time": result.final_time,
+        "num_samples": result.num_samples,
+        "num_invalid": result.num_invalid,
+        "env_time": result.env_time,
+        "algorithm": result.algorithm,
+        "graph_name": agent.graph.name,
+        "num_groups": agent.num_groups,
+        "num_devices": agent.num_devices,
+    }
+    payload["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    if result.best_placement is not None:
+        payload["best_placement"] = result.best_placement
+    payload["history"] = np.column_stack(
+        [
+            result.history.env_time,
+            result.history.per_step_time,
+            result.history.best_so_far,
+            np.asarray(result.history.valid, dtype=np.float64),
+        ]
+    ) if len(result.history) else np.zeros((0, 4))
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(path: str) -> Dict:
+    """Load a checkpoint; returns ``{meta, params, best_placement, history}``."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {meta.get('format_version')!r}")
+        params = {
+            key[len("param::") :]: data[key] for key in data.files if key.startswith("param::")
+        }
+        best = data["best_placement"] if "best_placement" in data.files else None
+        hist_arr = data["history"]
+    history = SearchHistory()
+    for row in hist_arr:
+        t = float(row[1])
+        history.record(float(row[0]), t if t >= 0 else float("inf"), float(row[2]), bool(row[3]))
+    return {"meta": meta, "params": params, "best_placement": best, "history": history}
+
+
+def restore_agent(agent: PlacementAgentBase, checkpoint: Dict) -> PlacementAgentBase:
+    """Load checkpointed parameters into a structurally matching agent."""
+    meta = checkpoint["meta"]
+    if meta["num_groups"] != agent.num_groups or meta["num_devices"] != agent.num_devices:
+        raise ValueError(
+            f"agent shape mismatch: checkpoint is for {meta['num_groups']} groups / "
+            f"{meta['num_devices']} devices"
+        )
+    agent.load_state_dict(checkpoint["params"])
+    return agent

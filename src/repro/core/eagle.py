@@ -1,0 +1,139 @@
+"""The EAGLE agent (§III, §IV-C).
+
+Architecture: a two-layer feed-forward grouper over the reconstructed op
+features; the bridge RNN transforming grouper outputs into placer inputs;
+and a sequence-to-sequence placer with a bidirectional-LSTM encoder, a
+unidirectional-LSTM decoder and Bahdanau attention applied **before** the
+decoder.  Trained with clipped PPO (or PPO + cross-entropy minimisation)
+against the measured per-step time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from ..grouping.feedforward import FeedForwardGrouper
+from ..nn import Tensor, no_grad
+from ..placement.embeddings import GroupEmbedder
+from ..placement.seq2seq import Seq2SeqPlacer
+from ..rl.rollout import PlacementSample
+from .agent_base import PlacementAgentBase
+from .bridge import GrouperPlacerBridge
+
+__all__ = ["EagleAgent"]
+
+
+class EagleAgent(PlacementAgentBase):
+    """Grouper + bridge RNN + attention-before seq2seq placer.
+
+    Parameters
+    ----------
+    graph, num_devices, num_groups, seed:
+        See :class:`PlacementAgentBase`.  The paper uses 256 groups.
+    grouper_hidden:
+        Hidden width of the feed-forward grouper (64 in §IV-C).
+    placer_hidden:
+        LSTM hidden size of the placer (512 in §IV-C).
+    bridge_dim:
+        Output width of the bridge RNN (the placer's input embedding size).
+    attention:
+        Attention position; EAGLE uses ``"before"`` (§III-C) but the ablation
+        benches flip it.
+    warm_start:
+        ``"metis"`` (default) pretrains the grouper toward a min-cut
+        partition before RL (see :mod:`repro.grouping.pretrain`); ``None``
+        trains from scratch (the paper's regime — needs ~10× the sample
+        budget).
+    """
+
+    def __init__(
+        self,
+        graph: OpGraph,
+        num_devices: int,
+        num_groups: int = 256,
+        *,
+        grouper_hidden: int = 64,
+        placer_hidden: int = 512,
+        bridge_dim: Optional[int] = None,
+        attention: str = "before",
+        warm_start: Optional[str] = "metis",
+        device_prior: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph, num_devices, num_groups, seed)
+        init_rng = np.random.default_rng(seed + 1)
+        self.embedder = GroupEmbedder(self.extractor, num_groups, include_adjacency=True)
+        bridge_dim = bridge_dim or max(32, placer_hidden // 4)
+        self.grouper = FeedForwardGrouper(
+            self.extractor.dim, num_groups, hidden=(grouper_hidden,), rng=init_rng
+        )
+        self.bridge = GrouperPlacerBridge(
+            soft_dim=self.extractor.dim, hard_dim=self.embedder.dim, out_dim=bridge_dim, rng=init_rng
+        )
+        self.placer = Seq2SeqPlacer(
+            bridge_dim,
+            num_devices,
+            hidden=placer_hidden,
+            attention=attention,
+            device_prior=device_prior,
+            rng=init_rng,
+        )
+        if warm_start == "metis":
+            from ..grouping.pretrain import pretrain_grouper, warm_start_assignment
+
+            target = warm_start_assignment(graph, num_groups, seed=seed)
+            pretrain_grouper(self.grouper, self.extractor.features, target)
+        elif warm_start is not None:
+            raise ValueError(f"unknown warm_start {warm_start!r}")
+
+    # ------------------------------------------------------------------ #
+    def sample_placements(self, batch: int) -> List[PlacementSample]:
+        features = self.extractor.features
+        with no_grad():
+            assignments, lp_group = self.grouper.sample(features, batch, self.rng)
+            hard = self.embedder.embed_batch(assignments)  # (G, B, D)
+            soft = self.bridge.soft_group_features(self.grouper.probs(features), features)
+            placer_in = self.bridge(soft, hard).data
+        devices, lp_place = self.placer.sample(placer_in, self.rng)
+        samples = []
+        for b in range(batch):
+            samples.append(
+                PlacementSample(
+                    actions={"groups": assignments[b], "devices": devices[b]},
+                    op_placement=self._op_placement(assignments[b], devices[b]),
+                    logp_old=np.concatenate([lp_group[b], lp_place[b]]),
+                )
+            )
+        return samples
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]) -> Tuple[Tensor, Tensor]:
+        features = self.extractor.features
+        assignments = np.stack([s.actions["groups"] for s in samples])
+        devices = np.stack([s.actions["devices"] for s in samples])
+
+        lp_group = self.grouper.log_prob(features, assignments)
+        hard = self.embedder.embed_batch(assignments)
+        soft = self.bridge.soft_group_features(self.grouper.probs(features), features)
+        placer_in = self.bridge(soft, hard)
+        lp_place, ent_place = self.placer.log_prob_and_entropy(placer_in, devices)
+        ent_group = self.grouper.entropy(features)
+        from ..nn.functional import concatenate
+
+        # The grouper's entropy gets a much smaller weight: exploration is
+        # driven through the placer, while the grouping is kept close to a
+        # committed (coherent) partition — grouping churn is what makes the
+        # hierarchical model hard to train (§III-B).
+        return concatenate([lp_group, lp_place], axis=1), ent_place + 0.1 * ent_group
+
+    def greedy_placement(self) -> np.ndarray:
+        features = self.extractor.features
+        with no_grad():
+            assignment = np.argmax(self.grouper.logits(features).data, axis=1)
+            hard = self.embedder.embed_batch(assignment[None, :])
+            soft = self.bridge.soft_group_features(self.grouper.probs(features), features)
+            placer_in = self.bridge(soft, hard).data
+        devices, _ = self.placer.sample(placer_in, self.rng, greedy=True)
+        return self._op_placement(assignment, devices[0])

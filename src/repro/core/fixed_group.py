@@ -1,0 +1,147 @@
+"""Agents with a fixed (heuristic) grouping and a trainable placer.
+
+These are the design-space probes of §III-B and §III-C: the grouping is
+produced once by a heuristic (METIS, fluid communities, topological blocks)
+and only the placer learns — either a seq2seq placer (attention before or
+after) or the GCN placer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from ..grouping.base import Grouper
+from ..nn import Tensor
+from ..placement.embeddings import GroupEmbedder
+from ..placement.gcn_placer import GCNPlacer
+from ..placement.seq2seq import Seq2SeqPlacer
+from ..rl.rollout import PlacementSample
+from .agent_base import PlacementAgentBase
+
+__all__ = ["FixedGroupingSeq2SeqAgent", "FixedGroupingGCNAgent"]
+
+
+class _FixedGroupingBase(PlacementAgentBase):
+    """Shared plumbing: the assignment and embeddings are computed once."""
+
+    def __init__(self, graph: OpGraph, num_devices: int, grouper: Grouper, seed: int) -> None:
+        super().__init__(graph, num_devices, grouper.num_groups, seed)
+        self.grouper = grouper
+        self.assignment = np.asarray(grouper.assign(graph), dtype=np.int64)
+        include_adj = self._include_adjacency()
+        self.embedder = GroupEmbedder(self.extractor, grouper.num_groups, include_adjacency=include_adj)
+        emb, comm = self.embedder.embed_with_adjacency(self.assignment)
+        self._embedding = emb
+        self._comm = comm
+
+    def _include_adjacency(self) -> bool:
+        return True
+
+
+class FixedGroupingSeq2SeqAgent(_FixedGroupingBase):
+    """Heuristic grouping + seq2seq placer (Table I columns, Table II cols 1–2)."""
+
+    def __init__(
+        self,
+        graph: OpGraph,
+        num_devices: int,
+        grouper: Grouper,
+        *,
+        placer_hidden: int = 512,
+        attention: str = "after",
+        device_prior: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph, num_devices, grouper, seed)
+        init_rng = np.random.default_rng(seed + 1)
+        self.placer = Seq2SeqPlacer(
+            self.embedder.dim,
+            num_devices,
+            hidden=placer_hidden,
+            attention=attention,
+            device_prior=device_prior,
+            rng=init_rng,
+        )
+
+    def _batched_embeddings(self, batch: int) -> np.ndarray:
+        return np.repeat(self._embedding[:, None, :], batch, axis=1)
+
+    def sample_placements(self, batch: int) -> List[PlacementSample]:
+        devices, lp = self.placer.sample(self._batched_embeddings(batch), self.rng)
+        return [
+            PlacementSample(
+                actions={"devices": devices[b]},
+                op_placement=self._op_placement(self.assignment, devices[b]),
+                logp_old=lp[b],
+            )
+            for b in range(batch)
+        ]
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]) -> Tuple[Tensor, Tensor]:
+        devices = np.stack([s.actions["devices"] for s in samples])
+        return self.placer.log_prob_and_entropy(self._batched_embeddings(len(samples)), devices)
+
+    def greedy_placement(self) -> np.ndarray:
+        devices, _ = self.placer.sample(self._batched_embeddings(1), self.rng, greedy=True)
+        return self._op_placement(self.assignment, devices[0])
+
+
+class FixedGroupingGCNAgent(_FixedGroupingBase):
+    """Heuristic grouping + GCN placer (Table II column 3).
+
+    Per §III-C the adjacency block is removed from the group embeddings —
+    the GCN receives the adjacency matrix as its second input instead.
+    """
+
+    def __init__(
+        self,
+        graph: OpGraph,
+        num_devices: int,
+        grouper: Grouper,
+        *,
+        placer_hidden: int = 128,
+        device_prior: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph, num_devices, grouper, seed)
+        init_rng = np.random.default_rng(seed + 1)
+        self.placer = GCNPlacer(
+            self.embedder.dim,
+            num_devices,
+            hidden=placer_hidden,
+            device_prior=device_prior,
+            rng=init_rng,
+        )
+
+    def _include_adjacency(self) -> bool:
+        return False
+
+    def _batched(self, batch: int) -> Tuple[np.ndarray, np.ndarray]:
+        emb = np.repeat(self._embedding[None, :, :], batch, axis=0)
+        adj = np.repeat(self._comm[None, :, :], batch, axis=0)
+        return emb, adj
+
+    def sample_placements(self, batch: int) -> List[PlacementSample]:
+        emb, adj = self._batched(batch)
+        devices, lp = self.placer.sample(emb, adj, self.rng)
+        return [
+            PlacementSample(
+                actions={"devices": devices[b]},
+                op_placement=self._op_placement(self.assignment, devices[b]),
+                logp_old=lp[b],
+            )
+            for b in range(batch)
+        ]
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]) -> Tuple[Tensor, Tensor]:
+        emb, adj = self._batched(len(samples))
+        devices = np.stack([s.actions["devices"] for s in samples])
+        return self.placer.log_prob_and_entropy(emb, adj, devices)
+
+    def greedy_placement(self) -> np.ndarray:
+        emb, adj = self._batched(1)
+        devices, _ = self.placer.sample(emb, adj, self.rng, greedy=True)
+        return self._op_placement(self.assignment, devices[0])

@@ -1,0 +1,134 @@
+"""Direct heuristic placement — the Scotch-style baseline of §II-C.
+
+"Although there are many well-studied algorithms for graph partitioning
+problems, such as the Scotch optimizer, a recent study has shown that these
+algorithms yield disappointing results in device placement settings."
+
+We reproduce that baseline: partition the op graph into one part per GPU by
+min-cut (compute+memory balanced) and map part *i* to GPU *i* directly,
+with a greedy memory-repair pass moving groups off over-committed devices.
+No learning, no runtime feedback — which is exactly why it disappoints: the
+min-cut objective ignores the critical-path structure that determines the
+per-step time.
+
+Also here: :class:`RandomSearchAgent`, a learning-free control that samples
+uniform placements — the floor any RL agent must clear.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from ..grouping.metis import partition_kway
+from ..rl.rollout import PlacementSample
+from ..sim.cost_model import CostModel
+from ..sim.devices import Topology
+from .agent_base import PlacementAgentBase
+
+__all__ = ["scotch_style_placement", "RandomSearchAgent"]
+
+
+def scotch_style_placement(
+    graph: OpGraph,
+    topology: Topology,
+    cost_model: Optional[CostModel] = None,
+    *,
+    seed: int = 0,
+    repair_passes: int = 4,
+) -> np.ndarray:
+    """Min-cut partition mapped directly onto the GPUs.
+
+    The graph is split into ``len(gpus)`` balanced parts; part *i* goes to
+    GPU *i*.  A repair pass then moves the smallest groups off any device
+    whose resident bytes exceed its capacity (to the least-loaded device
+    with room, the CPU as last resort).
+    """
+    cost_model = cost_model or CostModel()
+    gpus = topology.gpu_indices()
+    if not gpus:
+        raise ValueError("topology has no GPU devices")
+    parts = partition_kway(graph, len(gpus), seed=seed)
+    placement = np.array([gpus[p] for p in parts], dtype=np.int64)
+
+    # Memory repair at sub-part granularity: split each part into small
+    # chunks that can be relocated independently.
+    chunks = partition_kway(graph, min(8 * len(gpus), graph.num_ops), seed=seed + 1)
+    op_mem = np.array([cost_model.op_memory(node) for node in graph.nodes()])
+    capacity = np.array([d.memory_bytes for d in topology.devices], dtype=np.float64)
+    cpu = topology.cpu_indices()[0] if topology.cpu_indices() else gpus[0]
+
+    for _ in range(repair_passes):
+        load = np.bincount(placement, weights=op_mem, minlength=topology.num_devices)
+        over = [d for d in range(topology.num_devices) if load[d] > capacity[d]]
+        if not over:
+            break
+        for d in over:
+            # Move this device's chunks, smallest first, until it fits.
+            device_chunks = np.unique(chunks[placement == d])
+            chunk_mem = {c: op_mem[(chunks == c) & (placement == d)].sum() for c in device_chunks}
+            for c in sorted(device_chunks, key=lambda c: chunk_mem[c]):
+                if load[d] <= capacity[d]:
+                    break
+                candidates = sorted(
+                    (t for t in range(topology.num_devices) if t != d),
+                    key=lambda t: load[t] / max(capacity[t], 1.0),
+                )
+                target = next(
+                    (t for t in candidates if load[t] + chunk_mem[c] <= capacity[t]), cpu
+                )
+                mask = (chunks == c) & (placement == d)
+                placement[mask] = target
+                load[d] -= chunk_mem[c]
+                load[target] += chunk_mem[c]
+    return placement
+
+
+class RandomSearchAgent(PlacementAgentBase):
+    """Uniform random placements at group granularity; no learning.
+
+    ``log_prob_and_entropy`` returns constants so the RL algorithms are
+    no-ops on it; useful as a control in ablations ("is the agent beating
+    blind search?").
+    """
+
+    def __init__(self, graph: OpGraph, num_devices: int, num_groups: int = 64, seed: int = 0) -> None:
+        super().__init__(graph, num_devices, num_groups, seed)
+        from ..grouping.simple import TopoBlockGrouper
+        from ..nn import Parameter
+
+        self.assignment = TopoBlockGrouper(num_groups).assign(graph)
+        # One inert parameter so the optimisers have something to hold.
+        self._dummy = Parameter(np.zeros(1))
+
+    def sample_placements(self, batch: int) -> List[PlacementSample]:
+        out = []
+        k = int(self.assignment.max()) + 1
+        for _ in range(batch):
+            devices = self.rng.integers(0, self.num_devices, size=k)
+            out.append(
+                PlacementSample(
+                    actions={"devices": devices},
+                    op_placement=self._op_placement(self.assignment, devices),
+                    logp_old=np.full(k, -np.log(self.num_devices)),
+                )
+            )
+        return out
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]):
+        from ..nn import Tensor
+
+        k = len(samples[0].actions["devices"])
+        logp = (
+            Tensor(np.full((len(samples), k), -np.log(self.num_devices)))
+            + self._dummy.reshape(1, 1) * 0.0
+        )
+        entropy = (self._dummy * 0.0).sum() + np.log(self.num_devices)
+        return logp, entropy
+
+    def greedy_placement(self) -> np.ndarray:
+        k = int(self.assignment.max()) + 1
+        devices = self.rng.integers(0, self.num_devices, size=k)
+        return self._op_placement(self.assignment, devices)

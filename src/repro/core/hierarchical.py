@@ -1,0 +1,104 @@
+"""The Hierarchical Planner baseline (Mirhoseini et al., ICLR 2018; §II-C).
+
+A feed-forward grouper and an attention-**after** seq2seq placer, trained
+jointly by policy gradient.  Unlike EAGLE there is no bridge RNN: the placer
+consumes the hand-aggregated hard group embeddings directly, so the only
+gradient path into the grouper is its own score-function term — the paper's
+analysis of why the hierarchical model trains poorly on large models
+(§III-B, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from ..grouping.feedforward import FeedForwardGrouper
+from ..nn import Tensor, no_grad
+from ..placement.embeddings import GroupEmbedder
+from ..placement.seq2seq import Seq2SeqPlacer
+from ..rl.rollout import PlacementSample
+from .agent_base import PlacementAgentBase
+
+__all__ = ["HierarchicalPlannerAgent"]
+
+
+class HierarchicalPlannerAgent(PlacementAgentBase):
+    """Grouper + attention-after seq2seq placer, no bridge."""
+
+    def __init__(
+        self,
+        graph: OpGraph,
+        num_devices: int,
+        num_groups: int = 256,
+        *,
+        grouper_hidden: int = 64,
+        placer_hidden: int = 512,
+        attention: str = "after",
+        warm_start: str | None = "metis",
+        device_prior: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph, num_devices, num_groups, seed)
+        init_rng = np.random.default_rng(seed + 1)
+        self.embedder = GroupEmbedder(self.extractor, num_groups, include_adjacency=True)
+        self.grouper = FeedForwardGrouper(
+            self.extractor.dim, num_groups, hidden=(grouper_hidden,), rng=init_rng
+        )
+        self.placer = Seq2SeqPlacer(
+            self.embedder.dim,
+            num_devices,
+            hidden=placer_hidden,
+            attention=attention,
+            device_prior=device_prior,
+            rng=init_rng,
+        )
+        if warm_start == "metis":
+            # Applied to every learned-grouper agent so comparisons remain
+            # fair; see repro.grouping.pretrain for the rationale.
+            from ..grouping.pretrain import pretrain_grouper, warm_start_assignment
+
+            target = warm_start_assignment(graph, num_groups, seed=seed)
+            pretrain_grouper(self.grouper, self.extractor.features, target)
+        elif warm_start is not None:
+            raise ValueError(f"unknown warm_start {warm_start!r}")
+
+    # ------------------------------------------------------------------ #
+    def sample_placements(self, batch: int) -> List[PlacementSample]:
+        features = self.extractor.features
+        with no_grad():
+            assignments, lp_group = self.grouper.sample(features, batch, self.rng)
+        hard = self.embedder.embed_batch(assignments)
+        devices, lp_place = self.placer.sample(hard, self.rng)
+        return [
+            PlacementSample(
+                actions={"groups": assignments[b], "devices": devices[b]},
+                op_placement=self._op_placement(assignments[b], devices[b]),
+                logp_old=np.concatenate([lp_group[b], lp_place[b]]),
+            )
+            for b in range(batch)
+        ]
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]) -> Tuple[Tensor, Tensor]:
+        features = self.extractor.features
+        assignments = np.stack([s.actions["groups"] for s in samples])
+        devices = np.stack([s.actions["devices"] for s in samples])
+        lp_group = self.grouper.log_prob(features, assignments)
+        hard = self.embedder.embed_batch(assignments)
+        lp_place, ent_place = self.placer.log_prob_and_entropy(hard, devices)
+        ent_group = self.grouper.entropy(features)
+        from ..nn.functional import concatenate
+
+        # Down-weighted grouper entropy, matching EAGLE's treatment so the
+        # HP-vs-EAGLE comparison isolates the bridge/attention/algorithm.
+        return concatenate([lp_group, lp_place], axis=1), ent_place + 0.1 * ent_group
+
+    def greedy_placement(self) -> np.ndarray:
+        features = self.extractor.features
+        with no_grad():
+            assignment = np.argmax(self.grouper.logits(features).data, axis=1)
+        hard = self.embedder.embed_batch(assignment[None, :])
+        devices, _ = self.placer.sample(hard, self.rng, greedy=True)
+        return self._op_placement(assignment, devices[0])

@@ -1,0 +1,104 @@
+"""The Post baseline (Gao et al., NeurIPS 2018; §II-C, §IV-B).
+
+Post trains "a simple neural network" over a *fixed*, pre-computed grouping
+with the joint PPO + cross-entropy algorithm.  We model its policy as an
+independent per-group categorical parameterised by a small feed-forward
+network over the group embeddings — much simpler than a seq2seq decoder,
+which is the paper's explanation of Post's stable-but-sometimes-suboptimal
+behaviour ("the simplicity of the neural network also means it may not be
+able to find the best placement", §IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from ..grouping.base import Grouper
+from ..grouping.simple import TopoBlockGrouper
+from ..nn import FeedForward, Tensor, no_grad
+from ..nn.functional import log_softmax, softmax
+from ..placement.embeddings import GroupEmbedder
+from ..rl.rollout import PlacementSample
+from .agent_base import PlacementAgentBase
+
+__all__ = ["PostAgent"]
+
+
+class PostAgent(PlacementAgentBase):
+    """Fixed grouping + independent per-group feed-forward policy."""
+
+    def __init__(
+        self,
+        graph: OpGraph,
+        num_devices: int,
+        num_groups: int = 256,
+        *,
+        grouper: Optional[Grouper] = None,
+        hidden: int = 64,
+        device_prior: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> None:
+        grouper = grouper or TopoBlockGrouper(num_groups)
+        super().__init__(graph, num_devices, grouper.num_groups, seed)
+        init_rng = np.random.default_rng(seed + 1)
+        self.grouper = grouper
+        self.assignment = np.asarray(grouper.assign(graph), dtype=np.int64)
+        self.embedder = GroupEmbedder(self.extractor, grouper.num_groups, include_adjacency=True)
+        self._embedding = self.embedder.embed(self.assignment)
+        self.policy = FeedForward(self.embedder.dim, [hidden], num_devices, rng=init_rng)
+        if device_prior is not None:
+            prior = np.asarray(device_prior, dtype=np.float64)
+            if prior.shape != (num_devices,):
+                raise ValueError(f"device_prior must have shape ({num_devices},)")
+            self.policy._layers[-1].bias.data += prior
+
+    # ------------------------------------------------------------------ #
+    def _logits(self) -> Tensor:
+        """Per-group device logits ``(G, num_devices)``."""
+        return self.policy(Tensor(self._embedding))
+
+    def sample_placements(self, batch: int) -> List[PlacementSample]:
+        with no_grad():
+            logits = self._logits().data
+        lp = logits - _logsumexp(logits)
+        p = np.exp(lp)
+        G = p.shape[0]
+        cdf = np.cumsum(p, axis=1)
+        cdf[:, -1] = 1.0
+        u = self.rng.random((batch, G, 1))
+        devices = (u > cdf[None, :, :]).sum(axis=2)
+        devices = np.minimum(devices, self.num_devices - 1).astype(np.int64)
+        logps = lp[np.arange(G)[None, :], devices]
+        return [
+            PlacementSample(
+                actions={"devices": devices[b]},
+                op_placement=self._op_placement(self.assignment, devices[b]),
+                logp_old=logps[b],
+            )
+            for b in range(batch)
+        ]
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]) -> Tuple[Tensor, Tensor]:
+        devices = np.stack([s.actions["devices"] for s in samples])
+        logits = self._logits()
+        logp = log_softmax(logits, axis=-1)  # (G, D)
+        B, G = devices.shape
+        onehot = np.zeros((B, G, self.num_devices))
+        onehot[np.arange(B)[:, None], np.arange(G)[None, :], devices] = 1.0
+        rows = (logp.reshape(1, G, self.num_devices) * Tensor(onehot)).sum(axis=2)  # (B, G)
+        p = softmax(logits, axis=-1)
+        entropy = -(p * logp).sum(axis=-1).mean()
+        return rows, entropy
+
+    def greedy_placement(self) -> np.ndarray:
+        with no_grad():
+            devices = np.argmax(self._logits().data, axis=1)
+        return self._op_placement(self.assignment, devices)
+
+
+def _logsumexp(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=-1, keepdims=True)
+    return m + np.log(np.exp(x - m).sum(axis=-1, keepdims=True))

@@ -1,0 +1,109 @@
+"""Pre-defined placements: the Single-GPU and Human-Expert baselines (§IV-B).
+
+* **Single GPU** puts every op on one GPU (GPU-incompatible ops are pinned
+  to the CPU by the simulator, mirroring the paper).  It is only valid for
+  models that fit — Inception-V3 in the benchmarks; GNMT (batch 256) and
+  BERT report OOM.
+
+* **Human Expert** reproduces the open-source placements the paper compares
+  against: TensorFlow-Slim's for Inception-V3 (everything on one GPU, input
+  pipeline on CPU), Google-NMT's for GNMT (each LSTM layer, the attention
+  and the softmax on separate devices), and — as the paper notes — *no*
+  model-parallel placement exists for BERT, so the expert baseline falls
+  back to a single device and OOMs.
+
+Placements are derived from op names, so they apply equally to forward-only
+and expanded training graphs (gradient ops ``<name>:grad`` inherit their
+forward op's device, like TF colocation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from ..sim.devices import Topology
+
+__all__ = ["single_gpu_placement", "human_expert_placement"]
+
+
+def _base_name(name: str) -> str:
+    """Strip the ``:grad`` / ``:update`` suffixes of training-graph ops."""
+    return name.split(":", 1)[0]
+
+
+def single_gpu_placement(graph: OpGraph, topology: Topology, gpu: int = 0) -> np.ndarray:
+    """Everything on the ``gpu``-th GPU device."""
+    gpus = topology.gpu_indices()
+    if not gpus:
+        raise ValueError("topology has no GPU device")
+    return np.full(graph.num_ops, gpus[gpu], dtype=np.int64)
+
+
+def _gnmt_expert(graph: OpGraph, topology: Topology) -> np.ndarray:
+    """The placement shipped in the tensorflow/nmt repository.
+
+    LSTM layer ``i`` (encoder and decoder alike) goes to ``gpu[i % N]``;
+    the attention is computed with the first decoder layer (its device),
+    and the output projection/softmax are colocated with the *last* decoder
+    layer's GPU — the repository does not spread them.  Embeddings live on
+    the CPU.
+    """
+    gpus = topology.gpu_indices()
+    n = len(gpus)
+    cpu = topology.cpu_indices()[0] if topology.cpu_indices() else gpus[0]
+
+    def layer_device(layer: int) -> int:
+        return gpus[layer % n]
+
+    placement = np.empty(graph.num_ops, dtype=np.int64)
+    for node in graph.nodes():
+        base = _base_name(node.name)
+        if base.startswith("encoder/l") or base.startswith("decoder/l"):
+            # encoder/l0f, encoder/l0b, encoder/l2, decoder/l3, ...
+            digits = "".join(ch for ch in base.split("/")[1][1:] if ch.isdigit())
+            device = layer_device(int(digits) if digits else 0)
+        elif base.startswith("decoder/input_concat"):
+            device = layer_device(0)
+        elif base.startswith("attention"):
+            device = layer_device(0)  # attention is computed with decoder layer 0
+        elif base.startswith("head"):
+            device = layer_device(3)  # colocated with the last decoder layer
+        else:
+            device = cpu  # embeddings, inputs, slices of the embedded sequence
+        placement[node.op_id] = device
+    return placement
+
+
+def _inception_expert(graph: OpGraph, topology: Topology) -> np.ndarray:
+    """TF-Slim's placement: the whole network on one GPU (the input pipeline
+    stays on the CPU via the simulator's cpu-only pinning)."""
+    return single_gpu_placement(graph, topology)
+
+
+def _bert_expert(graph: OpGraph, topology: Topology) -> np.ndarray:
+    """Google's BERT release has no model-parallel placement (§IV-B); the
+    expert baseline is therefore a single device, which OOMs at the paper's
+    batch/sequence configuration."""
+    return single_gpu_placement(graph, topology)
+
+
+_EXPERTS: Dict[str, Callable[[OpGraph, Topology], np.ndarray]] = {
+    "inception": _inception_expert,
+    "gnmt": _gnmt_expert,
+    "bert": _bert_expert,
+}
+
+
+def human_expert_placement(graph: OpGraph, topology: Topology) -> np.ndarray:
+    """Dispatch on the graph's name to the matching expert placement.
+
+    Unknown models fall back to the single-GPU placement (the only generic
+    "expert" choice).
+    """
+    for key, fn in _EXPERTS.items():
+        if key in graph.name:
+            return fn(graph, topology)
+    return single_gpu_placement(graph, topology)

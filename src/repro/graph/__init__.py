@@ -1,0 +1,22 @@
+"""Op-level computational graphs and benchmark model builders (substrate S1)."""
+
+from .opgraph import OpGraph, OpNode, TensorSpec, GroupedGraph
+from .training import expand_training_graph
+from .serialization import save_graph, load_graph, graph_to_dict, graph_from_dict, graph_summary
+from . import costs
+from . import models
+
+__all__ = [
+    "OpGraph",
+    "OpNode",
+    "TensorSpec",
+    "GroupedGraph",
+    "expand_training_graph",
+    "save_graph",
+    "load_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_summary",
+    "costs",
+    "models",
+]

@@ -1,0 +1,84 @@
+"""FLOP and byte estimation helpers used by the benchmark model builders.
+
+These mirror the standard analytic cost formulas (e.g. a Conv2D costs
+``2 * H_out * W_out * C_out * (K_h * K_w * C_in)`` FLOPs) so the synthetic
+graphs carry realistic relative costs between layers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = [
+    "conv2d_flops",
+    "conv2d_out_shape",
+    "matmul_flops",
+    "lstm_cell_flops",
+    "attention_flops",
+    "softmax_flops",
+    "pool_out_shape",
+    "elementwise_flops",
+]
+
+
+def conv2d_out_shape(
+    in_shape: Sequence[int], out_channels: int, kernel: Tuple[int, int], stride: int = 1, padding: str = "same"
+) -> Tuple[int, int, int, int]:
+    """Output NHWC shape of a Conv2D."""
+    n, h, w, _ = in_shape
+    if padding == "same":
+        oh = -(-h // stride)
+        ow = -(-w // stride)
+    elif padding == "valid":
+        oh = (h - kernel[0]) // stride + 1
+        ow = (w - kernel[1]) // stride + 1
+    else:
+        raise ValueError(f"unknown padding {padding!r}")
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"conv collapses spatial dims: in={tuple(in_shape)}, kernel={kernel}, stride={stride}")
+    return (n, oh, ow, out_channels)
+
+
+def conv2d_flops(in_shape: Sequence[int], out_shape: Sequence[int], kernel: Tuple[int, int]) -> float:
+    """Multiply-add FLOPs (counted as 2 ops) of a Conv2D."""
+    n, oh, ow, oc = out_shape
+    ic = in_shape[3]
+    return 2.0 * n * oh * ow * oc * kernel[0] * kernel[1] * ic
+
+
+def matmul_flops(m: int, k: int, n: int) -> float:
+    """FLOPs of an ``(m, k) @ (k, n)`` matmul."""
+    return 2.0 * m * k * n
+
+
+def lstm_cell_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """FLOPs of one LSTM step (4 gates of input+recurrent matmuls)."""
+    return 2.0 * batch * 4 * hidden_size * (input_size + hidden_size) + 10.0 * batch * hidden_size
+
+
+def attention_flops(batch: int, query_len: int, memory_len: int, dim: int) -> float:
+    """FLOPs of one scaled/additive attention over a memory."""
+    scores = 2.0 * batch * query_len * memory_len * dim
+    context = 2.0 * batch * query_len * memory_len * dim
+    return scores + context
+
+
+def softmax_flops(batch: int, classes: int) -> float:
+    """FLOPs of a softmax over ``classes`` (exp + normalise, ~5 ops/elem)."""
+    return 5.0 * batch * classes
+
+
+def pool_out_shape(in_shape: Sequence[int], kernel: int, stride: int) -> Tuple[int, int, int, int]:
+    """Output NHWC shape of a pooling op with 'valid'-ish semantics."""
+    n, h, w, c = in_shape
+    oh = max((h - kernel) // stride + 1, 1)
+    ow = max((w - kernel) // stride + 1, 1)
+    return (n, oh, ow, c)
+
+
+def elementwise_flops(shape: Sequence[int], ops_per_element: float = 1.0) -> float:
+    """FLOPs of an elementwise op over a tensor of ``shape``."""
+    n = 1.0
+    for d in shape:
+        n *= d
+    return n * ops_per_element

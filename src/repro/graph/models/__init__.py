@@ -1,0 +1,50 @@
+"""Benchmark model graph builders (Inception-V3, GNMT, BERT) and random DAGs."""
+
+from ..training import expand_training_graph
+from .inception import build_inception_v3
+from .gnmt import build_gnmt
+from .bert import build_bert
+from .resnet import build_resnet50
+from .transformer import build_transformer
+from .random_graphs import build_random_layered, build_chain, build_fan
+
+__all__ = [
+    "build_inception_v3",
+    "build_gnmt",
+    "build_bert",
+    "build_resnet50",
+    "build_transformer",
+    "build_random_layered",
+    "build_chain",
+    "build_fan",
+    "BENCHMARKS",
+    "build_benchmark",
+]
+
+#: The paper's three evaluation benchmarks (§IV-A), by canonical name.
+BENCHMARKS = {
+    "inception_v3": build_inception_v3,
+    "gnmt": build_gnmt,
+    "bert": build_bert,
+    # additional model families beyond the paper's three benchmarks
+    "resnet50": build_resnet50,
+    "transformer": build_transformer,
+}
+
+
+def build_benchmark(name: str, training: bool = True, **kwargs):
+    """Build one of the paper's benchmark graphs by name.
+
+    ``name`` is one of ``"inception_v3"``, ``"gnmt"``, ``"bert"``; extra
+    keyword arguments are forwarded to the builder (e.g. ``num_layers`` for
+    scaled-down test variants).  With ``training=True`` (the default, and
+    what every experiment in the paper places) the forward graph is expanded
+    with backward and optimizer-update ops via
+    :func:`~repro.graph.training.expand_training_graph`.
+    """
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}") from None
+    graph = builder(**kwargs)
+    return expand_training_graph(graph) if training else graph

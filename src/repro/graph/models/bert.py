@@ -1,0 +1,165 @@
+"""Synthetic BERT-Base computational graph (Devlin et al. 2019).
+
+Matches the paper's benchmark setup (§IV-A): BERT-Base — 12 transformer
+layers, 12 attention heads, hidden 768, FFN 3072 — with max sequence length
+384 and batch size 24, a configuration that cannot fit into a single 12 GB
+GPU but trains when partitioned across four.
+
+Attention is emitted at per-head granularity (one score/softmax/context op
+chain per head), which is where the real TF graph gets its thousands of
+small ops and what gives the grouper meaningful work on this model.  Set
+``split_heads=False`` for a coarser (faster to simulate) variant.
+"""
+
+from __future__ import annotations
+
+from .common import ModelBuilder
+from ..costs import matmul_flops
+from ..opgraph import OpGraph, OpNode
+
+__all__ = ["build_bert"]
+
+
+def _attention_block(
+    b: ModelBuilder,
+    prefix: str,
+    x: OpNode,
+    batch: int,
+    seq: int,
+    hidden: int,
+    num_heads: int,
+    split_heads: bool,
+) -> OpNode:
+    q = b.linear(f"{prefix}/query", x, hidden)
+    k = b.linear(f"{prefix}/key", x, hidden)
+    v = b.linear(f"{prefix}/value", x, hidden)
+    head_dim = hidden // num_heads
+    tokens = batch * seq
+    # Per-head costs: scores and context are each 2·B·S²·d FLOPs; the score
+    # tensor is (B, S, S) per head — the memory hog the paper's BERT setup
+    # relies on (batch 24 × seq 384 won't fit one 12 GB GPU).
+    score_flops = 2.0 * batch * seq * seq * head_dim
+
+    if split_heads:
+        heads: list[OpNode] = []
+        for h in range(num_heads):
+            score = b.op(
+                f"{prefix}/head{h}/scores",
+                "MatMul",
+                (batch, seq, seq),
+                [q, k],
+                flops=score_flops,
+            )
+            probs = b.op(
+                f"{prefix}/head{h}/softmax",
+                "Softmax",
+                (batch, seq, seq),
+                [score],
+                flops=5.0 * batch * seq * seq,
+            )
+            ctx = b.op(
+                f"{prefix}/head{h}/context",
+                "MatMul",
+                (tokens, head_dim),
+                [probs, v],
+                flops=score_flops,
+            )
+            heads.append(ctx)
+        merged = b.concat(f"{prefix}/heads", heads, axis=1)
+    else:
+        score = b.op(
+            f"{prefix}/scores",
+            "MatMul",
+            (batch, num_heads, seq, seq),
+            [q, k],
+            flops=num_heads * score_flops,
+        )
+        probs = b.op(
+            f"{prefix}/softmax",
+            "Softmax",
+            (batch, num_heads, seq, seq),
+            [score],
+            flops=5.0 * batch * num_heads * seq * seq,
+        )
+        merged = b.op(
+            f"{prefix}/context",
+            "MatMul",
+            (tokens, hidden),
+            [probs, v],
+            flops=num_heads * score_flops,
+        )
+    return b.linear(f"{prefix}/output", merged, hidden)
+
+
+def build_bert(
+    batch_size: int = 24,
+    seq_len: int = 384,
+    hidden: int = 768,
+    num_layers: int = 12,
+    num_heads: int = 12,
+    ffn_dim: int = 3072,
+    vocab: int = 30522,
+    split_heads: bool = True,
+) -> OpGraph:
+    """Build the BERT-Base op graph with an MLM head.
+
+    Returns an :class:`OpGraph` with ~700 ops at per-head granularity.
+    """
+    if hidden % num_heads:
+        raise ValueError("hidden must be divisible by num_heads")
+    b = ModelBuilder(f"bert_l{num_layers}_b{batch_size}")
+    tokens = batch_size * seq_len
+
+    ids = b.input("input_ids", (batch_size, seq_len))
+    word = b.embedding_lookup("embeddings/word", ids, vocab, hidden)
+    pos = b.op(
+        "embeddings/position",
+        "Gather",
+        (batch_size, seq_len, hidden),
+        [ids],
+        param_bytes=512 * hidden * 4,
+        cpu_only=True,
+    )
+    seg = b.op(
+        "embeddings/segment",
+        "Gather",
+        (batch_size, seq_len, hidden),
+        [ids],
+        param_bytes=2 * hidden * 4,
+        cpu_only=True,
+    )
+    x = b.binary("embeddings/add_pos", "Add", word, pos)
+    x = b.binary("embeddings/add_seg", "Add", x, seg)
+    x = b.layer_norm("embeddings", x)
+    x = b.op("embeddings/flatten", "Reshape", (tokens, hidden), [x])
+
+    for layer in range(num_layers):
+        prefix = f"layer{layer}"
+        attn = _attention_block(b, f"{prefix}/attention", x, batch_size, seq_len, hidden, num_heads, split_heads)
+        x = b.binary(f"{prefix}/attention/residual", "Add", x, attn)
+        x = b.layer_norm(f"{prefix}/attention", x)
+        ffn = b.linear(f"{prefix}/ffn/in", x, ffn_dim)
+        ffn = b.elementwise(f"{prefix}/ffn/gelu", "Gelu", ffn, ops_per_element=8.0)
+        ffn = b.linear(f"{prefix}/ffn/out", ffn, hidden)
+        x = b.binary(f"{prefix}/ffn/residual", "Add", x, ffn)
+        x = b.layer_norm(f"{prefix}/ffn", x)
+
+    # MLM head: as in the real pretraining graph, predictions are computed
+    # only at the ~15 % masked positions (tf.gather on the flat sequence),
+    # then transformed and projected to the vocabulary.
+    masked = batch_size * max(1, int(round(0.15 * seq_len)))
+    head = b.op("mlm/gather_masked", "Slice", (masked, hidden), [x], flops=float(masked * hidden))
+    head = b.linear("mlm/transform", head, hidden)
+    head = b.elementwise("mlm/gelu", "Gelu", head, ops_per_element=8.0)
+    head = b.layer_norm("mlm", head)
+    logits = b.op(
+        "mlm/logits",
+        "MatMul",
+        (masked, vocab),
+        [head],
+        flops=matmul_flops(masked, hidden, vocab),
+        param_bytes=hidden * vocab * 4,
+    )
+    probs = b.softmax("mlm", logits)
+    b.op("mlm/loss", "CrossEntropy", (1,), [probs], flops=2.0 * masked * vocab)
+    return b.finish()

@@ -1,0 +1,196 @@
+"""Shared building blocks for the synthetic benchmark model graphs.
+
+The builders emit op-level DAGs whose op types, tensor shapes, FLOPs and
+parameter bytes follow the analytic cost formulas in :mod:`repro.graph.costs`.
+They stand in for the TensorFlow graph-extraction step of the paper (we have
+no TensorFlow offline); see DESIGN.md §1 for the substitution argument.
+
+Backward-pass convention: instead of emitting explicit gradient ops, each
+forward op's cost is scaled by the simulator's ``training_flops_multiplier``
+(the standard fwd:bwd ≈ 1:2 rule), and the memory model charges activations
+as held-for-backward.  This halves graph size without changing the placement
+trade-offs, since TensorFlow colocates gradient ops with their forward ops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..costs import conv2d_flops, conv2d_out_shape, elementwise_flops, matmul_flops, pool_out_shape
+from ..opgraph import OpGraph, OpNode
+
+__all__ = ["ModelBuilder"]
+
+
+class ModelBuilder:
+    """Thin stateful wrapper over :class:`OpGraph` with layer-level helpers.
+
+    Generates unique op names by prefixing a running scope, and implements
+    the composite blocks (conv+BN+ReLU, linear, pooling, concat, layer norm)
+    shared by the Inception / GNMT / BERT builders.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.graph = OpGraph(name)
+        self._counter = 0
+
+    def _unique(self, name: str) -> str:
+        if name not in self.graph:
+            return name
+        self._counter += 1
+        return f"{name}_{self._counter}"
+
+    # ------------------------------------------------------------------ #
+    # Primitive ops
+    # ------------------------------------------------------------------ #
+    def input(self, name: str, shape: Sequence[int]) -> OpNode:
+        """Input-pipeline op; pinned to CPU like a TF feed/dataset op."""
+        return self.graph.add_op(self._unique(name), "Input", shape, cpu_only=True)
+
+    def op(
+        self,
+        name: str,
+        op_type: str,
+        shape: Sequence[int],
+        inputs: Sequence[OpNode],
+        *,
+        flops: float = 0.0,
+        param_bytes: int = 0,
+        cpu_only: bool = False,
+    ) -> OpNode:
+        """Add a raw op with explicit attributes."""
+        return self.graph.add_op(
+            self._unique(name),
+            op_type,
+            shape,
+            flops=flops,
+            param_bytes=param_bytes,
+            inputs=inputs,
+            cpu_only=cpu_only,
+        )
+
+    def elementwise(self, name: str, op_type: str, x: OpNode, ops_per_element: float = 1.0) -> OpNode:
+        """Unary elementwise op preserving the input shape."""
+        shape = x.output.shape
+        return self.op(name, op_type, shape, [x], flops=elementwise_flops(shape, ops_per_element))
+
+    def binary(self, name: str, op_type: str, a: OpNode, b: OpNode) -> OpNode:
+        """Binary elementwise op (shapes assumed broadcast-compatible; output
+        takes the larger input's shape)."""
+        shape = a.output.shape if a.output.num_elements >= b.output.num_elements else b.output.shape
+        return self.op(name, op_type, shape, [a, b], flops=elementwise_flops(shape))
+
+    # ------------------------------------------------------------------ #
+    # Composite blocks
+    # ------------------------------------------------------------------ #
+    def conv_bn_relu(
+        self,
+        prefix: str,
+        x: OpNode,
+        out_channels: int,
+        kernel: Tuple[int, int],
+        stride: int = 1,
+        padding: str = "same",
+    ) -> OpNode:
+        """Conv2D + FusedBatchNorm + ReLU (the Inception conv unit)."""
+        out_shape = conv2d_out_shape(x.output.shape, out_channels, kernel, stride, padding)
+        in_c = x.output.shape[3]
+        weights = kernel[0] * kernel[1] * in_c * out_channels * 4
+        conv = self.op(
+            f"{prefix}/conv2d",
+            "Conv2D",
+            out_shape,
+            [x],
+            flops=conv2d_flops(x.output.shape, out_shape, kernel),
+            param_bytes=weights,
+        )
+        bn = self.op(
+            f"{prefix}/batchnorm",
+            "FusedBatchNorm",
+            out_shape,
+            [conv],
+            flops=elementwise_flops(out_shape, 4.0),
+            param_bytes=out_channels * 4 * 4,
+        )
+        return self.elementwise(f"{prefix}/relu", "Relu", bn)
+
+    def pool(self, prefix: str, x: OpNode, kind: str, kernel: int, stride: int) -> OpNode:
+        """Max or average pooling ('valid')."""
+        if kind not in ("MaxPool", "AvgPool"):
+            raise ValueError(f"unknown pooling kind {kind!r}")
+        out_shape = pool_out_shape(x.output.shape, kernel, stride)
+        flops = elementwise_flops(out_shape, float(kernel * kernel))
+        return self.op(f"{prefix}/{kind.lower()}", kind, out_shape, [x], flops=flops)
+
+    def concat(self, prefix: str, inputs: Sequence[OpNode], axis: int = 3) -> OpNode:
+        """Concatenate along ``axis`` (default channel axis for NHWC)."""
+        shapes = [n.output.shape for n in inputs]
+        base = list(shapes[0])
+        base[axis] = sum(s[axis] for s in shapes)
+        total = sum(n.output.num_elements for n in inputs)
+        return self.op(f"{prefix}/concat", "Concat", base, list(inputs), flops=float(total))
+
+    def linear(
+        self,
+        prefix: str,
+        x: OpNode,
+        out_features: int,
+        bias: bool = True,
+        op_type: str = "MatMul",
+    ) -> OpNode:
+        """Dense layer over the trailing feature axis of ``x``."""
+        in_shape = x.output.shape
+        in_features = in_shape[-1]
+        rows = x.output.num_elements // in_features
+        out_shape = tuple(in_shape[:-1]) + (out_features,)
+        mm = self.op(
+            f"{prefix}/matmul",
+            op_type,
+            out_shape,
+            [x],
+            flops=matmul_flops(rows, in_features, out_features),
+            param_bytes=in_features * out_features * 4,
+        )
+        if not bias:
+            return mm
+        return self.op(
+            f"{prefix}/bias",
+            "BiasAdd",
+            out_shape,
+            [mm],
+            flops=elementwise_flops(out_shape),
+            param_bytes=out_features * 4,
+        )
+
+    def layer_norm(self, prefix: str, x: OpNode) -> OpNode:
+        """LayerNorm over the trailing axis."""
+        shape = x.output.shape
+        return self.op(
+            f"{prefix}/layernorm",
+            "LayerNorm",
+            shape,
+            [x],
+            flops=elementwise_flops(shape, 8.0),
+            param_bytes=shape[-1] * 2 * 4,
+        )
+
+    def softmax(self, prefix: str, x: OpNode) -> OpNode:
+        return self.elementwise(f"{prefix}/softmax", "Softmax", x, ops_per_element=5.0)
+
+    def embedding_lookup(self, prefix: str, ids: OpNode, vocab: int, dim: int) -> OpNode:
+        """Gather rows of an embedding table; CPU-pinned like TF's sparse ops."""
+        out_shape = tuple(ids.output.shape) + (dim,)
+        return self.op(
+            f"{prefix}/embedding",
+            "Gather",
+            out_shape,
+            [ids],
+            flops=elementwise_flops(out_shape, 0.1),
+            param_bytes=vocab * dim * 4,
+            cpu_only=True,
+        )
+
+    def finish(self) -> OpGraph:
+        """Validate and return the built graph."""
+        self.graph.validate()
+        return self.graph

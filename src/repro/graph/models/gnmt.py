@@ -1,0 +1,174 @@
+"""Synthetic GNMT computational graph (Wu et al. 2016, 4-layer variant).
+
+Matches the paper's benchmark setup (§IV-A): the 4-layer GNMT with an
+attention layer, sequence length in the 20–50 range, batch size raised from
+128 to 256 so the model no longer fits on a single 12 GB GPU.  The encoder's
+first layer is bidirectional; layers 3+ carry residual connections; the
+decoder attends to the encoder outputs with additive attention and projects
+to the vocabulary.
+
+The LSTM layers are unrolled over time (one ``LSTMCell`` op per step per
+layer), which is what gives the RL placer its wavefront parallelism: putting
+different layers on different devices pipelines across time steps — exactly
+the structure the human-expert placement exploits.
+
+Note on the hidden size: the paper trims each LSTM layer to 256 hidden units;
+we default to GNMT's standard 1024 so the batch-256 activation footprint
+exceeds one simulated 12 GB GPU (our memory model is calibrated such that
+batch 128 fits and batch 256 does not — the paper's motivation for raising
+the batch size).  Both figures are configurable.
+"""
+
+from __future__ import annotations
+
+from .common import ModelBuilder
+from ..costs import lstm_cell_flops, matmul_flops
+from ..opgraph import OpGraph, OpNode
+
+__all__ = ["build_gnmt"]
+
+
+def _lstm_layer(
+    b: ModelBuilder,
+    prefix: str,
+    inputs: list[OpNode],
+    batch: int,
+    input_size: int,
+    hidden: int,
+    reverse: bool = False,
+) -> list[OpNode]:
+    """Unrolled LSTM layer: one LSTMCell op per time step, chained through
+    the recurrent state.  Weights are charged to the first step's op."""
+    seq = list(reversed(inputs)) if reverse else inputs
+    outputs: list[OpNode] = []
+    prev: OpNode | None = None
+    weight_bytes = 4 * hidden * (input_size + hidden) * 4 + 4 * hidden * 4
+    for t, x in enumerate(seq):
+        deps = [x] if prev is None else [x, prev]
+        cell = b.op(
+            f"{prefix}/step{t}",
+            "LSTMCell",
+            (batch, hidden),
+            deps,
+            flops=lstm_cell_flops(batch, input_size, hidden),
+            param_bytes=weight_bytes if t == 0 else 0,
+        )
+        outputs.append(cell)
+        prev = cell
+    return list(reversed(outputs)) if reverse else outputs
+
+
+def build_gnmt(
+    batch_size: int = 256,
+    seq_len: int = 50,
+    hidden: int = 1024,
+    num_layers: int = 4,
+    vocab: int = 32000,
+) -> OpGraph:
+    """Build the 4-layer GNMT op graph with attention.
+
+    Returns an :class:`OpGraph` with ~700 ops at the default sequence
+    length.
+    """
+    if num_layers < 2:
+        raise ValueError("GNMT needs at least 2 layers")
+    b = ModelBuilder(f"gnmt_l{num_layers}_b{batch_size}")
+
+    src_ids = b.input("source_ids", (batch_size, seq_len))
+    tgt_ids = b.input("target_ids", (batch_size, seq_len))
+    src_emb = b.embedding_lookup("encoder", src_ids, vocab, hidden)
+    tgt_emb = b.embedding_lookup("decoder", tgt_ids, vocab, hidden)
+
+    # Per-step views of the embedded sequences.
+    src_steps = [
+        b.op(f"encoder/emb_slice{t}", "Slice", (batch_size, hidden), [src_emb]) for t in range(seq_len)
+    ]
+    tgt_steps = [
+        b.op(f"decoder/emb_slice{t}", "Slice", (batch_size, hidden), [tgt_emb]) for t in range(seq_len)
+    ]
+
+    # --- Encoder: bidirectional first layer, then unidirectional layers with
+    # residual connections from layer 3 on (GNMT convention).
+    fwd = _lstm_layer(b, "encoder/l0f", src_steps, batch_size, hidden, hidden)
+    bwd = _lstm_layer(b, "encoder/l0b", src_steps, batch_size, hidden, hidden, reverse=True)
+    layer_out = [
+        b.op(f"encoder/bidir_concat{t}", "Concat", (batch_size, 2 * hidden), [fwd[t], bwd[t]])
+        for t in range(seq_len)
+    ]
+    in_size = 2 * hidden
+    for layer in range(1, num_layers):
+        new_out = _lstm_layer(b, f"encoder/l{layer}", layer_out, batch_size, in_size, hidden)
+        if layer >= 2 and in_size == hidden:
+            new_out = [
+                b.binary(f"encoder/l{layer}_res{t}", "Add", new_out[t], layer_out[t]) for t in range(seq_len)
+            ]
+        layer_out = new_out
+        in_size = hidden
+    encoder_out = layer_out
+
+    # Attention memory: stack of encoder outputs.
+    memory = b.op("attention/memory", "Concat", (seq_len, batch_size, hidden), encoder_out)
+
+    # --- Decoder: first layer consumes [embedding ; context]; attention is
+    # queried with the first layer's state at each step.
+    dec_layers: list[list[OpNode]] = []
+    prev_cells: list[OpNode | None] = [None] * num_layers
+    dec_out_steps: list[OpNode] = []
+    attn_w_bytes = (2 * hidden * hidden + hidden) * 4
+    lstm_w_bytes0 = 4 * hidden * (2 * hidden + hidden) * 4
+    lstm_w_bytes = 4 * hidden * (hidden + hidden) * 4
+    layer_steps: list[list[OpNode]] = [[] for _ in range(num_layers)]
+    for t in range(seq_len):
+        # Attention: additive score against every encoder position.
+        query_dep = prev_cells[0] if prev_cells[0] is not None else tgt_steps[t]
+        score = b.op(
+            f"attention/score{t}",
+            "MatMul",
+            (batch_size, seq_len),
+            [memory, query_dep],
+            flops=matmul_flops(batch_size, hidden, seq_len) + 2.0 * batch_size * seq_len * hidden,
+            param_bytes=attn_w_bytes if t == 0 else 0,
+        )
+        probs = b.op(
+            f"attention/softmax{t}", "Softmax", (batch_size, seq_len), [score], flops=5.0 * batch_size * seq_len
+        )
+        context = b.op(
+            f"attention/context{t}",
+            "MatMul",
+            (batch_size, hidden),
+            [probs, memory],
+            flops=matmul_flops(batch_size, seq_len, hidden),
+        )
+        x = b.op(
+            f"decoder/input_concat{t}", "Concat", (batch_size, 2 * hidden), [tgt_steps[t], context]
+        )
+        for layer in range(num_layers):
+            input_size = 2 * hidden if layer == 0 else hidden
+            deps = [x] if prev_cells[layer] is None else [x, prev_cells[layer]]
+            cell = b.op(
+                f"decoder/l{layer}/step{t}",
+                "LSTMCell",
+                (batch_size, hidden),
+                deps,
+                flops=lstm_cell_flops(batch_size, input_size, hidden),
+                param_bytes=(lstm_w_bytes0 if layer == 0 else lstm_w_bytes) if t == 0 else 0,
+            )
+            prev_cells[layer] = cell
+            if layer >= 2:
+                cell = b.binary(f"decoder/l{layer}_res{t}", "Add", cell, x)
+            layer_steps[layer].append(cell)
+            x = cell
+        dec_out_steps.append(x)
+
+    dec_out = b.op("decoder/output_concat", "Concat", (seq_len, batch_size, hidden), dec_out_steps)
+    logits = b.op(
+        "head/projection",
+        "MatMul",
+        (seq_len, batch_size, vocab),
+        [dec_out],
+        flops=matmul_flops(seq_len * batch_size, hidden, vocab),
+        param_bytes=hidden * vocab * 4,
+    )
+    probs = b.softmax("head", logits)
+    b.op("head/loss", "CrossEntropy", (1,), [probs], flops=2.0 * seq_len * batch_size * vocab)
+    return b.finish()

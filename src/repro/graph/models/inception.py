@@ -1,0 +1,113 @@
+"""Synthetic Inception-V3 computational graph (Szegedy et al., CVPR 2016).
+
+Follows the canonical architecture: stem, 3× Inception-A (35×35),
+Reduction-A, 4× Inception-B (17×17) with 7×1/1×7 factorised convolutions,
+Reduction-B, 2× Inception-C (8×8), global pooling and a 1000-way classifier.
+Each convolution unit emits Conv2D + FusedBatchNorm + ReLU ops, matching the
+granularity of the TF graph the paper places (batch size 1, §IV-A).
+"""
+
+from __future__ import annotations
+
+from .common import ModelBuilder
+from ..opgraph import OpGraph, OpNode
+
+__all__ = ["build_inception_v3"]
+
+
+def _inception_a(b: ModelBuilder, x: OpNode, prefix: str, pool_ch: int) -> OpNode:
+    b1 = b.conv_bn_relu(f"{prefix}/b1x1", x, 64, (1, 1))
+    b5 = b.conv_bn_relu(f"{prefix}/b5x5_1", x, 48, (1, 1))
+    b5 = b.conv_bn_relu(f"{prefix}/b5x5_2", b5, 64, (5, 5))
+    b3 = b.conv_bn_relu(f"{prefix}/b3x3dbl_1", x, 64, (1, 1))
+    b3 = b.conv_bn_relu(f"{prefix}/b3x3dbl_2", b3, 96, (3, 3))
+    b3 = b.conv_bn_relu(f"{prefix}/b3x3dbl_3", b3, 96, (3, 3))
+    bp = b.pool(f"{prefix}/pool", x, "AvgPool", 3, 1)
+    bp = b.conv_bn_relu(f"{prefix}/bpool", bp, pool_ch, (1, 1))
+    return b.concat(prefix, [b1, b5, b3, bp])
+
+
+def _reduction_a(b: ModelBuilder, x: OpNode, prefix: str) -> OpNode:
+    b3 = b.conv_bn_relu(f"{prefix}/b3x3", x, 384, (3, 3), stride=2, padding="valid")
+    bd = b.conv_bn_relu(f"{prefix}/bdbl_1", x, 64, (1, 1))
+    bd = b.conv_bn_relu(f"{prefix}/bdbl_2", bd, 96, (3, 3))
+    bd = b.conv_bn_relu(f"{prefix}/bdbl_3", bd, 96, (3, 3), stride=2, padding="valid")
+    bp = b.pool(f"{prefix}/pool", x, "MaxPool", 3, 2)
+    return b.concat(prefix, [b3, bd, bp])
+
+
+def _inception_b(b: ModelBuilder, x: OpNode, prefix: str, c7: int) -> OpNode:
+    b1 = b.conv_bn_relu(f"{prefix}/b1x1", x, 192, (1, 1))
+    b7 = b.conv_bn_relu(f"{prefix}/b7x7_1", x, c7, (1, 1))
+    b7 = b.conv_bn_relu(f"{prefix}/b7x7_2", b7, c7, (1, 7))
+    b7 = b.conv_bn_relu(f"{prefix}/b7x7_3", b7, 192, (7, 1))
+    bd = b.conv_bn_relu(f"{prefix}/b7x7dbl_1", x, c7, (1, 1))
+    bd = b.conv_bn_relu(f"{prefix}/b7x7dbl_2", bd, c7, (7, 1))
+    bd = b.conv_bn_relu(f"{prefix}/b7x7dbl_3", bd, c7, (1, 7))
+    bd = b.conv_bn_relu(f"{prefix}/b7x7dbl_4", bd, c7, (7, 1))
+    bd = b.conv_bn_relu(f"{prefix}/b7x7dbl_5", bd, 192, (1, 7))
+    bp = b.pool(f"{prefix}/pool", x, "AvgPool", 3, 1)
+    bp = b.conv_bn_relu(f"{prefix}/bpool", bp, 192, (1, 1))
+    return b.concat(prefix, [b1, b7, bd, bp])
+
+
+def _reduction_b(b: ModelBuilder, x: OpNode, prefix: str) -> OpNode:
+    b3 = b.conv_bn_relu(f"{prefix}/b3x3_1", x, 192, (1, 1))
+    b3 = b.conv_bn_relu(f"{prefix}/b3x3_2", b3, 320, (3, 3), stride=2, padding="valid")
+    b7 = b.conv_bn_relu(f"{prefix}/b7x7x3_1", x, 192, (1, 1))
+    b7 = b.conv_bn_relu(f"{prefix}/b7x7x3_2", b7, 192, (1, 7))
+    b7 = b.conv_bn_relu(f"{prefix}/b7x7x3_3", b7, 192, (7, 1))
+    b7 = b.conv_bn_relu(f"{prefix}/b7x7x3_4", b7, 192, (3, 3), stride=2, padding="valid")
+    bp = b.pool(f"{prefix}/pool", x, "MaxPool", 3, 2)
+    return b.concat(prefix, [b3, b7, bp])
+
+
+def _inception_c(b: ModelBuilder, x: OpNode, prefix: str) -> OpNode:
+    b1 = b.conv_bn_relu(f"{prefix}/b1x1", x, 320, (1, 1))
+    b3 = b.conv_bn_relu(f"{prefix}/b3x3_1", x, 384, (1, 1))
+    b3a = b.conv_bn_relu(f"{prefix}/b3x3_2a", b3, 384, (1, 3))
+    b3b = b.conv_bn_relu(f"{prefix}/b3x3_2b", b3, 384, (3, 1))
+    b3 = b.concat(f"{prefix}/b3x3", [b3a, b3b])
+    bd = b.conv_bn_relu(f"{prefix}/bdbl_1", x, 448, (1, 1))
+    bd = b.conv_bn_relu(f"{prefix}/bdbl_2", bd, 384, (3, 3))
+    bda = b.conv_bn_relu(f"{prefix}/bdbl_3a", bd, 384, (1, 3))
+    bdb = b.conv_bn_relu(f"{prefix}/bdbl_3b", bd, 384, (3, 1))
+    bd = b.concat(f"{prefix}/bdbl", [bda, bdb])
+    bp = b.pool(f"{prefix}/pool", x, "AvgPool", 3, 1)
+    bp = b.conv_bn_relu(f"{prefix}/bpool", bp, 192, (1, 1))
+    return b.concat(prefix, [b1, b3, bd, bp])
+
+
+def build_inception_v3(batch_size: int = 1, image_size: int = 299, num_classes: int = 1000) -> OpGraph:
+    """Build the Inception-V3 op graph.
+
+    Parameters follow the paper's evaluation setup: ``batch_size=1``.
+    Returns an :class:`OpGraph` with ~330 ops.
+    """
+    b = ModelBuilder(f"inception_v3_b{batch_size}")
+    x = b.input("images", (batch_size, image_size, image_size, 3))
+
+    # Stem.
+    x = b.conv_bn_relu("stem/conv1", x, 32, (3, 3), stride=2, padding="valid")
+    x = b.conv_bn_relu("stem/conv2", x, 32, (3, 3), padding="valid")
+    x = b.conv_bn_relu("stem/conv3", x, 64, (3, 3))
+    x = b.pool("stem/pool1", x, "MaxPool", 3, 2)
+    x = b.conv_bn_relu("stem/conv4", x, 80, (1, 1))
+    x = b.conv_bn_relu("stem/conv5", x, 192, (3, 3), padding="valid")
+    x = b.pool("stem/pool2", x, "MaxPool", 3, 2)
+
+    for i, pool_ch in enumerate((32, 64, 64)):
+        x = _inception_a(b, x, f"mixed_a{i}", pool_ch)
+    x = _reduction_a(b, x, "reduction_a")
+    for i, c7 in enumerate((128, 160, 160, 192)):
+        x = _inception_b(b, x, f"mixed_b{i}", c7)
+    x = _reduction_b(b, x, "reduction_b")
+    for i in range(2):
+        x = _inception_c(b, x, f"mixed_c{i}")
+
+    h = x.output.shape[1]
+    x = b.pool("head/global_pool", x, "AvgPool", h, 1)
+    x = b.op("head/flatten", "Reshape", (batch_size, x.output.shape[3]), [x])
+    logits = b.linear("head/logits", x, num_classes)
+    b.softmax("head", logits)
+    return b.finish()

@@ -1,0 +1,90 @@
+"""Random layered DAG generators for tests, property tests and ablations.
+
+A layered DAG with configurable width/depth/branching mimics the structural
+variety of real model graphs without their construction cost, and gives the
+hypothesis-based tests a cheap source of valid :class:`OpGraph` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..opgraph import OpGraph
+
+__all__ = ["build_random_layered", "build_chain", "build_fan"]
+
+_OP_TYPES = ("MatMul", "Conv2D", "Relu", "Add", "Concat", "Softmax", "LSTMCell", "Gather")
+
+
+def build_random_layered(
+    num_layers: int = 10,
+    width: int = 8,
+    edge_prob: float = 0.35,
+    seed: int = 0,
+    batch: int = 32,
+    cpu_only_frac: float = 0.05,
+) -> OpGraph:
+    """Random layered DAG: each node links to ≥1 node of the previous layer.
+
+    Guarantees connectivity to the previous layer so the DAG has no isolated
+    islands; op types, shapes, FLOPs and params are drawn from plausible
+    ranges.
+    """
+    if num_layers < 1 or width < 1:
+        raise ValueError("num_layers and width must be positive")
+    rng = np.random.default_rng(seed)
+    g = OpGraph(f"random_l{num_layers}_w{width}_s{seed}")
+    prev: list = []
+    for layer in range(num_layers):
+        current = []
+        for j in range(width if layer > 0 else max(1, width // 2)):
+            dim = int(rng.integers(16, 257))
+            op_type = "Input" if layer == 0 else str(rng.choice(_OP_TYPES))
+            flops = 0.0 if layer == 0 else float(rng.uniform(1e6, 5e8))
+            params = int(rng.integers(0, 1 << 20)) if op_type in ("MatMul", "Conv2D") else 0
+            cpu_only = layer == 0 or (rng.random() < cpu_only_frac)
+            inputs: Sequence = []
+            if prev:
+                k = max(1, int(rng.binomial(len(prev), edge_prob)))
+                inputs = list(rng.choice(len(prev), size=min(k, len(prev)), replace=False))
+                inputs = [prev[i] for i in inputs]
+            node = g.add_op(
+                f"l{layer}/n{j}",
+                op_type,
+                (batch, dim),
+                flops=flops,
+                param_bytes=params,
+                inputs=inputs,
+                cpu_only=cpu_only,
+            )
+            current.append(node)
+        prev = current
+    g.validate()
+    return g
+
+
+def build_chain(length: int = 20, batch: int = 32, dim: int = 128, flops: float = 1e8) -> OpGraph:
+    """A pure chain — the adversarial case for model parallelism (no
+    intra-step concurrency, so a single device is optimal modulo memory)."""
+    g = OpGraph(f"chain_{length}")
+    node = g.add_op("input", "Input", (batch, dim), cpu_only=True)
+    for i in range(length):
+        node = g.add_op(
+            f"op{i}", "MatMul", (batch, dim), flops=flops, param_bytes=dim * dim * 4, inputs=[node]
+        )
+    return g
+
+
+def build_fan(width: int = 8, batch: int = 32, dim: int = 128, flops: float = 1e8) -> OpGraph:
+    """Fan-out/fan-in — the ideal case for model parallelism (all branches
+    independent, so k devices give ~k× speedup minus communication)."""
+    g = OpGraph(f"fan_{width}")
+    src = g.add_op("input", "Input", (batch, dim), cpu_only=True)
+    mids = [
+        g.add_op(f"branch{i}", "MatMul", (batch, dim), flops=flops, param_bytes=dim * dim * 4, inputs=[src])
+        for i in range(width)
+    ]
+    g.add_op("sink", "Concat", (batch, dim * width), flops=batch * dim * width, inputs=mids)
+    return g

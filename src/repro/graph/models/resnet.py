@@ -1,0 +1,49 @@
+"""Synthetic ResNet-50 computational graph (He et al., CVPR 2016).
+
+Not one of the paper's three benchmarks, but the canonical CNN the device-
+placement literature also evaluates ([3] in the paper); included so the
+library covers the standard model families (CNN with residual blocks, RNN,
+transformer).  Bottleneck blocks (1×1 → 3×3 → 1×1) with projection shortcuts
+at stage boundaries.
+"""
+
+from __future__ import annotations
+
+from .common import ModelBuilder
+from ..opgraph import OpGraph, OpNode
+
+__all__ = ["build_resnet50"]
+
+# (blocks, channels) per stage; bottleneck expansion is 4×.
+_STAGES = ((3, 64), (4, 128), (6, 256), (3, 512))
+
+
+def _bottleneck(b: ModelBuilder, x: OpNode, prefix: str, channels: int, stride: int) -> OpNode:
+    out_channels = channels * 4
+    shortcut = x
+    if stride != 1 or x.output.shape[3] != out_channels:
+        shortcut = b.conv_bn_relu(f"{prefix}/shortcut", x, out_channels, (1, 1), stride=stride)
+    h = b.conv_bn_relu(f"{prefix}/conv1", x, channels, (1, 1))
+    h = b.conv_bn_relu(f"{prefix}/conv2", h, channels, (3, 3), stride=stride)
+    h = b.conv_bn_relu(f"{prefix}/conv3", h, out_channels, (1, 1))
+    merged = b.binary(f"{prefix}/add", "Add", h, shortcut)
+    return b.elementwise(f"{prefix}/relu", "Relu", merged)
+
+
+def build_resnet50(batch_size: int = 32, image_size: int = 224, num_classes: int = 1000) -> OpGraph:
+    """Build the ResNet-50 op graph (~540 forward ops)."""
+    b = ModelBuilder(f"resnet50_b{batch_size}")
+    x = b.input("images", (batch_size, image_size, image_size, 3))
+    x = b.conv_bn_relu("stem/conv1", x, 64, (7, 7), stride=2)
+    x = b.pool("stem/pool", x, "MaxPool", 3, 2)
+    for stage, (blocks, channels) in enumerate(_STAGES):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _bottleneck(b, x, f"stage{stage}/block{block}", channels, stride)
+    h = x.output.shape[1]
+    x = b.pool("head/global_pool", x, "AvgPool", h, 1)
+    x = b.op("head/flatten", "Reshape", (batch_size, x.output.shape[3]), [x])
+    logits = b.linear("head/logits", x, num_classes)
+    probs = b.softmax("head", logits)
+    b.op("head/loss", "CrossEntropy", (1,), [probs], flops=2.0 * batch_size * num_classes)
+    return b.finish()

@@ -1,0 +1,111 @@
+"""Vanilla encoder–decoder Transformer graph (Vaswani et al., 2017).
+
+Complements the benchmark set with the architecture between GNMT (recurrent)
+and BERT (encoder-only): an encoder stack, a decoder stack with masked
+self-attention plus cross-attention over the encoder memory, and a
+vocabulary projection.  Useful for studying how placement strategies react
+to the cross-attention dependency pattern, which neither GNMT nor BERT has.
+"""
+
+from __future__ import annotations
+
+from .common import ModelBuilder
+from ..costs import matmul_flops
+from ..opgraph import OpGraph, OpNode
+
+__all__ = ["build_transformer"]
+
+
+def _mha(
+    b: ModelBuilder,
+    prefix: str,
+    query_src: OpNode,
+    memory_src: OpNode,
+    batch: int,
+    q_len: int,
+    kv_len: int,
+    hidden: int,
+    num_heads: int,
+) -> OpNode:
+    """Multi-head attention (fused heads — one score/softmax/context chain)."""
+    head_dim = hidden // num_heads
+    q = b.linear(f"{prefix}/query", query_src, hidden)
+    k = b.linear(f"{prefix}/key", memory_src, hidden)
+    v = b.linear(f"{prefix}/value", memory_src, hidden)
+    score_flops = 2.0 * batch * num_heads * q_len * kv_len * head_dim
+    score = b.op(
+        f"{prefix}/scores", "MatMul", (batch, num_heads, q_len, kv_len), [q, k], flops=score_flops
+    )
+    probs = b.op(
+        f"{prefix}/softmax",
+        "Softmax",
+        (batch, num_heads, q_len, kv_len),
+        [score],
+        flops=5.0 * batch * num_heads * q_len * kv_len,
+    )
+    ctx = b.op(
+        f"{prefix}/context", "MatMul", (batch * q_len, hidden), [probs, v], flops=score_flops
+    )
+    return b.linear(f"{prefix}/output", ctx, hidden)
+
+
+def _ffn(b: ModelBuilder, prefix: str, x: OpNode, hidden: int, ffn_dim: int) -> OpNode:
+    h = b.linear(f"{prefix}/in", x, ffn_dim)
+    h = b.elementwise(f"{prefix}/relu", "Relu", h)
+    return b.linear(f"{prefix}/out", h, hidden)
+
+
+def build_transformer(
+    batch_size: int = 64,
+    src_len: int = 64,
+    tgt_len: int = 64,
+    hidden: int = 512,
+    num_layers: int = 6,
+    num_heads: int = 8,
+    ffn_dim: int = 2048,
+    vocab: int = 32000,
+) -> OpGraph:
+    """Build the base Transformer op graph (~400 forward ops)."""
+    if hidden % num_heads:
+        raise ValueError("hidden must be divisible by num_heads")
+    b = ModelBuilder(f"transformer_l{num_layers}_b{batch_size}")
+
+    src_ids = b.input("source_ids", (batch_size, src_len))
+    tgt_ids = b.input("target_ids", (batch_size, tgt_len))
+    enc = b.embedding_lookup("encoder", src_ids, vocab, hidden)
+    enc = b.op("encoder/flatten", "Reshape", (batch_size * src_len, hidden), [enc])
+    dec = b.embedding_lookup("decoder", tgt_ids, vocab, hidden)
+    dec = b.op("decoder/flatten", "Reshape", (batch_size * tgt_len, hidden), [dec])
+
+    for layer in range(num_layers):
+        p = f"encoder/layer{layer}"
+        attn = _mha(b, f"{p}/self_attn", enc, enc, batch_size, src_len, src_len, hidden, num_heads)
+        enc = b.layer_norm(f"{p}/attn", b.binary(f"{p}/attn_res", "Add", enc, attn))
+        ffn = _ffn(b, f"{p}/ffn", enc, hidden, ffn_dim)
+        enc = b.layer_norm(f"{p}/ffn", b.binary(f"{p}/ffn_res", "Add", enc, ffn))
+
+    memory = enc
+    for layer in range(num_layers):
+        p = f"decoder/layer{layer}"
+        self_attn = _mha(
+            b, f"{p}/self_attn", dec, dec, batch_size, tgt_len, tgt_len, hidden, num_heads
+        )
+        dec = b.layer_norm(f"{p}/self", b.binary(f"{p}/self_res", "Add", dec, self_attn))
+        cross = _mha(
+            b, f"{p}/cross_attn", dec, memory, batch_size, tgt_len, src_len, hidden, num_heads
+        )
+        dec = b.layer_norm(f"{p}/cross", b.binary(f"{p}/cross_res", "Add", dec, cross))
+        ffn = _ffn(b, f"{p}/ffn", dec, hidden, ffn_dim)
+        dec = b.layer_norm(f"{p}/ffn", b.binary(f"{p}/ffn_res", "Add", dec, ffn))
+
+    logits = b.op(
+        "head/projection",
+        "MatMul",
+        (batch_size * tgt_len, vocab),
+        [dec],
+        flops=matmul_flops(batch_size * tgt_len, hidden, vocab),
+        param_bytes=hidden * vocab * 4,
+    )
+    probs = b.softmax("head", logits)
+    b.op("head/loss", "CrossEntropy", (1,), [probs], flops=2.0 * batch_size * tgt_len * vocab)
+    return b.finish()

@@ -1,0 +1,356 @@
+"""Op-level computational graphs.
+
+This is the object the device-placement problem is defined over: a DAG whose
+nodes are tensor operations (with an op type, an output tensor shape, a FLOP
+cost and persistent parameter bytes) and whose edges carry the producer's
+output tensor to each consumer.
+
+The three benchmark models of the paper (Inception-V3, GNMT, BERT) are built
+as :class:`OpGraph` instances by :mod:`repro.graph.models`; the groupers
+partition them, the simulator executes them, and the agents observe their
+node features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TensorSpec", "OpNode", "OpGraph"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and element size of an op's output tensor."""
+
+    shape: Tuple[int, ...]
+    dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if any((not isinstance(d, (int, np.integer))) or d < 0 for d in self.shape):
+            raise ValueError(f"invalid shape {self.shape!r}")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= int(d)
+        return n
+
+    @property
+    def bytes(self) -> int:
+        return self.num_elements * self.dtype_bytes
+
+    def __repr__(self) -> str:
+        return f"TensorSpec{self.shape}"
+
+
+@dataclass
+class OpNode:
+    """A single operation in the computational graph.
+
+    Attributes
+    ----------
+    op_id:
+        Dense integer id, assigned by the owning :class:`OpGraph`.
+    name:
+        Human-readable, unique within the graph (e.g. ``"layer3/conv2d"``).
+    op_type:
+        Operation kind (``"Conv2D"``, ``"MatMul"``, ...); drives the cost
+        model and the agent's type features.
+    output:
+        Spec of the (single) output tensor; its bytes are what every
+        out-edge transfers.
+    flops:
+        Floating-point operations of the forward pass of this op.
+    param_bytes:
+        Persistent parameter storage charged to the device the op is placed
+        on (weights; optimiser state is accounted by the memory model).
+    cpu_only:
+        True for ops that cannot run on an accelerator (e.g. input pipeline,
+        embedding lookup in the paper's Single-GPU baseline).
+    colocation_group:
+        Optional label; ops sharing a label must be placed together (TF
+        colocation constraints).  Groupers respect it.
+    """
+
+    op_id: int
+    name: str
+    op_type: str
+    output: TensorSpec
+    flops: float = 0.0
+    param_bytes: int = 0
+    cpu_only: bool = False
+    colocation_group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.param_bytes < 0:
+            raise ValueError("flops and param_bytes must be non-negative")
+
+
+class OpGraph:
+    """A directed acyclic graph of :class:`OpNode` operations.
+
+    Nodes get dense ids in insertion order; edges are added by node id or
+    name.  The class maintains adjacency lists and provides the topological
+    utilities every other subsystem needs (validation, topological order,
+    group coarsening, feature matrices).
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: List[OpNode] = []
+        self._by_name: Dict[str, int] = {}
+        self._succ: List[List[int]] = []
+        self._pred: List[List[int]] = []
+        self._edge_set: set[Tuple[int, int]] = set()
+        self._topo_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_op(
+        self,
+        name: str,
+        op_type: str,
+        output_shape: Sequence[int],
+        *,
+        flops: float = 0.0,
+        param_bytes: int = 0,
+        inputs: Iterable[object] = (),
+        cpu_only: bool = False,
+        colocation_group: Optional[str] = None,
+        dtype_bytes: int = 4,
+    ) -> OpNode:
+        """Add an operation and edges from each of ``inputs`` to it.
+
+        ``inputs`` may contain node ids, names, or :class:`OpNode` objects.
+        Returns the created node.
+        """
+        if name in self._by_name:
+            raise ValueError(f"duplicate op name {name!r}")
+        op_id = len(self._nodes)
+        node = OpNode(
+            op_id=op_id,
+            name=name,
+            op_type=op_type,
+            output=TensorSpec(tuple(int(d) for d in output_shape), dtype_bytes),
+            flops=float(flops),
+            param_bytes=int(param_bytes),
+            cpu_only=cpu_only,
+            colocation_group=colocation_group,
+        )
+        self._nodes.append(node)
+        self._by_name[name] = op_id
+        self._succ.append([])
+        self._pred.append([])
+        self._topo_cache = None
+        for src in inputs:
+            self.add_edge(src, node)
+        return node
+
+    def add_edge(self, src: object, dst: object) -> None:
+        """Add a dependency edge carrying ``src``'s output tensor to ``dst``."""
+        s, d = self._resolve(src), self._resolve(dst)
+        if s == d:
+            raise ValueError(f"self-edge on op {self._nodes[s].name!r}")
+        if (s, d) in self._edge_set:
+            return
+        self._edge_set.add((s, d))
+        self._succ[s].append(d)
+        self._pred[d].append(s)
+        self._topo_cache = None
+
+    def _resolve(self, ref: object) -> int:
+        if isinstance(ref, OpNode):
+            return ref.op_id
+        if isinstance(ref, str):
+            try:
+                return self._by_name[ref]
+            except KeyError:
+                raise KeyError(f"unknown op name {ref!r}") from None
+        idx = int(ref)  # type: ignore[arg-type]
+        if not 0 <= idx < len(self._nodes):
+            raise IndexError(f"op id {idx} out of range")
+        return idx
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_ops(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_set)
+
+    def node(self, ref: object) -> OpNode:
+        """Return the node for an id, name, or node object."""
+        return self._nodes[self._resolve(ref)]
+
+    def nodes(self) -> Iterator[OpNode]:
+        return iter(self._nodes)
+
+    def successors(self, ref: object) -> List[int]:
+        return list(self._succ[self._resolve(ref)])
+
+    def predecessors(self, ref: object) -> List[int]:
+        return list(self._pred[self._resolve(ref)])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(src_id, dst_id)`` pairs in insertion order per source."""
+        for s, outs in enumerate(self._succ):
+            for d in outs:
+                yield (s, d)
+
+    def edge_bytes(self, src: object, dst: object) -> int:
+        """Bytes transferred along the edge ``src -> dst``."""
+        s, d = self._resolve(src), self._resolve(dst)
+        if (s, d) not in self._edge_set:
+            raise KeyError(f"no edge {s} -> {d}")
+        return self._nodes[s].output.bytes
+
+    def has_edge(self, src: object, dst: object) -> bool:
+        return (self._resolve(src), self._resolve(dst)) in self._edge_set
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        return f"OpGraph({self.name!r}, ops={self.num_ops}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> List[int]:
+        """Kahn topological order; raises ``ValueError`` on a cycle."""
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indeg = [len(p) for p in self._pred]
+        ready = [i for i, d in enumerate(indeg) if d == 0]
+        order: List[int] = []
+        head = 0
+        while head < len(ready):
+            u = ready[head]
+            head += 1
+            order.append(u)
+            for v in self._succ[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if len(order) != self.num_ops:
+            raise ValueError("graph contains a cycle")
+        self._topo_cache = order
+        return list(order)
+
+    def validate(self) -> None:
+        """Check acyclicity and internal consistency; raise on violation."""
+        self.topological_order()
+        for s, d in self._edge_set:
+            if d not in self._succ[s] or s not in self._pred[d]:
+                raise AssertionError("adjacency lists inconsistent with edge set")
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics and derived structures
+    # ------------------------------------------------------------------ #
+    def total_flops(self) -> float:
+        return sum(n.flops for n in self._nodes)
+
+    def total_param_bytes(self) -> int:
+        return sum(n.param_bytes for n in self._nodes)
+
+    def total_activation_bytes(self) -> int:
+        return sum(n.output.bytes for n in self._nodes)
+
+    def op_types(self) -> List[str]:
+        """Sorted list of distinct op types present in the graph."""
+        return sorted({n.op_type for n in self._nodes})
+
+    def adjacency_matrix(self, weighted: bool = False) -> np.ndarray:
+        """Dense ``(N, N)`` adjacency; weights are edge tensor bytes."""
+        n = self.num_ops
+        a = np.zeros((n, n), dtype=np.float64)
+        for s, d in self._edge_set:
+            a[s, d] = self._nodes[s].output.bytes if weighted else 1.0
+        return a
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` with node/edge attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for node in self._nodes:
+            g.add_node(
+                node.op_id,
+                name=node.name,
+                op_type=node.op_type,
+                flops=node.flops,
+                output_bytes=node.output.bytes,
+                param_bytes=node.param_bytes,
+                cpu_only=node.cpu_only,
+            )
+        for s, d in self._edge_set:
+            g.add_edge(s, d, weight=float(self._nodes[s].output.bytes))
+        return g
+
+    def coarsen(self, assignment: Sequence[int], num_groups: Optional[int] = None) -> "GroupedGraph":
+        """Coarsen by a group ``assignment`` (op id -> group id).
+
+        Returns a :class:`GroupedGraph` summarising per-group compute,
+        memory, and inter-group communication volumes — the structure the
+        placer operates on.
+        """
+        return GroupedGraph(self, assignment, num_groups)
+
+
+class GroupedGraph:
+    """Group-level view of an :class:`OpGraph` under a fixed assignment.
+
+    Aggregates per-group FLOPs / bytes and the inter-group communication
+    matrix; used by the placers (group embeddings, adjacency) and by tests.
+    """
+
+    def __init__(self, graph: OpGraph, assignment: Sequence[int], num_groups: Optional[int] = None) -> None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (graph.num_ops,):
+            raise ValueError(f"assignment must have one entry per op ({graph.num_ops}), got {assignment.shape}")
+        if assignment.size and assignment.min() < 0:
+            raise ValueError("group ids must be non-negative")
+        k = int(num_groups) if num_groups is not None else (int(assignment.max()) + 1 if assignment.size else 0)
+        if assignment.size and assignment.max() >= k:
+            raise ValueError(f"assignment references group {assignment.max()} >= num_groups {k}")
+        self.graph = graph
+        self.assignment = assignment
+        self.num_groups = k
+
+        self.group_flops = np.zeros(k)
+        self.group_param_bytes = np.zeros(k)
+        self.group_output_bytes = np.zeros(k)
+        self.group_sizes = np.zeros(k, dtype=np.int64)
+        self.group_cpu_only = np.zeros(k, dtype=bool)
+        for node in graph.nodes():
+            g = assignment[node.op_id]
+            self.group_flops[g] += node.flops
+            self.group_param_bytes[g] += node.param_bytes
+            self.group_output_bytes[g] += node.output.bytes
+            self.group_sizes[g] += 1
+            if node.cpu_only:
+                self.group_cpu_only[g] = True
+
+        self.comm_matrix = np.zeros((k, k))
+        for s, d in graph.edges():
+            gs, gd = assignment[s], assignment[d]
+            if gs != gd:
+                self.comm_matrix[gs, gd] += graph.node(s).output.bytes
+
+    def cut_bytes(self) -> float:
+        """Total bytes crossing group boundaries (the min-cut objective)."""
+        return float(self.comm_matrix.sum())
+
+    def group_members(self, g: int) -> List[int]:
+        return [int(i) for i in np.nonzero(self.assignment == g)[0]]

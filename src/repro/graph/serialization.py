@@ -1,0 +1,98 @@
+"""OpGraph (de)serialisation and summary statistics.
+
+JSON round-trips let users snapshot extracted graphs (or share failing
+cases) without re-running the builders, and :func:`graph_summary` gives the
+one-screen profile used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .opgraph import OpGraph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph", "graph_summary"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: OpGraph) -> Dict:
+    """Serialise a graph to plain JSON-compatible data."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "shape": list(n.output.shape),
+                "dtype_bytes": n.output.dtype_bytes,
+                "flops": n.flops,
+                "param_bytes": n.param_bytes,
+                "cpu_only": n.cpu_only,
+                "colocation_group": n.colocation_group,
+            }
+            for n in graph.nodes()
+        ],
+        "edges": sorted(graph.edges()),
+    }
+
+
+def graph_from_dict(data: Dict) -> OpGraph:
+    """Rebuild a graph serialised by :func:`graph_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    g = OpGraph(data["name"])
+    for n in data["nodes"]:
+        g.add_op(
+            n["name"],
+            n["op_type"],
+            n["shape"],
+            flops=n["flops"],
+            param_bytes=n["param_bytes"],
+            cpu_only=n["cpu_only"],
+            colocation_group=n.get("colocation_group"),
+            dtype_bytes=n.get("dtype_bytes", 4),
+        )
+    for s, d in data["edges"]:
+        g.add_edge(int(s), int(d))
+    g.validate()
+    return g
+
+
+def save_graph(graph: OpGraph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(graph), fh)
+
+
+def load_graph(path: str) -> OpGraph:
+    """Read a graph from a JSON file."""
+    with open(path) as fh:
+        return graph_from_dict(json.load(fh))
+
+
+def graph_summary(graph: OpGraph) -> str:
+    """One-screen profile: sizes, totals, op-type histogram, heavy hitters."""
+    from collections import Counter
+
+    types = Counter(n.op_type for n in graph.nodes())
+    top_types = ", ".join(f"{t}×{c}" for t, c in types.most_common(6))
+    flops = np.array([n.flops for n in graph.nodes()])
+    heavy = np.argsort(-flops)[:3]
+    lines = [
+        f"{graph.name}: {graph.num_ops} ops, {graph.num_edges} edges",
+        f"  total: {graph.total_flops() / 1e9:.1f} GFLOP, "
+        f"{graph.total_param_bytes() / 2**20:.0f} MiB params, "
+        f"{graph.total_activation_bytes() / 2**30:.2f} GiB activations",
+        f"  op types: {top_types}",
+        "  heaviest ops: "
+        + ", ".join(
+            f"{graph.node(int(i)).name} ({flops[i] / 1e9:.1f} GF)" for i in heavy if flops[i] > 0
+        ),
+    ]
+    return "\n".join(lines)

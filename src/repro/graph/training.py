@@ -1,0 +1,90 @@
+"""Training-graph expansion: append backward and optimizer-update ops.
+
+The graphs the paper places are *training* graphs — TensorFlow's
+``tf.gradients`` roughly doubles the op count and, crucially, reverses the
+dependency structure: the backward pass re-traverses the model in the
+opposite direction, which is what limits the wavefront parallelism a placer
+can extract from an unrolled RNN or a branched CNN.  Reproducing that
+structure matters for the shape of the results (e.g. multi-GPU gains on
+Inception-V3 are small, §IV-D), so :func:`expand_training_graph` emits:
+
+* for each forward op ``v``, a gradient op ``v:grad`` of the same op type
+  (the gradient of a conv is conv-shaped compute) with 2× the forward FLOPs
+  (the standard dL/dX + dL/dW cost), depending on ``v`` itself (the saved
+  activation) and on the gradient ops of all of ``v``'s consumers;
+* for each parameter-carrying op, an ``ApplyAdam`` update op consuming the
+  gradient, colocated with the forward op (TF colocates a variable's update
+  with the variable).
+
+Gradient-op output bytes equal the forward activation bytes, so activation
+and gradient buffers are both naturally charged to the memory model without
+a separate multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .opgraph import OpGraph
+
+__all__ = ["expand_training_graph"]
+
+#: Op types whose gradient is pure data movement, not 2× compute.
+_MOVEMENT_OPS = frozenset({"Concat", "Slice", "Reshape", "Transpose", "Input", "Gather"})
+
+
+def expand_training_graph(forward: OpGraph, optimizer_ops: bool = True) -> OpGraph:
+    """Return a new graph containing ``forward`` plus backward/update ops.
+
+    The forward subgraph keeps its op ids (0..N-1); gradient ops follow in
+    reverse topological order of their forward counterparts, so the result
+    is a valid DAG.  ``Input`` ops get no gradient.
+    """
+    out = OpGraph(f"{forward.name}_train")
+    # Re-create the forward ops with identical ids.
+    for node in forward.nodes():
+        out.add_op(
+            node.name,
+            node.op_type,
+            node.output.shape,
+            flops=node.flops,
+            param_bytes=node.param_bytes,
+            cpu_only=node.cpu_only,
+            colocation_group=node.colocation_group,
+            dtype_bytes=node.output.dtype_bytes,
+        )
+    for s, d in forward.edges():
+        out.add_edge(s, d)
+
+    grad_of: Dict[int, int] = {}
+    for v in reversed(forward.topological_order()):
+        node = forward.node(v)
+        if node.op_type == "Input":
+            continue
+        flops = node.flops if node.op_type in _MOVEMENT_OPS else 2.0 * node.flops
+        inputs = [v] + [grad_of[u] for u in forward.successors(v) if u in grad_of]
+        grad = out.add_op(
+            f"{node.name}:grad",
+            node.op_type,
+            node.output.shape,
+            flops=flops,
+            inputs=inputs,
+            cpu_only=node.cpu_only,
+            colocation_group=node.colocation_group,
+            dtype_bytes=node.output.dtype_bytes,
+        )
+        grad_of[v] = grad.op_id
+        if optimizer_ops and node.param_bytes > 0:
+            colo = node.colocation_group or f"colo/{node.name}"
+            out.node(v).colocation_group = colo
+            out.add_op(
+                f"{node.name}:update",
+                "ApplyAdam",
+                (1,),
+                flops=8.0 * (node.param_bytes / 4),
+                inputs=[grad.op_id],
+                cpu_only=node.cpu_only,
+                colocation_group=colo,
+            )
+    out.validate()
+    return out

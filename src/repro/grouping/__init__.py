@@ -1,0 +1,27 @@
+"""Groupers: learned feed-forward, METIS-style min-cut, fluid communities (S5)."""
+
+from .base import Grouper, compact_assignment, cut_cost
+from .features import OpFeatureExtractor, OP_TYPE_VOCAB, op_type_index
+from .feedforward import FeedForwardGrouper
+from .metis import MetisGrouper, partition_kway
+from .fluid import FluidGrouper, asyn_fluidc_assignment
+from .simple import TopoBlockGrouper, RandomGrouper
+from .pretrain import pretrain_grouper, warm_start_assignment
+
+__all__ = [
+    "Grouper",
+    "compact_assignment",
+    "cut_cost",
+    "OpFeatureExtractor",
+    "OP_TYPE_VOCAB",
+    "op_type_index",
+    "FeedForwardGrouper",
+    "MetisGrouper",
+    "partition_kway",
+    "FluidGrouper",
+    "asyn_fluidc_assignment",
+    "TopoBlockGrouper",
+    "RandomGrouper",
+    "pretrain_grouper",
+    "warm_start_assignment",
+]

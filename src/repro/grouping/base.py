@@ -1,0 +1,60 @@
+"""Grouper interface and shared utilities.
+
+A *grouper* partitions the ops of a computational graph into ``num_groups``
+groups; the placer then assigns a device to each group.  Two families exist
+(§III-B): heuristic groupers (METIS-style min-cut, fluid communities) produce
+a fixed assignment once; the learned feed-forward grouper samples assignments
+from a trainable policy and is updated jointly with the placer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+
+__all__ = ["Grouper", "compact_assignment", "cut_cost"]
+
+
+class Grouper:
+    """Base class: produce an op → group assignment for a graph."""
+
+    def __init__(self, num_groups: int) -> None:
+        if num_groups < 1:
+            raise ValueError("num_groups must be >= 1")
+        self.num_groups = num_groups
+
+    def assign(self, graph: OpGraph, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return an integer array of shape ``(num_ops,)`` in ``[0, num_groups)``."""
+        raise NotImplementedError
+
+    @property
+    def is_learned(self) -> bool:
+        """Whether the grouping is sampled from a trainable policy."""
+        return False
+
+
+def compact_assignment(assignment: np.ndarray, num_groups: int) -> np.ndarray:
+    """Clamp an assignment into ``[0, num_groups)`` and keep ids stable.
+
+    Heuristics can emit fewer groups than requested; ids are passed through
+    (empty groups are fine — the placer sees them as empty embeddings).
+    """
+    a = np.asarray(assignment, dtype=np.int64)
+    if a.min(initial=0) < 0:
+        raise ValueError("negative group id")
+    if a.max(initial=0) >= num_groups:
+        raise ValueError(f"group id {a.max()} >= num_groups {num_groups}")
+    return a
+
+
+def cut_cost(graph: OpGraph, assignment: np.ndarray) -> float:
+    """Bytes crossing group boundaries — the heuristics' min-cut objective."""
+    a = np.asarray(assignment)
+    total = 0.0
+    for s, d in graph.edges():
+        if a[s] != a[d]:
+            total += graph.node(s).output.bytes
+    return total

@@ -1,0 +1,164 @@
+"""Asynchronous fluid communities grouper (the paper's "Networkx" heuristic).
+
+§III-B benchmarks the ``asyn_fluidc`` community-detection algorithm from the
+networkx package as a grouper.  We call networkx directly when available and
+keep a faithful own implementation as a fallback (and for property tests):
+``k`` communities hold unit "density" spread over their vertices; vertices
+iteratively adopt the community with the maximal summed density among their
+neighbourhood until convergence.
+
+Fluid communities require a connected undirected graph; op graphs are weakly
+connected in practice, but isolated components are handled by partitioning
+each component independently, proportionally to its size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from .base import Grouper
+
+__all__ = ["FluidGrouper", "asyn_fluidc_assignment"]
+
+
+def _own_fluidc(adj: List[List[int]], k: int, rng: np.random.Generator, max_iter: int = 100) -> np.ndarray:
+    """Asynchronous fluid communities on an adjacency-list graph."""
+    n = len(adj)
+    k = min(k, n)
+    comm = np.full(n, -1, dtype=np.int64)
+    seeds = rng.choice(n, size=k, replace=False)
+    comm[seeds] = np.arange(k)
+    size = np.zeros(k)
+    for c in comm[seeds]:
+        size[c] = 1
+    density = np.where(size > 0, 1.0 / np.maximum(size, 1), 0.0)
+
+    for _ in range(max_iter):
+        changed = False
+        for v in rng.permutation(n):
+            votes: Dict[int, float] = {}
+            if comm[v] >= 0:
+                votes[int(comm[v])] = density[comm[v]]
+            for u in adj[v]:
+                cu = comm[u]
+                if cu >= 0:
+                    votes[int(cu)] = votes.get(int(cu), 0.0) + density[cu]
+            if not votes:
+                continue
+            best = max(votes.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+            if best != comm[v]:
+                old = comm[v]
+                if old >= 0:
+                    size[old] -= 1
+                size[best] += 1
+                comm[v] = best
+                density = np.where(size > 0, 1.0 / np.maximum(size, 1), 0.0)
+                changed = True
+        if not changed:
+            break
+    # Unreached vertices (disconnected from all seeds) join community 0.
+    comm[comm < 0] = 0
+    return comm
+
+
+def asyn_fluidc_assignment(graph: OpGraph, k: int, seed: int = 0, use_networkx: bool = True) -> np.ndarray:
+    """Op → group assignment via asynchronous fluid communities.
+
+    Each weakly-connected component is partitioned independently into a
+    number of communities proportional to its share of the ops, so the total
+    community count is ``min(k, num_ops)``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = graph.num_ops
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    und: List[List[int]] = [[] for _ in range(n)]
+    for s, d in graph.edges():
+        und[s].append(d)
+        und[d].append(s)
+
+    # Weakly-connected components.
+    comp = np.full(n, -1, dtype=np.int64)
+    comps: List[List[int]] = []
+    for v in range(n):
+        if comp[v] >= 0:
+            continue
+        stack = [v]
+        comp[v] = len(comps)
+        members = []
+        while stack:
+            x = stack.pop()
+            members.append(x)
+            for u in und[x]:
+                if comp[u] < 0:
+                    comp[u] = comp[v]
+                    stack.append(u)
+        comps.append(members)
+
+    assignment = np.zeros(n, dtype=np.int64)
+    next_group = 0
+    for members in comps:
+        share = max(1, round(k * len(members) / n))
+        share = min(share, len(members), k - next_group if next_group < k else 1)
+        share = max(share, 1)
+        sub_assign = _partition_component(graph, members, und, share, rng, use_networkx)
+        assignment[members] = sub_assign + next_group
+        next_group += int(sub_assign.max()) + 1
+    return assignment
+
+
+def _partition_component(
+    graph: OpGraph,
+    members: List[int],
+    und: List[List[int]],
+    k: int,
+    rng: np.random.Generator,
+    use_networkx: bool,
+) -> np.ndarray:
+    local = {v: i for i, v in enumerate(members)}
+    if use_networkx:
+        try:
+            import networkx as nx
+            from networkx.algorithms.community import asyn_fluidc
+
+            g = nx.Graph()
+            g.add_nodes_from(range(len(members)))
+            for v in members:
+                for u in und[v]:
+                    if u in local:
+                        g.add_edge(local[v], local[u])
+            if nx.is_connected(g) and k <= len(members):
+                communities = asyn_fluidc(g, min(k, len(members)), seed=int(rng.integers(1 << 31)))
+                out = np.zeros(len(members), dtype=np.int64)
+                for ci, nodes in enumerate(communities):
+                    for node in nodes:
+                        out[node] = ci
+                return out
+        except Exception:
+            pass  # fall through to the own implementation
+    adj_local = [[local[u] for u in und[v] if u in local] for v in members]
+    return _own_fluidc(adj_local, k, rng)
+
+
+class FluidGrouper(Grouper):
+    """Heuristic grouper backed by asynchronous fluid communities (§III-B)."""
+
+    def __init__(self, num_groups: int, *, seed: int = 0, use_networkx: bool = True) -> None:
+        super().__init__(num_groups)
+        self.seed = seed
+        self.use_networkx = use_networkx
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def assign(self, graph: OpGraph, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        key = id(graph)
+        if key not in self._cache:
+            self._cache[key] = asyn_fluidc_assignment(
+                graph, self.num_groups, seed=self.seed, use_networkx=self.use_networkx
+            )
+        return self._cache[key].copy()

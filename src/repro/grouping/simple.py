@@ -1,0 +1,59 @@
+"""Simple non-learned groupers: topological blocks and random assignment.
+
+``TopoBlockGrouper`` slices the topological order into contiguous equal-size
+blocks — the "manual grouping by layers" convention of the pre-hierarchical
+works ([4], [6], [7]); it is what the Post baseline groups with.
+``RandomGrouper`` is a worst-case control used in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from .base import Grouper
+
+__all__ = ["TopoBlockGrouper", "RandomGrouper"]
+
+
+class TopoBlockGrouper(Grouper):
+    """Contiguous blocks of the topological order (layer-like slices).
+
+    Blocks are cut at equal shares of the combined compute+memory weight
+    rather than equal op counts, so a byte-heavy stretch (e.g. a model's
+    output softmax) is spread over several groups instead of saturating one.
+    """
+
+    def __init__(self, num_groups: int) -> None:
+        super().__init__(num_groups)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def assign(self, graph: OpGraph, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        key = id(graph)
+        if key not in self._cache:
+            from .metis import balanced_node_weights
+
+            order = np.asarray(graph.topological_order())
+            weights = balanced_node_weights(graph)[order]
+            k = min(self.num_groups, graph.num_ops)
+            cumulative = np.cumsum(weights)
+            # group id = which of k equal weight-shares the op falls into
+            shares = np.minimum((cumulative / cumulative[-1] * k).astype(np.int64), k - 1)
+            out = np.empty(graph.num_ops, dtype=np.int64)
+            out[order] = shares
+            self._cache[key] = out
+        return self._cache[key].copy()
+
+
+class RandomGrouper(Grouper):
+    """Uniform random group per op (control baseline)."""
+
+    def __init__(self, num_groups: int, seed: int = 0) -> None:
+        super().__init__(num_groups)
+        self.seed = seed
+
+    def assign(self, graph: OpGraph, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng(self.seed)
+        return rng.integers(0, self.num_groups, size=graph.num_ops, dtype=np.int64)

@@ -1,0 +1,39 @@
+"""From-scratch numpy neural-network library (autograd, layers, optimisers).
+
+This is substrate S3 of the reproduction: every policy network in the EAGLE
+agent and its baselines is built from these pieces.  See DESIGN.md §2.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .module import Module, Parameter
+from .layers import Linear, Embedding, Sequential, FeedForward
+from .rnn import LSTMCell, LSTM, BiLSTM
+from .attention import BahdanauAttention
+from .gcn import GraphConvolution, normalize_adjacency
+from .optim import SGD, Adam, clip_grad_norm, global_grad_norm
+from . import functional
+from . import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "FeedForward",
+    "LSTMCell",
+    "LSTM",
+    "BiLSTM",
+    "BahdanauAttention",
+    "GraphConvolution",
+    "normalize_adjacency",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "functional",
+    "init",
+]

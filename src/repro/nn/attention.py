@@ -1,0 +1,69 @@
+"""Bahdanau (additive, content-based) attention.
+
+The paper adopts "the mechanism proposed by Bahdanau et al.", computing a
+context vector from the encoder outputs and the decoder's previous hidden
+state (§III-C).  ``score(s, h_j) = v^T tanh(W_s s + W_h h_j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .functional import softmax
+from .module import Module, Parameter
+from .layers import Linear
+from .tensor import Tensor
+
+__all__ = ["BahdanauAttention"]
+
+
+class BahdanauAttention(Module):
+    """Additive attention over a memory of encoder outputs.
+
+    Parameters
+    ----------
+    query_size:
+        Dimensionality of the decoder hidden state.
+    memory_size:
+        Dimensionality of each encoder output vector.
+    attn_size:
+        Dimensionality of the internal alignment space.
+    """
+
+    def __init__(self, query_size: int, memory_size: int, attn_size: int, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.w_query = Linear(query_size, attn_size, bias=False, rng=rng)
+        self.w_memory = Linear(memory_size, attn_size, bias=True, rng=rng)
+        self.v = Parameter(init.xavier_uniform((attn_size,), rng), name="v")
+        self.memory_size = memory_size
+
+    def precompute(self, memory: Tensor) -> Tensor:
+        """Project the memory once per decode; memory is ``(T, B, memory_size)``."""
+        return self.w_memory(memory)
+
+    def forward(self, query: Tensor, memory: Tensor, memory_proj: Tensor | None = None) -> tuple[Tensor, Tensor]:
+        """Attend to ``memory`` with ``query``.
+
+        Parameters
+        ----------
+        query:
+            Decoder state, ``(B, query_size)``.
+        memory:
+            Encoder outputs, ``(T, B, memory_size)``.
+        memory_proj:
+            Optional output of :meth:`precompute` to avoid re-projecting the
+            memory at every decoding step.
+
+        Returns
+        -------
+        (context, weights):
+            ``context`` is ``(B, memory_size)``; ``weights`` is ``(T, B)``.
+        """
+        if memory_proj is None:
+            memory_proj = self.precompute(memory)
+        q = self.w_query(query)  # (B, A)
+        scores = ((memory_proj + q).tanh() * self.v).sum(axis=2)  # (T, B)
+        weights = softmax(scores, axis=0)
+        context = (memory * weights.reshape(weights.shape[0], weights.shape[1], 1)).sum(axis=0)
+        return context, weights

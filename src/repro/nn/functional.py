@@ -1,0 +1,82 @@
+"""Differentiable functional operations built on :class:`repro.nn.Tensor`.
+
+These are the composite ops used by the policy networks: numerically stable
+softmax / log-softmax, categorical log-probabilities and entropy, and a few
+generic helpers (one-hot encoding, masked fills).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .tensor import Tensor, concatenate, stack
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "categorical_log_prob",
+    "categorical_entropy",
+    "cross_entropy",
+    "one_hot",
+    "masked_fill",
+    "concatenate",
+    "stack",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(indices: Union[np.ndarray, Sequence[int]], num_classes: int) -> np.ndarray:
+    """Return a ``(len(indices), num_classes)`` float one-hot array."""
+    idx = np.asarray(indices, dtype=np.int64)
+    out = np.zeros((idx.size, num_classes), dtype=np.float64)
+    out[np.arange(idx.size), idx.reshape(-1)] = 1.0
+    return out.reshape(idx.shape + (num_classes,))
+
+
+def categorical_log_prob(logits: Tensor, actions: Union[np.ndarray, Sequence[int]], axis: int = -1) -> Tensor:
+    """Log-probability of ``actions`` under categorical ``logits``.
+
+    ``logits`` has shape ``(..., K)``; ``actions`` has the leading shape.
+    Returns a tensor of the leading shape.
+    """
+    logp = log_softmax(logits, axis=axis)
+    actions = np.asarray(actions, dtype=np.int64)
+    oh = one_hot(actions, logits.shape[axis])
+    return (logp * Tensor(oh)).sum(axis=axis)
+
+
+def categorical_entropy(logits: Tensor, axis: int = -1) -> Tensor:
+    """Entropy of the categorical distribution defined by ``logits``."""
+    logp = log_softmax(logits, axis=axis)
+    p = softmax(logits, axis=axis)
+    return -(p * logp).sum(axis=axis)
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, Sequence[int]], axis: int = -1) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets`` under ``logits``."""
+    return -categorical_log_prob(logits, targets, axis=axis).mean()
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Return ``x`` with positions where ``mask`` is true replaced by ``value``.
+
+    Gradients flow only through the unmasked positions.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    keep = Tensor((~mask).astype(np.float64))
+    fill = Tensor(mask.astype(np.float64) * value)
+    return x * keep + fill

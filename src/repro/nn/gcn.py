@@ -1,0 +1,50 @@
+"""Graph convolutional layers (Kipf & Welling) for the GCN placer baseline.
+
+The paper's GCN placer (§III-C, Fig. 3b) takes group embeddings and a group
+adjacency matrix, applies two graph-convolution layers with ReLU, and emits a
+per-group device distribution through a softmax layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["GraphConvolution", "normalize_adjacency"]
+
+
+def normalize_adjacency(adj: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Parameters
+    ----------
+    adj:
+        Dense ``(N, N)`` adjacency matrix (weights allowed, treated as
+        undirected by symmetrising).
+    add_self_loops:
+        Add the identity before normalising, per Kipf & Welling.
+    """
+    a = np.asarray(adj, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"adjacency must be square, got {a.shape}")
+    a = np.maximum(a, a.T)
+    if add_self_loops:
+        a = a + np.eye(a.shape[0])
+    deg = a.sum(axis=1)
+    inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+    return a * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GraphConvolution(Module):
+    """One GCN layer: ``H' = act(Â H W)`` with ``Â`` precomputed."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, adj_norm: np.ndarray) -> Tensor:
+        """``x`` is ``(N, in_features)``; ``adj_norm`` the normalised adjacency."""
+        return Tensor(adj_norm) @ self.linear(x)

@@ -1,0 +1,118 @@
+"""Recurrent layers: LSTM cell, unidirectional LSTM, bidirectional LSTM.
+
+The seq2seq placer (§III-C) uses a bidirectional LSTM encoder and a
+unidirectional LSTM decoder.  Sequences are laid out time-major,
+``(T, B, input_size)``; the input projection for the whole sequence is done
+with a single matmul so the per-step Python loop only carries the recurrent
+part.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .functional import concatenate, stack
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM", "BiLSTM"]
+
+State = Tuple[Tensor, Tensor]
+
+
+class LSTMCell(Module):
+    """A single LSTM step with the standard i/f/g/o gating.
+
+    Gate order in the stacked weight matrices is ``[i, f, g, o]``.  The
+    forget-gate bias is initialised to 1 (the usual trick for gradient flow
+    through long sequences).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(init.xavier_uniform((4 * hidden_size, input_size), rng), name="w_ih")
+        self.w_hh = Parameter(init.orthogonal((4 * hidden_size, hidden_size), rng), name="w_hh")
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(self, x: Tensor, state: Optional[State] = None) -> State:
+        """One step: ``x`` is ``(B, input_size)``; returns ``(h, c)``."""
+        if state is None:
+            state = self.zero_state(x.shape[0])
+        h, c = state
+        gates = x @ self.w_ih.T + h @ self.w_hh.T + self.bias
+        return self._apply_gates(gates, c)
+
+    def step_precomputed(self, x_proj: Tensor, state: State) -> State:
+        """One step where ``x_proj = x @ w_ih.T`` was computed in bulk."""
+        h, c = state
+        gates = x_proj + h @ self.w_hh.T + self.bias
+        return self._apply_gates(gates, c)
+
+    def _apply_gates(self, gates: Tensor, c: Tensor) -> State:
+        H = self.hidden_size
+        i = gates[..., 0 * H : 1 * H].sigmoid()
+        f = gates[..., 1 * H : 2 * H].sigmoid()
+        g = gates[..., 2 * H : 3 * H].tanh()
+        o = gates[..., 3 * H : 4 * H].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+    def zero_state(self, batch: int) -> State:
+        z = Tensor(np.zeros((batch, self.hidden_size)))
+        return z, z
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a time-major sequence ``(T, B, input_size)``.
+
+    Returns the stacked hidden states ``(T, B, hidden_size)`` and the final
+    ``(h, c)`` state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, rng: np.random.Generator, reverse: bool = False) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+
+    def forward(self, x: Tensor, state: Optional[State] = None) -> Tuple[Tensor, State]:
+        T, B = x.shape[0], x.shape[1]
+        if state is None:
+            state = self.cell.zero_state(B)
+        # Bulk input projection: one (T*B, I) @ (I, 4H) matmul.
+        proj = x.reshape(T * B, x.shape[2]) @ self.cell.w_ih.T
+        proj = proj.reshape(T, B, 4 * self.hidden_size)
+        order = range(T - 1, -1, -1) if self.reverse else range(T)
+        outputs = [None] * T
+        for t in order:
+            state = self.cell.step_precomputed(proj[t], state)
+            outputs[t] = state[0]
+        return stack(outputs, axis=0), state
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: forward and backward passes, outputs concatenated.
+
+    The output is ``(T, B, 2 * hidden_size)``; the final state is the pair of
+    final states of the two directions concatenated along features.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fwd = LSTM(input_size, hidden_size, rng=rng, reverse=False)
+        self.bwd = LSTM(input_size, hidden_size, rng=rng, reverse=True)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, State]:
+        out_f, (h_f, c_f) = self.fwd(x)
+        out_b, (h_b, c_b) = self.bwd(x)
+        out = concatenate([out_f, out_b], axis=2)
+        return out, (concatenate([h_f, h_b], axis=1), concatenate([c_f, c_b], axis=1))

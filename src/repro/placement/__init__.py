@@ -1,0 +1,7 @@
+"""Placers: seq2seq with attention (before/after) and GCN (substrate S6)."""
+
+from .embeddings import GroupEmbedder
+from .seq2seq import Seq2SeqPlacer
+from .gcn_placer import GCNPlacer
+
+__all__ = ["GroupEmbedder", "Seq2SeqPlacer", "GCNPlacer"]

@@ -1,0 +1,125 @@
+"""Graph-convolutional placer (§III-C, Fig. 3b).
+
+Two GCN layers with ReLU over the group embeddings and the group adjacency
+matrix, followed by a softmax output layer that predicts a device for every
+group *independently* — the property the paper identifies as its weakness
+versus the sequential decoder ("the GCN placer makes decisions for each
+group independently while the sequence-to-sequence placer predicts the
+device of a group based on previous decisions").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import GraphConvolution, Linear, Module, Tensor, no_grad, normalize_adjacency
+from ..nn.functional import log_softmax, softmax, stack
+
+__all__ = ["GCNPlacer"]
+
+
+class GCNPlacer(Module):
+    """The GCN placement policy.
+
+    Parameters
+    ----------
+    embed_dim:
+        Group-embedding dimensionality (without the adjacency block — the
+        adjacency matrix is this model's second input).
+    num_devices:
+        Action space per group.
+    hidden:
+        Width of the two graph-convolution layers.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_devices: int,
+        hidden: int = 128,
+        device_prior: np.ndarray | None = None,
+        *,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.num_devices = num_devices
+        self.gc1 = GraphConvolution(embed_dim, hidden, rng=rng)
+        self.gc2 = GraphConvolution(hidden, hidden, rng=rng)
+        self.out_proj = Linear(hidden, num_devices, rng=rng)
+        if device_prior is not None:
+            prior = np.asarray(device_prior, dtype=np.float64)
+            if prior.shape != (num_devices,):
+                raise ValueError(f"device_prior must have shape ({num_devices},)")
+            self.out_proj.bias.data += prior
+
+    # ------------------------------------------------------------------ #
+    def forward_logits(self, embeddings: np.ndarray, adjacency: np.ndarray) -> Tensor:
+        """Logits ``(G, num_devices)`` for one sample.
+
+        ``embeddings`` is ``(G, embed_dim)``; ``adjacency`` the raw group
+        communication matrix (normalised internally).
+        """
+        adj_norm = normalize_adjacency(adjacency)
+        h = self.gc1(Tensor(np.asarray(embeddings, dtype=np.float64)), adj_norm).relu()
+        h = self.gc2(h, adj_norm).relu()
+        return self.out_proj(h)
+
+    def sample(
+        self,
+        embeddings_batch: np.ndarray,
+        adjacency_batch: np.ndarray,
+        rng: np.random.Generator,
+        greedy: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample ``B`` placements; inputs are ``(B, G, D)`` and ``(B, G, G)``.
+
+        Returns ``(devices (B, G), log_probs (B, G))`` — log-probs factored
+        per group.
+        """
+        B, G = embeddings_batch.shape[0], embeddings_batch.shape[1]
+        devices = np.empty((B, G), dtype=np.int64)
+        logps = np.zeros((B, G))
+        with no_grad():
+            for b in range(B):
+                logits = self.forward_logits(embeddings_batch[b], adjacency_batch[b]).data
+                lp = logits - _logsumexp(logits)
+                if greedy:
+                    d = np.argmax(lp, axis=1)
+                else:
+                    cdf = np.cumsum(np.exp(lp), axis=1)
+                    cdf[:, -1] = 1.0
+                    d = (rng.random((G, 1)) > cdf).sum(axis=1)
+                    d = np.minimum(d, self.num_devices - 1)
+                devices[b] = d
+                logps[b] = lp[np.arange(G), d]
+        return devices, logps
+
+    def log_prob_and_entropy(
+        self, embeddings_batch: np.ndarray, adjacency_batch: np.ndarray, devices: np.ndarray
+    ) -> Tuple[Tensor, Tensor]:
+        """Differentiable factored log-probs ``(B, G)`` and mean entropy."""
+        devices = np.asarray(devices, dtype=np.int64)
+        B, G = devices.shape
+        rows = []
+        ents = []
+        for b in range(B):
+            logits = self.forward_logits(embeddings_batch[b], adjacency_batch[b])
+            logp = log_softmax(logits, axis=-1)
+            onehot = np.zeros((G, self.num_devices))
+            onehot[np.arange(G), devices[b]] = 1.0
+            rows.append((logp * Tensor(onehot)).sum(axis=1))
+            p = softmax(logits, axis=-1)
+            ents.append(-(p * logp).sum(axis=-1).mean())
+        return stack(rows, axis=0), stack(ents, axis=0).mean()
+
+    def log_prob(self, embeddings_batch: np.ndarray, adjacency_batch: np.ndarray, devices: np.ndarray) -> Tensor:
+        """Differentiable factored log-probs, shape ``(B, G)``."""
+        return self.log_prob_and_entropy(embeddings_batch, adjacency_batch, devices)[0]
+
+
+def _logsumexp(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=-1, keepdims=True)
+    return m + np.log(np.exp(x - m).sum(axis=-1, keepdims=True))

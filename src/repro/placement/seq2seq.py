@@ -1,0 +1,210 @@
+"""Sequence-to-sequence placer with Bahdanau attention (§III-C, Fig. 3a/4).
+
+A bidirectional LSTM encoder reads the sequence of group embeddings; a
+unidirectional LSTM decoder emits one device decision per group, conditioned
+on the previous decision through a learned device embedding.  The attention
+context can be combined **before** the decoder LSTM (EAGLE's choice, Fig. 4a)
+or **after** it (Hierarchical Planner's choice, Fig. 4b):
+
+* *before*: the LSTM input is ``[x_i ; context(h_{i-1})]`` and the logits
+  are a projection of the new hidden state;
+* *after*: the LSTM consumes ``x_i`` alone and the logits are a projection
+  of ``[h_i ; context(h_i)]``.
+
+All forward passes are batched over placements (time-major ``(G, B, D)``),
+so a PPO minibatch is a single pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import BahdanauAttention, BiLSTM, LSTMCell, Linear, Module, Parameter, Tensor, init, no_grad
+from ..nn.functional import concatenate, log_softmax, softmax, stack
+
+__all__ = ["Seq2SeqPlacer"]
+
+
+class Seq2SeqPlacer(Module):
+    """The seq2seq placement policy.
+
+    Parameters
+    ----------
+    embed_dim:
+        Dimensionality of a group embedding.
+    num_devices:
+        Size of the device vocabulary (the action space per group).
+    hidden:
+        LSTM hidden size (512 in the paper; smaller in the scaled benches).
+    attention:
+        ``"before"`` (EAGLE) or ``"after"`` (Hierarchical Planner).
+    attn_size:
+        Alignment-space width of the additive attention.
+    device_embed_dim:
+        Width of the learned embedding of the previous device decision.
+    device_prior:
+        Optional per-device initial logit offsets added to the output
+        layer's bias (e.g. a negative value on the CPU so early samples
+        prefer accelerators).  The bias remains trainable.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_devices: int,
+        hidden: int = 512,
+        attention: str = "before",
+        attn_size: Optional[int] = None,
+        device_embed_dim: Optional[int] = None,
+        device_prior: Optional[np.ndarray] = None,
+        *,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if attention not in ("before", "after"):
+            raise ValueError(f"attention must be 'before' or 'after', got {attention!r}")
+        if hidden % 2:
+            raise ValueError("hidden must be even (bidirectional encoder)")
+        self.embed_dim = embed_dim
+        self.num_devices = num_devices
+        self.hidden = hidden
+        self.attention = attention
+        attn_size = attn_size or hidden // 2
+        device_embed_dim = device_embed_dim or max(8, hidden // 8)
+        self.device_embed_dim = device_embed_dim
+
+        self.input_proj = Linear(embed_dim, hidden, rng=rng)
+        self.encoder = BiLSTM(hidden, hidden // 2, rng=rng)  # outputs (G, B, hidden)
+        # +1 device id: the start-of-decode token.
+        self.device_embedding = Parameter(
+            init.xavier_normal((num_devices + 1, device_embed_dim), rng), name="device_embedding"
+        )
+        dec_in = hidden + device_embed_dim + (hidden if attention == "before" else 0)
+        self.decoder = LSTMCell(dec_in, hidden, rng=rng)
+        self.attn = BahdanauAttention(hidden, hidden, attn_size, rng=rng)
+        out_in = hidden + (hidden if attention == "after" else 0)
+        self.out_proj = Linear(out_in, num_devices, rng=rng)
+        if device_prior is not None:
+            prior = np.asarray(device_prior, dtype=np.float64)
+            if prior.shape != (num_devices,):
+                raise ValueError(f"device_prior must have shape ({num_devices},)")
+            self.out_proj.bias.data += prior
+
+    # ------------------------------------------------------------------ #
+    def _encode(self, embeddings) -> Tuple[Tensor, Tensor]:
+        """Project the inputs and run the encoder; returns ``(x, enc_out)``.
+
+        ``embeddings`` may be a numpy array or a :class:`Tensor` (the EAGLE
+        bridge feeds a differentiable tensor so placer gradients reach the
+        grouper).
+        """
+        if not isinstance(embeddings, Tensor):
+            embeddings = Tensor(np.asarray(embeddings, dtype=np.float64))
+        x = self.input_proj(embeddings).tanh()
+        enc_out, _ = self.encoder(x)
+        return x, enc_out  # (G, B, hidden) each
+
+    def forward_logits(self, embeddings: np.ndarray, devices: np.ndarray) -> Tensor:
+        """Teacher-forced decode: differentiable logits ``(G, B, num_devices)``.
+
+        ``embeddings`` is ``(G, B, embed_dim)``; ``devices`` is the sampled
+        placement ``(B, G)`` whose prefix feeds each step's input.
+        """
+        devices = np.asarray(devices, dtype=np.int64)
+        G, B = embeddings.shape[0], embeddings.shape[1]
+        x, enc_out = self._encode(embeddings)
+        memory_proj = self.attn.precompute(enc_out)
+
+        h, c = self.decoder.zero_state(B)
+        logits_steps = []
+        prev_dev = np.full(B, self.num_devices, dtype=np.int64)  # start token
+        for i in range(G):
+            dev_emb = self.device_embedding[prev_dev]  # (B, E)
+            if self.attention == "before":
+                context, _ = self.attn(h, enc_out, memory_proj)
+                inp = concatenate([x[i], dev_emb, context], axis=1)
+                h, c = self.decoder(inp, (h, c))
+                step_logits = self.out_proj(h)
+            else:
+                inp = concatenate([x[i], dev_emb], axis=1)
+                h, c = self.decoder(inp, (h, c))
+                context, _ = self.attn(h, enc_out, memory_proj)
+                step_logits = self.out_proj(concatenate([h, context], axis=1))
+            logits_steps.append(step_logits)
+            prev_dev = devices[:, i]
+        return stack(logits_steps, axis=0)
+
+    # ------------------------------------------------------------------ #
+    def sample(
+        self, embeddings: np.ndarray, rng: np.random.Generator, greedy: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample placements; returns ``(devices (B, G), log_probs (B, G))``
+        — log-probs factored per decoding step.
+
+        Runs without recording the autograd graph (sampling is cheap;
+        gradients come from :meth:`log_prob` on the stored actions).
+        """
+        if isinstance(embeddings, Tensor):
+            embeddings = embeddings.data
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        G, B = embeddings.shape[0], embeddings.shape[1]
+        with no_grad():
+            x, enc_out = self._encode(embeddings)
+            memory_proj = self.attn.precompute(enc_out)
+            h, c = self.decoder.zero_state(B)
+            prev_dev = np.full(B, self.num_devices, dtype=np.int64)
+            devices = np.empty((B, G), dtype=np.int64)
+            logp = np.zeros((B, G))
+            for i in range(G):
+                dev_emb = self.device_embedding[prev_dev]
+                if self.attention == "before":
+                    context, _ = self.attn(h, enc_out, memory_proj)
+                    inp = concatenate([x[i], dev_emb, context], axis=1)
+                    h, c = self.decoder(inp, (h, c))
+                    step_logits = self.out_proj(h).data
+                else:
+                    inp = concatenate([x[i], dev_emb], axis=1)
+                    h, c = self.decoder(inp, (h, c))
+                    context, _ = self.attn(h, enc_out, memory_proj)
+                    step_logits = self.out_proj(concatenate([h, context], axis=1)).data
+                lp = step_logits - _logsumexp(step_logits)
+                if greedy:
+                    d = np.argmax(lp, axis=1)
+                else:
+                    cdf = np.cumsum(np.exp(lp), axis=1)
+                    cdf[:, -1] = 1.0
+                    d = (rng.random((B, 1)) > cdf).sum(axis=1)
+                    d = np.minimum(d, self.num_devices - 1)
+                devices[:, i] = d
+                logp[:, i] = lp[np.arange(B), d]
+                prev_dev = d
+        return devices, logp
+
+    def log_prob(self, embeddings: np.ndarray, devices: np.ndarray) -> Tensor:
+        """Differentiable factored log-probs, shape ``(B, G)``."""
+        return self.log_prob_and_entropy(embeddings, devices)[0]
+
+    def entropy(self, embeddings: np.ndarray, devices: np.ndarray) -> Tensor:
+        """Mean per-step policy entropy along the sampled trajectories."""
+        return self.log_prob_and_entropy(embeddings, devices)[1]
+
+    def log_prob_and_entropy(self, embeddings: np.ndarray, devices: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """One teacher-forced decode yielding the factored log-probs
+        ``(B, G)`` and the mean per-step entropy (a scalar)."""
+        devices = np.asarray(devices, dtype=np.int64)
+        logits = self.forward_logits(embeddings, devices)  # (G, B, D)
+        logp = log_softmax(logits, axis=-1)
+        G, B = devices.shape[1], devices.shape[0]
+        onehot = np.zeros((G, B, self.num_devices))
+        onehot[np.arange(G)[:, None], np.arange(B)[None, :], devices.T] = 1.0
+        step_logp = (logp * Tensor(onehot)).sum(axis=2).transpose(1, 0)  # (B, G)
+        p = softmax(logits, axis=-1)
+        entropy = -(p * logp).sum(axis=-1).mean()
+        return step_logp, entropy
+
+
+def _logsumexp(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=-1, keepdims=True)
+    return m + np.log(np.exp(x - m).sum(axis=-1, keepdims=True))

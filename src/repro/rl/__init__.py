@@ -1,0 +1,22 @@
+"""RL training algorithms and reward machinery (substrate S4)."""
+
+from .reward import reward_from_time, EMABaseline, compute_advantages
+from .rollout import PlacementSample, RolloutBatch, EliteStore
+from .algorithms import Reinforce, PPO, PPOWithCrossEntropy, make_algorithm, PolicyAgent
+from .a2c import ValueNetwork, PPOWithValueBaseline
+
+__all__ = [
+    "reward_from_time",
+    "EMABaseline",
+    "compute_advantages",
+    "PlacementSample",
+    "RolloutBatch",
+    "EliteStore",
+    "Reinforce",
+    "PPO",
+    "PPOWithCrossEntropy",
+    "make_algorithm",
+    "PolicyAgent",
+    "ValueNetwork",
+    "PPOWithValueBaseline",
+]

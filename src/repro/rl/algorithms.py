@@ -1,0 +1,205 @@
+"""Policy-gradient training algorithms: REINFORCE, clipped PPO, PPO+CE.
+
+All three operate on an *agent* exposing
+
+* ``log_prob_and_entropy(samples) -> (Tensor (B,), Tensor scalar)`` — the
+  differentiable joint log-probability of each stored sample's actions under
+  the current policy, plus a mean entropy term, and
+* ``parameters()`` — the trainable parameters,
+
+so the same implementations train EAGLE, Hierarchical Planner and Post.
+
+The hyperparameters default to §IV-C: minibatches of 10 placements, 4 PPO
+epochs per minibatch, clip ratio ε = 0.3, entropy coefficient 0.01, Adam with
+lr 0.01, gradients clipped by norm at 1.0, cross-entropy updates every 50
+placements over the top-5 elites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..nn import Adam, Tensor, clip_grad_norm
+from ..nn.module import Parameter
+from .rollout import EliteStore, PlacementSample, RolloutBatch
+
+__all__ = ["PolicyAgent", "Reinforce", "PPO", "PPOWithCrossEntropy", "make_algorithm"]
+
+
+class PolicyAgent(Protocol):
+    """Structural interface the algorithms require of an agent.
+
+    ``log_prob_and_entropy`` returns the *factored* log-probability matrix
+    ``(B, K)`` — one column per elementary decision — plus a scalar mean
+    entropy.  The joint log-prob of a sample is the row sum.
+    """
+
+    def log_prob_and_entropy(self, samples: List[PlacementSample]) -> Tuple[Tensor, Tensor]: ...
+
+    def parameters(self) -> List[Parameter]: ...
+
+
+class _AlgorithmBase:
+    """Shared optimiser plumbing."""
+
+    def __init__(
+        self,
+        agent: PolicyAgent,
+        lr: float = 0.01,
+        entropy_coef: float = 0.1,
+        max_grad_norm: float = 1.0,
+    ) -> None:
+        self.agent = agent
+        self.entropy_coef = entropy_coef
+        self.max_grad_norm = max_grad_norm
+        self.optimizer = Adam(agent.parameters(), lr=lr)
+
+    def _apply(self, loss: Tensor) -> float:
+        self.optimizer.zero_grad()
+        loss.backward()
+        norm = clip_grad_norm(self.optimizer.params, self.max_grad_norm)
+        self.optimizer.step()
+        return norm
+
+    def update(self, batch: RolloutBatch) -> Dict[str, float]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Reinforce(_AlgorithmBase):
+    """Vanilla policy gradient with an external baseline (advantages are
+    supplied by the trainer): ``L = -E[A · log π(a|s)] - β H(π)``."""
+
+    def update(self, batch: RolloutBatch) -> Dict[str, float]:
+        logp, entropy = self.agent.log_prob_and_entropy(batch.samples)
+        joint = logp.sum(axis=1)  # (B,)
+        adv = Tensor(batch.advantages)
+        loss = -(joint * adv).mean() - self.entropy_coef * entropy
+        grad_norm = self._apply(loss)
+        return {
+            "loss": loss.item(),
+            "entropy": entropy.item(),
+            "grad_norm": grad_norm,
+            "epochs": 1.0,
+        }
+
+
+class PPO(_AlgorithmBase):
+    """Clipped-surrogate proximal policy optimisation (Eq. 1–3).
+
+    Performs ``epochs`` passes over the minibatch; the probability ratio is
+    taken against the behaviour policy's stored log-probs.
+    """
+
+    def __init__(
+        self,
+        agent: PolicyAgent,
+        lr: float = 0.01,
+        entropy_coef: float = 0.1,
+        max_grad_norm: float = 1.0,
+        clip_epsilon: float = 0.3,
+        epochs: int = 4,
+    ) -> None:
+        super().__init__(agent, lr, entropy_coef, max_grad_norm)
+        if clip_epsilon <= 0:
+            raise ValueError("clip_epsilon must be positive")
+        self.clip_epsilon = clip_epsilon
+        self.epochs = epochs
+
+    def update(self, batch: RolloutBatch) -> Dict[str, float]:
+        # Per-decision ratios: advantages broadcast over the K decisions of
+        # each sample and each ratio is clipped independently — the factored
+        # form of Eq. 3, which stays well-conditioned for thousands of
+        # decisions per sample.
+        adv = Tensor(batch.advantages[:, None])
+        logp_old = Tensor(batch.logp_old)  # (B, K)
+        stats: Dict[str, float] = {}
+        for epoch in range(self.epochs):
+            logp, entropy = self.agent.log_prob_and_entropy(batch.samples)
+            ratio = (logp - logp_old).exp()
+            unclipped = ratio * adv
+            clipped = ratio.clip(1.0 - self.clip_epsilon, 1.0 + self.clip_epsilon) * adv
+            # min(unclipped, clipped) == clipped when clipped is smaller.
+            mask = (unclipped.data <= clipped.data).astype(np.float64)
+            surrogate = unclipped * Tensor(mask) + clipped * Tensor(1.0 - mask)
+            loss = -surrogate.sum(axis=1).mean() - self.entropy_coef * entropy
+            grad_norm = self._apply(loss)
+            stats = {
+                "loss": loss.item(),
+                "entropy": entropy.item(),
+                "grad_norm": grad_norm,
+                "ratio_mean": float(ratio.data.mean()),
+                "epochs": float(epoch + 1),
+            }
+        return stats
+
+
+class PPOWithCrossEntropy(PPO):
+    """Post's joint algorithm (§III-D): PPO updates every minibatch, plus a
+    cross-entropy minimisation over the elite placements every
+    ``ce_interval`` collected samples.
+
+    The CE step maximises the likelihood of the top-``num_elites``
+    placements seen so far — "the agent is more likely to probe around the
+    good placements previously found".
+    """
+
+    def __init__(
+        self,
+        agent: PolicyAgent,
+        lr: float = 0.01,
+        entropy_coef: float = 0.1,
+        max_grad_norm: float = 1.0,
+        clip_epsilon: float = 0.3,
+        epochs: int = 4,
+        ce_interval: int = 50,
+        num_elites: int = 5,
+        ce_epochs: int = 4,
+    ) -> None:
+        super().__init__(agent, lr, entropy_coef, max_grad_norm, clip_epsilon, epochs)
+        if ce_interval < 1 or num_elites < 1:
+            raise ValueError("ce_interval and num_elites must be >= 1")
+        self.ce_interval = ce_interval
+        self.ce_epochs = ce_epochs
+        self.elites = EliteStore(num_elites)
+        self._since_ce = 0
+
+    def update(self, batch: RolloutBatch) -> Dict[str, float]:
+        self.elites.extend(batch.samples)
+        stats = super().update(batch)
+        self._since_ce += len(batch)
+        if self._since_ce >= self.ce_interval and len(self.elites) > 0:
+            self._since_ce = 0
+            for _ in range(self.ce_epochs):
+                logp, _ = self.agent.log_prob_and_entropy(self.elites.elites)
+                ce_loss = -logp.sum(axis=1).mean()
+                self._apply(ce_loss)
+            stats["ce_loss"] = ce_loss.item()
+        return stats
+
+
+def make_algorithm(name: str, agent: PolicyAgent, **kwargs) -> _AlgorithmBase:
+    """Factory: ``"reinforce"``, ``"ppo"``, ``"ppo_ce"`` (§III-D names), or
+    ``"ppo_value"`` — the A2C-style variant the paper rejected (requires a
+    ``num_devices`` kwarg)."""
+    name = name.lower()
+    if name == "reinforce":
+        kwargs.pop("clip_epsilon", None)
+        kwargs.pop("epochs", None)
+        kwargs.pop("num_devices", None)
+        return Reinforce(agent, **kwargs)
+    if name == "ppo":
+        kwargs.pop("num_devices", None)
+        return PPO(agent, **kwargs)
+    if name in ("ppo_ce", "ppo+ce", "post"):
+        kwargs.pop("num_devices", None)
+        return PPOWithCrossEntropy(agent, **kwargs)
+    if name in ("ppo_value", "a2c"):
+        from .a2c import PPOWithValueBaseline
+
+        if "num_devices" not in kwargs:
+            raise ValueError("ppo_value requires num_devices")
+        return PPOWithValueBaseline(agent, **kwargs)
+    raise ValueError(f"unknown algorithm {name!r}")

@@ -1,0 +1,67 @@
+"""Reward shaping and baselines (§III-D, Eq. 4).
+
+The reward of a placement is the negative square root of its per-step time,
+``R_t = -sqrt(r_t)``; invalid (OOM) placements receive the reward of a
+configurable large failure time.  Advantages are computed against an
+exponential moving average of past rewards — the paper's replacement for a
+value network, which "does not have enough samples to be trained" in this
+environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["reward_from_time", "EMABaseline", "compute_advantages"]
+
+
+def reward_from_time(per_step_time: float, failure_time: float = 50.0) -> float:
+    """Eq. 4: ``R = -sqrt(r)``; OOM placements are charged ``failure_time``."""
+    if failure_time <= 0:
+        raise ValueError("failure_time must be positive")
+    t = per_step_time if np.isfinite(per_step_time) else failure_time
+    if t < 0:
+        raise ValueError("per-step time must be non-negative")
+    return float(-np.sqrt(t))
+
+
+@dataclass
+class EMABaseline:
+    """Exponential moving average of rewards, ``B_t = ExpMovAvg(R_t)``."""
+
+    decay: float = 0.9
+    value: Optional[float] = None
+
+    def update(self, rewards: Sequence[float]) -> float:
+        """Fold a batch of rewards into the average; returns the new value."""
+        for r in rewards:
+            if self.value is None:
+                self.value = float(r)
+            else:
+                self.value = self.decay * self.value + (1.0 - self.decay) * float(r)
+        return float(self.value if self.value is not None else 0.0)
+
+    def advantage(self, rewards: Sequence[float]) -> np.ndarray:
+        """``A_t = R_t - B_t`` against the current average (no update)."""
+        base = self.value if self.value is not None else float(np.mean(rewards))
+        return np.asarray(rewards, dtype=np.float64) - base
+
+
+def compute_advantages(
+    rewards: Sequence[float], baseline: EMABaseline, normalize: bool = True
+) -> np.ndarray:
+    """Advantages vs. the EMA baseline, then fold the rewards in.
+
+    With ``normalize`` the advantages are rescaled to unit standard
+    deviation (zero-safe), the usual variance-reduction step.
+    """
+    adv = baseline.advantage(rewards)
+    baseline.update(rewards)
+    if normalize:
+        std = adv.std()
+        if std > 1e-8:
+            adv = adv / std
+    return adv

@@ -1,0 +1,114 @@
+"""Rollout containers shared by the training algorithms.
+
+A *sample* is one placement decision made by an agent: the raw actions (the
+agent knows how to re-score them), the resulting op-level placement, the
+measured outcome, and the behaviour policy's log-probability (for PPO
+ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["PlacementSample", "RolloutBatch", "EliteStore"]
+
+
+@dataclass
+class PlacementSample:
+    """One sampled placement and its outcome.
+
+    ``logp_old`` is the *factored* log-probability vector of the behaviour
+    policy — one entry per elementary decision (each op's group, each
+    group's device).  PPO forms per-decision probability ratios from it,
+    which keeps the clipped objective well-conditioned even when a sample
+    comprises thousands of decisions (a single joint ratio
+    ``exp(Σ Δlogp)`` would saturate the clip immediately).
+    """
+
+    actions: Dict[str, np.ndarray]
+    op_placement: np.ndarray
+    logp_old: np.ndarray
+    reward: float = 0.0
+    per_step_time: float = float("inf")
+    valid: bool = False
+
+    def __post_init__(self) -> None:
+        self.logp_old = np.atleast_1d(np.asarray(self.logp_old, dtype=np.float64))
+
+    @property
+    def logp_old_total(self) -> float:
+        return float(self.logp_old.sum())
+
+    def copy(self) -> "PlacementSample":
+        return PlacementSample(
+            actions={k: v.copy() for k, v in self.actions.items()},
+            op_placement=self.op_placement.copy(),
+            logp_old=self.logp_old.copy(),
+            reward=self.reward,
+            per_step_time=self.per_step_time,
+            valid=self.valid,
+        )
+
+
+@dataclass
+class RolloutBatch:
+    """A minibatch of samples plus their advantages."""
+
+    samples: List[PlacementSample]
+    advantages: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.samples) != len(self.advantages):
+            raise ValueError("one advantage per sample required")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def logp_old(self) -> np.ndarray:
+        """Stacked factored log-probs, shape ``(B, K)``."""
+        return np.stack([s.logp_old for s in self.samples])
+
+    @property
+    def rewards(self) -> np.ndarray:
+        return np.array([s.reward for s in self.samples])
+
+
+class EliteStore:
+    """Keeps the top-K valid samples seen so far (for cross-entropy updates).
+
+    The Post algorithm (§III-D) periodically performs a cross-entropy
+    minimisation step on the K best placements collected since training
+    began; this store maintains them with O(K) insertion.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._elites: List[PlacementSample] = []
+
+    def add(self, sample: PlacementSample) -> None:
+        if not sample.valid:
+            return
+        self._elites.append(sample.copy())
+        self._elites.sort(key=lambda s: s.per_step_time)
+        del self._elites[self.capacity :]
+
+    def extend(self, samples: List[PlacementSample]) -> None:
+        for s in samples:
+            self.add(s)
+
+    @property
+    def elites(self) -> List[PlacementSample]:
+        return list(self._elites)
+
+    def __len__(self) -> int:
+        return len(self._elites)
+
+    @property
+    def best(self) -> Optional[PlacementSample]:
+        return self._elites[0] if self._elites else None

@@ -1,0 +1,25 @@
+"""Multi-device execution simulator — the RL environment (substrate S2)."""
+
+from .devices import DeviceSpec, LinkSpec, Topology
+from .cost_model import CostModel
+from .simulator import Simulator, StepBreakdown, OutOfMemoryError
+from .environment import PlacementEnvironment, Measurement
+from .trace import chrome_trace, ascii_gantt, critical_path
+from .memory import peak_memory, PeakMemoryReport
+
+__all__ = [
+    "DeviceSpec",
+    "LinkSpec",
+    "Topology",
+    "CostModel",
+    "Simulator",
+    "StepBreakdown",
+    "OutOfMemoryError",
+    "PlacementEnvironment",
+    "Measurement",
+    "chrome_trace",
+    "ascii_gantt",
+    "critical_path",
+    "peak_memory",
+    "PeakMemoryReport",
+]

@@ -1,0 +1,152 @@
+"""Per-op compute cost model.
+
+Maps an :class:`~repro.graph.opgraph.OpNode` onto a
+:class:`~repro.sim.devices.DeviceSpec` and returns the wall-clock time of
+executing the op there during *training* (the forward cost is scaled by the
+standard fwd:bwd ≈ 1:2 rule — see the builders' backward-pass convention).
+
+The efficiency table captures the compute characteristics that drive the
+paper's qualitative findings: dense ops run at full effective throughput on
+GPU, elementwise/data-movement ops are bandwidth-bound there, and a few op
+kinds (gathers, concats, host-side data handling) are relatively cheap on the
+CPU — which is why the RL agents discover hybrid CPU/GPU placements that beat
+the all-GPU baseline on Inception-V3 (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..graph.opgraph import OpNode
+from .devices import DeviceSpec
+
+__all__ = ["CostModel", "DEFAULT_GPU_EFFICIENCY", "DEFAULT_CPU_EFFICIENCY"]
+
+#: Fraction of a device's ``effective_gflops`` each op kind achieves on GPU.
+DEFAULT_GPU_EFFICIENCY: Mapping[str, float] = {
+    "Conv2D": 1.0,
+    "MatMul": 1.0,
+    "LSTMCell": 0.85,
+    "FusedBatchNorm": 0.25,
+    "LayerNorm": 0.25,
+    "Softmax": 0.25,
+    "Relu": 0.3,
+    "Gelu": 0.3,
+    "Tanh": 0.3,
+    "Sigmoid": 0.3,
+    "Add": 0.3,
+    "Mul": 0.3,
+    "BiasAdd": 0.3,
+    "Concat": 0.2,
+    "Slice": 0.2,
+    "Reshape": 1.0,  # ~free: metadata only
+    "Transpose": 0.2,
+    "MaxPool": 0.3,
+    "AvgPool": 0.3,
+    "Gather": 0.05,
+    "CrossEntropy": 0.25,
+    "Input": 1.0,
+    "ApplyAdam": 0.3,
+}
+
+#: Same, relative to the CPU's ``effective_gflops``.  Gather/Concat-style ops
+#: are *relatively* better on CPU (no launch, cache-friendly), dense math
+#: relatively worse.
+DEFAULT_CPU_EFFICIENCY: Mapping[str, float] = {
+    "Conv2D": 0.8,
+    "MatMul": 1.0,
+    "LSTMCell": 0.8,
+    "FusedBatchNorm": 1.0,
+    "LayerNorm": 1.0,
+    "Softmax": 1.0,
+    "Relu": 1.5,
+    "Gelu": 1.0,
+    "Tanh": 1.0,
+    "Sigmoid": 1.0,
+    "Add": 1.5,
+    "Mul": 1.5,
+    "BiasAdd": 1.5,
+    "Concat": 2.0,
+    "Slice": 2.0,
+    "Reshape": 1.0,
+    "Transpose": 2.0,
+    "MaxPool": 1.0,
+    "AvgPool": 1.0,
+    "Gather": 4.0,
+    "CrossEntropy": 1.0,
+    "Input": 1.0,
+    "ApplyAdam": 1.0,
+}
+
+
+@dataclass
+class CostModel:
+    """Training-step compute cost of ops on devices.
+
+    Parameters
+    ----------
+    training_flops_multiplier:
+        Extra scaling of per-op FLOPs.  The benchmark graphs carry explicit
+        backward ops (see :mod:`repro.graph.training`), so the default is
+        1.0; set 3.0 (1× fwd + 2× bwd) when simulating forward-only graphs
+        as training steps.
+    param_memory_multiplier:
+        Persistent memory per parameter byte: weight + master copy + two
+        Adam moments = 4×.
+    activation_memory_multiplier:
+        Live memory per activation byte during a training step.  Gradient
+        buffers appear as the outputs of explicit backward ops, so the
+        default is 1.0; use 2.0 for forward-only graphs.
+    send_overhead / recv_overhead:
+        Device-side cost of a cross-device tensor transfer: the sender
+        executes a Send op and the receiver a Recv op on their own
+        timelines (TF rendezvous).
+    gpu_dispatch / cpu_dispatch:
+        Host-side per-op dispatch cost, consumed on a *shared* host channel
+        regardless of the op's device (the TF executor + CUDA launch path).
+        This shared bottleneck is why a launch-bound model (Inception-V3 at
+        batch 1) gains nothing from spreading ops over more GPUs, while
+        compute-bound models (GNMT, BERT) do — and because dispatching a
+        CPU op skips the CUDA launch path (``cpu_dispatch`` <
+        ``gpu_dispatch``), offloading chains of cheap ops to the CPU is the
+        small win the RL agents discover on Inception (§IV-D).
+    gpu_efficiency / cpu_efficiency:
+        Per-op-type throughput fractions; unknown types fall back to
+        ``default_efficiency``.
+    """
+
+    training_flops_multiplier: float = 1.0
+    param_memory_multiplier: float = 4.0
+    activation_memory_multiplier: float = 1.0
+    send_overhead: float = 25e-6
+    recv_overhead: float = 25e-6
+    gpu_dispatch: float = 85e-6
+    cpu_dispatch: float = 30e-6
+
+    def dispatch_time(self, device: DeviceSpec) -> float:
+        """Host-channel time to dispatch one op onto ``device``."""
+        return self.gpu_dispatch if device.kind == "gpu" else self.cpu_dispatch
+    default_efficiency: float = 0.5
+    gpu_efficiency: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_GPU_EFFICIENCY))
+    cpu_efficiency: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_CPU_EFFICIENCY))
+
+    def efficiency(self, op_type: str, device: DeviceSpec) -> float:
+        table = self.gpu_efficiency if device.kind == "gpu" else self.cpu_efficiency
+        return table.get(op_type, self.default_efficiency)
+
+    def op_time(self, node: OpNode, device: DeviceSpec) -> float:
+        """Wall-clock seconds to run ``node`` (fwd+bwd) on ``device``."""
+        if node.op_type == "Reshape":
+            # Metadata-only; charged dispatch overhead but no compute.
+            return device.per_op_overhead
+        eff = self.efficiency(node.op_type, device)
+        compute = self.training_flops_multiplier * node.flops / (device.effective_gflops * eff * 1e9)
+        return device.per_op_overhead + compute
+
+    def op_memory(self, node: OpNode) -> float:
+        """Resident bytes ``node`` charges to its device for a training step."""
+        return (
+            self.param_memory_multiplier * node.param_bytes
+            + self.activation_memory_multiplier * node.output.bytes
+        )

@@ -1,0 +1,144 @@
+"""Device and interconnect model.
+
+The paper's environment is a single physical machine with 4× NVIDIA P100
+GPUs and 2× Xeon E5-2650 v4 CPUs connected over PCIe (§IV-C).
+:func:`Topology.default_4gpu` reproduces that box with calibrated effective
+throughputs; arbitrary topologies can be composed for the examples and
+ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DeviceSpec", "LinkSpec", "Topology"]
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One compute device.
+
+    Attributes
+    ----------
+    name:
+        TF-style device string, e.g. ``"/gpu:0"``.
+    kind:
+        ``"gpu"`` or ``"cpu"``.
+    memory_bytes:
+        Usable device memory.  For the P100 we charge 10 GB of the physical
+        12 GB — the remainder models the framework's runtime reserve and
+        workspace, calibrated so GNMT at batch 128 fits on one GPU and at
+        batch 256 does not (the paper's setup, §IV-A).
+    effective_gflops:
+        Sustained throughput on dense ops (GEMM/conv), *not* peak.
+    per_op_overhead:
+        Fixed dispatch cost per op (kernel launch on GPU, executor overhead
+        on CPU).  This is what makes many-small-op graphs (Inception at
+        batch 1) prefer few devices.
+    """
+
+    name: str
+    kind: str
+    memory_bytes: int
+    effective_gflops: float
+    per_op_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"kind must be 'gpu' or 'cpu', got {self.kind!r}")
+        if self.memory_bytes <= 0 or self.effective_gflops <= 0 or self.per_op_overhead < 0:
+            raise ValueError("invalid device spec")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Point-to-point interconnect characteristics (one direction)."""
+
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+class Topology:
+    """A set of devices plus the links between every ordered pair."""
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceSpec],
+        default_link: LinkSpec,
+        links: Optional[Dict[Tuple[int, int], LinkSpec]] = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("topology needs at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate device names")
+        self.devices: List[DeviceSpec] = list(devices)
+        self.default_link = default_link
+        self._links: Dict[Tuple[int, int], LinkSpec] = dict(links or {})
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def device_index(self, name: str) -> int:
+        for i, d in enumerate(self.devices):
+            if d.name == name:
+                return i
+        raise KeyError(f"no device named {name!r}")
+
+    def link(self, src: int, dst: int) -> LinkSpec:
+        """Link for the ordered pair ``(src, dst)``; same-device is free."""
+        if src == dst:
+            return LinkSpec(bandwidth_bytes_per_s=float("inf"), latency_s=0.0)
+        return self._links.get((src, dst), self.default_link)
+
+    def gpu_indices(self) -> List[int]:
+        return [i for i, d in enumerate(self.devices) if d.kind == "gpu"]
+
+    def cpu_indices(self) -> List[int]:
+        return [i for i, d in enumerate(self.devices) if d.kind == "cpu"]
+
+    def __repr__(self) -> str:
+        return f"Topology({[d.name for d in self.devices]})"
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def default_4gpu(
+        num_gpus: int = 4,
+        gpu_memory_bytes: int = int(9.5 * GB),
+        gpu_gflops: float = 4000.0,
+        gpu_overhead: float = 40e-6,
+        cpu_memory_bytes: int = 110 * GB,
+        cpu_gflops: float = 200.0,
+        cpu_overhead: float = 15e-6,
+        pcie_bandwidth: float = 11e9,
+        pcie_latency: float = 50e-6,
+    ) -> "Topology":
+        """The paper's evaluation machine: 4× P100 + host CPUs over PCIe.
+
+        Calibration notes (DESIGN.md §1): ``gpu_gflops=4000`` is a sustained
+        fp32 rate for a P100 under TF r1.12; ``gpu_overhead=100 µs`` is the
+        per-op dispatch cost that reproduces Inception-V3's ~70 ms step at
+        batch 1 on the ~820-op training graph; 9.5 of the 12 GiB P100
+        memory is usable (runtime reserve + workspace), calibrated so GNMT
+        fits one GPU at batch 128 but not at batch 256 (§IV-A) while a
+        balanced 4-way BERT split fits; the host dispatch costs
+        (:class:`~repro.sim.cost_model.CostModel`) are why the RL agents
+        learn to move some cheap ops to the CPU (§IV-D).
+        """
+        devices = [DeviceSpec("/cpu:0", "cpu", cpu_memory_bytes, cpu_gflops, cpu_overhead)]
+        devices += [
+            DeviceSpec(f"/gpu:{i}", "gpu", gpu_memory_bytes, gpu_gflops, gpu_overhead)
+            for i in range(num_gpus)
+        ]
+        return Topology(devices, default_link=LinkSpec(pcie_bandwidth, pcie_latency))

@@ -1,0 +1,128 @@
+"""Execution-timeline export: Chrome trace JSON and ASCII Gantt charts.
+
+Given a traced simulation (``Simulator.simulate(p, record_trace=True)``),
+these helpers make a placement's schedule inspectable — which device ran
+what when, where the critical path sits, and which transfers serialise it.
+
+The Chrome trace format loads into ``chrome://tracing`` / Perfetto; the
+ASCII Gantt is for terminals and test output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.opgraph import OpGraph
+from .devices import Topology
+from .simulator import StepBreakdown
+
+__all__ = ["chrome_trace", "ascii_gantt", "critical_path"]
+
+
+def _require_trace(breakdown: StepBreakdown) -> None:
+    if breakdown.op_start is None or breakdown.op_end is None:
+        raise ValueError("breakdown has no trace; call simulate(..., record_trace=True)")
+
+
+def chrome_trace(
+    graph: OpGraph,
+    topology: Topology,
+    placement: Sequence[int],
+    breakdown: StepBreakdown,
+) -> str:
+    """Serialise a traced step as Chrome trace-event JSON (µs timestamps)."""
+    _require_trace(breakdown)
+    placement = np.asarray(placement)
+    events: List[Dict] = []
+    for dev_idx, dev in enumerate(topology.devices):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": dev_idx,
+                "args": {"name": dev.name},
+            }
+        )
+    for node in graph.nodes():
+        start = breakdown.op_start[node.op_id]
+        end = breakdown.op_end[node.op_id]
+        events.append(
+            {
+                "name": node.name,
+                "cat": node.op_type,
+                "ph": "X",
+                "pid": int(placement[node.op_id]),
+                "tid": 0,
+                "ts": start * 1e6,
+                "dur": max((end - start) * 1e6, 0.01),
+                "args": {"op_type": node.op_type, "flops": node.flops},
+            }
+        )
+    for i, (src_op, src_dev, dst_dev, start, end, nbytes) in enumerate(breakdown.transfers or []):
+        events.append(
+            {
+                "name": f"xfer:{graph.node(src_op).name}",
+                "cat": "transfer",
+                "ph": "X",
+                "pid": int(src_dev),
+                "tid": 1,
+                "ts": start * 1e6,
+                "dur": max((end - start) * 1e6, 0.01),
+                "args": {"bytes": nbytes, "to_device": int(dst_dev)},
+            }
+        )
+    return json.dumps({"traceEvents": events})
+
+
+def ascii_gantt(
+    graph: OpGraph,
+    topology: Topology,
+    placement: Sequence[int],
+    breakdown: StepBreakdown,
+    width: int = 80,
+) -> str:
+    """Render per-device utilisation over time as an ASCII chart.
+
+    Each row is a device; each column a time bucket; the glyph encodes the
+    bucket's busy fraction (`` .:-=#`` from idle to saturated).
+    """
+    _require_trace(breakdown)
+    placement = np.asarray(placement)
+    span = max(breakdown.makespan, 1e-12)
+    glyphs = " .:-=#"
+    busy = np.zeros((topology.num_devices, width))
+    for node in graph.nodes():
+        d = placement[node.op_id]
+        s = breakdown.op_start[node.op_id] / span * width
+        e = breakdown.op_end[node.op_id] / span * width
+        lo, hi = int(s), min(int(np.ceil(e)), width)
+        for b in range(lo, max(hi, lo + 1)):
+            if b < width:
+                busy[d, b] += min(e, b + 1) - max(s, b)
+    lines = [f"step time {breakdown.makespan * 1000:.2f} ms  (one column = {span / width * 1000:.2f} ms)"]
+    for d, dev in enumerate(topology.devices):
+        row = "".join(
+            glyphs[min(int(np.clip(f, 0, 1) * (len(glyphs) - 1)), len(glyphs) - 1)]
+            for f in busy[d]
+        )
+        lines.append(f"{dev.name:>10s} |{row}|")
+    return "\n".join(lines)
+
+
+def critical_path(graph: OpGraph, breakdown: StepBreakdown, limit: int = 10) -> List[int]:
+    """Walk back from the critical op along latest-finishing predecessors.
+
+    Returns up to ``limit`` op ids, sink first — the chain that determines
+    the step time (ignoring the dispatch floor).
+    """
+    _require_trace(breakdown)
+    path = [breakdown.critical_op]
+    while len(path) < limit:
+        preds = graph.predecessors(path[-1])
+        if not preds:
+            break
+        path.append(max(preds, key=lambda u: breakdown.op_end[u]))
+    return path

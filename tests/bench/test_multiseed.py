@@ -1,0 +1,55 @@
+"""Tests for the best-of-N-seeds runner logic and the device prior."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentRunner, ExperimentSpec, default_spec
+from repro.bench.experiments import CPU_PRIOR, device_prior
+from repro.sim import Topology
+
+
+class TestDevicePrior:
+    def test_default_topology_convention(self):
+        prior = device_prior(5)
+        assert prior[0] == CPU_PRIOR
+        assert np.all(prior[1:] == 0.0)
+
+    def test_explicit_topology(self):
+        topo = Topology.default_4gpu(num_gpus=2)
+        prior = device_prior(topo.num_devices, topo)
+        assert prior[topo.cpu_indices()[0]] == CPU_PRIOR
+        for g in topo.gpu_indices():
+            assert prior[g] == 0.0
+
+
+class TestMultiSeedSpec:
+    def test_gnmt_rl_specs_get_extra_seeds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_spec("gnmt", "post", "ppo_ce").num_seeds == 2
+        assert default_spec("gnmt", "eagle", "ppo").num_seeds == 4
+        assert default_spec("gnmt", "human_expert", "none").num_seeds == 1
+        assert default_spec("bert", "eagle", "ppo").num_seeds == 1
+
+    def test_quick_profile_single_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert default_spec("gnmt", "eagle", "ppo").num_seeds == 1
+
+    def test_key_backwards_compatible_for_single_seed(self):
+        """num_seeds=1 must hash like the pre-num_seeds schema (old caches
+        stay valid); other values must change the key."""
+        one = ExperimentSpec("gnmt", "eagle", "ppo", 64, 100, num_seeds=1)
+        two = ExperimentSpec("gnmt", "eagle", "ppo", 64, 100, num_seeds=2)
+        assert one.key() != two.key()
+
+    def test_multi_seed_keeps_best(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runner = ExperimentRunner(tmp_path)
+        single = runner.run(
+            ExperimentSpec("inception_v3", "post", "ppo_ce", num_groups=8,
+                           max_samples=15, placer_hidden=16, scale="quick", num_seeds=1)
+        )
+        multi = runner.run(
+            ExperimentSpec("inception_v3", "post", "ppo_ce", num_groups=8,
+                           max_samples=15, placer_hidden=16, scale="quick", num_seeds=3)
+        )
+        assert multi.final_time <= single.final_time + 1e-12

@@ -1,0 +1,125 @@
+"""Tests for the bench harness (runner, cache, experiment factory, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    AGENT_KINDS,
+    ExperimentRunner,
+    ExperimentSpec,
+    build_experiment_graph,
+    default_spec,
+    format_time,
+    make_agent,
+    render_curves,
+    render_table,
+    sample_budget,
+)
+from repro.bench.runner import ExperimentOutcome
+
+
+class TestSpec:
+    def test_key_stable(self):
+        a = ExperimentSpec("gnmt", "eagle", "ppo", 32, 100)
+        b = ExperimentSpec("gnmt", "eagle", "ppo", 32, 100)
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_fields(self):
+        a = ExperimentSpec("gnmt", "eagle", "ppo", 32, 100)
+        b = ExperimentSpec("gnmt", "eagle", "ppo", 32, 100, seed=1)
+        assert a.key() != b.key()
+
+    def test_default_spec_profiles(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        spec = default_spec("gnmt", "eagle", "ppo")
+        assert spec.scale == "quick"
+        assert spec.max_samples == sample_budget("gnmt", "quick")
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        from repro.bench import scale_profile
+
+        with pytest.raises(ValueError):
+            scale_profile()
+
+
+class TestRunnerCaching:
+    def test_predefined_runs_and_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runner = ExperimentRunner(tmp_path)
+        spec = default_spec("inception_v3", "single_gpu", "none")
+        out1 = runner.run(spec)
+        assert np.isfinite(out1.best_time)
+        # second call hits the memory cache; a fresh runner hits the disk
+        out2 = ExperimentRunner(tmp_path).run(spec)
+        assert out2.best_time == out1.best_time
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_rl_run_records_history(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runner = ExperimentRunner(tmp_path)
+        spec = ExperimentSpec(
+            "inception_v3", "post", "ppo_ce", num_groups=8, max_samples=20,
+            placer_hidden=16, scale="quick",
+        )
+        out = runner.run(spec)
+        assert out.num_samples == 20
+        assert len(out.history_best) == 20
+        assert np.isfinite(out.best_time)
+
+    def test_oom_predefined_reported(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        runner = ExperimentRunner(tmp_path)
+        out = runner.run(default_spec("gnmt", "single_gpu", "none"))
+        assert not np.isfinite(out.best_time)
+
+    def test_unknown_predefined_agent(self, tmp_path):
+        runner = ExperimentRunner(tmp_path)
+        with pytest.raises(ValueError):
+            runner.run(ExperimentSpec("inception_v3", "wizard", "none", 8, 10, scale="quick"))
+
+    def test_outcome_json_roundtrip(self):
+        out = ExperimentOutcome(
+            spec={"model": "x"}, best_time=1.0, final_time=1.1, num_invalid=0,
+            num_samples=5, env_time=10.0, history_env_time=[1.0],
+            history_per_step=[2.0], history_best=[2.0],
+        )
+        back = ExperimentOutcome.from_json(out.to_json())
+        assert back.best_time == 1.0 and back.history_best == [2.0]
+
+
+class TestFactories:
+    def test_every_rl_agent_kind_constructs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        graph = build_experiment_graph("inception_v3", "quick")
+        for kind in AGENT_KINDS:
+            if kind in ("single_gpu", "human_expert"):
+                continue
+            agent = make_agent(kind, graph, 3, num_groups=8, placer_hidden=16, seed=0)
+            samples = agent.sample_placements(2)
+            assert len(samples) == 2
+
+    def test_unknown_agent_kind(self):
+        graph = build_experiment_graph("inception_v3", "quick")
+        with pytest.raises(ValueError):
+            make_agent("alphago", graph, 3)
+
+    def test_graph_cache_by_scale(self):
+        a = build_experiment_graph("inception_v3", "quick")
+        b = build_experiment_graph("inception_v3", "quick")
+        assert a is b
+
+
+class TestTables:
+    def test_format_time(self):
+        assert format_time(1.2345) == "1.234" or format_time(1.2345) == "1.235"
+        assert format_time(float("inf")) == "OOM"
+        assert format_time(None) == "OOM"
+
+    def test_render_table_contains_rows(self):
+        text = render_table("T", ["A", "B"], {"gnmt": [1.0, float("inf")]})
+        assert "gnmt" in text and "OOM" in text and "1.000" in text
+
+    def test_render_curves_skips_placeholders(self):
+        text = render_curves("C", {"x": ([1.0, 2.0, 3.0], [-1.0, 5.0, 4.0])})
+        assert "5.000" in text and "-1" not in text

@@ -1,0 +1,59 @@
+"""Shared fixtures: small graphs, topologies and RNGs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.models import build_chain, build_fan, build_random_layered
+from repro.graph.opgraph import OpGraph
+from repro.sim import Topology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph() -> OpGraph:
+    """A tiny hand-built diamond DAG with mixed op attributes."""
+    g = OpGraph("diamond")
+    a = g.add_op("in", "Input", (4, 8), cpu_only=True)
+    b = g.add_op("left", "MatMul", (4, 16), flops=1e6, param_bytes=512, inputs=[a])
+    c = g.add_op("right", "Relu", (4, 8), flops=32, inputs=[a])
+    g.add_op("out", "Concat", (4, 24), flops=96, inputs=[b, c])
+    return g
+
+
+@pytest.fixture
+def layered_graph() -> OpGraph:
+    return build_random_layered(num_layers=6, width=5, seed=7)
+
+
+@pytest.fixture
+def chain_graph() -> OpGraph:
+    return build_chain(length=12)
+
+
+@pytest.fixture
+def fan_graph() -> OpGraph:
+    return build_fan(width=6)
+
+
+@pytest.fixture
+def topology() -> Topology:
+    """A small 2-GPU + CPU topology for fast tests."""
+    return Topology.default_4gpu(num_gpus=2)
+
+
+def numeric_gradient(fn, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of a flat vector."""
+    g = np.zeros_like(x0)
+    for i in range(x0.size):
+        up = x0.copy()
+        up[i] += eps
+        down = x0.copy()
+        down[i] -= eps
+        g[i] = (fn(up) - fn(down)) / (2 * eps)
+    return g

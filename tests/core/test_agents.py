@@ -1,0 +1,145 @@
+"""Tests for the placement agents (EAGLE, HP, Post, fixed-grouping)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EagleAgent,
+    FixedGroupingGCNAgent,
+    FixedGroupingSeq2SeqAgent,
+    HierarchicalPlannerAgent,
+    PostAgent,
+)
+from repro.grouping import MetisGrouper, TopoBlockGrouper
+
+NUM_DEVICES = 3
+NUM_GROUPS = 8
+
+
+@pytest.fixture(
+    params=["eagle", "hierarchical", "post", "fixed_seq2seq", "fixed_gcn"],
+)
+def agent(request, layered_graph):
+    kind = request.param
+    if kind == "eagle":
+        return EagleAgent(
+            layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16, warm_start=None, seed=0
+        )
+    if kind == "hierarchical":
+        return HierarchicalPlannerAgent(
+            layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16, warm_start=None, seed=0
+        )
+    if kind == "post":
+        return PostAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, seed=0)
+    if kind == "fixed_seq2seq":
+        return FixedGroupingSeq2SeqAgent(
+            layered_graph, NUM_DEVICES, MetisGrouper(NUM_GROUPS), placer_hidden=16, seed=0
+        )
+    return FixedGroupingGCNAgent(
+        layered_graph, NUM_DEVICES, MetisGrouper(NUM_GROUPS), placer_hidden=16, seed=0
+    )
+
+
+class TestAgentInterface:
+    def test_sample_placements_shape(self, agent, layered_graph):
+        samples = agent.sample_placements(3)
+        assert len(samples) == 3
+        for s in samples:
+            assert s.op_placement.shape == (layered_graph.num_ops,)
+            assert s.op_placement.min() >= 0
+            assert s.op_placement.max() < NUM_DEVICES
+            assert s.logp_old.ndim == 1
+
+    def test_logp_old_matches_recompute(self, agent):
+        samples = agent.sample_placements(4)
+        lp, ent = agent.log_prob_and_entropy(samples)
+        stored = np.stack([s.logp_old for s in samples])
+        assert lp.shape == stored.shape
+        assert np.allclose(lp.data, stored, atol=1e-8)
+        assert np.isfinite(ent.item())
+
+    def test_gradients_reach_every_parameter(self, agent):
+        samples = agent.sample_placements(2)
+        lp, ent = agent.log_prob_and_entropy(samples)
+        (lp.sum(axis=1).mean() + 0.1 * ent).backward()
+        missing = [n for n, p in agent.named_parameters() if p.grad is None]
+        assert not missing, f"no gradient for {missing}"
+
+    def test_greedy_placement_valid(self, agent, layered_graph):
+        p = agent.greedy_placement()
+        assert p.shape == (layered_graph.num_ops,)
+        assert p.min() >= 0 and p.max() < NUM_DEVICES
+
+    def test_samples_vary(self, agent):
+        samples = agent.sample_placements(6)
+        placements = np.stack([s.op_placement for s in samples])
+        assert not all(np.array_equal(placements[0], placements[i]) for i in range(1, 6))
+
+
+class TestEagleSpecifics:
+    def test_group_then_device_composition(self, layered_graph):
+        agent = EagleAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16, warm_start=None, seed=0)
+        s = agent.sample_placements(1)[0]
+        groups = s.actions["groups"]
+        devices = s.actions["devices"]
+        assert np.array_equal(s.op_placement, devices[groups])
+
+    def test_warm_start_reduces_cut(self, layered_graph):
+        from repro.grouping import cut_cost
+        from repro.grouping.pretrain import warm_start_assignment
+
+        cold = EagleAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16, warm_start=None, seed=0)
+        warm = EagleAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16, warm_start="metis", seed=0)
+        cold_cut = cut_cost(layered_graph, cold.grouper.assign(layered_graph))
+        warm_cut = cut_cost(layered_graph, warm.grouper.assign(layered_graph))
+        assert warm_cut < cold_cut
+
+    def test_unknown_warm_start_rejected(self, layered_graph):
+        with pytest.raises(ValueError):
+            EagleAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, warm_start="oracle")
+
+    def test_attention_variants(self, layered_graph):
+        for attn in ("before", "after"):
+            agent = EagleAgent(
+                layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16,
+                attention=attn, warm_start=None, seed=0,
+            )
+            assert agent.placer.attention == attn
+
+
+class TestPostSpecifics:
+    def test_default_grouping_is_topo_blocks(self, layered_graph):
+        agent = PostAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, seed=0)
+        expected = TopoBlockGrouper(NUM_GROUPS).assign(layered_graph)
+        assert np.array_equal(agent.assignment, expected)
+
+    def test_custom_grouper(self, layered_graph):
+        agent = PostAgent(
+            layered_graph, NUM_DEVICES, grouper=MetisGrouper(NUM_GROUPS), seed=0
+        )
+        assert agent.num_groups == NUM_GROUPS
+
+    def test_policy_is_simple(self, layered_graph):
+        """Post's network must be much smaller than a seq2seq placer."""
+        post = PostAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, seed=0)
+        eagle = EagleAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=64, warm_start=None, seed=0)
+        assert post.num_parameters() < eagle.num_parameters() / 5
+
+
+class TestFixedGroupingSpecifics:
+    def test_assignment_never_changes(self, layered_graph):
+        agent = FixedGroupingSeq2SeqAgent(
+            layered_graph, NUM_DEVICES, MetisGrouper(NUM_GROUPS), placer_hidden=16, seed=0
+        )
+        a0 = agent.assignment.copy()
+        agent.sample_placements(3)
+        assert np.array_equal(agent.assignment, a0)
+
+    def test_gcn_agent_excludes_adjacency_from_embedding(self, layered_graph):
+        seq = FixedGroupingSeq2SeqAgent(
+            layered_graph, NUM_DEVICES, MetisGrouper(NUM_GROUPS), placer_hidden=16, seed=0
+        )
+        gcn = FixedGroupingGCNAgent(
+            layered_graph, NUM_DEVICES, MetisGrouper(NUM_GROUPS), placer_hidden=16, seed=0
+        )
+        assert gcn.embedder.dim < seq.embedder.dim

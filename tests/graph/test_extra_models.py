@@ -1,0 +1,85 @@
+"""Tests for the additional model families (ResNet-50, Transformer)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.models import build_benchmark, build_resnet50, build_transformer
+
+
+class TestResNet50:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_resnet50(batch_size=8, image_size=64)
+
+    def test_is_valid_dag(self, graph):
+        graph.validate()
+
+    def test_stage_structure(self, graph):
+        names = [n.name for n in graph.nodes()]
+        assert any("stage0/block2" in n for n in names)
+        assert any("stage3/block2" in n for n in names)
+        assert not any("stage3/block3" in n for n in names)
+
+    def test_residual_adds_present(self, graph):
+        adds = [n for n in graph.nodes() if n.op_type == "Add"]
+        assert len(adds) == 16  # one per bottleneck block
+
+    def test_projection_shortcuts_only_at_stage_starts(self, graph):
+        shortcuts = [n.name for n in graph.nodes() if "/shortcut/" in n.name and "conv2d" in n.name]
+        assert len(shortcuts) == 4
+
+    def test_param_count_near_published(self):
+        g = build_resnet50()
+        # ResNet-50 ≈ 25.5 M params ≈ 102 MB.
+        assert 80e6 <= g.total_param_bytes() <= 130e6
+
+    def test_flops_near_published(self):
+        g = build_resnet50(batch_size=1)
+        # ≈ 4.1 G MACs = 8.2 GFLOP per image (±35 %).
+        assert 5e9 <= g.total_flops() <= 12e9
+
+
+class TestTransformer:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_transformer(
+            batch_size=4, src_len=16, tgt_len=16, hidden=64, num_layers=2, num_heads=4,
+            ffn_dim=128, vocab=500,
+        )
+
+    def test_is_valid_dag(self, graph):
+        graph.validate()
+
+    def test_cross_attention_connects_encoder_to_decoder(self, graph):
+        # the decoder's cross-attention key comes from the encoder output
+        assert "decoder/layer0/cross_attn/key/matmul" in graph
+        key = graph.node("decoder/layer0/cross_attn/key/matmul")
+        preds = graph.predecessors(key)
+        pred_names = {graph.node(p).name for p in preds}
+        assert any(name.startswith("encoder/") for name in pred_names)
+
+    def test_self_and_cross_attention_per_decoder_layer(self, graph):
+        names = [n.name for n in graph.nodes()]
+        for layer in range(2):
+            assert any(f"decoder/layer{layer}/self_attn" in n for n in names)
+            assert any(f"decoder/layer{layer}/cross_attn" in n for n in names)
+
+    def test_head_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            build_transformer(hidden=100, num_heads=8)
+
+    def test_benchmark_registry(self):
+        g = build_benchmark("transformer", training=False, batch_size=2, src_len=8,
+                            tgt_len=8, hidden=32, num_layers=1, num_heads=2,
+                            ffn_dim=64, vocab=100)
+        assert g.num_ops > 30
+
+    def test_placeable(self):
+        """The extra models run through the whole pipeline."""
+        from repro.sim import PlacementEnvironment, Topology
+
+        g = build_benchmark("transformer", batch_size=2, src_len=8, tgt_len=8,
+                            hidden=32, num_layers=1, num_heads=2, ffn_dim=64, vocab=100)
+        env = PlacementEnvironment(g, Topology.default_4gpu(num_gpus=2))
+        m = env.evaluate(np.ones(g.num_ops, dtype=np.int64))
+        assert m.valid

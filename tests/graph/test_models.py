@@ -1,0 +1,200 @@
+"""Tests for the benchmark model builders and cost helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import costs
+from repro.graph.models import (
+    build_benchmark,
+    build_bert,
+    build_chain,
+    build_fan,
+    build_gnmt,
+    build_inception_v3,
+    build_random_layered,
+)
+
+
+class TestCostHelpers:
+    def test_conv_out_shape_same(self):
+        assert costs.conv2d_out_shape((1, 35, 35, 64), 96, (3, 3)) == (1, 35, 35, 96)
+
+    def test_conv_out_shape_valid_stride(self):
+        assert costs.conv2d_out_shape((1, 299, 299, 3), 32, (3, 3), 2, "valid") == (1, 149, 149, 32)
+
+    def test_conv_collapse_raises(self):
+        with pytest.raises(ValueError):
+            costs.conv2d_out_shape((1, 2, 2, 3), 8, (5, 5), 1, "valid")
+
+    def test_conv_unknown_padding(self):
+        with pytest.raises(ValueError):
+            costs.conv2d_out_shape((1, 8, 8, 3), 8, (3, 3), 1, "weird")
+
+    def test_conv_flops_formula(self):
+        out = (1, 10, 10, 16)
+        f = costs.conv2d_flops((1, 10, 10, 8), out, (3, 3))
+        assert f == 2 * 10 * 10 * 16 * 9 * 8
+
+    def test_matmul_flops(self):
+        assert costs.matmul_flops(2, 3, 4) == 48
+
+    def test_lstm_flops_positive_and_scales(self):
+        small = costs.lstm_cell_flops(1, 10, 10)
+        big = costs.lstm_cell_flops(2, 10, 10)
+        assert big == pytest.approx(2 * small, rel=0.01)
+
+    def test_pool_out_shape(self):
+        assert costs.pool_out_shape((1, 35, 35, 64), 3, 2) == (1, 17, 17, 64)
+
+
+class TestInception:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_inception_v3()
+
+    def test_is_valid_dag(self, graph):
+        graph.validate()
+
+    def test_op_count_realistic(self, graph):
+        assert 250 <= graph.num_ops <= 500
+
+    def test_total_flops_near_published(self, graph):
+        # Inception-V3 forward ≈ 5.7 G multiply-adds at batch 1; we count a
+        # MAC as 2 FLOPs, so ≈ 11.4 GFLOP (±40 % for the simplified head).
+        assert 7e9 <= graph.total_flops() <= 1.6e10
+
+    def test_param_bytes_near_published(self, graph):
+        # ~24 M parameters * 4 bytes.
+        assert 70e6 <= graph.total_param_bytes() <= 130e6
+
+    def test_input_is_cpu_only(self, graph):
+        assert graph.node("images").cpu_only
+
+    def test_batch_size_parameter(self):
+        g = build_inception_v3(batch_size=4)
+        assert g.node("head/logits/matmul").output.shape[0] == 4
+
+    def test_has_expected_blocks(self, graph):
+        names = [n.name for n in graph.nodes()]
+        assert any("mixed_a0" in n for n in names)
+        assert any("reduction_b" in n for n in names)
+        assert any("mixed_c1" in n for n in names)
+
+
+class TestGNMT:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_gnmt(seq_len=8, batch_size=32, hidden=64, vocab=1000)
+
+    def test_is_valid_dag(self, graph):
+        graph.validate()
+
+    def test_lstm_steps_chained(self, graph):
+        # step t depends on step t-1 within a layer
+        assert graph.has_edge("encoder/l1/step0", "encoder/l1/step1")
+
+    def test_decoder_consumes_attention(self, graph):
+        assert "attention/context0" in graph
+        assert graph.has_edge("attention/context0", "decoder/input_concat0")
+
+    def test_embeddings_cpu_only(self, graph):
+        assert graph.node("encoder/embedding").cpu_only
+
+    def test_layer_count_parameter(self):
+        g = build_gnmt(seq_len=4, batch_size=8, hidden=32, vocab=100, num_layers=2)
+        assert not any("encoder/l2/" in n.name for n in g.nodes())
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError):
+            build_gnmt(num_layers=1)
+
+    def test_default_memory_exceeds_single_gpu(self):
+        """The paper's batch-256 training configuration must not fit one
+        P100 (§IV-A); the memory model is defined over the expanded
+        training graph."""
+        g = build_benchmark("gnmt")
+        from repro.sim import Simulator, Topology
+
+        sim = Simulator(g, Topology.default_4gpu())
+        usage = sim.memory_usage(np.ones(g.num_ops, dtype=np.int64))
+        assert usage[1] > sim.topology.devices[1].memory_bytes
+
+    def test_batch_128_fits_single_gpu(self):
+        g = build_benchmark("gnmt", batch_size=128)
+        from repro.sim import Simulator, Topology
+
+        sim = Simulator(g, Topology.default_4gpu())
+        usage = sim.memory_usage(np.ones(g.num_ops, dtype=np.int64))
+        assert usage[1] <= sim.topology.devices[1].memory_bytes
+
+
+class TestBERT:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_bert(num_layers=2, seq_len=64, batch_size=4, split_heads=True)
+
+    def test_is_valid_dag(self, graph):
+        graph.validate()
+
+    def test_per_head_ops_emitted(self, graph):
+        assert "layer0/attention/head0/scores" in graph
+        assert "layer0/attention/head11/context" in graph
+
+    def test_merged_heads_feed_output(self, graph):
+        assert graph.has_edge("layer0/attention/heads/concat", "layer0/attention/output/matmul")
+
+    def test_coarse_variant_smaller(self):
+        fine = build_bert(num_layers=2, seq_len=64, batch_size=4, split_heads=True)
+        coarse = build_bert(num_layers=2, seq_len=64, batch_size=4, split_heads=False)
+        assert coarse.num_ops < fine.num_ops
+
+    def test_hidden_head_divisibility(self):
+        with pytest.raises(ValueError):
+            build_bert(hidden=100, num_heads=12)
+
+    def test_default_params_near_bert_base(self):
+        g = build_bert()
+        # BERT-Base ≈ 110 M params ≈ 440 MB (+ the untied MLM projection).
+        assert 350e6 <= g.total_param_bytes() <= 700e6
+
+
+class TestRandomGraphs:
+    def test_layered_is_dag(self):
+        build_random_layered(num_layers=8, width=6, seed=3).validate()
+
+    def test_layered_deterministic_per_seed(self):
+        a = build_random_layered(seed=5)
+        b = build_random_layered(seed=5)
+        assert [n.name for n in a.nodes()] == [n.name for n in b.nodes()]
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_layered_params_validated(self):
+        with pytest.raises(ValueError):
+            build_random_layered(num_layers=0)
+
+    def test_chain_structure(self):
+        g = build_chain(length=5)
+        assert g.num_ops == 6
+        assert g.num_edges == 5
+
+    def test_fan_structure(self):
+        g = build_fan(width=4)
+        assert g.num_ops == 6
+        # all branches readable from input, all feed the sink
+        assert len(g.successors("input")) == 4
+        assert len(g.predecessors("sink")) == 4
+
+
+class TestBuildBenchmark:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_benchmark("alexnet")
+
+    def test_training_expansion_default(self):
+        fwd = build_benchmark("inception_v3", training=False)
+        train = build_benchmark("inception_v3", training=True)
+        assert train.num_ops > 1.8 * fwd.num_ops
+
+    def test_kwargs_forwarded(self):
+        g = build_benchmark("gnmt", training=False, seq_len=4, batch_size=8, hidden=32, vocab=100)
+        assert g.num_ops < 400

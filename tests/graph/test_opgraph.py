@@ -1,0 +1,158 @@
+"""Tests for OpGraph / TensorSpec / GroupedGraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.opgraph import GroupedGraph, OpGraph, TensorSpec
+
+
+class TestTensorSpec:
+    def test_bytes(self):
+        assert TensorSpec((2, 3), dtype_bytes=4).bytes == 24
+
+    def test_scalar_shape(self):
+        assert TensorSpec(()).num_elements == 1
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((2, -1))
+
+    def test_bad_dtype_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((2,), dtype_bytes=0)
+
+
+class TestConstruction:
+    def test_add_op_assigns_dense_ids(self, small_graph):
+        assert [n.op_id for n in small_graph.nodes()] == [0, 1, 2, 3]
+
+    def test_duplicate_name_rejected(self):
+        g = OpGraph()
+        g.add_op("a", "Relu", (1,))
+        with pytest.raises(ValueError):
+            g.add_op("a", "Relu", (1,))
+
+    def test_edges_by_name_and_node(self):
+        g = OpGraph()
+        a = g.add_op("a", "Input", (1,))
+        g.add_op("b", "Relu", (1,), inputs=["a"])
+        g.add_op("c", "Relu", (1,), inputs=[a])
+        assert g.has_edge("a", "b") and g.has_edge(0, 2)
+
+    def test_self_edge_rejected(self):
+        g = OpGraph()
+        g.add_op("a", "Relu", (1,))
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_deduplicated(self):
+        g = OpGraph()
+        g.add_op("a", "Input", (1,))
+        g.add_op("b", "Relu", (1,), inputs=["a", "a"])
+        assert g.num_edges == 1
+
+    def test_unknown_name_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.node("missing")
+
+    def test_out_of_range_id_raises(self, small_graph):
+        with pytest.raises(IndexError):
+            small_graph.node(99)
+
+    def test_negative_attrs_rejected(self):
+        g = OpGraph()
+        with pytest.raises(ValueError):
+            g.add_op("a", "Relu", (1,), flops=-1)
+
+    def test_contains(self, small_graph):
+        assert "in" in small_graph
+        assert "nope" not in small_graph
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self, layered_graph):
+        order = layered_graph.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for s, d in layered_graph.edges():
+            assert pos[s] < pos[d]
+
+    def test_cycle_detection(self):
+        g = OpGraph()
+        g.add_op("a", "Relu", (1,))
+        g.add_op("b", "Relu", (1,), inputs=["a"])
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_validate_passes_on_dag(self, small_graph):
+        small_graph.validate()
+
+    def test_topo_cache_invalidated_by_new_edges(self):
+        g = OpGraph()
+        g.add_op("a", "Relu", (1,))
+        g.add_op("b", "Relu", (1,))
+        first = g.topological_order()
+        g.add_edge("b", "a")
+        second = g.topological_order()
+        assert second.index(1) < second.index(0)
+
+
+class TestAccessors:
+    def test_edge_bytes_uses_source_output(self, small_graph):
+        assert small_graph.edge_bytes("in", "left") == 4 * 8 * 4
+
+    def test_edge_bytes_missing_edge(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.edge_bytes("left", "right")
+
+    def test_totals(self, small_graph):
+        assert small_graph.total_flops() == pytest.approx(1e6 + 32 + 96)
+        assert small_graph.total_param_bytes() == 512
+
+    def test_adjacency_matrix(self, small_graph):
+        a = small_graph.adjacency_matrix()
+        assert a.shape == (4, 4)
+        assert a[0, 1] == 1.0 and a[1, 0] == 0.0
+
+    def test_weighted_adjacency(self, small_graph):
+        a = small_graph.adjacency_matrix(weighted=True)
+        assert a[0, 1] == small_graph.node("in").output.bytes
+
+    def test_to_networkx(self, small_graph):
+        nxg = small_graph.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == small_graph.num_edges
+        assert nxg.nodes[1]["op_type"] == "MatMul"
+
+    def test_op_types_sorted(self, small_graph):
+        assert small_graph.op_types() == sorted(small_graph.op_types())
+
+
+class TestGroupedGraph:
+    def test_group_aggregates(self, small_graph):
+        gg = small_graph.coarsen([0, 0, 1, 1], num_groups=2)
+        assert gg.group_sizes.tolist() == [2, 2]
+        assert gg.group_flops[0] == pytest.approx(1e6)
+        assert gg.group_cpu_only[0]  # contains the Input op
+
+    def test_comm_matrix_counts_cross_edges(self, small_graph):
+        gg = small_graph.coarsen([0, 0, 1, 1], num_groups=2)
+        # in->right crosses (0->1), left->out crosses (0->1)
+        assert gg.comm_matrix[0, 1] > 0
+        assert gg.comm_matrix[1, 0] == 0
+
+    def test_cut_zero_when_single_group(self, small_graph):
+        gg = small_graph.coarsen([0, 0, 0, 0], num_groups=1)
+        assert gg.cut_bytes() == 0.0
+
+    def test_assignment_length_checked(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.coarsen([0, 1])
+
+    def test_group_id_out_of_range(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.coarsen([0, 0, 0, 5], num_groups=2)
+
+    def test_group_members(self, small_graph):
+        gg = small_graph.coarsen([0, 1, 0, 1], num_groups=2)
+        assert gg.group_members(0) == [0, 2]

@@ -1,0 +1,64 @@
+"""Tests for OpGraph JSON serialisation and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_summary,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, layered_graph):
+        back = graph_from_dict(graph_to_dict(layered_graph))
+        assert back.num_ops == layered_graph.num_ops
+        assert sorted(back.edges()) == sorted(layered_graph.edges())
+        for a, b in zip(layered_graph.nodes(), back.nodes()):
+            assert (a.name, a.op_type, a.output.shape, a.flops, a.param_bytes, a.cpu_only) == (
+                b.name,
+                b.op_type,
+                b.output.shape,
+                b.flops,
+                b.param_bytes,
+                b.cpu_only,
+            )
+
+    def test_colocation_preserved(self):
+        from repro.graph.opgraph import OpGraph
+
+        g = OpGraph("colo")
+        g.add_op("a", "MatMul", (2,), colocation_group="x")
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.node("a").colocation_group == "x"
+
+    def test_file_roundtrip(self, layered_graph, tmp_path):
+        path = str(tmp_path / "g.json")
+        save_graph(layered_graph, path)
+        back = load_graph(path)
+        assert back.num_ops == layered_graph.num_ops
+
+    def test_version_checked(self, layered_graph):
+        data = graph_to_dict(layered_graph)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(data)
+
+    def test_simulation_equivalence(self, layered_graph):
+        """The round-tripped graph must simulate identically."""
+        from repro.sim import Simulator, Topology
+
+        topo = Topology.default_4gpu(num_gpus=2)
+        back = graph_from_dict(graph_to_dict(layered_graph))
+        p = np.ones(layered_graph.num_ops, dtype=np.int64)
+        assert Simulator(layered_graph, topo).step_time(p) == Simulator(back, topo).step_time(p)
+
+
+class TestSummary:
+    def test_mentions_totals_and_types(self, layered_graph):
+        text = graph_summary(layered_graph)
+        assert layered_graph.name in text
+        assert "GFLOP" in text and "op types" in text

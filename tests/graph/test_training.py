@@ -1,0 +1,82 @@
+"""Tests for the training-graph expansion (backward + optimizer ops)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.models import build_chain, build_fan
+from repro.graph.opgraph import OpGraph
+from repro.graph.training import expand_training_graph
+
+
+@pytest.fixture
+def fwd():
+    g = OpGraph("toy")
+    a = g.add_op("in", "Input", (2, 4), cpu_only=True)
+    b = g.add_op("fc", "MatMul", (2, 8), flops=1e4, param_bytes=128, inputs=[a])
+    g.add_op("act", "Relu", (2, 8), flops=16, inputs=[b])
+    return g
+
+
+class TestExpansion:
+    def test_forward_ids_preserved(self, fwd):
+        train = expand_training_graph(fwd)
+        for node in fwd.nodes():
+            assert train.node(node.op_id).name == node.name
+
+    def test_grad_ops_created_except_inputs(self, fwd):
+        train = expand_training_graph(fwd)
+        assert "fc:grad" in train and "act:grad" in train
+        assert "in:grad" not in train
+
+    def test_grad_flops_doubled(self, fwd):
+        train = expand_training_graph(fwd)
+        assert train.node("fc:grad").flops == 2 * fwd.node("fc").flops
+
+    def test_movement_op_grad_not_doubled(self):
+        g = OpGraph()
+        a = g.add_op("a", "Relu", (4,), flops=10)
+        g.add_op("c", "Concat", (8,), flops=8, inputs=[a])
+        train = expand_training_graph(g)
+        assert train.node("c:grad").flops == 8
+
+    def test_backward_reverses_dependencies(self, fwd):
+        train = expand_training_graph(fwd)
+        # act:grad must precede fc:grad (reverse of fc -> act)
+        assert train.has_edge("act:grad", "fc:grad")
+        # and each grad op depends on its forward activation
+        assert train.has_edge("fc", "fc:grad")
+
+    def test_update_ops_for_params_only(self, fwd):
+        train = expand_training_graph(fwd)
+        assert "fc:update" in train
+        assert "act:update" not in train
+
+    def test_update_colocated_with_forward(self, fwd):
+        train = expand_training_graph(fwd)
+        assert train.node("fc").colocation_group == train.node("fc:update").colocation_group
+        assert train.node("fc").colocation_group is not None
+
+    def test_optimizer_ops_disabled(self, fwd):
+        train = expand_training_graph(fwd, optimizer_ops=False)
+        assert "fc:update" not in train
+
+    def test_result_is_valid_dag(self):
+        expand_training_graph(build_fan(width=5)).validate()
+        expand_training_graph(build_chain(length=10)).validate()
+
+    def test_op_count_roughly_doubles(self):
+        g = build_chain(length=20)
+        train = expand_training_graph(g, optimizer_ops=False)
+        # every non-input op gains a grad op
+        assert train.num_ops == g.num_ops + (g.num_ops - 1)
+
+    def test_cpu_only_inherited(self):
+        g = OpGraph()
+        a = g.add_op("gather", "Gather", (4,), flops=4, cpu_only=True, param_bytes=64)
+        train = expand_training_graph(g)
+        assert train.node("gather:grad").cpu_only
+        assert train.node("gather:update").cpu_only
+
+    def test_grad_output_bytes_match_forward(self, fwd):
+        train = expand_training_graph(fwd)
+        assert train.node("fc:grad").output.bytes == fwd.node("fc").output.bytes

@@ -1,0 +1,67 @@
+"""Tests for op feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.grouping.features import OP_TYPE_VOCAB, OpFeatureExtractor, op_type_index
+
+
+class TestTypeVocabulary:
+    def test_known_types_have_indices(self):
+        assert op_type_index("Conv2D") == OP_TYPE_VOCAB.index("Conv2D")
+
+    def test_unknown_maps_to_other(self):
+        assert op_type_index("WeirdCustomOp") == len(OP_TYPE_VOCAB)
+
+    def test_vocab_sorted_and_unique(self):
+        assert list(OP_TYPE_VOCAB) == sorted(set(OP_TYPE_VOCAB))
+
+
+class TestExtractor:
+    def test_shape(self, layered_graph):
+        ex = OpFeatureExtractor(layered_graph)
+        assert ex.features.shape == (layered_graph.num_ops, ex.dim)
+        assert len(ex) == layered_graph.num_ops
+
+    def test_finite_and_bounded(self, layered_graph):
+        ex = OpFeatureExtractor(layered_graph)
+        assert np.all(np.isfinite(ex.features))
+        assert np.abs(ex.features).max() <= 1.0 + 1e-9
+
+    def test_type_onehot_rows(self, small_graph):
+        ex = OpFeatureExtractor(small_graph)
+        assert np.allclose(ex.type_onehot.sum(axis=1), 1.0)
+        assert ex.type_onehot[1, op_type_index("MatMul")] == 1.0
+
+    def test_cpu_only_flag_column(self, small_graph):
+        ex = OpFeatureExtractor(small_graph)
+        col = ex.num_types + 3  # after the three magnitude columns
+        assert ex.features[0, col] == 1.0  # Input op
+        assert ex.features[1, col] == 0.0
+
+    def test_deterministic(self, layered_graph):
+        a = OpFeatureExtractor(layered_graph).features
+        b = OpFeatureExtractor(layered_graph).features
+        assert np.array_equal(a, b)
+
+    def test_positional_features_separate_distant_ops(self):
+        """Ops far apart in a chain get distinct Laplacian coordinates even
+        when everything else about them is identical."""
+        from repro.graph.models import build_chain
+
+        g = build_chain(length=30)
+        ex = OpFeatureExtractor(g, num_eigvecs=4)
+        pe = ex.features[:, -4:]
+        head, tail = pe[1], pe[-1]
+        assert not np.allclose(head, tail, atol=1e-3)
+
+    def test_num_eigvecs_zero(self, small_graph):
+        ex0 = OpFeatureExtractor(small_graph, num_eigvecs=0)
+        ex8 = OpFeatureExtractor(small_graph, num_eigvecs=8)
+        assert ex8.dim >= ex0.dim
+
+    def test_magnitude_columns_log_scaled(self, small_graph):
+        ex = OpFeatureExtractor(small_graph)
+        # columns [num_types .. num_types+2] are log-scaled to [0, 1]
+        mags = ex.features[:, ex.num_types : ex.num_types + 3]
+        assert mags.min() >= 0.0 and mags.max() <= 1.0

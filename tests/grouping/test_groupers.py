@@ -1,0 +1,199 @@
+"""Tests for the heuristic and learned groupers."""
+
+import numpy as np
+import pytest
+
+from repro.grouping import (
+    FeedForwardGrouper,
+    FluidGrouper,
+    MetisGrouper,
+    OpFeatureExtractor,
+    RandomGrouper,
+    TopoBlockGrouper,
+    cut_cost,
+    partition_kway,
+)
+from repro.grouping.fluid import asyn_fluidc_assignment
+from repro.nn import Tensor
+
+
+class TestMetis:
+    def test_assignment_valid(self, layered_graph):
+        a = MetisGrouper(8).assign(layered_graph)
+        assert a.shape == (layered_graph.num_ops,)
+        assert a.min() >= 0 and a.max() < 8
+
+    def test_k1_trivial(self, layered_graph):
+        assert np.all(partition_kway(layered_graph, 1) == 0)
+
+    def test_invalid_k(self, layered_graph):
+        with pytest.raises(ValueError):
+            partition_kway(layered_graph, 0)
+
+    def test_cut_beats_random(self, layered_graph):
+        metis_cut = cut_cost(layered_graph, MetisGrouper(8).assign(layered_graph))
+        rnd_cut = cut_cost(layered_graph, RandomGrouper(8, seed=1).assign(layered_graph))
+        assert metis_cut < rnd_cut
+
+    def test_balance_constraint(self, layered_graph):
+        from repro.grouping.metis import balanced_node_weights
+
+        a = partition_kway(layered_graph, 4, imbalance=0.10)
+        weights = balanced_node_weights(layered_graph)
+        loads = np.bincount(a, weights=weights, minlength=4)
+        # refinement respects the cap approximately (initial partition may
+        # exceed it on adversarial graphs, so allow slack)
+        assert loads.max() <= 1.6 * weights.sum() / 4
+
+    def test_weights_balance_memory_too(self):
+        """A byte-heavy, FLOP-light op must carry substantial weight."""
+        from repro.graph.opgraph import OpGraph
+        from repro.grouping.metis import balanced_node_weights
+
+        g = OpGraph()
+        g.add_op("compute", "MatMul", (4, 4), flops=1e12)
+        g.add_op("memory", "Softmax", (64_000_000,), flops=10.0)
+        w = balanced_node_weights(g)
+        assert w[1] > 0.4 * w[0]
+
+    def test_deterministic_per_seed(self, layered_graph):
+        a = partition_kway(layered_graph, 6, seed=4)
+        b = partition_kway(layered_graph, 6, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_cache_returns_copy(self, layered_graph):
+        g = MetisGrouper(4)
+        a = g.assign(layered_graph)
+        a[:] = -99
+        assert g.assign(layered_graph).min() >= 0
+
+    def test_chain_partition_is_contiguousish(self):
+        """Min-cut on a chain should cut few edges (≈ k-1)."""
+        from repro.graph.models import build_chain
+
+        g = build_chain(length=40)
+        a = partition_kway(g, 4)
+        cuts = sum(1 for s, d in g.edges() if a[s] != a[d])
+        assert cuts <= 8
+
+
+class TestFluid:
+    def test_assignment_valid(self, layered_graph):
+        a = FluidGrouper(8).assign(layered_graph)
+        assert a.min() >= 0 and a.max() < 8
+
+    def test_own_implementation(self, layered_graph):
+        a = asyn_fluidc_assignment(layered_graph, 6, use_networkx=False)
+        assert a.shape == (layered_graph.num_ops,)
+        assert len(np.unique(a)) >= 2
+
+    def test_networkx_backend(self, layered_graph):
+        a = asyn_fluidc_assignment(layered_graph, 6, use_networkx=True)
+        assert a.shape == (layered_graph.num_ops,)
+
+    def test_invalid_k(self, layered_graph):
+        with pytest.raises(ValueError):
+            asyn_fluidc_assignment(layered_graph, 0)
+
+    def test_disconnected_components_handled(self):
+        from repro.graph.opgraph import OpGraph
+
+        g = OpGraph()
+        for i in range(6):
+            g.add_op(f"a{i}", "Relu", (1,))
+        g.add_edge("a0", "a1")
+        g.add_edge("a2", "a3")
+        g.add_edge("a4", "a5")
+        a = asyn_fluidc_assignment(g, 3, use_networkx=False)
+        assert a.shape == (6,)
+
+
+class TestSimpleGroupers:
+    def test_topo_blocks_contiguous(self, layered_graph):
+        a = TopoBlockGrouper(5).assign(layered_graph)
+        order = layered_graph.topological_order()
+        seq = a[order]
+        # group ids along the topological order are non-decreasing
+        assert np.all(np.diff(seq) >= 0)
+
+    def test_topo_more_groups_than_ops(self, small_graph):
+        a = TopoBlockGrouper(100).assign(small_graph)
+        assert a.max() < small_graph.num_ops
+
+    def test_random_within_range(self, layered_graph):
+        a = RandomGrouper(7, seed=3).assign(layered_graph)
+        assert a.min() >= 0 and a.max() < 7
+
+    def test_invalid_num_groups(self):
+        with pytest.raises(ValueError):
+            TopoBlockGrouper(0)
+
+
+class TestFeedForwardGrouper:
+    @pytest.fixture
+    def setup(self, layered_graph, rng):
+        ex = OpFeatureExtractor(layered_graph)
+        grouper = FeedForwardGrouper(ex.dim, 6, rng=rng)
+        return layered_graph, ex, grouper
+
+    def test_is_learned(self, setup):
+        _, _, grouper = setup
+        assert grouper.is_learned
+        assert not MetisGrouper(4).is_learned
+
+    def test_sample_shapes(self, setup, rng):
+        g, ex, grouper = setup
+        a, lp = grouper.sample(ex.features, batch=3, rng=rng)
+        assert a.shape == (3, g.num_ops)
+        assert lp.shape == (3, g.num_ops)
+        assert a.min() >= 0 and a.max() < 6
+
+    def test_sampled_logp_matches_recomputed(self, setup, rng):
+        g, ex, grouper = setup
+        a, lp = grouper.sample(ex.features, batch=4, rng=rng)
+        lp2 = grouper.log_prob(ex.features, a)
+        assert np.allclose(lp2.data, lp, atol=1e-10)
+
+    def test_entropy_near_uniform_at_init(self, setup):
+        _, ex, grouper = setup
+        ent = grouper.entropy(ex.features).item()
+        assert 0.5 * np.log(6) < ent <= np.log(6) + 1e-9
+
+    def test_assign_returns_mode(self, setup):
+        g, ex, grouper = setup
+        a = grouper.assign(g)
+        logits = grouper.logits(ex.features).data
+        assert np.array_equal(a, logits.argmax(axis=1))
+
+    def test_assign_checks_feature_dim(self, setup, small_graph):
+        _, _, grouper = setup
+        with pytest.raises(ValueError):
+            grouper.assign(small_graph)
+
+    def test_log_prob_differentiable(self, setup, rng):
+        g, ex, grouper = setup
+        a, _ = grouper.sample(ex.features, batch=2, rng=rng)
+        lp = grouper.log_prob(ex.features, a)
+        lp.sum(axis=1).mean().backward()
+        assert all(p.grad is not None for p in grouper.parameters())
+
+
+class TestPretrain:
+    def test_pretraining_reaches_target(self, layered_graph, rng):
+        from repro.grouping.pretrain import pretrain_grouper, warm_start_assignment
+
+        ex = OpFeatureExtractor(layered_graph)
+        grouper = FeedForwardGrouper(ex.dim, 4, rng=rng)
+        target = warm_start_assignment(layered_graph, 4)
+        acc = pretrain_grouper(grouper, ex.features, target, steps=200)
+        assert acc > 0.6
+
+    def test_pretrain_validates_target(self, layered_graph, rng):
+        from repro.grouping.pretrain import pretrain_grouper
+
+        ex = OpFeatureExtractor(layered_graph)
+        grouper = FeedForwardGrouper(ex.dim, 4, rng=rng)
+        with pytest.raises(ValueError):
+            pretrain_grouper(grouper, ex.features, np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            pretrain_grouper(grouper, ex.features, np.full(layered_graph.num_ops, 99))

@@ -1,0 +1,64 @@
+"""Tests for Bahdanau attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BahdanauAttention, Tensor
+
+
+@pytest.fixture
+def attn(rng):
+    return BahdanauAttention(query_size=6, memory_size=10, attn_size=8, rng=rng)
+
+
+class TestBahdanauAttention:
+    def test_output_shapes(self, attn, rng):
+        memory = Tensor(rng.normal(size=(7, 3, 10)))
+        query = Tensor(rng.normal(size=(3, 6)))
+        ctx, w = attn(query, memory)
+        assert ctx.shape == (3, 10)
+        assert w.shape == (7, 3)
+
+    def test_weights_normalised_over_time(self, attn, rng):
+        memory = Tensor(rng.normal(size=(7, 3, 10)))
+        query = Tensor(rng.normal(size=(3, 6)))
+        _, w = attn(query, memory)
+        assert np.allclose(w.data.sum(axis=0), 1.0)
+
+    def test_context_is_convex_combination(self, attn, rng):
+        memory = rng.normal(size=(5, 1, 10))
+        query = Tensor(rng.normal(size=(1, 6)))
+        ctx, w = attn(query, Tensor(memory))
+        manual = (memory * w.data[:, :, None]).sum(axis=0)
+        assert np.allclose(ctx.data, manual)
+
+    def test_precompute_matches_direct(self, attn, rng):
+        memory = Tensor(rng.normal(size=(5, 2, 10)))
+        query = Tensor(rng.normal(size=(2, 6)))
+        proj = attn.precompute(memory)
+        ctx1, w1 = attn(query, memory)
+        ctx2, w2 = attn(query, memory, proj)
+        assert np.allclose(ctx1.data, ctx2.data)
+        assert np.allclose(w1.data, w2.data)
+
+    def test_gradients_reach_all_parameters(self, attn, rng):
+        memory = Tensor(rng.normal(size=(5, 2, 10)))
+        query = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        ctx, _ = attn(query, memory)
+        ctx.sum().backward()
+        assert query.grad is not None
+        assert attn.v.grad is not None
+        assert attn.w_query.weight.grad is not None
+        assert attn.w_memory.weight.grad is not None
+
+    def test_attends_to_matching_position(self, rng):
+        """A query aligned with one memory slot should put most weight there."""
+        attn = BahdanauAttention(4, 4, 16, rng=rng)
+        memory = np.zeros((3, 1, 4))
+        memory[1, 0] = 5.0
+        query = Tensor(np.full((1, 4), 5.0))
+        _, w0 = attn(query, Tensor(memory))
+        zero_q = Tensor(np.zeros((1, 4)))
+        _, wz = attn(zero_q, Tensor(memory))
+        # weights must react to the query (content-based addressing)
+        assert not np.allclose(w0.data, wz.data)

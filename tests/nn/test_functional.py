@@ -1,0 +1,95 @@
+"""Tests for softmax / log-softmax / categorical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.functional import (
+    categorical_entropy,
+    categorical_log_prob,
+    cross_entropy,
+    log_softmax,
+    masked_fill,
+    one_hot,
+    softmax,
+)
+
+from tests.conftest import numeric_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(Tensor(rng.normal(size=(4, 7))))
+        assert np.allclose(p.data.sum(axis=1), 1.0)
+
+    def test_stability_large_logits(self):
+        p = softmax(Tensor([[1000.0, 1000.0, 999.0]]))
+        assert np.all(np.isfinite(p.data))
+        assert p.data[0, 0] > p.data[0, 2]
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+    def test_softmax_axis0(self, rng):
+        p = softmax(Tensor(rng.normal(size=(3, 5))), axis=0)
+        assert np.allclose(p.data.sum(axis=0), 1.0)
+
+    def test_softmax_gradcheck(self, rng):
+        x0 = rng.normal(size=6)
+
+        def fn(flat):
+            return (softmax(Tensor(flat.reshape(2, 3))) ** 2).sum().item()
+
+        t = Tensor(x0.reshape(2, 3), requires_grad=True)
+        (softmax(t) ** 2).sum().backward()
+        assert np.allclose(t.grad.ravel(), numeric_gradient(fn, x0), atol=1e-5)
+
+
+class TestCategorical:
+    def test_one_hot_shape_and_values(self):
+        oh = one_hot([0, 2], 3)
+        assert oh.shape == (2, 3)
+        assert np.allclose(oh, [[1, 0, 0], [0, 0, 1]])
+
+    def test_log_prob_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        actions = np.array([0, 1, 2, 1])
+        lp = categorical_log_prob(Tensor(logits), actions)
+        manual = np.log(np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True))
+        assert np.allclose(lp.data, manual[np.arange(4), actions])
+
+    def test_entropy_uniform_is_log_k(self):
+        ent = categorical_entropy(Tensor(np.zeros((2, 8))))
+        assert np.allclose(ent.data, np.log(8))
+
+    def test_entropy_peaked_is_small(self):
+        logits = np.zeros((1, 4))
+        logits[0, 0] = 50.0
+        assert categorical_entropy(Tensor(logits)).data[0] < 1e-10
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = logits[1, 2] = 100.0
+        ce = cross_entropy(Tensor(logits), [1, 2])
+        assert ce.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_cross_entropy_gradient_direction(self, rng):
+        t = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        cross_entropy(t, [0, 1, 2, 3, 0]).backward()
+        # gradient should decrease target logits (negative grad entries)
+        targets = [0, 1, 2, 3, 0]
+        for i, a in enumerate(targets):
+            assert t.grad[i, a] < 0
+
+
+class TestMaskedFill:
+    def test_values(self):
+        x = Tensor(np.arange(4.0))
+        out = masked_fill(x, np.array([True, False, False, True]), -9.0)
+        assert np.allclose(out.data, [-9.0, 1.0, 2.0, -9.0])
+
+    def test_gradient_blocked_at_masked(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        masked_fill(x, np.array([True, False, False, True]), -9.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 1.0, 0.0])

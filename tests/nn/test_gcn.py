@@ -1,0 +1,69 @@
+"""Tests for graph convolution and adjacency normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GraphConvolution, Tensor, normalize_adjacency
+
+
+class TestNormalizeAdjacency:
+    def test_symmetric_output(self, rng):
+        a = rng.random((5, 5))
+        norm = normalize_adjacency(a)
+        assert np.allclose(norm, norm.T)
+
+    def test_self_loops_added(self):
+        norm = normalize_adjacency(np.zeros((3, 3)))
+        assert np.allclose(norm, np.eye(3))
+
+    def test_no_self_loops_option(self):
+        norm = normalize_adjacency(np.zeros((3, 3)), add_self_loops=False)
+        assert np.allclose(norm, 0.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(np.zeros((2, 3)))
+
+    def test_row_scale_bounded(self, rng):
+        a = rng.random((6, 6))
+        norm = normalize_adjacency(a)
+        # eigenvalues of D^-1/2 (A+I) D^-1/2 are within [-1, 1]
+        vals = np.linalg.eigvalsh(norm)
+        assert vals.max() <= 1.0 + 1e-9
+
+
+class TestGraphConvolution:
+    def test_output_shape(self, rng):
+        gc = GraphConvolution(8, 4, rng=rng)
+        adj = normalize_adjacency(rng.random((6, 6)))
+        out = gc(Tensor(rng.normal(size=(6, 8))), adj)
+        assert out.shape == (6, 4)
+
+    def test_isolated_node_with_self_loop_keeps_information(self, rng):
+        gc = GraphConvolution(4, 4, rng=rng)
+        adj = normalize_adjacency(np.zeros((3, 3)))
+        x = rng.normal(size=(3, 4))
+        out = gc(Tensor(x), adj)
+        # with identity adjacency the GCN reduces to the linear layer
+        expected = x @ gc.linear.weight.data.T + gc.linear.bias.data
+        assert np.allclose(out.data, expected)
+
+    def test_neighbour_mixing(self, rng):
+        gc = GraphConvolution(4, 4, rng=rng)
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        norm = normalize_adjacency(adj)
+        x = np.zeros((3, 4))
+        x[1] = 1.0
+        out = gc(Tensor(x), norm)
+        # node 0 receives node 1's signal; node 2 does not
+        base = gc.linear.bias.data * norm[2, 2]
+        assert not np.allclose(out.data[0], base)
+
+    def test_gradients_flow(self, rng):
+        gc = GraphConvolution(4, 2, rng=rng)
+        adj = normalize_adjacency(rng.random((3, 3)))
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gc(x, adj).sum().backward()
+        assert x.grad is not None
+        assert gc.linear.weight.grad is not None

@@ -1,0 +1,115 @@
+"""Tests for Linear / Embedding / Sequential / FeedForward and Module."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Embedding, FeedForward, Linear, Module, Parameter, Sequential, Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(8, 3, rng=rng)
+        assert layer(Tensor(np.ones((5, 8)))).shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow_to_params(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        layer(Tensor(np.ones((3, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.allclose(layer.bias.grad, 3.0)
+
+    def test_3d_input(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        assert layer(Tensor(np.ones((7, 3, 4)))).shape == (7, 3, 2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 6, rng=rng)
+        assert emb(np.array([1, 2, 3])).shape == (3, 6)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 6, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_per_row(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        emb(np.array([2, 2, 0])).sum().backward()
+        assert np.allclose(emb.weight.grad[2], 2.0)
+        assert np.allclose(emb.weight.grad[0], 1.0)
+        assert np.allclose(emb.weight.grad[1], 0.0)
+
+
+class TestSequentialAndFeedForward:
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        assert seq(Tensor(np.ones((1, 4)))).shape == (1, 2)
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+
+    def test_feedforward_hidden_sizes(self, rng):
+        ff = FeedForward(10, [64], 5, rng=rng)
+        # two-layer MLP: 2 weight + 2 bias parameters
+        assert len(ff.parameters()) == 4
+        assert ff(Tensor(np.ones((2, 10)))).shape == (2, 5)
+
+    def test_feedforward_final_layer_linear(self, rng):
+        """The output layer must be raw logits (can go negative)."""
+        ff = FeedForward(4, [8], 3, rng=rng)
+        out = ff(Tensor(np.random.default_rng(0).normal(size=(64, 4))))
+        assert (out.data < 0).any()
+
+
+class TestModule:
+    def test_named_parameters_are_qualified(self, rng):
+        ff = FeedForward(4, [8], 3, rng=rng)
+        names = [n for n, _ in ff.named_parameters()]
+        assert "fc0.weight" in names and "fc1.bias" in names
+
+    def test_state_dict_roundtrip(self, rng):
+        a = FeedForward(4, [8], 3, rng=rng)
+        b = FeedForward(4, [8], 3, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        a = FeedForward(4, [8], 3, rng=rng)
+        state = a.state_dict()
+        state.pop("fc0.weight")
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        a = FeedForward(4, [8], 3, rng=rng)
+        state = a.state_dict()
+        state["fc0.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_zero_grad_clears(self, rng):
+        ff = FeedForward(4, [8], 3, rng=rng)
+        ff(Tensor(np.ones((1, 4)))).sum().backward()
+        ff.zero_grad()
+        assert all(p.grad is None for p in ff.parameters())
+
+    def test_num_parameters(self, rng):
+        ff = FeedForward(4, [8], 3, rng=rng)
+        assert ff.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_modules_iterates_children(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng), Linear(2, 2, rng=rng))
+        assert len(list(seq.modules())) == 3

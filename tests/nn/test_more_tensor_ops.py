@@ -1,0 +1,131 @@
+"""Additional autograd edge-case tests: dtype handling, graph topology,
+reuse patterns, and shapes that the policy networks actually exercise."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn.functional import concatenate, stack
+
+
+class TestGraphTopology:
+    def test_diamond_reuse(self):
+        """x feeds two paths that rejoin — gradient must accumulate once per
+        path, in one backward pass."""
+        x = Tensor([3.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 5.0
+        (a * b).backward()  # d/dx (10 x^2) = 20 x = 60
+        assert x.grad[0] == pytest.approx(60.0)
+
+    def test_deep_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(200):
+            y = y * 1.01
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.01**200, rel=1e-9)
+
+    def test_shared_subexpression(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        s = x.sum()
+        out = s * s
+        out.backward()
+        assert np.allclose(x.grad, 2 * 3.0)
+
+    def test_fresh_graphs_accumulate_into_leaf(self):
+        """Separate forward passes accumulate into the same leaf gradient —
+        the pattern PPO uses across epochs (with zero_grad in between for
+        the optimiser step, tested elsewhere)."""
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3.0).backward()
+        (x * 4.0).backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_zero_grad_then_backward(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3.0).backward()
+        x.zero_grad()
+        (x * 4.0).backward()
+        assert x.grad[0] == pytest.approx(4.0)
+
+
+class TestMixedRequiresGrad:
+    def test_constant_branch_ignored(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])  # constant
+        (x * c).backward()
+        assert x.grad[0] == 5.0
+        assert c.grad is None
+
+    def test_all_constant_output_has_no_graph(self):
+        out = Tensor([1.0]) * Tensor([2.0])
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_no_grad_inside_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            frozen = x * 10.0
+        out = x * 2.0 + Tensor(frozen.data)
+        out.backward()
+        assert x.grad[0] == 2.0
+
+
+class TestShapes:
+    def test_3d_slicing_gradient(self, rng):
+        x = Tensor(rng.normal(size=(4, 3, 5)), requires_grad=True)
+        x[1:3].sum().backward()
+        assert np.allclose(x.grad[1:3], 1.0)
+        assert np.allclose(x.grad[0], 0.0)
+
+    def test_ellipsis_style_gate_slices(self, rng):
+        """The LSTM gates use trailing-axis slices on (B, 4H) tensors."""
+        x = Tensor(rng.normal(size=(2, 8)), requires_grad=True)
+        a = x[..., 0:4]
+        b = x[..., 4:8]
+        (a * b).sum().backward()
+        assert np.allclose(x.grad[:, :4], x.data[:, 4:])
+
+    def test_concatenate_axis2(self, rng):
+        parts = [Tensor(rng.normal(size=(3, 2, 4)), requires_grad=True) for _ in range(3)]
+        out = concatenate(parts, axis=2)
+        assert out.shape == (3, 2, 12)
+        out.sum().backward()
+        for p in parts:
+            assert np.allclose(p.grad, 1.0)
+
+    def test_stack_middle_axis(self, rng):
+        parts = [Tensor(rng.normal(size=(3, 4)), requires_grad=True) for _ in range(5)]
+        out = stack(parts, axis=1)
+        assert out.shape == (3, 5, 4)
+        out.sum().backward()
+        assert all(np.allclose(p.grad, 1.0) for p in parts)
+
+    def test_transpose_3d_axes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        y = x.transpose(1, 0, 2)
+        assert y.shape == (3, 2, 4)
+        (y * y).sum().backward()
+        assert np.allclose(x.grad, 2 * x.data)
+
+
+class TestNumerics:
+    def test_sigmoid_extreme_inputs_finite(self):
+        x = Tensor(np.array([-800.0, 800.0]), requires_grad=True)
+        y = x.sigmoid()
+        assert np.all(np.isfinite(y.data))
+        y.sum().backward()
+        assert np.all(np.isfinite(x.grad))
+
+    def test_sqrt_at_zero_does_not_nan(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        x.sqrt().sum().backward()
+        assert np.isfinite(x.grad[0])
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_size_and_len(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert t.size == 20 and len(t) == 4 and t.ndim == 2

@@ -1,0 +1,125 @@
+"""Tests for SGD / Adam / gradient clipping and initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Tensor, clip_grad_norm, global_grad_norm
+from repro.nn.module import Parameter
+from repro.nn import init
+
+
+def quadratic_params(rng):
+    return Parameter(rng.normal(size=5))
+
+
+class TestSGD:
+    def test_descends_quadratic(self, rng):
+        p = quadratic_params(rng)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (Tensor(0.5) * (p * p).sum()).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-6
+
+    def test_momentum_accelerates(self, rng):
+        p1 = Parameter(np.ones(3) * 5)
+        p2 = Parameter(np.ones(3) * 5)
+        plain, mom = SGD([p1], lr=0.01), SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for p, opt in ((p1, plain), (p2, mom)):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+        assert np.abs(p2.data).max() < np.abs(p1.data).max()
+
+    def test_skips_params_without_grad(self, rng):
+        p = Parameter(np.ones(3))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad, no change
+        assert np.allclose(p.data, 1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_descends_quadratic(self, rng):
+        p = quadratic_params(rng)
+        opt = Adam([p], lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_first_step_size_approx_lr(self):
+        """With bias correction the first update has magnitude ≈ lr."""
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.01)
+        (p * 1.0).sum().backward()
+        opt.step()
+        assert abs(10.0 - p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_invariant_to_gradient_scale(self):
+        """Adam's step direction is scale-free."""
+        p1, p2 = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        o1, o2 = Adam([p1], lr=0.01), Adam([p2], lr=0.01)
+        (p1 * 100.0).sum().backward()
+        o1.step()
+        (p2 * 0.01).sum().backward()
+        o2.step()
+        assert p1.data[0] == pytest.approx(p2.data[0], rel=1e-4)
+
+
+class TestClipping:
+    def test_global_norm_computation(self):
+        p1, p2 = Parameter(np.zeros(2)), Parameter(np.zeros(2))
+        p1.grad = np.array([3.0, 0.0])
+        p2.grad = np.array([0.0, 4.0])
+        assert global_grad_norm([p1, p2]) == pytest.approx(5.0)
+
+    def test_clip_scales_down(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([6.0, 8.0])
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(10.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_leaves_small_gradients(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clip_rejects_nonpositive(self):
+        p = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            clip_grad_norm([p], max_norm=0.0)
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self, rng):
+        w = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((400, 400), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 800), rel=0.1)
+
+    def test_orthogonal_columns(self, rng):
+        w = init.orthogonal((32, 32), rng)
+        assert np.allclose(w @ w.T, np.eye(32), atol=1e-8)
+
+    def test_orthogonal_rectangular(self, rng):
+        w = init.orthogonal((16, 8), rng)
+        assert np.allclose(w.T @ w, np.eye(8), atol=1e-8)
+
+    def test_orthogonal_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            init.orthogonal((5,), rng)
+
+    def test_zeros(self):
+        assert np.allclose(init.zeros((3, 3)), 0.0)

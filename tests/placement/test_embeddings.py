@@ -1,0 +1,72 @@
+"""Tests for group embedding aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.grouping import MetisGrouper, OpFeatureExtractor
+from repro.placement import GroupEmbedder
+
+
+@pytest.fixture
+def setup(layered_graph):
+    ex = OpFeatureExtractor(layered_graph)
+    emb = GroupEmbedder(ex, num_groups=6)
+    assignment = MetisGrouper(6).assign(layered_graph)
+    return layered_graph, ex, emb, assignment
+
+
+class TestGroupEmbedder:
+    def test_shape_with_adjacency(self, setup):
+        g, ex, emb, a = setup
+        out = emb.embed(a)
+        assert out.shape == (6, ex.num_types + 3 + 6)
+        assert emb.dim == out.shape[1]
+
+    def test_shape_without_adjacency(self, layered_graph):
+        ex = OpFeatureExtractor(layered_graph)
+        emb = GroupEmbedder(ex, 6, include_adjacency=False)
+        assert emb.embed(MetisGrouper(6).assign(layered_graph)).shape == (6, ex.num_types + 3)
+
+    def test_type_fractions_sum_to_one_for_nonempty(self, setup):
+        g, ex, emb, a = setup
+        out = emb.embed(a)
+        frac = out[:, : ex.num_types]
+        sizes = np.bincount(a, minlength=6)
+        for gi in range(6):
+            if sizes[gi]:
+                assert frac[gi].sum() == pytest.approx(1.0)
+            else:
+                assert frac[gi].sum() == 0.0
+
+    def test_empty_groups_zero_embedding(self, layered_graph):
+        ex = OpFeatureExtractor(layered_graph)
+        emb = GroupEmbedder(ex, 10)
+        a = np.zeros(layered_graph.num_ops, dtype=np.int64)  # all in group 0
+        out = emb.embed(a)
+        assert np.allclose(out[1:, : ex.num_types + 3], 0.0)
+
+    def test_comm_matrix_zero_diagonal(self, setup):
+        g, ex, emb, a = setup
+        _, comm = emb.embed_with_adjacency(a)
+        assert np.allclose(np.diag(comm), 0.0)
+
+    def test_comm_matrix_counts_cut_bytes(self, setup):
+        from repro.grouping import cut_cost
+
+        g, ex, emb, a = setup
+        _, comm = emb.embed_with_adjacency(a)
+        assert comm.sum() == pytest.approx(cut_cost(g, a))
+
+    def test_batch_matches_single(self, setup, rng):
+        g, ex, emb, a = setup
+        a2 = rng.integers(0, 6, size=g.num_ops)
+        batch = emb.embed_batch(np.stack([a, a2]))
+        assert batch.shape == (6, 2, emb.dim)
+        assert np.allclose(batch[:, 0], emb.embed(a))
+        assert np.allclose(batch[:, 1], emb.embed(a2))
+
+    def test_values_bounded(self, setup):
+        _, _, emb, a = setup
+        out = emb.embed(a)
+        assert np.all(np.isfinite(out))
+        assert out.min() >= 0.0 and out.max() <= 1.0 + 1e-9

@@ -1,0 +1,132 @@
+"""Tests for the seq2seq and GCN placers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.placement import GCNPlacer, Seq2SeqPlacer
+
+G, B, D, DEV = 10, 3, 12, 4
+
+
+@pytest.fixture
+def embeddings(rng):
+    return rng.random((G, B, D))
+
+
+class TestSeq2SeqPlacer:
+    @pytest.mark.parametrize("attention", ["before", "after"])
+    def test_sample_shapes_and_range(self, attention, embeddings, rng):
+        placer = Seq2SeqPlacer(D, DEV, hidden=16, attention=attention, rng=rng)
+        devices, logp = placer.sample(embeddings, rng)
+        assert devices.shape == (B, G) and logp.shape == (B, G)
+        assert devices.min() >= 0 and devices.max() < DEV
+        assert np.all(logp <= 0)
+
+    @pytest.mark.parametrize("attention", ["before", "after"])
+    def test_sampled_logp_matches_recompute(self, attention, embeddings, rng):
+        placer = Seq2SeqPlacer(D, DEV, hidden=16, attention=attention, rng=rng)
+        devices, logp = placer.sample(embeddings, rng)
+        lp, ent = placer.log_prob_and_entropy(embeddings, devices)
+        assert np.allclose(lp.data, logp, atol=1e-10)
+        assert ent.item() > 0
+
+    def test_invalid_attention_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Seq2SeqPlacer(D, DEV, hidden=16, attention="middle", rng=rng)
+
+    def test_odd_hidden_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Seq2SeqPlacer(D, DEV, hidden=15, rng=rng)
+
+    def test_greedy_deterministic(self, embeddings, rng):
+        placer = Seq2SeqPlacer(D, DEV, hidden=16, rng=rng)
+        d1, _ = placer.sample(embeddings, rng, greedy=True)
+        d2, _ = placer.sample(embeddings, np.random.default_rng(999), greedy=True)
+        assert np.array_equal(d1, d2)
+
+    def test_decisions_condition_on_history(self, embeddings, rng):
+        """Teacher-forcing different prefixes must change later logits."""
+        placer = Seq2SeqPlacer(D, DEV, hidden=16, rng=rng)
+        dev_a = np.zeros((1, G), dtype=np.int64)
+        dev_b = np.zeros((1, G), dtype=np.int64)
+        dev_b[0, 0] = 3  # different first decision
+        la = placer.forward_logits(embeddings[:, :1], dev_a).data
+        lb = placer.forward_logits(embeddings[:, :1], dev_b).data
+        assert np.allclose(la[0], lb[0])  # first step sees the same history
+        assert not np.allclose(la[1:], lb[1:])
+
+    def test_gradients_reach_all_params(self, embeddings, rng):
+        placer = Seq2SeqPlacer(D, DEV, hidden=16, rng=rng)
+        devices, _ = placer.sample(embeddings, rng)
+        lp, ent = placer.log_prob_and_entropy(embeddings, devices)
+        (lp.sum(axis=1).mean() + ent).backward()
+        missing = [n for n, p in placer.named_parameters() if p.grad is None]
+        assert not missing, f"no gradient for {missing}"
+
+    def test_tensor_input_propagates_gradient(self, embeddings, rng):
+        """The EAGLE bridge feeds a Tensor; its gradient must flow."""
+        placer = Seq2SeqPlacer(D, DEV, hidden=16, rng=rng)
+        devices, _ = placer.sample(embeddings, rng)
+        emb_t = Tensor(embeddings, requires_grad=True)
+        lp, _ = placer.log_prob_and_entropy(emb_t, devices)
+        lp.sum(axis=1).mean().backward()
+        assert emb_t.grad is not None
+        assert emb_t.grad.shape == embeddings.shape
+
+
+class TestGCNPlacer:
+    @pytest.fixture
+    def adjacency(self, rng):
+        return rng.random((B, G, G)) * 1e6
+
+    @pytest.fixture
+    def emb_batch(self, rng):
+        return rng.random((B, G, D))
+
+    def test_sample_shapes(self, emb_batch, adjacency, rng):
+        placer = GCNPlacer(D, DEV, hidden=8, rng=rng)
+        devices, logp = placer.sample(emb_batch, adjacency, rng)
+        assert devices.shape == (B, G) and logp.shape == (B, G)
+
+    def test_sampled_logp_matches_recompute(self, emb_batch, adjacency, rng):
+        placer = GCNPlacer(D, DEV, hidden=8, rng=rng)
+        devices, logp = placer.sample(emb_batch, adjacency, rng)
+        lp, ent = placer.log_prob_and_entropy(emb_batch, adjacency, devices)
+        assert np.allclose(lp.data, logp, atol=1e-10)
+
+    def test_decisions_independent_of_each_other(self, rng):
+        """The GCN emits per-group logits that do not depend on other
+        groups' *decisions* (the §III-C critique)."""
+        placer = GCNPlacer(D, DEV, hidden=8, rng=rng)
+        emb = rng.random((G, D))
+        adj = np.zeros((G, G))
+        logits = placer.forward_logits(emb, adj).data
+        # swap one row of the (decision-free) inputs: other logits unchanged
+        emb2 = emb.copy()
+        emb2[0] += 1.0
+        logits2 = placer.forward_logits(emb2, adj).data
+        assert not np.allclose(logits[0], logits2[0])
+        assert np.allclose(logits[1:], logits2[1:])
+
+    def test_adjacency_mixes_information(self, rng):
+        placer = GCNPlacer(D, DEV, hidden=8, rng=rng)
+        emb = rng.random((G, D))
+        adj = np.zeros((G, G))
+        adj[0, 1] = 1e6
+        base = placer.forward_logits(emb, np.zeros((G, G))).data
+        mixed = placer.forward_logits(emb, adj).data
+        assert not np.allclose(base[1], mixed[1])
+
+    def test_gradients_reach_params(self, emb_batch, adjacency, rng):
+        placer = GCNPlacer(D, DEV, hidden=8, rng=rng)
+        devices, _ = placer.sample(emb_batch, adjacency, rng)
+        lp, ent = placer.log_prob_and_entropy(emb_batch, adjacency, devices)
+        (lp.sum(axis=1).mean() + ent).backward()
+        assert all(p.grad is not None for p in placer.parameters())
+
+    def test_greedy_mode(self, emb_batch, adjacency, rng):
+        placer = GCNPlacer(D, DEV, hidden=8, rng=rng)
+        d1, _ = placer.sample(emb_batch, adjacency, rng, greedy=True)
+        d2, _ = placer.sample(emb_batch, adjacency, np.random.default_rng(1), greedy=True)
+        assert np.array_equal(d1, d2)

@@ -1,0 +1,160 @@
+"""Tests for REINFORCE / PPO / PPO+CE on a synthetic bandit agent.
+
+The bandit: K independent categorical decisions; reward is the number of
+decisions equal to a hidden target.  Each algorithm must (a) interoperate
+with the factored log-prob interface, and (b) actually improve the policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor
+from repro.nn.functional import log_softmax, softmax
+from repro.nn.module import Module
+from repro.rl import (
+    EMABaseline,
+    PPO,
+    PPOWithCrossEntropy,
+    PlacementSample,
+    Reinforce,
+    RolloutBatch,
+    compute_advantages,
+    make_algorithm,
+)
+
+
+class BanditAgent(Module):
+    """K categorical decisions with independent learnable logits."""
+
+    def __init__(self, k=6, arms=4, seed=0):
+        super().__init__()
+        self.k, self.arms = k, arms
+        self.logits = Parameter(np.zeros((k, arms)))
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self, batch):
+        lp = self.logits.data - _lse(self.logits.data)
+        p = np.exp(lp)
+        cdf = np.cumsum(p, axis=1)
+        cdf[:, -1] = 1.0
+        u = self.rng.random((batch, self.k, 1))
+        acts = np.minimum((u > cdf[None]).sum(axis=2), self.arms - 1)
+        samples = []
+        for b in range(batch):
+            samples.append(
+                PlacementSample(
+                    actions={"devices": acts[b]},
+                    op_placement=acts[b],
+                    logp_old=lp[np.arange(self.k), acts[b]],
+                )
+            )
+        return samples
+
+    def log_prob_and_entropy(self, samples):
+        acts = np.stack([s.actions["devices"] for s in samples])
+        logp = log_softmax(self.logits, axis=-1)
+        onehot = np.zeros((len(samples), self.k, self.arms))
+        onehot[np.arange(len(samples))[:, None], np.arange(self.k)[None], acts] = 1.0
+        rows = (logp.reshape(1, self.k, self.arms) * Tensor(onehot)).sum(axis=2)
+        p = softmax(self.logits, axis=-1)
+        ent = -(p * logp).sum(axis=-1).mean()
+        return rows, ent
+
+
+def _lse(x):
+    m = x.max(axis=-1, keepdims=True)
+    return m + np.log(np.exp(x - m).sum(axis=-1, keepdims=True))
+
+
+def run_training(algorithm_name, iterations=60, seed=0, **kwargs):
+    agent = BanditAgent(seed=seed)
+    target = np.arange(agent.k) % agent.arms
+    algo = make_algorithm(algorithm_name, agent, lr=0.05, entropy_coef=0.01, **kwargs)
+    baseline = EMABaseline()
+    for _ in range(iterations):
+        samples = agent.sample(10)
+        for s in samples:
+            hits = (s.actions["devices"] == target).sum()
+            s.reward = float(hits)
+            s.per_step_time = float(agent.k - hits + 1)
+            s.valid = True
+        adv = compute_advantages([s.reward for s in samples], baseline)
+        algo.update(RolloutBatch(samples, adv))
+    final = np.argmax(agent.logits.data, axis=1)
+    return (final == target).mean(), agent
+
+
+class TestAlgorithmsLearn:
+    @pytest.mark.parametrize("name", ["reinforce", "ppo", "ppo_ce"])
+    def test_policy_improves(self, name):
+        acc, _ = run_training(name)
+        assert acc >= 0.8, f"{name} reached only {acc:.0%} of target decisions"
+
+    def test_ppo_update_stats(self):
+        agent = BanditAgent()
+        algo = PPO(agent, epochs=3)
+        samples = agent.sample(4)
+        for s in samples:
+            s.reward, s.valid = 1.0, True
+        stats = algo.update(RolloutBatch(samples, np.array([1.0, -1.0, 0.5, -0.5])))
+        assert stats["epochs"] == 3.0
+        assert "ratio_mean" in stats and np.isfinite(stats["loss"])
+
+    def test_ppo_first_epoch_ratio_is_one(self):
+        agent = BanditAgent()
+        algo = PPO(agent, epochs=1)
+        samples = agent.sample(4)
+        stats = algo.update(RolloutBatch(samples, np.ones(4)))
+        assert stats["ratio_mean"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_reinforce_single_epoch(self):
+        agent = BanditAgent()
+        algo = Reinforce(agent)
+        stats = algo.update(RolloutBatch(agent.sample(4), np.ones(4)))
+        assert stats["epochs"] == 1.0
+
+    def test_ppo_ce_elites_accumulate(self):
+        agent = BanditAgent()
+        algo = PPOWithCrossEntropy(agent, ce_interval=10, num_elites=3)
+        samples = agent.sample(10)
+        for i, s in enumerate(samples):
+            s.valid, s.per_step_time, s.reward = True, float(i + 1), -float(i + 1)
+        stats = algo.update(RolloutBatch(samples, np.zeros(10)))
+        assert len(algo.elites) == 3
+        assert "ce_loss" in stats
+
+    def test_ppo_ce_interval_respected(self):
+        agent = BanditAgent()
+        algo = PPOWithCrossEntropy(agent, ce_interval=100)
+        samples = agent.sample(10)
+        for s in samples:
+            s.valid, s.per_step_time = True, 1.0
+        stats = algo.update(RolloutBatch(samples, np.zeros(10)))
+        assert "ce_loss" not in stats
+
+    def test_invalid_hyperparameters(self):
+        agent = BanditAgent()
+        with pytest.raises(ValueError):
+            PPO(agent, clip_epsilon=0.0)
+        with pytest.raises(ValueError):
+            PPOWithCrossEntropy(agent, ce_interval=0)
+        with pytest.raises(ValueError):
+            make_algorithm("dqn", agent)
+
+    def test_make_algorithm_names(self):
+        agent = BanditAgent()
+        assert isinstance(make_algorithm("PPO", agent), PPO)
+        assert isinstance(make_algorithm("ppo+ce", agent), PPOWithCrossEntropy)
+        assert isinstance(make_algorithm("post", agent), PPOWithCrossEntropy)
+        r = make_algorithm("reinforce", agent, clip_epsilon=0.3, epochs=4)
+        assert isinstance(r, Reinforce)
+
+    def test_clipping_limits_update(self):
+        """A huge advantage on an already-updated policy must be clipped."""
+        agent = BanditAgent()
+        algo = PPO(agent, epochs=8, clip_epsilon=0.1, entropy_coef=0.0)
+        samples = agent.sample(2)
+        before = agent.logits.data.copy()
+        algo.update(RolloutBatch(samples, np.array([100.0, -100.0])))
+        # with ratio clipping at 0.1, eight epochs cannot explode the logits
+        assert np.abs(agent.logits.data - before).max() < 3.0

@@ -1,0 +1,134 @@
+"""Tests for reward shaping, the EMA baseline, and rollout containers."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    EMABaseline,
+    EliteStore,
+    PlacementSample,
+    RolloutBatch,
+    compute_advantages,
+    reward_from_time,
+)
+
+
+class TestReward:
+    def test_negative_sqrt(self):
+        assert reward_from_time(4.0) == -2.0
+
+    def test_monotone_in_time(self):
+        assert reward_from_time(1.0) > reward_from_time(2.0)
+
+    def test_oom_charged_failure_time(self):
+        assert reward_from_time(float("inf"), failure_time=9.0) == -3.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            reward_from_time(1.0, failure_time=0.0)
+        with pytest.raises(ValueError):
+            reward_from_time(-1.0)
+
+
+class TestEMABaseline:
+    def test_first_value_initialises(self):
+        b = EMABaseline(decay=0.9)
+        b.update([5.0])
+        assert b.value == 5.0
+
+    def test_decay_formula(self):
+        b = EMABaseline(decay=0.5)
+        b.update([0.0, 10.0])
+        assert b.value == pytest.approx(5.0)
+
+    def test_advantage_before_update(self):
+        b = EMABaseline()
+        b.update([2.0])
+        adv = b.advantage([3.0, 1.0])
+        assert np.allclose(adv, [1.0, -1.0])
+
+    def test_advantage_cold_start_uses_batch_mean(self):
+        b = EMABaseline()
+        adv = b.advantage([1.0, 3.0])
+        assert np.allclose(adv, [-1.0, 1.0])
+
+    def test_compute_advantages_normalised(self):
+        b = EMABaseline()
+        adv = compute_advantages([1.0, 2.0, 3.0, 4.0], b, normalize=True)
+        assert adv.std() == pytest.approx(1.0)
+
+    def test_compute_advantages_constant_batch_safe(self):
+        b = EMABaseline()
+        adv = compute_advantages([2.0, 2.0], b, normalize=True)
+        assert np.all(np.isfinite(adv))
+
+
+def make_sample(t=1.0, k=4, valid=True):
+    return PlacementSample(
+        actions={"devices": np.zeros(k, dtype=np.int64)},
+        op_placement=np.zeros(8, dtype=np.int64),
+        logp_old=np.full(k, -0.1),
+        reward=-np.sqrt(t),
+        per_step_time=t,
+        valid=valid,
+    )
+
+
+class TestRollout:
+    def test_sample_logp_is_vector(self):
+        s = make_sample(k=4)
+        assert s.logp_old.shape == (4,)
+        assert s.logp_old_total == pytest.approx(-0.4)
+
+    def test_scalar_logp_promoted(self):
+        s = PlacementSample({}, np.zeros(2, dtype=np.int64), logp_old=-1.5)
+        assert s.logp_old.shape == (1,)
+
+    def test_copy_is_deep(self):
+        s = make_sample()
+        c = s.copy()
+        c.actions["devices"][0] = 7
+        c.logp_old[0] = 0.0
+        assert s.actions["devices"][0] == 0
+        assert s.logp_old[0] == -0.1
+
+    def test_batch_requires_matching_advantages(self):
+        with pytest.raises(ValueError):
+            RolloutBatch([make_sample()], np.zeros(2))
+
+    def test_batch_logp_matrix(self):
+        b = RolloutBatch([make_sample(), make_sample()], np.zeros(2))
+        assert b.logp_old.shape == (2, 4)
+        assert b.rewards.shape == (2,)
+        assert len(b) == 2
+
+
+class TestEliteStore:
+    def test_keeps_top_k_by_time(self):
+        store = EliteStore(capacity=2)
+        for t in (5.0, 1.0, 3.0, 2.0):
+            store.add(make_sample(t))
+        times = [s.per_step_time for s in store.elites]
+        assert times == [1.0, 2.0]
+
+    def test_ignores_invalid(self):
+        store = EliteStore(capacity=3)
+        store.add(make_sample(1.0, valid=False))
+        assert len(store) == 0
+
+    def test_best_property(self):
+        store = EliteStore(capacity=3)
+        assert store.best is None
+        store.extend([make_sample(4.0), make_sample(2.0)])
+        assert store.best.per_step_time == 2.0
+
+    def test_stores_copies(self):
+        store = EliteStore(capacity=1)
+        s = make_sample(1.0)
+        store.add(s)
+        s.actions["devices"][0] = 9
+        assert store.best.actions["devices"][0] == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EliteStore(0)

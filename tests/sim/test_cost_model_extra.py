@@ -1,0 +1,142 @@
+"""Additional cost-model and calibration tests: the invariants the paper's
+qualitative results rest on (DESIGN.md §1 calibration notes)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.models import build_benchmark
+from repro.graph.opgraph import OpGraph
+from repro.sim import CostModel, OutOfMemoryError, Simulator, Topology
+from repro.core.predefined import human_expert_placement, single_gpu_placement
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Topology.default_4gpu()
+
+
+class TestCalibration:
+    """The paper-shaped facts the simulator is calibrated to reproduce."""
+
+    @pytest.fixture(scope="class")
+    def inception(self):
+        return build_benchmark("inception_v3")
+
+    def test_inception_single_gpu_near_70ms(self, inception, topo):
+        sim = Simulator(inception, topo)
+        t = sim.step_time(single_gpu_placement(inception, topo))
+        assert 0.050 <= t <= 0.095  # paper: 0.071 s
+
+    def test_inception_is_launch_bound(self, inception, topo):
+        """At batch 1 the dispatch floor dominates — the reason multi-GPU
+        does not pay (§IV-D)."""
+        sim = Simulator(inception, topo)
+        bd = sim.simulate(single_gpu_placement(inception, topo))
+        assert bd.makespan == pytest.approx(bd.dispatch_total, rel=0.02)
+
+    def test_inception_branch_split_not_better(self, inception, topo):
+        sim = Simulator(inception, topo)
+        single = sim.step_time(single_gpu_placement(inception, topo))
+        split = np.ones(inception.num_ops, dtype=np.int64)
+        for node in inception.nodes():
+            if "/b3x3dbl" in node.name or "/bdbl" in node.name or "/b7x7dbl" in node.name:
+                split[node.op_id] = 2
+        assert sim.step_time(split) >= single * 0.98
+
+    def test_gnmt_expert_beats_naive_split(self, topo):
+        graph = build_benchmark("gnmt")
+        sim = Simulator(graph, topo)
+        expert = sim.step_time(human_expert_placement(graph, topo))
+        order = np.asarray(graph.topological_order())
+        naive = np.empty(graph.num_ops, dtype=np.int64)
+        for i, chunk in enumerate(np.array_split(order, 4)):
+            naive[chunk] = 1 + i
+        assert expert < sim.step_time(naive)
+
+    def test_gnmt_wavefront_gains_exist(self, topo):
+        """The expert's per-layer split must beat serialising everything on
+        two devices — the wavefront parallelism the RNN structure offers."""
+        graph = build_benchmark("gnmt", batch_size=128)
+        sim = Simulator(graph, topo)
+        single = sim.step_time(single_gpu_placement(graph, topo))
+        expert = sim.step_time(human_expert_placement(graph, topo))
+        assert expert < single
+
+    def test_bert_layerwise_split_valid_and_fast(self, topo):
+        graph = build_benchmark("bert")
+        sim = Simulator(graph, topo)
+        placement = np.ones(graph.num_ops, dtype=np.int64)
+        for node in graph.nodes():
+            name = node.name
+            if name.startswith("layer"):
+                placement[node.op_id] = 1 + int(name[5:].split("/")[0]) // 4
+            elif name.startswith("mlm"):
+                placement[node.op_id] = 4
+        bd = sim.simulate(placement)  # must not raise
+        assert bd.makespan < 2.5
+        assert np.all(bd.device_memory <= [d.memory_bytes for d in topo.devices])
+
+
+class TestSendRecvModel:
+    def test_send_occupies_producer_device(self, topo):
+        """Cross-device edges charge the sender's timeline (TF rendezvous)."""
+        g = OpGraph()
+        a = g.add_op("a", "MatMul", (256, 256), flops=1e7)
+        for i in range(20):
+            g.add_op(f"c{i}", "Relu", (256, 256), flops=1e3, inputs=[a])
+        sim = Simulator(g, topo)
+        same = sim.simulate(np.ones(g.num_ops, dtype=np.int64))
+        spread = np.ones(g.num_ops, dtype=np.int64)
+        spread[1:11] = 2
+        cross = sim.simulate(spread)
+        assert cross.device_busy[1] > same.device_busy[1] - sum(
+            sim.cost_model.op_time(g.node(f"c{i}"), topo.devices[1]) for i in range(10)
+        )
+
+    def test_dispatch_floor_counts_sends(self, topo):
+        g = OpGraph()
+        a = g.add_op("a", "MatMul", (512, 512), flops=1e6)
+        g.add_op("b", "Relu", (512, 512), flops=1e3, inputs=[a])
+        sim = Simulator(g, topo)
+        same = sim.simulate(np.array([1, 1]))
+        cross = sim.simulate(np.array([1, 2]))
+        assert cross.dispatch_total > same.dispatch_total
+
+    def test_cheaper_cpu_dispatch(self, topo):
+        g = OpGraph()
+        prev = g.add_op("n0", "Relu", (8,), flops=8)
+        for i in range(1, 30):
+            prev = g.add_op(f"n{i}", "Relu", (8,), flops=8, inputs=[prev])
+        sim = Simulator(g, topo)
+        gpu = sim.simulate(np.ones(30, dtype=np.int64))
+        cpu = sim.simulate(np.zeros(30, dtype=np.int64))
+        assert cpu.dispatch_total < gpu.dispatch_total
+
+
+class TestDevicePrior:
+    def test_prior_shifts_initial_distribution(self, rng):
+        from repro.placement.seq2seq import Seq2SeqPlacer
+
+        prior = np.array([-3.0, 0.0, 0.0, 0.0, 0.0])
+        placer = Seq2SeqPlacer(8, 5, hidden=16, device_prior=prior, rng=rng)
+        emb = rng.random((12, 8, 8))
+        devices, _ = placer.sample(emb, rng)
+        assert (devices == 0).mean() < 0.10
+
+    def test_prior_shape_validated(self, rng):
+        from repro.placement.seq2seq import Seq2SeqPlacer
+
+        with pytest.raises(ValueError):
+            Seq2SeqPlacer(8, 5, hidden=16, device_prior=np.zeros(3), rng=rng)
+
+    def test_post_prior(self, layered_graph, rng):
+        from repro.core import PostAgent
+
+        prior = np.array([-4.0, 0.0, 0.0])
+        agent = PostAgent(layered_graph, 3, num_groups=6, device_prior=prior, seed=0)
+        samples = agent.sample_placements(20)
+        placements = np.stack([s.op_placement for s in samples])
+        cpu_rate = (placements == 0).mean()
+        # cpu-only ops are pinned to device 0 by the *simulator*, not the
+        # agent, so the raw policy should rarely choose the CPU
+        assert cpu_rate < 0.15

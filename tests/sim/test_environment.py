@@ -1,0 +1,108 @@
+"""Tests for the measurement environment (protocol, noise, clock)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.models import build_chain
+from repro.sim import PlacementEnvironment, Topology
+
+
+@pytest.fixture
+def env(chain_graph, topology):
+    return PlacementEnvironment(chain_graph, topology, seed=3)
+
+
+class TestEvaluate:
+    def test_valid_measurement(self, env, chain_graph):
+        m = env.evaluate(np.ones(chain_graph.num_ops, dtype=int))
+        assert m.valid and np.isfinite(m.per_step_time)
+        assert m.per_step_time > 0
+
+    def test_clock_advances_per_evaluation(self, env, chain_graph):
+        p = np.ones(chain_graph.num_ops, dtype=int)
+        env.evaluate(p)
+        t1 = env.env_time
+        env.evaluate(p)
+        assert env.env_time > t1
+
+    def test_clock_charge_includes_warmup(self, chain_graph, topology):
+        env = PlacementEnvironment(
+            chain_graph, topology, noise_std=0.0, setup_time=2.0,
+            measure_steps=10, warmup_steps=5, warmup_slowdown=3.0,
+        )
+        m = env.evaluate(np.ones(chain_graph.num_ops, dtype=int))
+        expected = 2.0 + m.per_step_time * (5 * 3.0 + 10)
+        assert m.env_time_charged == pytest.approx(expected, rel=1e-9)
+
+    def test_noise_free_reproducible(self, chain_graph, topology):
+        env = PlacementEnvironment(chain_graph, topology, noise_std=0.0)
+        p = np.ones(chain_graph.num_ops, dtype=int)
+        assert env.evaluate(p).per_step_time == env.evaluate(p).per_step_time
+
+    def test_noise_small_and_multiplicative(self, chain_graph, topology):
+        noisy = PlacementEnvironment(chain_graph, topology, noise_std=0.02, seed=1)
+        clean = PlacementEnvironment(chain_graph, topology, noise_std=0.0)
+        p = np.ones(chain_graph.num_ops, dtype=int)
+        a = noisy.evaluate(p).per_step_time
+        b = clean.evaluate(p).per_step_time
+        assert abs(a - b) / b < 0.1
+
+    def test_oom_returns_invalid_not_raise(self, topology):
+        from repro.graph.opgraph import OpGraph
+
+        g = OpGraph()
+        g.add_op("big", "MatMul", (1,), param_bytes=int(50e9))
+        env = PlacementEnvironment(g, topology)
+        m = env.evaluate([1])
+        assert m.is_oom and not m.valid
+        assert m.per_step_time == float("inf")
+        assert m.oom_detail
+
+    def test_oom_charges_small_time(self, topology):
+        from repro.graph.opgraph import OpGraph
+
+        g = OpGraph()
+        g.add_op("big", "MatMul", (1,), param_bytes=int(50e9))
+        env = PlacementEnvironment(g, topology, oom_time_charge=2.5)
+        env.evaluate([1])
+        assert env.env_time == pytest.approx(2.5)
+        assert env.num_oom == 1
+
+    def test_counters(self, env, chain_graph):
+        env.evaluate(np.ones(chain_graph.num_ops, dtype=int))
+        assert env.num_evaluations == 1
+        env.reset_clock()
+        assert env.env_time == 0.0 and env.num_evaluations == 0
+
+    def test_breakdown_optional(self, env, chain_graph):
+        p = np.ones(chain_graph.num_ops, dtype=int)
+        assert env.evaluate(p).breakdown is None
+        assert env.evaluate(p, with_breakdown=True).breakdown is not None
+
+
+class TestFinalEvaluate:
+    def test_does_not_advance_clock(self, env, chain_graph):
+        p = np.ones(chain_graph.num_ops, dtype=int)
+        env.final_evaluate(p)
+        assert env.env_time == 0.0
+
+    def test_low_noise_long_run(self, chain_graph, topology):
+        env = PlacementEnvironment(chain_graph, topology, noise_std=0.05, seed=5)
+        p = np.ones(chain_graph.num_ops, dtype=int)
+        clean = PlacementEnvironment(chain_graph, topology, noise_std=0.0).final_evaluate(p)
+        final = env.final_evaluate(p, steps=1000)
+        assert abs(final.per_step_time - clean.per_step_time) / clean.per_step_time < 0.02
+
+    def test_invalid_placement(self, topology):
+        from repro.graph.opgraph import OpGraph
+
+        g = OpGraph()
+        g.add_op("big", "MatMul", (1,), param_bytes=int(50e9))
+        env = PlacementEnvironment(g, topology)
+        assert not env.final_evaluate([1]).valid
+
+
+class TestValidation:
+    def test_bad_protocol_rejected(self, chain_graph, topology):
+        with pytest.raises(ValueError):
+            PlacementEnvironment(chain_graph, topology, measure_steps=0)

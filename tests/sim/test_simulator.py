@@ -1,0 +1,218 @@
+"""Tests for the execution simulator: scheduling, memory, communication."""
+
+import numpy as np
+import pytest
+
+from repro.graph.models import build_chain, build_fan
+from repro.graph.opgraph import OpGraph
+from repro.sim import CostModel, OutOfMemoryError, Simulator, Topology
+from repro.sim.devices import DeviceSpec, LinkSpec
+
+
+def make_topology(num_gpus=2, **kwargs):
+    return Topology.default_4gpu(num_gpus=num_gpus, **kwargs)
+
+
+class TestPlacementNormalisation:
+    def test_cpu_only_pinned(self, small_graph, topology):
+        sim = Simulator(small_graph, topology)
+        p = sim.normalize_placement([1, 1, 1, 1])
+        assert p[0] == 0  # the Input op
+
+    def test_wrong_length_rejected(self, small_graph, topology):
+        sim = Simulator(small_graph, topology)
+        with pytest.raises(ValueError):
+            sim.normalize_placement([0, 1])
+
+    def test_out_of_range_rejected(self, small_graph, topology):
+        sim = Simulator(small_graph, topology)
+        with pytest.raises(ValueError):
+            sim.normalize_placement([0, 0, 0, 9])
+
+    def test_colocation_snap(self, topology):
+        g = OpGraph()
+        g.add_op("a", "MatMul", (4,), colocation_group="x")
+        g.add_op("b", "MatMul", (4,), colocation_group="x", inputs=["a"])
+        sim = Simulator(g, topology)
+        p = sim.normalize_placement([1, 2])
+        assert p[0] == p[1] == 1
+
+    def test_colocated_cpu_only_wins(self, topology):
+        g = OpGraph()
+        g.add_op("a", "MatMul", (4,), colocation_group="x")
+        g.add_op("b", "Gather", (4,), colocation_group="x", cpu_only=True, inputs=["a"])
+        sim = Simulator(g, topology)
+        p = sim.normalize_placement([1, 1])
+        assert p[1] == 0
+
+
+class TestMemory:
+    def test_oom_raised_with_details(self, topology):
+        g = OpGraph()
+        g.add_op("big", "MatMul", (1,), param_bytes=int(20e9))
+        sim = Simulator(g, topology)
+        with pytest.raises(OutOfMemoryError) as exc:
+            sim.simulate([1])
+        assert 1 in exc.value.overcommitted
+
+    def test_memory_usage_split(self, small_graph, topology):
+        sim = Simulator(small_graph, topology)
+        usage = sim.memory_usage([0, 1, 1, 2])
+        assert usage.shape == (topology.num_devices,)
+        assert usage[1] > 0 and usage[2] > 0
+
+    def test_cpu_absorbs_pinned_memory(self, small_graph, topology):
+        sim = Simulator(small_graph, topology)
+        u_all_gpu = sim.memory_usage([1, 1, 1, 1])
+        assert u_all_gpu[0] > 0  # input op pinned to cpu
+
+
+class TestScheduling:
+    def test_chain_on_one_device_is_serial(self, chain_graph, topology):
+        sim = Simulator(chain_graph, topology)
+        bd = sim.simulate(sim.single_device_placement(0))
+        # makespan >= sum of compute on the device running the chain
+        assert bd.makespan >= bd.device_busy.max() * 0.999
+
+    def test_chain_split_no_faster(self, chain_graph, topology):
+        """A chain has no parallelism: splitting it over two equal GPUs can
+        only add communication."""
+        sim = Simulator(chain_graph, topology)
+        single = sim.step_time(sim.single_device_placement(1))  # all on gpu1
+        half = np.array([0] + [1] * 6 + [2] * 6)
+        assert sim.step_time(half) >= single
+
+    def test_fan_split_faster_when_compute_bound(self):
+        """Independent branches on separate devices overlap."""
+        g = build_fan(width=4, flops=5e9)
+        topo = make_topology(num_gpus=4)
+        sim = Simulator(g, topo)
+        single = sim.step_time(sim.single_device_placement(0))
+        spread = np.array([0, 1, 2, 3, 4, 1])
+        assert sim.step_time(spread) < single
+
+    def test_transfer_dedup_same_destination(self, topology):
+        """One producer feeding two consumers on the same remote device
+        ships its tensor once."""
+        g = OpGraph()
+        a = g.add_op("a", "MatMul", (1000, 1000), flops=1e6)
+        g.add_op("b", "Relu", (1000, 1000), flops=1e3, inputs=[a])
+        g.add_op("c", "Relu", (1000, 1000), flops=1e3, inputs=[a])
+        sim = Simulator(g, topology)
+        bd = sim.simulate([1, 2, 2])
+        assert bd.comm_bytes == g.node("a").output.bytes
+
+    def test_comm_charged_per_destination(self, topology):
+        g = OpGraph()
+        a = g.add_op("a", "MatMul", (1000, 1000), flops=1e6)
+        g.add_op("b", "Relu", (1000, 1000), flops=1e3, inputs=[a])
+        g.add_op("c", "Relu", (1000, 1000), flops=1e3, inputs=[a])
+        sim = Simulator(g, topology)
+        bd = sim.simulate([1, 2, 0])
+        assert bd.comm_bytes == 2 * g.node("a").output.bytes
+
+    def test_same_device_no_comm(self, chain_graph, topology):
+        sim = Simulator(chain_graph, topology)
+        bd = sim.simulate(sim.single_device_placement(0))
+        # only the pinned input op may ship to the compute device
+        assert bd.comm_bytes == 0
+
+    def test_makespan_at_least_dispatch_total(self, layered_graph, topology):
+        sim = Simulator(layered_graph, topology)
+        bd = sim.simulate(sim.single_device_placement(0))
+        assert bd.makespan >= bd.dispatch_total * 0.999
+
+    def test_deterministic(self, layered_graph, topology, rng):
+        sim = Simulator(layered_graph, topology)
+        p = rng.integers(0, topology.num_devices, size=layered_graph.num_ops)
+        assert sim.step_time(p) == sim.step_time(p)
+
+    def test_critical_op_is_sink(self, chain_graph, topology):
+        sim = Simulator(chain_graph, topology)
+        bd = sim.simulate(sim.single_device_placement(1))
+        # the last chain op finishes last (dispatch floor aside)
+        assert bd.critical_op == chain_graph.num_ops - 1
+
+    def test_lower_bound_below_any_placement(self, layered_graph, topology, rng):
+        sim = Simulator(layered_graph, topology)
+        lb = sim.lower_bound()
+        for _ in range(5):
+            p = rng.integers(0, topology.num_devices, size=layered_graph.num_ops)
+            try:
+                assert sim.step_time(p) >= lb * 0.999
+            except OutOfMemoryError:
+                pass
+
+
+class TestCostModel:
+    def test_reshape_is_overhead_only(self, topology):
+        cm = CostModel()
+        g = OpGraph()
+        node = g.add_op("r", "Reshape", (10, 10), flops=1e9)
+        dev = topology.devices[1]
+        assert cm.op_time(node, dev) == dev.per_op_overhead
+
+    def test_gpu_faster_than_cpu_for_dense(self, topology):
+        cm = CostModel()
+        g = OpGraph()
+        node = g.add_op("mm", "MatMul", (10, 10), flops=1e10)
+        cpu, gpu = topology.devices[0], topology.devices[1]
+        assert cm.op_time(node, gpu) < cm.op_time(node, cpu)
+
+    def test_training_multiplier_scales_compute(self, topology):
+        g = OpGraph()
+        node = g.add_op("mm", "MatMul", (10, 10), flops=1e10)
+        dev = topology.devices[1]
+        t1 = CostModel(training_flops_multiplier=1.0).op_time(node, dev)
+        t3 = CostModel(training_flops_multiplier=3.0).op_time(node, dev)
+        assert t3 > 2.5 * t1
+
+    def test_memory_multipliers(self):
+        cm = CostModel(param_memory_multiplier=4.0, activation_memory_multiplier=1.0)
+        g = OpGraph()
+        node = g.add_op("mm", "MatMul", (10,), param_bytes=100)
+        assert cm.op_memory(node) == 4 * 100 + 10 * 4
+
+    def test_unknown_op_type_uses_default(self, topology):
+        cm = CostModel(default_efficiency=0.5)
+        assert cm.efficiency("MysteryOp", topology.devices[1]) == 0.5
+
+
+class TestDevices:
+    def test_default_topology_shape(self):
+        topo = Topology.default_4gpu()
+        assert topo.num_devices == 5
+        assert len(topo.gpu_indices()) == 4
+        assert topo.cpu_indices() == [0]
+
+    def test_device_index_lookup(self):
+        topo = Topology.default_4gpu()
+        assert topo.device_index("/gpu:2") == 3
+        with pytest.raises(KeyError):
+            topo.device_index("/tpu:0")
+
+    def test_same_device_link_free(self):
+        topo = Topology.default_4gpu()
+        link = topo.link(1, 1)
+        assert link.transfer_time(1e9) == 0.0
+
+    def test_transfer_time_formula(self):
+        link = LinkSpec(bandwidth_bytes_per_s=1e9, latency_s=1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(1e9, 0.0).transfer_time(-1)
+
+    def test_bad_device_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("/x:0", "tpu", 1, 1.0, 0.0)
+
+    def test_duplicate_device_names_rejected(self):
+        d = DeviceSpec("/gpu:0", "gpu", 1 << 30, 1000.0, 1e-5)
+        with pytest.raises(ValueError):
+            Topology([d, d], default_link=LinkSpec(1e9, 1e-5))
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([], default_link=LinkSpec(1e9, 1e-5))

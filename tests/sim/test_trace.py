@@ -1,0 +1,94 @@
+"""Tests for execution tracing, Chrome export, and the ASCII Gantt chart."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator, Topology
+from repro.sim.trace import ascii_gantt, chrome_trace, critical_path
+
+
+@pytest.fixture
+def traced(chain_graph, topology):
+    sim = Simulator(chain_graph, topology)
+    placement = sim.single_device_placement(1)
+    bd = sim.simulate(placement, record_trace=True)
+    return chain_graph, topology, placement, bd
+
+
+class TestTraceRecording:
+    def test_trace_absent_by_default(self, chain_graph, topology):
+        sim = Simulator(chain_graph, topology)
+        bd = sim.simulate(sim.single_device_placement(1))
+        assert bd.op_start is None and bd.transfers is None
+
+    def test_start_end_consistent(self, traced):
+        graph, _, _, bd = traced
+        assert np.all(bd.op_end >= bd.op_start)
+        assert bd.op_end.max() <= bd.makespan + 1e-12
+
+    def test_chain_ops_sequential(self, traced):
+        graph, _, _, bd = traced
+        for s, d in graph.edges():
+            assert bd.op_start[d] >= bd.op_end[s] - 1e-12
+
+    def test_transfers_recorded_for_cross_edges(self, chain_graph, topology):
+        sim = Simulator(chain_graph, topology)
+        p = np.array([0] + [1] * 6 + [2] * 6)
+        bd = sim.simulate(p, record_trace=True)
+        assert len(bd.transfers) >= 1
+        src_op, src_dev, dst_dev, start, end, nbytes = bd.transfers[-1]
+        assert src_dev != dst_dev
+        assert end > start and nbytes > 0
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self, traced):
+        text = chrome_trace(*traced)
+        data = json.loads(text)
+        names = {e.get("name") for e in data["traceEvents"]}
+        assert "op0" in names
+        # one slice event per op plus device metadata
+        slices = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) >= traced[0].num_ops
+
+    def test_requires_trace(self, chain_graph, topology):
+        sim = Simulator(chain_graph, topology)
+        bd = sim.simulate(sim.single_device_placement(1))
+        with pytest.raises(ValueError):
+            chrome_trace(chain_graph, topology, sim.single_device_placement(1), bd)
+
+
+class TestGantt:
+    def test_renders_all_devices(self, traced):
+        graph, topo, placement, bd = traced
+        text = ascii_gantt(graph, topo, placement, bd, width=40)
+        for dev in topo.devices:
+            assert dev.name in text
+
+    def test_busy_device_has_marks(self, traced):
+        graph, topo, placement, bd = traced
+        text = ascii_gantt(graph, topo, placement, bd, width=40)
+        gpu_line = [l for l in text.splitlines() if "/gpu:0" in l][0]
+        assert any(c in gpu_line for c in ":-=#")
+
+    def test_idle_device_blank(self, traced):
+        graph, topo, placement, bd = traced
+        text = ascii_gantt(graph, topo, placement, bd, width=40)
+        gpu1 = [l for l in text.splitlines() if "/gpu:1" in l][0]
+        bar = gpu1.split("|")[1]
+        assert set(bar) <= {" ", "."}
+
+
+class TestCriticalPath:
+    def test_sink_first_and_connected(self, traced):
+        graph, _, _, bd = traced
+        path = critical_path(graph, bd, limit=5)
+        assert path[0] == bd.critical_op
+        for a, b in zip(path[:-1], path[1:]):
+            assert graph.has_edge(b, a)
+
+    def test_limit_respected(self, traced):
+        graph, _, _, bd = traced
+        assert len(critical_path(graph, bd, limit=3)) <= 3

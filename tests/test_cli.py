@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.model == "inception_v3" and args.gpus == 4
+
+    def test_place_options(self):
+        args = build_parser().parse_args(
+            ["place", "--model", "gnmt", "--agent", "post", "--samples", "10"]
+        )
+        assert args.agent == "post" and args.samples == 10
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info", "--model", "inception_v3"]) == 0
+        out = capsys.readouterr().out
+        assert "inception" in out and "environment:" in out
+
+    def test_eval_single_gpu_inception(self, capsys):
+        assert main(["eval", "--model", "inception_v3", "--placement", "single_gpu"]) == 0
+        assert "ms/step" in capsys.readouterr().out
+
+    def test_eval_oom_reports_failure(self, capsys):
+        assert main(["eval", "--model", "gnmt", "--placement", "single_gpu"]) == 1
+        assert "OOM" in capsys.readouterr().out
+
+    def test_gantt_renders(self, capsys):
+        assert main(["gantt", "--model", "inception_v3", "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "/gpu:0" in out and "step time" in out
+
+    def test_place_writes_checkpoint(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "out.npz")
+        rc = main(
+            [
+                "place", "--model", "inception_v3", "--agent", "post",
+                "--samples", "10", "--groups", "8", "--checkpoint", ckpt,
+            ]
+        )
+        assert rc == 0
+        from repro.core.checkpoint import load_checkpoint
+
+        data = load_checkpoint(ckpt)
+        assert data["meta"]["num_samples"] == 10
+        assert np.isfinite(data["meta"]["best_time"])
+
+    def test_custom_topology_args(self, capsys):
+        assert main(["eval", "--model", "inception_v3", "--gpus", "2", "--gpu-mem", "4"]) == 0

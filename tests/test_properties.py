@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: graph topology, simulator physics, partitioners, autograd."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.graph.models import build_random_layered
+from repro.graph.opgraph import OpGraph
+from repro.graph.training import expand_training_graph
+from repro.grouping import MetisGrouper, cut_cost, partition_kway
+from repro.grouping.fluid import asyn_fluidc_assignment
+from repro.nn import Tensor
+from repro.rl import EMABaseline, reward_from_time
+from repro.sim import OutOfMemoryError, Simulator, Topology
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+graph_strategy = st.builds(
+    build_random_layered,
+    num_layers=st.integers(2, 6),
+    width=st.integers(2, 6),
+    edge_prob=st.floats(0.2, 0.8),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestGraphProperties:
+    @given(graph=graph_strategy)
+    @settings(**SETTINGS)
+    def test_topological_order_is_permutation_respecting_edges(self, graph):
+        order = graph.topological_order()
+        assert sorted(order) == list(range(graph.num_ops))
+        pos = {v: i for i, v in enumerate(order)}
+        for s, d in graph.edges():
+            assert pos[s] < pos[d]
+
+    @given(graph=graph_strategy)
+    @settings(**SETTINGS)
+    def test_training_expansion_preserves_acyclicity(self, graph):
+        expand_training_graph(graph).validate()
+
+    @given(graph=graph_strategy)
+    @settings(**SETTINGS)
+    def test_coarsen_conserves_totals(self, graph):
+        rng = np.random.default_rng(0)
+        k = 4
+        assignment = rng.integers(0, k, size=graph.num_ops)
+        gg = graph.coarsen(assignment, num_groups=k)
+        assert gg.group_flops.sum() == pytest.approx(graph.total_flops())
+        assert int(gg.group_sizes.sum()) == graph.num_ops
+
+
+class TestPartitionProperties:
+    @given(graph=graph_strategy, k=st.integers(2, 8), seed=st.integers(0, 100))
+    @settings(**SETTINGS)
+    def test_partition_is_total_and_in_range(self, graph, k, seed):
+        a = partition_kway(graph, k, seed=seed)
+        assert a.shape == (graph.num_ops,)
+        assert a.min() >= 0 and a.max() < k
+
+    @given(graph=graph_strategy, k=st.integers(2, 6))
+    @settings(**SETTINGS)
+    def test_metis_cut_not_worse_than_random_mean(self, graph, k):
+        # On tiny graphs a random assignment can degenerate to a single
+        # group (cut 0) while a k-way partition must use k groups — only
+        # compare when the graph comfortably exceeds k groups.
+        assume(graph.num_ops >= 4 * k)
+        metis = cut_cost(graph, partition_kway(graph, k))
+        rng = np.random.default_rng(0)
+        random_cuts = [
+            cut_cost(graph, rng.integers(0, k, size=graph.num_ops)) for _ in range(5)
+        ]
+        assert metis <= np.mean(random_cuts) * 1.05
+
+    @given(graph=graph_strategy, k=st.integers(2, 6), seed=st.integers(0, 50))
+    @settings(**SETTINGS)
+    def test_fluid_is_total_and_in_range(self, graph, k, seed):
+        a = asyn_fluidc_assignment(graph, k, seed=seed, use_networkx=False)
+        assert a.shape == (graph.num_ops,)
+        assert a.min() >= 0
+
+
+class TestSimulatorProperties:
+    @given(graph=graph_strategy, seed=st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_makespan_bounds(self, graph, seed):
+        """Any valid placement's makespan lies between the critical-path
+        lower bound and the total serial work on the slowest device."""
+        topo = Topology.default_4gpu(num_gpus=2)
+        sim = Simulator(graph, topo)
+        rng = np.random.default_rng(seed)
+        p = rng.integers(0, topo.num_devices, size=graph.num_ops)
+        try:
+            bd = sim.simulate(p)
+        except OutOfMemoryError:
+            assume(False)
+        assert bd.makespan >= sim.lower_bound() * 0.999
+        assert bd.makespan >= bd.device_busy.max() * 0.999
+
+    @given(graph=graph_strategy, seed=st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_memory_accounting_conserved(self, graph, seed):
+        """Total resident bytes are placement-invariant (just redistributed)."""
+        topo = Topology.default_4gpu(num_gpus=2)
+        sim = Simulator(graph, topo)
+        rng = np.random.default_rng(seed)
+        p1 = rng.integers(0, topo.num_devices, size=graph.num_ops)
+        p2 = rng.integers(0, topo.num_devices, size=graph.num_ops)
+        assert sim.memory_usage(p1).sum() == pytest.approx(sim.memory_usage(p2).sum())
+
+    @given(graph=graph_strategy)
+    @settings(**SETTINGS)
+    def test_single_device_has_no_cross_traffic(self, graph):
+        """All ops on the CPU (the only device every op can run on) must
+        incur zero communication."""
+        topo = Topology.default_4gpu(num_gpus=2)
+        sim = Simulator(graph, topo)
+        bd = sim.simulate(np.zeros(graph.num_ops, dtype=np.int64))
+        assert bd.comm_bytes == 0.0
+
+
+class TestRewardProperties:
+    @given(times=st.lists(st.floats(0.001, 100.0), min_size=1, max_size=30))
+    @settings(**SETTINGS)
+    def test_reward_order_reversed(self, times):
+        rewards = [reward_from_time(t) for t in times]
+        assert np.argmax(rewards) == np.argmin(times)
+
+    @given(
+        rewards=st.lists(st.floats(-10, 10), min_size=1, max_size=50),
+        decay=st.floats(0.1, 0.99),
+    )
+    @settings(**SETTINGS)
+    def test_ema_stays_within_observed_range(self, rewards, decay):
+        b = EMABaseline(decay=decay)
+        b.update(rewards)
+        assert min(rewards) - 1e-9 <= b.value <= max(rewards) + 1e-9
+
+
+class TestAutogradProperties:
+    @given(
+        data=st.lists(st.floats(-3, 3), min_size=4, max_size=4),
+        seed=st.integers(0, 100),
+    )
+    @settings(**SETTINGS)
+    def test_sum_rule(self, data, seed):
+        """d/dx sum(f+g) == d/dx sum(f) + d/dx sum(g)."""
+        x1 = Tensor(np.array(data), requires_grad=True)
+        (x1.tanh() + x1.sigmoid()).sum().backward()
+        x2 = Tensor(np.array(data), requires_grad=True)
+        x2.tanh().sum().backward()
+        g_tanh = x2.grad.copy()
+        x3 = Tensor(np.array(data), requires_grad=True)
+        x3.sigmoid().sum().backward()
+        assert np.allclose(x1.grad, g_tanh + x3.grad, atol=1e-10)
+
+    @given(st.lists(st.floats(-2, 2), min_size=6, max_size=6))
+    @settings(**SETTINGS)
+    def test_softmax_rows_normalised(self, data):
+        from repro.nn.functional import softmax
+
+        p = softmax(Tensor(np.array(data).reshape(2, 3)))
+        assert np.allclose(p.data.sum(axis=1), 1.0)
+        assert np.all(p.data >= 0)
