@@ -15,7 +15,6 @@ placements) — the numbers are the deliverable.
 import numpy as np
 import pytest
 
-from repro.bench import default_spec, render_table
 from repro.bench.experiments import build_experiment_graph, make_agent, make_environment
 from repro.core import PlacementSearch, SearchConfig
 from repro.rl.reward import EMABaseline
@@ -114,7 +113,7 @@ def test_ablation_value_network_baseline(benchmark):
 
     ema, a2c = benchmark.pedantic(build, rounds=1, iterations=1)
     print(f"\nAblation/baseline-type: EMA={ema:.3f}s value-net={a2c:.3f}s "
-          f"(paper expects the value network not to help at this sample rate)")
+          "(paper expects the value network not to help at this sample rate)")
     assert np.isfinite(ema) and np.isfinite(a2c)
 
 

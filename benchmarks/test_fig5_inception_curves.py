@@ -6,7 +6,6 @@ it fastest (in environment time); Hierarchical Planner suffers invalid
 placements early while EAGLE and Post avoid them almost entirely.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import scale_profile, default_spec, render_curves

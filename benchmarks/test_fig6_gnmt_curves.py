@@ -6,7 +6,6 @@ keep improving below the human-expert level; Post converges quickly but to
 a local optimum well above the others.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import scale_profile, default_spec, render_curves

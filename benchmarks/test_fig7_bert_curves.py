@@ -6,7 +6,6 @@ far above the others); Post is stable and good from the first hour; EAGLE
 explores aggressively and ends with the best placement.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import scale_profile, default_spec, render_curves

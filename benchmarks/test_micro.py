@@ -8,11 +8,11 @@ sampling, and a PPO update.
 import numpy as np
 import pytest
 
-from repro.core import EagleAgent, PlacementSearch, SearchConfig
+from repro.core import EagleAgent
 from repro.graph.models import build_benchmark
-from repro.grouping import MetisGrouper, OpFeatureExtractor, partition_kway
+from repro.grouping import OpFeatureExtractor, partition_kway
 from repro.rl import RolloutBatch, make_algorithm
-from repro.sim import PlacementEnvironment, Simulator, Topology
+from repro.sim import Simulator, Topology
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,6 @@ Run:  python examples/bert_large_model.py [--samples N]
 
 import argparse
 
-import numpy as np
 
 from repro import (
     EagleAgent,

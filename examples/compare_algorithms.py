@@ -10,7 +10,7 @@ Run:  python examples/compare_algorithms.py [--model inception_v3|gnmt|bert]
 
 import argparse
 
-from repro import EagleAgent, PlacementEnvironment, PlacementSearch, SearchConfig
+from repro import EagleAgent, MemoBackend, PlacementEnvironment, PlacementSearch, SearchConfig
 from repro.bench.tables import render_curves
 from repro.graph.models import build_benchmark
 
@@ -31,10 +31,12 @@ def main() -> None:
         agent = EagleAgent(graph, env.num_devices, num_groups=32, placer_hidden=64, seed=0)
         config = SearchConfig(max_samples=args.samples)
         print(f"Training with {algo} ({args.samples} placements)...")
-        res = PlacementSearch(agent, env, algo, config).run()
+        backend = MemoBackend(env)
+        res = PlacementSearch(agent, env, algo, config, backend=backend).run()
         curves[algo] = (res.history.env_time, res.history.best_so_far)
         finals[algo] = res.final_time
-        print(f"  final: {res.final_time * 1000:.1f} ms/step")
+        print(f"  final: {res.final_time * 1000:.1f} ms/step "
+              f"(cache skipped {backend.hits} of {res.num_samples} simulations)")
 
     print()
     print(render_curves(f"Training process on {args.model}", curves))

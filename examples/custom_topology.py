@@ -10,9 +10,13 @@ device is avoided for chatty subgraphs.
 Run:  python examples/custom_topology.py
 """
 
-import numpy as np
-
-from repro import EagleAgent, PlacementEnvironment, PlacementSearch, SearchConfig
+from repro import (
+    EagleAgent,
+    ParallelBackend,
+    PlacementEnvironment,
+    PlacementSearch,
+    SearchConfig,
+)
 from repro.graph.models import build_benchmark
 from repro.sim.devices import DeviceSpec, LinkSpec, Topology
 
@@ -53,7 +57,11 @@ def main() -> None:
     env = PlacementEnvironment(graph, topo, seed=0)
     agent = EagleAgent(graph, env.num_devices, num_groups=48, placer_hidden=64, seed=0)
     config = SearchConfig(max_samples=200, entropy_coef=0.1, entropy_coef_final=0.02)
-    res = PlacementSearch(agent, env, "ppo", config).run()
+    # Shard each minibatch over two simulator processes.  Workers run the
+    # deterministic simulation only; noise comes from the environment's own
+    # RNG stream, so the result is identical to a serial run on this seed.
+    with ParallelBackend(env, workers=2, seed=0) as backend:
+        res = PlacementSearch(agent, env, "ppo", config, backend=backend).run()
     print(f"Best placement: {res.final_time * 1000:.0f} ms/step")
 
     bd = env.simulator.simulate(res.best_placement)

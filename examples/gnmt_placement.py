@@ -12,12 +12,11 @@ Run:  python examples/gnmt_placement.py [--samples N]
 
 import argparse
 
-import numpy as np
-
 from repro import (
     EagleAgent,
     PlacementEnvironment,
     PlacementSearch,
+    ProgressPrinter,
     SearchConfig,
     human_expert_placement,
     single_gpu_placement,
@@ -52,9 +51,7 @@ def main() -> None:
     agent = EagleAgent(graph, env.num_devices, num_groups=64, placer_hidden=128, seed=0)
     config = SearchConfig(max_samples=args.samples, entropy_coef=0.1, entropy_coef_final=0.01)
     result = PlacementSearch(agent, env, "ppo", config).run(
-        progress=lambda n, best, stats: print(f"  {n:4d} samples, best {best * 1000:7.0f} ms/step")
-        if n % 100 == 0
-        else None
+        callbacks=[ProgressPrinter(interval=100, total=args.samples)]
     )
 
     print(f"\nEAGLE best placement: {result.final_time * 1000:.0f} ms/step")

@@ -13,8 +13,10 @@ import numpy as np
 
 from repro import (
     EagleAgent,
+    MemoBackend,
     PlacementEnvironment,
     PlacementSearch,
+    ProgressPrinter,
     SearchConfig,
     single_gpu_placement,
 )
@@ -36,17 +38,17 @@ def main() -> None:
     print("\nTraining EAGLE (scaled-down: 32 groups, hidden 64, 100 samples)...")
     agent = EagleAgent(graph, env.num_devices, num_groups=32, placer_hidden=64, seed=0)
     config = SearchConfig(max_samples=100, minibatch_size=10)
-    search = PlacementSearch(agent, env, algorithm="ppo", config=config)
-
-    def progress(n, best, stats):
-        print(f"  {n:4d} placements evaluated, best {best * 1000:7.1f} ms/step")
-
-    result = search.run(progress=progress)
+    # The memo backend skips re-simulating placements the policy re-samples;
+    # results are identical to serial evaluation, just cheaper.
+    backend = MemoBackend(env)
+    search = PlacementSearch(agent, env, algorithm="ppo", config=config, backend=backend)
+    result = search.run(callbacks=[ProgressPrinter(interval=10, total=config.max_samples)])
 
     print(f"\nBest placement found: {result.final_time * 1000:.1f} ms/step")
     print(f"  vs single GPU:      {baseline_time * 1000:.1f} ms/step")
     print(f"  invalid placements: {result.num_invalid}/{result.num_samples}")
     print(f"  simulated search cost: {result.env_time / 3600:.2f} environment-hours")
+    print(f"  simulator calls saved by the cache: {backend.hits}/{result.num_samples}")
 
     # Show the placement as executed (cpu-only ops pinned to the host).
     executed = env.simulator.normalize_placement(result.best_placement)

@@ -12,7 +12,6 @@ compares the transferred warm start against training from scratch
 Run:  python examples/transfer_placement.py
 """
 
-import numpy as np
 
 from repro import EagleAgent, PlacementEnvironment, PlacementSearch, SearchConfig
 from repro.graph.models import build_benchmark

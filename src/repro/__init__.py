@@ -26,10 +26,22 @@ from .core import (
     FixedGroupingGCNAgent,
     PlacementSearch,
     SearchConfig,
+    SearchEngine,
+    SearchCallback,
+    ProgressPrinter,
     single_gpu_placement,
     human_expert_placement,
 )
-from .sim import PlacementEnvironment, Topology, Simulator, CostModel
+from .sim import (
+    PlacementEnvironment,
+    Topology,
+    Simulator,
+    CostModel,
+    SerialBackend,
+    MemoBackend,
+    ParallelBackend,
+    make_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -49,11 +61,18 @@ __all__ = [
     "FixedGroupingGCNAgent",
     "PlacementSearch",
     "SearchConfig",
+    "SearchEngine",
+    "SearchCallback",
+    "ProgressPrinter",
     "single_gpu_placement",
     "human_expert_placement",
     "PlacementEnvironment",
     "Topology",
     "Simulator",
     "CostModel",
+    "SerialBackend",
+    "MemoBackend",
+    "ParallelBackend",
+    "make_backend",
     "__version__",
 ]

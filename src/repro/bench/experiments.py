@@ -20,7 +20,6 @@ from ..graph.models import build_benchmark
 from ..graph.opgraph import OpGraph
 from ..grouping.fluid import FluidGrouper
 from ..grouping.metis import MetisGrouper
-from ..grouping.simple import TopoBlockGrouper
 from ..sim.environment import PlacementEnvironment
 from .runner import ExperimentSpec, scale_profile
 

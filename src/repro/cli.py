@@ -18,8 +18,6 @@ import argparse
 import sys
 from typing import Optional
 
-import numpy as np
-
 __all__ = ["main", "build_parser"]
 
 
@@ -48,6 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--groups", type=int, default=64)
     p.add_argument("--hidden", type=int, default=128)
     p.add_argument("--checkpoint", default=None, help="write an .npz checkpoint here")
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="shard each minibatch over N simulator processes (0/1 = in-process)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable memoisation of repeated placements (the default backend "
+             "caches the deterministic simulator outcome; noise and env-clock "
+             "charges stay per-evaluation, so results are identical either way)",
+    )
 
     p = sub.add_parser("gantt", help="render a placement's execution timeline")
     add_common(p)
@@ -106,7 +114,8 @@ def cmd_eval(args) -> int:
 
 def cmd_place(args) -> int:
     from .bench.experiments import make_agent
-    from .core import PlacementSearch, SearchConfig
+    from .core import PlacementSearch, ProgressPrinter, SearchConfig
+    from .sim import MemoBackend, make_backend
 
     graph, env = _make_env(args)
     agent = make_agent(
@@ -115,15 +124,20 @@ def cmd_place(args) -> int:
         topology=env.topology,
     )
     config = SearchConfig(max_samples=args.samples, entropy_coef=0.1, entropy_coef_final=0.01)
-
-    def progress(n, best, stats):
-        if n % 50 == 0:
-            best_ms = best * 1000 if np.isfinite(best) else float("nan")
-            print(f"  {n:5d}/{args.samples} samples, best {best_ms:8.1f} ms/step")
-
-    result = PlacementSearch(agent, env, args.algorithm, config).run(progress=progress)
+    backend = make_backend(env, workers=args.workers, cache=not args.no_cache, seed=args.seed)
+    try:
+        search = PlacementSearch(agent, env, args.algorithm, config, backend=backend)
+        result = search.run(callbacks=[ProgressPrinter(interval=50, total=args.samples)])
+    finally:
+        backend.close()
     print(f"best placement: {result.final_time * 1000:.1f} ms/step "
           f"({result.num_invalid}/{result.num_samples} invalid)")
+    if isinstance(backend, MemoBackend) and backend.hits:
+        print(f"  cache: {backend.hits} hits / {backend.misses} misses "
+              f"({backend.hit_rate:.0%} of evaluations skipped the simulator)")
+    if args.workers > 1:
+        print(f"  parallel: {args.workers} workers, "
+              f"{int(backend.stats()['dispatched'])} simulations sharded")
     if args.checkpoint:
         from .core.checkpoint import save_checkpoint
 

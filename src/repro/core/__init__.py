@@ -8,10 +8,36 @@ from .fixed_group import FixedGroupingSeq2SeqAgent, FixedGroupingGCNAgent
 from .post import PostAgent
 from .predefined import single_gpu_placement, human_expert_placement
 from .search import PlacementSearch, SearchConfig, SearchHistory, SearchResult
+from .engine import (
+    SearchEngine,
+    BudgetTracker,
+    BestTracker,
+    RewardShaper,
+    EntropyAnnealer,
+    build_algorithm,
+)
+from .events import (
+    SearchCallback,
+    CallbackList,
+    HistoryRecorder,
+    ProgressPrinter,
+    LegacyProgressAdapter,
+)
 from .heuristic_placement import scotch_style_placement, RandomSearchAgent
 from .checkpoint import save_checkpoint, load_checkpoint, restore_agent
 
 __all__ = [
+    "SearchEngine",
+    "BudgetTracker",
+    "BestTracker",
+    "RewardShaper",
+    "EntropyAnnealer",
+    "build_algorithm",
+    "SearchCallback",
+    "CallbackList",
+    "HistoryRecorder",
+    "ProgressPrinter",
+    "LegacyProgressAdapter",
     "PlacementAgentBase",
     "GrouperPlacerBridge",
     "EagleAgent",

@@ -21,11 +21,10 @@ together".
 
 from __future__ import annotations
 
-from typing import Union
 
 import numpy as np
 
-from ..nn import LSTM, Linear, Module, Tensor
+from ..nn import LSTM, Module, Tensor
 
 __all__ = ["GrouperPlacerBridge"]
 

@@ -8,7 +8,7 @@ their winning placements shipped to the training job.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -1,0 +1,351 @@
+"""The search engine: composable pieces of the training protocol (§IV-C).
+
+The historical ``PlacementSearch.run`` monolith is decomposed into
+
+* :class:`BudgetTracker` — sample / environment-time budgets and batch sizing;
+* :class:`BestTracker` — best placement, worst valid time, adaptive failure
+  charge;
+* :class:`RewardShaper` — the ``-sqrt(t)`` reward of Eq. 4 with the adaptive
+  failure time;
+* :class:`EntropyAnnealer` — linear entropy-coefficient schedule (explore
+  early, commit late);
+* an :class:`~repro.sim.backends.EvaluationBackend` that measures whole
+  minibatches (serial, memoized, or multiprocess);
+* a :class:`~repro.core.events.SearchCallback` event layer for everything
+  observational (history recording, progress printing, metrics export).
+
+:class:`SearchEngine` wires them together.  With the default
+:class:`~repro.sim.backends.SerialBackend` and unchanged seeds it reproduces
+the pre-decomposition results bit-for-bit: measurements are committed in
+submission order against the environment's single RNG stream, per-sample
+environment times are reconstructed from the per-measurement charges, and
+rewards still see the failure time as updated by earlier samples of the same
+minibatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..rl.algorithms import make_algorithm
+from ..rl.reward import EMABaseline, compute_advantages, reward_from_time
+from ..rl.rollout import RolloutBatch
+from ..sim.backends import EvaluationBackend, SerialBackend
+from ..sim.environment import Measurement, PlacementEnvironment
+from .agent_base import PlacementAgentBase
+from .events import CallbackList, HistoryRecorder, SearchCallback
+
+__all__ = [
+    "SearchConfig",
+    "SearchHistory",
+    "SearchResult",
+    "BudgetTracker",
+    "BestTracker",
+    "RewardShaper",
+    "EntropyAnnealer",
+    "SearchEngine",
+    "build_algorithm",
+]
+
+
+@dataclass
+class SearchConfig:
+    """Hyperparameters of the search loop (§IV-C defaults).
+
+    ``failure_time=None`` enables the adaptive rule: invalid placements are
+    charged twice the worst valid per-step time seen so far (60 s before any
+    valid sample exists).
+    """
+
+    minibatch_size: int = 10
+    max_samples: int = 500
+    max_env_time: Optional[float] = None
+    failure_time: Optional[float] = None
+    ema_decay: float = 0.9
+    normalize_advantages: bool = True
+    lr: float = 0.01
+    entropy_coef: float = 0.1
+    #: if set, the entropy coefficient is annealed linearly from
+    #: ``entropy_coef`` to this value over the sample budget (explore early,
+    #: commit late).
+    entropy_coef_final: Optional[float] = None
+    max_grad_norm: float = 1.0
+    clip_epsilon: float = 0.3
+    ppo_epochs: int = 4
+    ce_interval: int = 50
+    num_elites: int = 5
+
+    def __post_init__(self) -> None:
+        if self.minibatch_size < 1 or self.max_samples < 1:
+            raise ValueError("minibatch_size and max_samples must be >= 1")
+
+
+@dataclass
+class SearchHistory:
+    """Per-sample training trace."""
+
+    env_time: List[float] = field(default_factory=list)
+    per_step_time: List[float] = field(default_factory=list)
+    best_so_far: List[float] = field(default_factory=list)
+    valid: List[bool] = field(default_factory=list)
+
+    def record(self, env_time: float, step_time: float, best: float, valid: bool) -> None:
+        self.env_time.append(env_time)
+        self.per_step_time.append(step_time)
+        self.best_so_far.append(best)
+        self.valid.append(valid)
+
+    def __len__(self) -> int:
+        return len(self.env_time)
+
+    @property
+    def num_invalid(self) -> int:
+        return sum(not v for v in self.valid)
+
+    def time_to_best(self, tolerance: float = 1.005) -> float:
+        """Environment time at which the search first came within
+        ``tolerance`` of its final best (the Figs. 5–7 "speed" metric).
+
+        NaN for an empty history and for a run that never produced a valid
+        placement (its "best" is +inf, so no finite time-to-best exists).
+        """
+        if not self.env_time:
+            return float("nan")
+        final = self.best_so_far[-1]
+        if not np.isfinite(final):
+            return float("nan")
+        for t, b in zip(self.env_time, self.best_so_far):
+            if b <= final * tolerance:
+                return t
+        return self.env_time[-1]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one training run."""
+
+    best_placement: Optional[np.ndarray]
+    best_time: float
+    final_time: float
+    history: SearchHistory
+    num_samples: int
+    num_invalid: int
+    env_time: float
+    algorithm: str
+
+
+def build_algorithm(
+    name: str, agent: PlacementAgentBase, config: SearchConfig, num_devices: int
+):
+    """Instantiate an RL algorithm from a :class:`SearchConfig`."""
+    kwargs = dict(
+        lr=config.lr,
+        entropy_coef=config.entropy_coef,
+        max_grad_norm=config.max_grad_norm,
+    )
+    if name.lower() != "reinforce":
+        kwargs.update(clip_epsilon=config.clip_epsilon, epochs=config.ppo_epochs)
+    if name.lower() in ("ppo_ce", "ppo+ce", "post"):
+        kwargs.update(ce_interval=config.ce_interval, num_elites=config.num_elites)
+    if name.lower() in ("ppo_value", "a2c"):
+        kwargs.update(num_devices=num_devices)
+    return make_algorithm(name, agent, **kwargs)
+
+
+@dataclass
+class BudgetTracker:
+    """Sample / environment-time budgets and minibatch sizing."""
+
+    max_samples: int
+    max_env_time: Optional[float] = None
+
+    def exhausted(self, num_samples: int, env_time: float) -> bool:
+        if num_samples >= self.max_samples:
+            return True
+        return self.max_env_time is not None and env_time >= self.max_env_time
+
+    def next_batch_size(self, minibatch_size: int, num_samples: int) -> int:
+        """Clip the minibatch so the sample budget is hit exactly."""
+        return min(minibatch_size, self.max_samples - num_samples)
+
+    def progress(self, num_samples: int) -> float:
+        """Fraction of the sample budget consumed (annealing schedules)."""
+        return num_samples / self.max_samples
+
+
+class BestTracker:
+    """Best placement, worst valid time, and the adaptive failure charge."""
+
+    def __init__(self, explicit_failure_time: Optional[float] = None) -> None:
+        self.explicit_failure_time = explicit_failure_time
+        self.best_placement: Optional[np.ndarray] = None
+        self.best_time = float("inf")
+        self.worst_valid = 0.0
+
+    def observe(self, placement: np.ndarray, measurement: Measurement) -> bool:
+        """Fold one measurement in; True iff the best placement improved."""
+        if not measurement.valid:
+            return False
+        self.worst_valid = max(self.worst_valid, measurement.per_step_time)
+        if measurement.per_step_time < self.best_time:
+            self.best_time = measurement.per_step_time
+            self.best_placement = np.asarray(placement).copy()
+            return True
+        return False
+
+    def failure_time(self) -> float:
+        """Reward charge for invalid placements: the configured constant, or
+        twice the worst valid time seen (60 s before any valid sample)."""
+        if self.explicit_failure_time is not None:
+            return self.explicit_failure_time
+        return 2.0 * self.worst_valid if self.worst_valid > 0 else 60.0
+
+
+class RewardShaper:
+    """Eq. 4: ``R = -sqrt(t)`` with the tracker's adaptive failure charge."""
+
+    def __init__(self, tracker: BestTracker) -> None:
+        self.tracker = tracker
+
+    def shape(self, measurement: Measurement) -> float:
+        return reward_from_time(measurement.per_step_time, self.tracker.failure_time())
+
+
+class EntropyAnnealer:
+    """Linear entropy-coefficient schedule over the sample budget."""
+
+    def __init__(self, start: float, final: Optional[float] = None) -> None:
+        self.start = start
+        self.final = final
+
+    def coef(self, progress: float) -> float:
+        if self.final is None:
+            return self.start
+        return self.start + (self.final - self.start) * progress
+
+
+class SearchEngine:
+    """Drives one agent against one environment through a backend.
+
+    Parameters
+    ----------
+    agent, environment, algorithm, config:
+        As in the historical ``PlacementSearch``.
+    backend:
+        An :class:`EvaluationBackend`; defaults to a fresh
+        :class:`SerialBackend` over ``environment``.  The engine does not
+        close a caller-supplied backend.
+    callbacks:
+        Extra :class:`SearchCallback` observers.  A
+        :class:`HistoryRecorder` over ``self.history`` is always installed
+        first.
+    """
+
+    def __init__(
+        self,
+        agent: PlacementAgentBase,
+        environment: PlacementEnvironment,
+        algorithm: str = "ppo",
+        config: Optional[SearchConfig] = None,
+        *,
+        backend: Optional[EvaluationBackend] = None,
+        callbacks: Iterable[SearchCallback] = (),
+    ) -> None:
+        self.agent = agent
+        self.environment = environment
+        self.config = config or SearchConfig()
+        self.algorithm_name = algorithm
+        self.algorithm = build_algorithm(
+            algorithm, agent, self.config, environment.num_devices
+        )
+        self.backend = backend if backend is not None else SerialBackend(environment)
+        self.baseline = EMABaseline(decay=self.config.ema_decay)
+        self.budget = BudgetTracker(self.config.max_samples, self.config.max_env_time)
+        self.tracker = BestTracker(self.config.failure_time)
+        self.shaper = RewardShaper(self.tracker)
+        self.annealer = EntropyAnnealer(
+            self.config.entropy_coef, self.config.entropy_coef_final
+        )
+        self.history = SearchHistory()
+        self.callbacks = CallbackList([HistoryRecorder(self.history)])
+        for cb in callbacks:
+            self.callbacks.add(cb)
+        #: samples measured so far (== len(self.history)).
+        self.num_samples = 0
+        #: environment clock through the most recent measurement; equals
+        #: ``environment.env_time`` at batch boundaries but is also exact
+        #: per-sample while a batch's measurements are being folded in.
+        self.env_time = environment.env_time
+
+    # ------------------------------------------------------------------ #
+    @property
+    def best_time(self) -> float:
+        return self.tracker.best_time
+
+    @property
+    def best_placement(self) -> Optional[np.ndarray]:
+        return self.tracker.best_placement
+
+    def add_callback(self, callback: SearchCallback) -> None:
+        self.callbacks.add(callback)
+
+    # ------------------------------------------------------------------ #
+    def _run_batch(self, batch_index: int) -> None:
+        cfg = self.config
+        self.algorithm.entropy_coef = self.annealer.coef(
+            self.budget.progress(self.num_samples)
+        )
+        batch_size = self.budget.next_batch_size(cfg.minibatch_size, self.num_samples)
+        self.callbacks.on_batch_start(self, batch_index, batch_size)
+        samples = self.agent.sample_placements(batch_size)
+        # Reconstruct the per-sample clock exactly as serial evaluation would
+        # have advanced it: same start value, same left-to-right additions.
+        clock = self.environment.env_time
+        measurements = self.backend.evaluate_batch([s.op_placement for s in samples])
+        for sample, m in zip(samples, measurements):
+            clock += m.env_time_charged
+            self.env_time = clock
+            sample.valid = m.valid
+            sample.per_step_time = m.per_step_time
+            improved = self.tracker.observe(sample.op_placement, m)
+            sample.reward = self.shaper.shape(m)
+            self.num_samples += 1
+            self.callbacks.on_measurement(self, sample, m)
+            if improved:
+                self.callbacks.on_best(self, self.tracker.best_placement, self.tracker.best_time)
+        advantages = compute_advantages(
+            [s.reward for s in samples], self.baseline, cfg.normalize_advantages
+        )
+        stats = self.algorithm.update(RolloutBatch(samples, advantages))
+        self.callbacks.on_update(self, stats)
+
+    def run(self, callbacks: Iterable[SearchCallback] = ()) -> SearchResult:
+        """Run the search to its budget; returns the best placement found."""
+        for cb in callbacks:
+            self.callbacks.add(cb)
+        self.callbacks.on_search_start(self)
+        batch_index = 0
+        while not self.budget.exhausted(self.num_samples, self.environment.env_time):
+            self._run_batch(batch_index)
+            batch_index += 1
+
+        final_time = self.tracker.best_time
+        if self.tracker.best_placement is not None:
+            final = self.environment.final_evaluate(self.tracker.best_placement)
+            if final.valid:
+                final_time = final.per_step_time
+        result = SearchResult(
+            best_placement=self.tracker.best_placement,
+            best_time=self.tracker.best_time,
+            final_time=final_time,
+            history=self.history,
+            num_samples=self.num_samples,
+            num_invalid=self.history.num_invalid,
+            env_time=self.environment.env_time,
+            algorithm=self.algorithm_name,
+        )
+        self.callbacks.on_search_end(self, result)
+        return result

@@ -1,0 +1,167 @@
+"""The search engine's event/callback layer.
+
+Everything that used to be inlined in the training loop but is not part of
+the training *math* — history recording, progress printing, future metrics
+exporters — is an observer.  A :class:`SearchCallback` subscribes to the
+engine's lifecycle:
+
+``on_search_start(engine)``
+    Before the first minibatch.
+``on_batch_start(engine, batch_index, batch_size)``
+    A minibatch is about to be sampled and measured.
+``on_measurement(engine, sample, measurement)``
+    One sample has been measured, reward-shaped, and folded into the best/
+    worst trackers; ``engine.env_time`` is the environment clock *through
+    this measurement* (exact even when the backend evaluated the whole batch
+    before rewards were computed).
+``on_best(engine, placement, per_step_time)``
+    The best-so-far placement improved (fires after ``on_measurement``).
+``on_update(engine, stats)``
+    The RL algorithm finished a policy update for the minibatch.
+``on_search_end(engine, result)``
+    The budget is exhausted and the final evaluation is done.
+
+Hooks the observer does not define are inherited as no-ops, so callbacks
+implement only what they care about.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..rl.rollout import PlacementSample
+    from ..sim.environment import Measurement
+    from .search import SearchHistory, SearchResult
+
+__all__ = [
+    "ProgressCallback",
+    "SearchCallback",
+    "CallbackList",
+    "HistoryRecorder",
+    "ProgressPrinter",
+    "LegacyProgressAdapter",
+]
+
+#: Signature of the deprecated ``PlacementSearch.run(progress=...)`` hook:
+#: ``(num_samples, best_per_step_time, update_stats) -> None``.
+ProgressCallback = Callable[[int, float, Dict[str, float]], None]
+
+
+class SearchCallback:
+    """Base observer; every hook defaults to a no-op."""
+
+    def on_search_start(self, engine) -> None:
+        pass
+
+    def on_batch_start(self, engine, batch_index: int, batch_size: int) -> None:
+        pass
+
+    def on_measurement(self, engine, sample: "PlacementSample", measurement: "Measurement") -> None:
+        pass
+
+    def on_best(self, engine, placement: np.ndarray, per_step_time: float) -> None:
+        pass
+
+    def on_update(self, engine, stats: Dict[str, float]) -> None:
+        pass
+
+    def on_search_end(self, engine, result: "SearchResult") -> None:
+        pass
+
+
+class CallbackList(SearchCallback):
+    """Dispatches every event to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Iterable[SearchCallback] = ()) -> None:
+        self.callbacks: List[SearchCallback] = list(callbacks)
+
+    def add(self, callback: SearchCallback) -> None:
+        self.callbacks.append(callback)
+
+    def on_search_start(self, engine) -> None:
+        for cb in self.callbacks:
+            cb.on_search_start(engine)
+
+    def on_batch_start(self, engine, batch_index: int, batch_size: int) -> None:
+        for cb in self.callbacks:
+            cb.on_batch_start(engine, batch_index, batch_size)
+
+    def on_measurement(self, engine, sample, measurement) -> None:
+        for cb in self.callbacks:
+            cb.on_measurement(engine, sample, measurement)
+
+    def on_best(self, engine, placement: np.ndarray, per_step_time: float) -> None:
+        for cb in self.callbacks:
+            cb.on_best(engine, placement, per_step_time)
+
+    def on_update(self, engine, stats: Dict[str, float]) -> None:
+        for cb in self.callbacks:
+            cb.on_update(engine, stats)
+
+    def on_search_end(self, engine, result) -> None:
+        for cb in self.callbacks:
+            cb.on_search_end(engine, result)
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+
+class HistoryRecorder(SearchCallback):
+    """Writes the per-sample trace (Figs. 2, 5–7) into a ``SearchHistory``.
+
+    The engine installs one of these over its own history by default; extra
+    recorders may target separate histories (e.g. per-phase traces).
+    """
+
+    def __init__(self, history: "SearchHistory") -> None:
+        self.history = history
+
+    def on_measurement(self, engine, sample, measurement) -> None:
+        self.history.record(
+            engine.env_time, measurement.per_step_time, engine.best_time, measurement.valid
+        )
+
+
+class ProgressPrinter(SearchCallback):
+    """Prints a one-line status every ``interval`` samples."""
+
+    def __init__(
+        self, interval: int = 50, total: Optional[int] = None, stream: Optional[IO] = None
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.total = total
+        self.stream = stream
+        self._next = interval
+
+    def on_update(self, engine, stats: Dict[str, float]) -> None:
+        if engine.num_samples < self._next:
+            return
+        while self._next <= engine.num_samples:
+            self._next += self.interval
+        best = engine.best_time
+        best_ms = best * 1000 if np.isfinite(best) else float("nan")
+        total = self.total if self.total is not None else engine.config.max_samples
+        print(
+            f"  {engine.num_samples:5d}/{total} samples, best {best_ms:8.1f} ms/step",
+            file=self.stream or sys.stdout,
+        )
+
+
+class LegacyProgressAdapter(SearchCallback):
+    """Adapts the deprecated ``progress`` callable to the event layer.
+
+    Preserves the historical contract exactly: called once per policy update
+    with ``(num_samples, best_per_step_time, update_stats)``.
+    """
+
+    def __init__(self, fn: ProgressCallback) -> None:
+        self.fn = fn
+
+    def on_update(self, engine, stats: Dict[str, float]) -> None:
+        self.fn(engine.num_samples, engine.best_time, stats)

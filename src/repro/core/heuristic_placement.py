@@ -17,7 +17,7 @@ uniform placements — the floor any RL agent must clear.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

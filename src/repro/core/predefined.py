@@ -19,7 +19,7 @@ forward op's device, like TF colocation).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict
 
 import numpy as np
 

@@ -1,114 +1,46 @@
 """The placement search loop — agent × environment × algorithm.
 
 Implements the training protocol of §IV-C: sample a minibatch of placements
-from the agent, measure each on the environment (15 simulated steps, 5
-discarded), shape rewards as ``-sqrt(t)``, compute advantages against the
-EMA baseline, and update the agent with the chosen algorithm.  The loop runs
-until a sample budget or a simulated environment-time budget (the paper
-trains for wall-clock hours) is exhausted.
+from the agent, measure each through an evaluation backend (15 simulated
+steps, 5 discarded), shape rewards as ``-sqrt(t)``, compute advantages
+against the EMA baseline, and update the agent with the chosen algorithm.
+The loop runs until a sample budget or a simulated environment-time budget
+(the paper trains for wall-clock hours) is exhausted.
 
-The per-sample history (environment time, measured time, best-so-far) is
-recorded for the training-process figures (Figs. 2, 5–7).
+:class:`PlacementSearch` is the stable front door; the actual loop lives in
+:class:`repro.core.engine.SearchEngine`, decomposed into budget/best/reward/
+annealing components, a pluggable :class:`repro.sim.backends
+.EvaluationBackend` (serial, memoized, or multiprocess), and a
+:class:`repro.core.events.SearchCallback` event layer.  The per-sample
+history (environment time, measured time, best-so-far) is recorded by a
+:class:`repro.core.events.HistoryRecorder` observer for the training-process
+figures (Figs. 2, 5–7).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import Iterable, Optional
 
 import numpy as np
 
-from ..rl.algorithms import make_algorithm
-from ..rl.reward import EMABaseline, compute_advantages, reward_from_time
-from ..rl.rollout import RolloutBatch
+from ..sim.backends import EvaluationBackend
 from ..sim.environment import PlacementEnvironment
 from .agent_base import PlacementAgentBase
+from .engine import SearchConfig, SearchEngine, SearchHistory, SearchResult
+from .events import LegacyProgressAdapter, ProgressCallback, SearchCallback
 
 __all__ = ["SearchConfig", "SearchHistory", "SearchResult", "PlacementSearch"]
 
 
-@dataclass
-class SearchConfig:
-    """Hyperparameters of the search loop (§IV-C defaults).
-
-    ``failure_time=None`` enables the adaptive rule: invalid placements are
-    charged twice the worst valid per-step time seen so far (60 s before any
-    valid sample exists).
-    """
-
-    minibatch_size: int = 10
-    max_samples: int = 500
-    max_env_time: Optional[float] = None
-    failure_time: Optional[float] = None
-    ema_decay: float = 0.9
-    normalize_advantages: bool = True
-    lr: float = 0.01
-    entropy_coef: float = 0.1
-    #: if set, the entropy coefficient is annealed linearly from
-    #: ``entropy_coef`` to this value over the sample budget (explore early,
-    #: commit late).
-    entropy_coef_final: Optional[float] = None
-    max_grad_norm: float = 1.0
-    clip_epsilon: float = 0.3
-    ppo_epochs: int = 4
-    ce_interval: int = 50
-    num_elites: int = 5
-
-    def __post_init__(self) -> None:
-        if self.minibatch_size < 1 or self.max_samples < 1:
-            raise ValueError("minibatch_size and max_samples must be >= 1")
-
-
-@dataclass
-class SearchHistory:
-    """Per-sample training trace."""
-
-    env_time: List[float] = field(default_factory=list)
-    per_step_time: List[float] = field(default_factory=list)
-    best_so_far: List[float] = field(default_factory=list)
-    valid: List[bool] = field(default_factory=list)
-
-    def record(self, env_time: float, step_time: float, best: float, valid: bool) -> None:
-        self.env_time.append(env_time)
-        self.per_step_time.append(step_time)
-        self.best_so_far.append(best)
-        self.valid.append(valid)
-
-    def __len__(self) -> int:
-        return len(self.env_time)
-
-    @property
-    def num_invalid(self) -> int:
-        return sum(not v for v in self.valid)
-
-    def time_to_best(self, tolerance: float = 1.005) -> float:
-        """Environment time at which the search first came within
-        ``tolerance`` of its final best (the Figs. 5–7 "speed" metric)."""
-        if not self.env_time:
-            return float("nan")
-        final = self.best_so_far[-1]
-        for t, b in zip(self.env_time, self.best_so_far):
-            if b <= final * tolerance:
-                return t
-        return self.env_time[-1]
-
-
-@dataclass
-class SearchResult:
-    """Outcome of one training run."""
-
-    best_placement: Optional[np.ndarray]
-    best_time: float
-    final_time: float
-    history: SearchHistory
-    num_samples: int
-    num_invalid: int
-    env_time: float
-    algorithm: str
-
-
 class PlacementSearch:
-    """Trains one agent on one environment with one algorithm."""
+    """Trains one agent on one environment with one algorithm.
+
+    A thin facade over :class:`~repro.core.engine.SearchEngine` that keeps
+    the historical constructor and ``run`` signature.  ``backend`` selects
+    the evaluation backend (default: serial, the historical behaviour);
+    ``callbacks`` subscribes observers to the engine's event layer.
+    """
 
     def __init__(
         self,
@@ -116,82 +48,88 @@ class PlacementSearch:
         environment: PlacementEnvironment,
         algorithm: str = "ppo",
         config: Optional[SearchConfig] = None,
+        *,
+        backend: Optional[EvaluationBackend] = None,
+        callbacks: Iterable[SearchCallback] = (),
     ) -> None:
-        self.agent = agent
-        self.environment = environment
-        self.config = config or SearchConfig()
-        self.algorithm_name = algorithm
-        cfg = self.config
-        kwargs = dict(
-            lr=cfg.lr,
-            entropy_coef=cfg.entropy_coef,
-            max_grad_norm=cfg.max_grad_norm,
+        self.engine = SearchEngine(
+            agent, environment, algorithm, config, backend=backend, callbacks=callbacks
         )
-        if algorithm.lower() != "reinforce":
-            kwargs.update(clip_epsilon=cfg.clip_epsilon, epochs=cfg.ppo_epochs)
-        if algorithm.lower() in ("ppo_ce", "ppo+ce", "post"):
-            kwargs.update(ce_interval=cfg.ce_interval, num_elites=cfg.num_elites)
-        if algorithm.lower() in ("ppo_value", "a2c"):
-            kwargs.update(num_devices=environment.num_devices)
-        self.algorithm = make_algorithm(algorithm, agent, **kwargs)
-        self.baseline = EMABaseline(decay=cfg.ema_decay)
-        self.history = SearchHistory()
-        self._best_placement: Optional[np.ndarray] = None
-        self._best_time = float("inf")
-        self._worst_valid = 0.0
 
-    # ------------------------------------------------------------------ #
+    # -- engine views ---------------------------------------------------- #
+    @property
+    def agent(self) -> PlacementAgentBase:
+        return self.engine.agent
+
+    @property
+    def environment(self) -> PlacementEnvironment:
+        return self.engine.environment
+
+    @property
+    def config(self) -> SearchConfig:
+        return self.engine.config
+
+    @property
+    def algorithm(self):
+        return self.engine.algorithm
+
+    @property
+    def algorithm_name(self) -> str:
+        return self.engine.algorithm_name
+
+    @property
+    def backend(self) -> EvaluationBackend:
+        return self.engine.backend
+
+    @property
+    def baseline(self):
+        return self.engine.baseline
+
+    @property
+    def history(self) -> SearchHistory:
+        return self.engine.history
+
+    # -- historical internals, preserved for callers/tests --------------- #
+    @property
+    def _best_placement(self) -> Optional[np.ndarray]:
+        return self.engine.tracker.best_placement
+
+    @property
+    def _best_time(self) -> float:
+        return self.engine.tracker.best_time
+
+    @property
+    def _worst_valid(self) -> float:
+        return self.engine.tracker.worst_valid
+
+    @_worst_valid.setter
+    def _worst_valid(self, value: float) -> None:
+        self.engine.tracker.worst_valid = value
+
     def _failure_time(self) -> float:
-        if self.config.failure_time is not None:
-            return self.config.failure_time
-        return 2.0 * self._worst_valid if self._worst_valid > 0 else 60.0
+        return self.engine.tracker.failure_time()
 
-    def run(self, progress: Optional[callable] = None) -> SearchResult:
-        """Run the search to its budget; returns the best placement found."""
-        cfg = self.config
-        while len(self.history) < cfg.max_samples:
-            if cfg.max_env_time is not None and self.environment.env_time >= cfg.max_env_time:
-                break
-            if cfg.entropy_coef_final is not None:
-                progress_frac = len(self.history) / cfg.max_samples
-                self.algorithm.entropy_coef = (
-                    cfg.entropy_coef
-                    + (cfg.entropy_coef_final - cfg.entropy_coef) * progress_frac
-                )
-            batch_size = min(cfg.minibatch_size, cfg.max_samples - len(self.history))
-            samples = self.agent.sample_placements(batch_size)
-            for s in samples:
-                m = self.environment.evaluate(s.op_placement)
-                s.valid = m.valid
-                s.per_step_time = m.per_step_time
-                if m.valid:
-                    self._worst_valid = max(self._worst_valid, m.per_step_time)
-                    if m.per_step_time < self._best_time:
-                        self._best_time = m.per_step_time
-                        self._best_placement = s.op_placement.copy()
-                s.reward = reward_from_time(m.per_step_time, self._failure_time())
-                self.history.record(
-                    self.environment.env_time, m.per_step_time, self._best_time, m.valid
-                )
-            advantages = compute_advantages(
-                [s.reward for s in samples], self.baseline, cfg.normalize_advantages
+    # -------------------------------------------------------------------- #
+    def run(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        callbacks: Iterable[SearchCallback] = (),
+    ) -> SearchResult:
+        """Run the search to its budget; returns the best placement found.
+
+        ``progress`` is deprecated: pass a
+        :class:`~repro.core.events.SearchCallback` (e.g.
+        :class:`~repro.core.events.ProgressPrinter`) via ``callbacks``
+        instead.  It keeps working through an adapter that fires on every
+        policy update with ``(num_samples, best_time, stats)``.
+        """
+        extra = list(callbacks)
+        if progress is not None:
+            warnings.warn(
+                "PlacementSearch.run(progress=...) is deprecated; subscribe a "
+                "SearchCallback via run(callbacks=[...]) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            stats = self.algorithm.update(RolloutBatch(samples, advantages))
-            if progress is not None:
-                progress(len(self.history), self._best_time, stats)
-
-        final_time = self._best_time
-        if self._best_placement is not None:
-            final = self.environment.final_evaluate(self._best_placement)
-            if final.valid:
-                final_time = final.per_step_time
-        return SearchResult(
-            best_placement=self._best_placement,
-            best_time=self._best_time,
-            final_time=final_time,
-            history=self.history,
-            num_samples=len(self.history),
-            num_invalid=self.history.num_invalid,
-            env_time=self.environment.env_time,
-            algorithm=self.algorithm_name,
-        )
+            extra.append(LegacyProgressAdapter(progress))
+        return self.engine.run(callbacks=extra)

@@ -14,7 +14,7 @@ trade-offs, since TensorFlow colocates gradient ops with their forward ops.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..costs import conv2d_flops, conv2d_out_shape, elementwise_flops, matmul_flops, pool_out_shape
 from ..opgraph import OpGraph, OpNode

@@ -7,7 +7,7 @@ hypothesis-based tests a cheap source of valid :class:`OpGraph` instances.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ one-screen profile used by the CLI and the examples.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 

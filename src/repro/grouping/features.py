@@ -25,7 +25,7 @@ Everything is vectorised into one ``(num_ops, dim)`` float matrix.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -14,12 +14,11 @@ DESIGN.md / EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from ..graph.opgraph import OpGraph
-from ..nn import Adam, Tensor, clip_grad_norm
+from ..nn import Adam, clip_grad_norm
 from ..nn.functional import cross_entropy
 from .feedforward import FeedForwardGrouper
 from .metis import partition_kway

@@ -7,7 +7,7 @@ generic helpers (one-hot encoding, masked fills).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -9,7 +9,7 @@ the embedding, since the adjacency matrix is a separate input (§III-C).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

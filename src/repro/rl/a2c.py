@@ -15,7 +15,7 @@ low-sample-rate placement environment, as the paper reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -17,8 +17,7 @@ placements over the top-5 elites.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Dict, List, Protocol, Tuple
 
 import numpy as np
 

@@ -3,7 +3,14 @@
 from .devices import DeviceSpec, LinkSpec, Topology
 from .cost_model import CostModel
 from .simulator import Simulator, StepBreakdown, OutOfMemoryError
-from .environment import PlacementEnvironment, Measurement
+from .environment import PlacementEnvironment, Measurement, RawOutcome
+from .backends import (
+    EvaluationBackend,
+    SerialBackend,
+    MemoBackend,
+    ParallelBackend,
+    make_backend,
+)
 from .trace import chrome_trace, ascii_gantt, critical_path
 from .memory import peak_memory, PeakMemoryReport
 
@@ -17,6 +24,12 @@ __all__ = [
     "OutOfMemoryError",
     "PlacementEnvironment",
     "Measurement",
+    "RawOutcome",
+    "EvaluationBackend",
+    "SerialBackend",
+    "MemoBackend",
+    "ParallelBackend",
+    "make_backend",
     "chrome_trace",
     "ascii_gantt",
     "critical_path",

@@ -1,0 +1,284 @@
+"""Pluggable placement-evaluation backends.
+
+The search engine never calls :meth:`PlacementEnvironment.evaluate` directly;
+it hands whole minibatches to an :class:`EvaluationBackend`.  This is the seam
+the interaction-time papers (Mirhoseini et al. '17, GDP '19) exploit with
+distributed measurement, and the one every future perf/robustness feature
+(async evaluation, remote measurement service, fault injection) plugs into.
+
+Three implementations ship today:
+
+:class:`SerialBackend`
+    One in-process simulation per placement — bit-for-bit the historical
+    behaviour of the search loop.
+
+:class:`MemoBackend`
+    Hashes each placement to its deterministic :class:`RawOutcome` (noiseless
+    makespan or OOM detail) and replays cache hits through
+    :meth:`PlacementEnvironment.commit`, so repeated placements skip the
+    simulator but still draw fresh measurement noise and pay the full
+    environment-clock charge.  Results are therefore *identical* to
+    :class:`SerialBackend` on the same seed — only faster.
+
+:class:`ParallelBackend`
+    Shards a minibatch across a multiprocessing pool.  Workers run only the
+    deterministic simulation; the coordinator commits the raw outcomes in
+    submission order against the environment's own RNG stream, so results
+    match :class:`SerialBackend` bit-for-bit regardless of worker count or
+    scheduling.  Each worker additionally owns a private
+    ``numpy.random.Generator`` spawned from a :class:`numpy.random.SeedSequence`
+    — worker-local stochastic extensions (fault injection, perturbed cost
+    models) stay deterministic per worker without touching the shared stream.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .environment import Measurement, PlacementEnvironment, RawOutcome
+from .simulator import Simulator
+
+__all__ = [
+    "EvaluationBackend",
+    "SerialBackend",
+    "MemoBackend",
+    "ParallelBackend",
+    "make_backend",
+]
+
+
+@runtime_checkable
+class EvaluationBackend(Protocol):
+    """Anything that can measure a minibatch of placements.
+
+    Implementations must preserve input order (``result[i]`` measures
+    ``placements[i]``) and advance the environment clock exactly as serial
+    evaluation would — the engine's budget accounting depends on it.
+    """
+
+    environment: PlacementEnvironment
+
+    def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
+        """Measure every placement, in order."""
+        ...
+
+    def close(self) -> None:
+        """Release any held resources (pools, sockets).  Idempotent."""
+        ...
+
+    def stats(self) -> Dict[str, float]:
+        """Backend-specific counters for observability."""
+        ...
+
+
+class SerialBackend:
+    """The historical behaviour: one in-process evaluation per placement."""
+
+    def __init__(self, environment: PlacementEnvironment) -> None:
+        self.environment = environment
+
+    def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
+        return [self.environment.evaluate(p) for p in placements]
+
+    def close(self) -> None:
+        pass
+
+    def stats(self) -> Dict[str, float]:
+        return {"evaluations": float(self.environment.num_evaluations)}
+
+
+def _placement_key(placement: Sequence[int]) -> bytes:
+    return np.ascontiguousarray(placement, dtype=np.int64).tobytes()
+
+
+class MemoBackend:
+    """Memoises the deterministic simulator outcome per placement.
+
+    The cache stores :class:`RawOutcome` objects — the noiseless makespan for
+    valid placements and the OOM detail for invalid ones.  Every call (hit or
+    miss) is still committed to the environment, so measurement noise and
+    environment-clock charges remain per-evaluation and the Figs. 5–7
+    accounting is unchanged; a hit merely skips the simulator.
+
+    ``max_entries`` bounds the cache LRU-style (unbounded by default — a raw
+    outcome is a few floats, and a search touches at most ``max_samples``
+    distinct placements).
+    """
+
+    def __init__(
+        self, environment: PlacementEnvironment, max_entries: Optional[int] = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.environment = environment
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[bytes, RawOutcome]" = OrderedDict()
+
+    def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
+        out = []
+        for placement in placements:
+            key = _placement_key(placement)
+            raw = self._store.get(key)
+            if raw is None:
+                self.misses += 1
+                raw = self.environment.simulate_raw(placement).without_breakdown()
+                self._store[key] = raw
+                if self.max_entries is not None and len(self._store) > self.max_entries:
+                    self._store.popitem(last=False)
+            else:
+                self.hits += 1
+                self._store.move_to_end(key)
+            out.append(self.environment.commit(raw))
+        return out
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "entries": float(len(self._store)),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side state for ParallelBackend.  Each pool process builds its own
+# Simulator once (the graph never changes during a search) plus a private RNG
+# stream; tasks then ship only the placement array.
+_worker_simulator: Optional[Simulator] = None
+_worker_rng: Optional[np.random.Generator] = None
+
+
+def _parallel_worker_init(graph, topology, cost_model, base_seed, counter) -> None:
+    global _worker_simulator, _worker_rng
+    _worker_simulator = Simulator(graph, topology, cost_model)
+    with counter.get_lock():
+        worker_index = counter.value
+        counter.value += 1
+    seq = np.random.SeedSequence(entropy=base_seed, spawn_key=(worker_index,))
+    _worker_rng = np.random.default_rng(seq)
+
+
+def _parallel_worker_simulate(placement: np.ndarray) -> RawOutcome:
+    assert _worker_simulator is not None, "worker pool not initialised"
+    try:
+        breakdown = _worker_simulator.simulate(placement)
+    except Exception as exc:  # OutOfMemoryError and friends
+        from .simulator import OutOfMemoryError
+
+        if isinstance(exc, OutOfMemoryError):
+            return RawOutcome(None, oom_detail=exc.overcommitted)
+        raise
+    return RawOutcome(breakdown.makespan)
+
+
+class ParallelBackend:
+    """Shards a minibatch across a multiprocessing pool.
+
+    Workers run only the *deterministic* simulation and return
+    :class:`RawOutcome` objects; the coordinator commits them in submission
+    order, drawing measurement noise from the environment's single RNG
+    stream.  Hence results are bit-for-bit identical to
+    :class:`SerialBackend` on the same seed, independent of ``workers`` and
+    of how the OS schedules them.
+
+    Per-worker RNG streams are spawned from ``SeedSequence(seed, spawn_key=
+    (worker_index,))`` for worker-local stochastic extensions; the base
+    measurement noise never comes from them.
+    """
+
+    def __init__(
+        self,
+        environment: PlacementEnvironment,
+        workers: Optional[int] = None,
+        *,
+        seed: int = 0,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        self.environment = environment
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.chunksize = chunksize
+        self.num_batches = 0
+        self.num_dispatched = 0
+        ctx = multiprocessing.get_context()
+        counter = ctx.Value("i", 0)
+        sim = environment.simulator
+        self._pool = ctx.Pool(
+            self.workers,
+            initializer=_parallel_worker_init,
+            initargs=(sim.graph, sim.topology, sim.cost_model, seed, counter),
+        )
+        # A leaked pool would hang interpreter shutdown; closing twice is fine.
+        atexit.register(self.close)
+
+    def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
+        if self._pool is None:
+            raise RuntimeError("ParallelBackend is closed")
+        arrays = [np.ascontiguousarray(p, dtype=np.int64) for p in placements]
+        chunksize = self.chunksize or max(1, len(arrays) // (2 * self.workers) or 1)
+        raws = self._pool.map(_parallel_worker_simulate, arrays, chunksize=chunksize)
+        self.num_batches += 1
+        self.num_dispatched += len(arrays)
+        return [self.environment.commit(raw) for raw in raws]
+
+    def close(self) -> None:
+        pool, self._pool = getattr(self, "_pool", None), None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def __enter__(self) -> "ParallelBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "workers": float(self.workers),
+            "batches": float(self.num_batches),
+            "dispatched": float(self.num_dispatched),
+        }
+
+
+def make_backend(
+    environment: PlacementEnvironment,
+    *,
+    workers: int = 0,
+    cache: bool = True,
+    seed: int = 0,
+) -> EvaluationBackend:
+    """Pick a backend from CLI-ish knobs.
+
+    ``workers > 1`` selects :class:`ParallelBackend`; otherwise ``cache``
+    selects :class:`MemoBackend` over :class:`SerialBackend`.  All three
+    produce identical measurements on a fixed environment seed.
+    """
+    if workers and workers > 1:
+        return ParallelBackend(environment, workers=workers, seed=seed)
+    if cache:
+        return MemoBackend(environment)
+    return SerialBackend(environment)

@@ -16,7 +16,7 @@ the all-GPU baseline on Inception-V3 (§IV-D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Mapping
 
 from ..graph.opgraph import OpNode
 from .devices import DeviceSpec

@@ -9,7 +9,7 @@ ablations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["DeviceSpec", "LinkSpec", "Topology"]

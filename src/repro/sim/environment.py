@@ -11,11 +11,25 @@ charged its setup cost plus the simulated duration of all measured steps.
 This clock is the x-axis of the paper's training-process figures (Figs. 5–7)
 — on the authors' testbed, interaction time dominates agent compute, and the
 same accounting applies here.
+
+Cache-vs-noise semantics
+------------------------
+An evaluation decomposes into a *deterministic* part (the simulator's
+noiseless makespan, or the OOM outcome) and a *per-evaluation* part (the
+lognormal measurement-noise draw and the environment-clock charge).  Only the
+deterministic part is cacheable: :meth:`PlacementEnvironment.simulate_raw`
+produces it as a :class:`RawOutcome`, and
+:meth:`PlacementEnvironment.commit` applies the per-evaluation part.
+``evaluate`` composes the two.  Memoising backends
+(:class:`repro.sim.backends.MemoBackend`) cache only the raw outcome and
+still ``commit`` every call, so repeated placements draw fresh noise and are
+charged full environment time — the Figs. 5–7 accounting is unchanged
+whether or not a cache sits in front of the simulator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,7 +39,7 @@ from .cost_model import CostModel
 from .devices import Topology
 from .simulator import OutOfMemoryError, Simulator, StepBreakdown
 
-__all__ = ["Measurement", "PlacementEnvironment"]
+__all__ = ["Measurement", "RawOutcome", "PlacementEnvironment"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +59,34 @@ class Measurement:
     @property
     def is_oom(self) -> bool:
         return not self.valid
+
+
+@dataclass(frozen=True)
+class RawOutcome:
+    """Deterministic simulator outcome for one placement.
+
+    This is the cacheable half of an evaluation (see the module docstring):
+    the noiseless makespan for valid placements (``base_time``), or the OOM
+    detail for invalid ones (``base_time is None``).  It carries no noise
+    draw and no clock charge — those are applied when the outcome is
+    *committed* to an environment.  Instances are immutable and picklable
+    (modulo ``breakdown``), so backends may cache them or ship them across
+    process boundaries.
+    """
+
+    base_time: Optional[float]
+    oom_detail: Optional[Dict[int, Tuple[float, float]]] = None
+    breakdown: Optional[StepBreakdown] = None
+
+    @property
+    def is_oom(self) -> bool:
+        return self.base_time is None
+
+    def without_breakdown(self) -> "RawOutcome":
+        """A copy safe to cache or pickle (drops the trace-sized breakdown)."""
+        if self.breakdown is None:
+            return self
+        return RawOutcome(self.base_time, self.oom_detail)
 
 
 class PlacementEnvironment:
@@ -98,7 +140,6 @@ class PlacementEnvironment:
         self.env_time = 0.0
         self.num_evaluations = 0
         self.num_oom = 0
-        self._cache: Dict[bytes, float] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -114,22 +155,39 @@ class PlacementEnvironment:
         return self.simulator.num_devices
 
     # ------------------------------------------------------------------ #
-    def evaluate(self, placement: Sequence[int], with_breakdown: bool = False) -> Measurement:
-        """Measure one placement, advancing the environment clock."""
-        self.num_evaluations += 1
+    def simulate_raw(self, placement: Sequence[int], with_breakdown: bool = False) -> RawOutcome:
+        """Deterministic simulator outcome; draws no noise, charges no time.
+
+        This is the cacheable half of :meth:`evaluate` — see the module
+        docstring for the cache-vs-noise contract.
+        """
         try:
             breakdown = self.simulator.simulate(placement)
         except OutOfMemoryError as exc:
+            return RawOutcome(None, oom_detail=exc.overcommitted)
+        return RawOutcome(
+            breakdown.makespan, breakdown=breakdown if with_breakdown else None
+        )
+
+    def commit(self, raw: RawOutcome) -> Measurement:
+        """Account one measurement of a raw outcome: draw the per-evaluation
+        noise, charge the environment clock, bump the counters.
+
+        Committing the same :class:`RawOutcome` twice models re-measuring the
+        same placement on the machine — each commit gets its own noise draw
+        and full clock charge.
+        """
+        self.num_evaluations += 1
+        if raw.is_oom:
             self.num_oom += 1
             self.env_time += self.oom_time_charge
             return Measurement(
                 per_step_time=float("inf"),
                 valid=False,
                 env_time_charged=self.oom_time_charge,
-                oom_detail=exc.overcommitted,
+                oom_detail=raw.oom_detail,
             )
-
-        base = breakdown.makespan
+        base = raw.base_time
         if self.noise_std > 0:
             noise = self._rng.lognormal(mean=0.0, sigma=self.noise_std, size=self.measure_steps)
             measured = float(base * noise.mean())
@@ -143,8 +201,12 @@ class PlacementEnvironment:
             per_step_time=measured,
             valid=True,
             env_time_charged=charged,
-            breakdown=breakdown if with_breakdown else None,
+            breakdown=raw.breakdown,
         )
+
+    def evaluate(self, placement: Sequence[int], with_breakdown: bool = False) -> Measurement:
+        """Measure one placement, advancing the environment clock."""
+        return self.commit(self.simulate_raw(placement, with_breakdown=with_breakdown))
 
     def final_evaluate(self, placement: Sequence[int], steps: int = 1000) -> Measurement:
         """The post-training evaluation of §IV-C: run the best placement for

@@ -15,11 +15,10 @@ to the OOM boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..graph.opgraph import OpGraph
 from .simulator import Simulator, StepBreakdown
 
 __all__ = ["PeakMemoryReport", "peak_memory"]
@@ -49,7 +48,6 @@ def peak_memory(sim: Simulator, placement: Sequence[int]) -> PeakMemoryReport:
     graph = sim.graph
     p = sim.normalize_placement(placement)
     bd: StepBreakdown = sim.simulate(p, record_trace=True)
-    n = graph.num_ops
     D = sim.num_devices
     cm = sim.cost_model
 

@@ -11,7 +11,7 @@ ASCII Gantt is for terminals and test output.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

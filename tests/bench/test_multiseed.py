@@ -1,7 +1,6 @@
 """Tests for the best-of-N-seeds runner logic and the device prior."""
 
 import numpy as np
-import pytest
 
 from repro.bench import ExperimentRunner, ExperimentSpec, default_spec
 from repro.bench.experiments import CPU_PRIOR, device_prior

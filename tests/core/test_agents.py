@@ -86,7 +86,6 @@ class TestEagleSpecifics:
 
     def test_warm_start_reduces_cut(self, layered_graph):
         from repro.grouping import cut_cost
-        from repro.grouping.pretrain import warm_start_assignment
 
         cold = EagleAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16, warm_start=None, seed=0)
         warm = EagleAgent(layered_graph, NUM_DEVICES, NUM_GROUPS, placer_hidden=16, warm_start="metis", seed=0)

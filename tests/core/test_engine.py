@@ -1,0 +1,295 @@
+"""Tests for the decomposed search engine, its components, and the event layer.
+
+The golden values below were captured from the pre-refactor monolithic
+``PlacementSearch.run`` (serial, in-process evaluation) on this exact
+scenario; the engine must reproduce them bit-for-bit with every backend.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import PostAgent, PlacementSearch, SearchConfig
+from repro.core.engine import (
+    BestTracker,
+    BudgetTracker,
+    EntropyAnnealer,
+    RewardShaper,
+    SearchEngine,
+)
+from repro.core.events import (
+    CallbackList,
+    HistoryRecorder,
+    LegacyProgressAdapter,
+    ProgressPrinter,
+    SearchCallback,
+)
+from repro.graph.models import build_random_layered
+from repro.sim import (
+    Measurement,
+    MemoBackend,
+    ParallelBackend,
+    PlacementEnvironment,
+    SerialBackend,
+    Topology,
+)
+
+# ---- golden scenario ------------------------------------------------------ #
+GOLDEN = {
+    "best_time": 0.011453786383283118,
+    "final_time": 0.011423572930178927,
+    "env_time": 41.571292693008985,
+    "num_invalid": 0,
+    "history_sha": "9c2a99d468837f04f8df83f47d46d42c55400408dbb13fcac9b74ee832ed6966",
+    "placement_sha": "d3c91eb0849e98cd557810abaee2438eadbb318f24a9df3b042ad48970f36a5f",
+}
+
+
+def golden_scenario():
+    graph = build_random_layered(num_layers=6, width=5, seed=7)
+    topo = Topology.default_4gpu(num_gpus=2)
+    env = PlacementEnvironment(graph, topo, seed=0, setup_time=1.0)
+    agent = PostAgent(graph, topo.num_devices, num_groups=6, seed=0)
+    config = SearchConfig(
+        max_samples=30, minibatch_size=10, entropy_coef=0.1, entropy_coef_final=0.01
+    )
+    return graph, env, agent, config
+
+
+def history_sha(history) -> str:
+    d = hashlib.sha256()
+    d.update(np.asarray(history.env_time, dtype=np.float64).tobytes())
+    d.update(np.asarray(history.per_step_time, dtype=np.float64).tobytes())
+    d.update(np.asarray(history.best_so_far, dtype=np.float64).tobytes())
+    d.update(np.asarray(history.valid, dtype=np.bool_).tobytes())
+    return d.hexdigest()
+
+
+def assert_matches_golden(result):
+    assert result.best_time == GOLDEN["best_time"]
+    assert result.final_time == GOLDEN["final_time"]
+    assert result.env_time == GOLDEN["env_time"]
+    assert result.num_invalid == GOLDEN["num_invalid"]
+    assert history_sha(result.history) == GOLDEN["history_sha"]
+    placement_sha = hashlib.sha256(
+        np.asarray(result.best_placement, dtype=np.int64).tobytes()
+    ).hexdigest()
+    assert placement_sha == GOLDEN["placement_sha"]
+
+
+class TestGoldenReproduction:
+    def test_default_backend_reproduces_prerefactor_result(self):
+        _, env, agent, config = golden_scenario()
+        result = PlacementSearch(agent, env, "ppo", config).run()
+        assert_matches_golden(result)
+
+    def test_serial_backend_explicit(self):
+        _, env, agent, config = golden_scenario()
+        result = PlacementSearch(agent, env, "ppo", config, backend=SerialBackend(env)).run()
+        assert_matches_golden(result)
+
+    def test_memo_backend_bit_for_bit(self):
+        _, env, agent, config = golden_scenario()
+        backend = MemoBackend(env)
+        result = PlacementSearch(agent, env, "ppo", config, backend=backend).run()
+        assert_matches_golden(result)
+        assert backend.misses == len(backend)
+
+    def test_parallel_backend_bit_for_bit(self):
+        _, env, agent, config = golden_scenario()
+        with ParallelBackend(env, workers=4, seed=0) as backend:
+            result = PlacementSearch(agent, env, "ppo", config, backend=backend).run()
+        assert_matches_golden(result)
+        assert backend.stats()["dispatched"] == 30.0
+
+    def test_engine_api_directly(self):
+        _, env, agent, config = golden_scenario()
+        result = SearchEngine(agent, env, "ppo", config).run()
+        assert_matches_golden(result)
+
+
+class TestMemoHitsAtScale:
+    def test_standard_500_sample_run_hits_cache(self):
+        graph = build_random_layered(num_layers=6, width=5, seed=7)
+        topo = Topology.default_4gpu(num_gpus=2)
+        env = PlacementEnvironment(graph, topo, seed=0, setup_time=1.0)
+        agent = PostAgent(graph, topo.num_devices, num_groups=6, seed=0)
+        config = SearchConfig(max_samples=500, entropy_coef=0.1, entropy_coef_final=0.01)
+        backend = MemoBackend(env)
+        result = PlacementSearch(agent, env, "ppo", config, backend=backend).run()
+        assert result.num_samples == 500
+        assert backend.hits > 0
+        assert backend.hits + backend.misses == 500
+        # the environment clock is charged for every sample, hits included
+        assert env.num_evaluations == 500
+
+
+class RecordingCallback(SearchCallback):
+    def __init__(self):
+        self.events = []
+
+    def on_search_start(self, engine):
+        self.events.append("start")
+
+    def on_batch_start(self, engine, batch_index, batch_size):
+        self.events.append(("batch", batch_index, batch_size))
+
+    def on_measurement(self, engine, sample, measurement):
+        self.events.append(("measure", engine.num_samples, engine.env_time))
+
+    def on_best(self, engine, placement, per_step_time):
+        self.events.append(("best", per_step_time))
+
+    def on_update(self, engine, stats):
+        self.events.append(("update", engine.num_samples))
+
+    def on_search_end(self, engine, result):
+        self.events.append(("end", result.num_samples))
+
+
+class TestEventLayer:
+    def run_small(self, callbacks=(), max_samples=20, minibatch=10):
+        _, env, agent, _ = golden_scenario()
+        config = SearchConfig(max_samples=max_samples, minibatch_size=minibatch)
+        search = PlacementSearch(agent, env, "ppo", config, callbacks=callbacks)
+        return search.run()
+
+    def test_event_sequence(self):
+        cb = RecordingCallback()
+        result = self.run_small(callbacks=[cb])
+        kinds = [e if isinstance(e, str) else e[0] for e in cb.events]
+        assert kinds[0] == "start" and kinds[-1] == "end"
+        assert kinds.count("batch") == 2 and kinds.count("update") == 2
+        assert kinds.count("measure") == 20
+        assert cb.events[-1] == ("end", result.num_samples)
+        # batch events carry index and size
+        assert ("batch", 0, 10) in cb.events and ("batch", 1, 10) in cb.events
+
+    def test_measurement_env_time_is_monotone_and_exact(self):
+        cb = RecordingCallback()
+        result = self.run_small(callbacks=[cb])
+        times = [e[2] for e in cb.events if e[0] == "measure"]
+        assert times == sorted(times)
+        assert times == result.history.env_time
+        assert times[-1] == result.env_time
+
+    def test_on_best_fires_with_decreasing_times(self):
+        cb = RecordingCallback()
+        self.run_small(callbacks=[cb])
+        bests = [e[1] for e in cb.events if e[0] == "best"]
+        assert bests  # at least one improvement on a valid run
+        assert bests == sorted(bests, reverse=True)
+        assert all(np.isfinite(b) for b in bests)
+
+    def test_history_recording_is_an_observer(self):
+        from repro.core.search import SearchHistory
+
+        mirror = SearchHistory()
+        result = self.run_small(callbacks=[HistoryRecorder(mirror)])
+        assert mirror.env_time == result.history.env_time
+        assert mirror.best_so_far == result.history.best_so_far
+
+    def test_progress_printer_interval(self, capsys):
+        self.run_small(callbacks=[ProgressPrinter(interval=10, total=20)])
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if "samples" in ln]
+        assert len(lines) == 2
+        assert "10/20 samples" in lines[0] and "20/20 samples" in lines[1]
+
+    def test_progress_printer_coarse_interval_no_double_fire(self, capsys):
+        self.run_small(callbacks=[ProgressPrinter(interval=15, total=20)])
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if "samples" in ln]
+        assert len(lines) == 1 and "20/20" in lines[0]
+
+    def test_legacy_progress_deprecated_but_working(self):
+        _, env, agent, _ = golden_scenario()
+        config = SearchConfig(max_samples=20, minibatch_size=10)
+        calls = []
+        with pytest.warns(DeprecationWarning):
+            PlacementSearch(agent, env, "ppo", config).run(
+                progress=lambda n, b, s: calls.append((n, b))
+            )
+        assert [n for n, _ in calls] == [10, 20]
+        assert all(np.isfinite(b) for _, b in calls)
+
+    def test_callback_list_dispatch(self):
+        a, b = RecordingCallback(), RecordingCallback()
+        cl = CallbackList([a])
+        cl.add(b)
+        cl.on_search_start(None)
+        assert a.events == ["start"] and b.events == ["start"]
+        assert len(cl) == 2
+
+    def test_legacy_adapter_unit(self):
+        calls = []
+
+        class FakeEngine:
+            num_samples = 7
+            best_time = 0.5
+
+        LegacyProgressAdapter(lambda n, b, s: calls.append((n, b, s))).on_update(
+            FakeEngine(), {"loss": 1.0}
+        )
+        assert calls == [(7, 0.5, {"loss": 1.0})]
+
+
+class TestComponents:
+    def test_budget_tracker(self):
+        b = BudgetTracker(max_samples=100, max_env_time=50.0)
+        assert not b.exhausted(99, 0.0)
+        assert b.exhausted(100, 0.0)
+        assert b.exhausted(0, 50.0)
+        assert b.next_batch_size(10, 95) == 5
+        assert b.progress(25) == 0.25
+
+    def test_best_tracker_observe_and_failure_time(self):
+        t = BestTracker()
+        assert t.failure_time() == 60.0
+        valid = Measurement(per_step_time=3.0, valid=True, env_time_charged=1.0)
+        assert t.observe(np.array([0, 1]), valid) is True
+        assert t.best_time == 3.0 and t.failure_time() == 6.0
+        worse = Measurement(per_step_time=5.0, valid=True, env_time_charged=1.0)
+        assert t.observe(np.array([1, 1]), worse) is False
+        assert t.worst_valid == 5.0 and t.failure_time() == 10.0
+        oom = Measurement(per_step_time=float("inf"), valid=False, env_time_charged=1.0)
+        assert t.observe(np.array([1, 0]), oom) is False
+        assert list(t.best_placement) == [0, 1]
+
+    def test_best_tracker_explicit_failure_time(self):
+        t = BestTracker(explicit_failure_time=42.0)
+        t.worst_valid = 100.0
+        assert t.failure_time() == 42.0
+
+    def test_best_tracker_copies_placement(self):
+        t = BestTracker()
+        p = np.array([0, 1])
+        t.observe(p, Measurement(1.0, True, 1.0))
+        p[0] = 9
+        assert list(t.best_placement) == [0, 1]
+
+    def test_reward_shaper_uses_adaptive_failure_time(self):
+        t = BestTracker()
+        shaper = RewardShaper(t)
+        oom = Measurement(float("inf"), False, 1.0)
+        assert shaper.shape(oom) == pytest.approx(-np.sqrt(60.0))
+        t.observe(np.array([0]), Measurement(4.0, True, 1.0))
+        assert shaper.shape(oom) == pytest.approx(-np.sqrt(8.0))
+        assert shaper.shape(Measurement(4.0, True, 1.0)) == pytest.approx(-2.0)
+
+    def test_entropy_annealer(self):
+        a = EntropyAnnealer(0.1)
+        assert a.coef(0.0) == a.coef(1.0) == 0.1
+        a = EntropyAnnealer(0.1, 0.01)
+        assert a.coef(0.0) == pytest.approx(0.1)
+        assert a.coef(1.0) == pytest.approx(0.01)
+        assert a.coef(0.5) == pytest.approx(0.055)
+
+    def test_facade_compat_attributes(self):
+        _, env, agent, config = golden_scenario()
+        search = PlacementSearch(agent, env, "ppo", config)
+        assert search._failure_time() == 60.0
+        search._worst_valid = 3.0
+        assert search._failure_time() == 6.0
+        assert search.environment is env
+        assert search.agent is agent
+        assert isinstance(search.backend, SerialBackend)

@@ -100,6 +100,27 @@ class TestSearchHistory:
     def test_time_to_best_empty(self):
         assert np.isnan(SearchHistory().time_to_best())
 
+    def test_time_to_best_all_invalid(self):
+        # A run that never found a valid placement has no finite best:
+        # there is no meaningful "time to best", so the metric is NaN.
+        h = SearchHistory()
+        h.record(1.0, float("inf"), float("inf"), False)
+        h.record(2.0, float("inf"), float("inf"), False)
+        assert np.isnan(h.time_to_best())
+
+    def test_time_to_best_single_sample(self):
+        h = SearchHistory()
+        h.record(5.0, 1.0, 1.0, True)
+        assert h.time_to_best() == 5.0
+
+    def test_time_to_best_late_improvement_within_tolerance(self):
+        # An early sample within tolerance of the final best wins.
+        h = SearchHistory()
+        h.record(10.0, 1.004, 1.004, True)
+        h.record(20.0, 1.0, 1.0, True)
+        assert h.time_to_best(tolerance=1.005) == 10.0
+        assert h.time_to_best(tolerance=1.001) == 20.0
+
     def test_num_invalid(self):
         h = SearchHistory()
         h.record(1.0, float("inf"), float("inf"), False)

@@ -1,9 +1,8 @@
 """Tests for OpGraph / TensorSpec / GroupedGraph."""
 
-import numpy as np
 import pytest
 
-from repro.graph.opgraph import GroupedGraph, OpGraph, TensorSpec
+from repro.graph.opgraph import OpGraph, TensorSpec
 
 
 class TestTensorSpec:
@@ -91,7 +90,7 @@ class TestTopology:
         g = OpGraph()
         g.add_op("a", "Relu", (1,))
         g.add_op("b", "Relu", (1,))
-        first = g.topological_order()
+        g.topological_order()  # populate the cache
         g.add_edge("b", "a")
         second = g.topological_order()
         assert second.index(1) < second.index(0)

@@ -1,6 +1,5 @@
 """Tests for the training-graph expansion (backward + optimizer ops)."""
 
-import numpy as np
 import pytest
 
 from repro.graph.models import build_chain, build_fan
@@ -72,7 +71,7 @@ class TestExpansion:
 
     def test_cpu_only_inherited(self):
         g = OpGraph()
-        a = g.add_op("gather", "Gather", (4,), flops=4, cpu_only=True, param_bytes=64)
+        g.add_op("gather", "Gather", (4,), flops=4, cpu_only=True, param_bytes=64)
         train = expand_training_graph(g)
         assert train.node("gather:grad").cpu_only
         assert train.node("gather:update").cpu_only

@@ -1,7 +1,6 @@
 """Tests for op feature extraction."""
 
 import numpy as np
-import pytest
 
 from repro.grouping.features import OP_TYPE_VOCAB, OpFeatureExtractor, op_type_index
 

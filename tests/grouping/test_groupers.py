@@ -14,7 +14,6 @@ from repro.grouping import (
     partition_kway,
 )
 from repro.grouping.fluid import asyn_fluidc_assignment
-from repro.nn import Tensor
 
 
 class TestMetis:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import Embedding, FeedForward, Linear, Module, Parameter, Sequential, Tensor
+from repro.nn import Embedding, FeedForward, Linear, Sequential, Tensor
 
 
 class TestLinear:

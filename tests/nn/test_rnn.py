@@ -1,7 +1,6 @@
 """Tests for LSTMCell / LSTM / BiLSTM."""
 
 import numpy as np
-import pytest
 
 from repro.nn import BiLSTM, LSTM, LSTMCell, Tensor
 

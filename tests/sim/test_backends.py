@@ -1,0 +1,218 @@
+"""Tests for the pluggable evaluation backends."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    MemoBackend,
+    ParallelBackend,
+    PlacementEnvironment,
+    SerialBackend,
+    Topology,
+    make_backend,
+)
+from repro.sim.environment import RawOutcome
+
+
+def _env(graph, topology, **kwargs):
+    kwargs.setdefault("seed", 0)
+    kwargs.setdefault("setup_time", 1.0)
+    return PlacementEnvironment(graph, topology, **kwargs)
+
+
+def _random_placements(graph, topology, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, topology.num_devices, size=graph.num_ops, dtype=np.int64)
+        for _ in range(n)
+    ]
+
+
+def _tiny_gpu_topology():
+    """2 GPUs so small that most placements OOM."""
+    return Topology.default_4gpu(num_gpus=2, gpu_memory_bytes=1 << 10)
+
+
+class TestRawCommitSplit:
+    def test_evaluate_equals_raw_plus_commit(self, layered_graph, topology):
+        a = _env(layered_graph, topology)
+        b = _env(layered_graph, topology)
+        placements = _random_placements(layered_graph, topology, 8)
+        for p in placements:
+            ma = a.evaluate(p)
+            mb = b.commit(b.simulate_raw(p))
+            assert ma.per_step_time == mb.per_step_time
+            assert ma.env_time_charged == mb.env_time_charged
+        assert a.env_time == b.env_time
+        assert a.num_evaluations == b.num_evaluations
+
+    def test_raw_outcome_is_deterministic_and_chargeless(self, layered_graph, topology):
+        env = _env(layered_graph, topology)
+        p = _random_placements(layered_graph, topology, 1)[0]
+        raw1 = env.simulate_raw(p)
+        raw2 = env.simulate_raw(p)
+        assert raw1.base_time == raw2.base_time
+        assert env.env_time == 0.0 and env.num_evaluations == 0
+
+    def test_commit_twice_draws_fresh_noise(self, layered_graph, topology):
+        env = _env(layered_graph, topology, noise_std=0.05)
+        p = _random_placements(layered_graph, topology, 1)[0]
+        raw = env.simulate_raw(p)
+        m1, m2 = env.commit(raw), env.commit(raw)
+        assert m1.per_step_time != m2.per_step_time
+        assert m1.env_time_charged == m2.env_time_charged
+        assert env.num_evaluations == 2
+
+    def test_oom_raw_outcome(self, layered_graph):
+        env = _env(layered_graph, _tiny_gpu_topology())
+        p = np.full(layered_graph.num_ops, env.topology.gpu_indices()[0], dtype=np.int64)
+        raw = env.simulate_raw(p)
+        assert raw.is_oom and raw.oom_detail
+        m = env.commit(raw)
+        assert not m.valid and m.env_time_charged == env.oom_time_charge
+        assert env.num_oom == 1
+
+    def test_without_breakdown_strips_trace(self, layered_graph, topology):
+        env = _env(layered_graph, topology)
+        p = _random_placements(layered_graph, topology, 1)[0]
+        raw = env.simulate_raw(p, with_breakdown=True)
+        assert raw.breakdown is not None
+        stripped = raw.without_breakdown()
+        assert stripped.breakdown is None and stripped.base_time == raw.base_time
+
+    def test_dead_cache_dict_is_gone(self, layered_graph, topology):
+        assert not hasattr(_env(layered_graph, topology), "_cache")
+
+
+class TestSerialBackend:
+    def test_matches_direct_evaluation(self, layered_graph, topology):
+        direct = _env(layered_graph, topology)
+        backend = SerialBackend(_env(layered_graph, topology))
+        placements = _random_placements(layered_graph, topology, 10)
+        expected = [direct.evaluate(p) for p in placements]
+        got = backend.evaluate_batch(placements)
+        assert [m.per_step_time for m in got] == [m.per_step_time for m in expected]
+        assert backend.environment.env_time == direct.env_time
+
+
+class TestMemoBackend:
+    def test_hit_and_miss_counting(self, layered_graph, topology):
+        backend = MemoBackend(_env(layered_graph, topology))
+        p, q = _random_placements(layered_graph, topology, 2)
+        backend.evaluate_batch([p, q, p, p, q])
+        assert backend.misses == 2
+        assert backend.hits == 3
+        assert backend.hit_rate == pytest.approx(0.6)
+        assert len(backend) == 2
+
+    def test_results_identical_to_serial(self, layered_graph, topology):
+        serial = SerialBackend(_env(layered_graph, topology))
+        memo = MemoBackend(_env(layered_graph, topology))
+        placements = _random_placements(layered_graph, topology, 6)
+        batch = placements + placements  # second half hits the cache
+        ms = serial.evaluate_batch(batch)
+        mm = memo.evaluate_batch(batch)
+        assert [m.per_step_time for m in mm] == [m.per_step_time for m in ms]
+        assert memo.environment.env_time == serial.environment.env_time
+        assert memo.hits == 6
+
+    def test_hits_still_charge_clock_and_draw_noise(self, layered_graph, topology):
+        env = _env(layered_graph, topology, noise_std=0.05)
+        backend = MemoBackend(env)
+        p = _random_placements(layered_graph, topology, 1)[0]
+        m1, m2 = backend.evaluate_batch([p, p])
+        assert backend.hits == 1
+        assert m1.per_step_time != m2.per_step_time  # fresh noise on the hit
+        assert env.env_time == pytest.approx(m1.env_time_charged + m2.env_time_charged)
+        assert env.num_evaluations == 2
+
+    def test_oom_outcome_is_cached(self, layered_graph):
+        env = _env(layered_graph, _tiny_gpu_topology())
+        backend = MemoBackend(env)
+        p = np.full(layered_graph.num_ops, env.topology.gpu_indices()[0], dtype=np.int64)
+        m1, m2 = backend.evaluate_batch([p, p])
+        assert backend.hits == 1 and backend.misses == 1
+        assert not m1.valid and not m2.valid
+        assert m2.oom_detail == m1.oom_detail
+        # the hit is still charged and counted as an OOM evaluation
+        assert env.num_oom == 2
+        assert env.env_time == pytest.approx(2 * env.oom_time_charge)
+
+    def test_lru_eviction(self, layered_graph, topology):
+        backend = MemoBackend(_env(layered_graph, topology), max_entries=2)
+        a, b, c = _random_placements(layered_graph, topology, 3)
+        backend.evaluate_batch([a, b, c])  # a evicted
+        assert len(backend) == 2
+        backend.evaluate_batch([a])
+        assert backend.misses == 4 and backend.hits == 0
+
+    def test_invalid_max_entries_rejected(self, layered_graph, topology):
+        with pytest.raises(ValueError):
+            MemoBackend(_env(layered_graph, topology), max_entries=0)
+
+    def test_stats(self, layered_graph, topology):
+        backend = MemoBackend(_env(layered_graph, topology))
+        p = _random_placements(layered_graph, topology, 1)[0]
+        backend.evaluate_batch([p, p])
+        assert backend.stats() == {"hits": 1.0, "misses": 1.0, "hit_rate": 0.5, "entries": 1.0}
+
+
+class TestParallelBackend:
+    def test_matches_serial_bit_for_bit(self, layered_graph, topology):
+        serial = SerialBackend(_env(layered_graph, topology))
+        placements = _random_placements(layered_graph, topology, 12)
+        expected = serial.evaluate_batch(placements)
+        with ParallelBackend(_env(layered_graph, topology), workers=4) as backend:
+            got = backend.evaluate_batch(placements)
+        assert [m.per_step_time for m in got] == [m.per_step_time for m in expected]
+        assert [m.env_time_charged for m in got] == [m.env_time_charged for m in expected]
+
+    def test_preserves_order_with_mixed_oom(self, layered_graph):
+        env = _env(layered_graph, Topology.default_4gpu(num_gpus=2, gpu_memory_bytes=1 << 20))
+        gpu = env.topology.gpu_indices()[0]
+        cpu = env.topology.cpu_indices()[0]
+        oom = np.full(layered_graph.num_ops, gpu, dtype=np.int64)
+        ok = np.full(layered_graph.num_ops, cpu, dtype=np.int64)
+        with ParallelBackend(env, workers=2) as backend:
+            results = backend.evaluate_batch([oom, ok, oom, ok])
+        assert [m.valid for m in results] == [False, True, False, True]
+        assert env.num_oom == 2
+
+    def test_close_is_idempotent(self, layered_graph, topology):
+        backend = ParallelBackend(_env(layered_graph, topology), workers=2)
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError):
+            backend.evaluate_batch(_random_placements(layered_graph, topology, 1))
+
+    def test_stats_and_validation(self, layered_graph, topology):
+        with pytest.raises(ValueError):
+            ParallelBackend(_env(layered_graph, topology), workers=-1)
+        with ParallelBackend(_env(layered_graph, topology), workers=2) as backend:
+            backend.evaluate_batch(_random_placements(layered_graph, topology, 5))
+            stats = backend.stats()
+        assert stats["workers"] == 2.0
+        assert stats["batches"] == 1.0 and stats["dispatched"] == 5.0
+
+
+class TestMakeBackend:
+    def test_selection(self, layered_graph, topology):
+        env = _env(layered_graph, topology)
+        assert isinstance(make_backend(env), MemoBackend)
+        assert isinstance(make_backend(env, cache=False), SerialBackend)
+        parallel = make_backend(env, workers=2)
+        try:
+            assert isinstance(parallel, ParallelBackend)
+        finally:
+            parallel.close()
+        assert isinstance(make_backend(env, workers=1), MemoBackend)
+
+
+class TestRawOutcomePickling:
+    def test_roundtrip(self):
+        import pickle
+
+        raw = RawOutcome(0.25)
+        assert pickle.loads(pickle.dumps(raw)) == raw
+        oom = RawOutcome(None, oom_detail={1: (2.0, 1.0)})
+        assert pickle.loads(pickle.dumps(oom)).is_oom

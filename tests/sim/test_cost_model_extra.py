@@ -6,7 +6,7 @@ import pytest
 
 from repro.graph.models import build_benchmark
 from repro.graph.opgraph import OpGraph
-from repro.sim import CostModel, OutOfMemoryError, Simulator, Topology
+from repro.sim import Simulator, Topology
 from repro.core.predefined import human_expert_placement, single_gpu_placement
 
 

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.models import build_chain
-from repro.sim import PlacementEnvironment, Topology
+from repro.sim import PlacementEnvironment
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.models import build_chain, build_fan
+from repro.graph.models import build_fan
 from repro.graph.opgraph import OpGraph
 from repro.sim import CostModel, OutOfMemoryError, Simulator, Topology
 from repro.sim.devices import DeviceSpec, LinkSpec

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.sim import Simulator, Topology
+from repro.sim import Simulator
 from repro.sim.trace import ascii_gantt, chrome_trace, critical_path
 
 
@@ -70,13 +70,13 @@ class TestGantt:
     def test_busy_device_has_marks(self, traced):
         graph, topo, placement, bd = traced
         text = ascii_gantt(graph, topo, placement, bd, width=40)
-        gpu_line = [l for l in text.splitlines() if "/gpu:0" in l][0]
+        gpu_line = [ln for ln in text.splitlines() if "/gpu:0" in ln][0]
         assert any(c in gpu_line for c in ":-=#")
 
     def test_idle_device_blank(self, traced):
         graph, topo, placement, bd = traced
         text = ascii_gantt(graph, topo, placement, bd, width=40)
-        gpu1 = [l for l in text.splitlines() if "/gpu:1" in l][0]
+        gpu1 = [ln for ln in text.splitlines() if "/gpu:1" in ln][0]
         bar = gpu1.split("|")[1]
         assert set(bar) <= {" ", "."}
 

@@ -6,9 +6,8 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.graph.models import build_random_layered
-from repro.graph.opgraph import OpGraph
 from repro.graph.training import expand_training_graph
-from repro.grouping import MetisGrouper, cut_cost, partition_kway
+from repro.grouping import cut_cost, partition_kway
 from repro.grouping.fluid import asyn_fluidc_assignment
 from repro.nn import Tensor
 from repro.rl import EMABaseline, reward_from_time
@@ -64,13 +63,21 @@ class TestPartitionProperties:
     def test_metis_cut_not_worse_than_random_mean(self, graph, k):
         # On tiny graphs a random assignment can degenerate to a single
         # group (cut 0) while a k-way partition must use k groups — only
-        # compare when the graph comfortably exceeds k groups.
+        # compare when the graph comfortably exceeds k groups.  The random
+        # baseline must be *balanced* like the partitioner's output: on small
+        # dense graphs an unconstrained random assignment can luck into a
+        # lopsided split whose cut no balance-respecting partition can match.
         assume(graph.num_ops >= 4 * k)
         metis = cut_cost(graph, partition_kway(graph, k))
         rng = np.random.default_rng(0)
-        random_cuts = [
-            cut_cost(graph, rng.integers(0, k, size=graph.num_ops)) for _ in range(5)
-        ]
+
+        def balanced_random_cut() -> float:
+            assignment = np.empty(graph.num_ops, dtype=np.int64)
+            for group, chunk in enumerate(np.array_split(rng.permutation(graph.num_ops), k)):
+                assignment[chunk] = group
+            return cut_cost(graph, assignment)
+
+        random_cuts = [balanced_random_cut() for _ in range(5)]
         assert metis <= np.mean(random_cuts) * 1.05
 
     @given(graph=graph_strategy, k=st.integers(2, 6), seed=st.integers(0, 50))
