@@ -29,6 +29,7 @@ from .core import (
     SearchEngine,
     SearchCallback,
     ProgressPrinter,
+    EvaluationPolicy,
     single_gpu_placement,
     human_expert_placement,
 )
@@ -41,6 +42,9 @@ from .sim import (
     MemoBackend,
     ParallelBackend,
     make_backend,
+    EvaluationFault,
+    FaultPlan,
+    FaultInjectingBackend,
 )
 
 __version__ = "1.0.0"
@@ -74,5 +78,9 @@ __all__ = [
     "MemoBackend",
     "ParallelBackend",
     "make_backend",
+    "EvaluationPolicy",
+    "EvaluationFault",
+    "FaultPlan",
+    "FaultInjectingBackend",
     "__version__",
 ]

@@ -21,6 +21,37 @@ from typing import Optional
 __all__ = ["main", "build_parser"]
 
 
+def _rate(value: str) -> float:
+    """Argparse type: a probability in [0, 1]."""
+    try:
+        rate = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be a rate in [0, 1], got {value}")
+    return rate
+
+
+def _positive_int(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return n
+
+
+def _nonnegative_int(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -47,14 +78,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hidden", type=int, default=128)
     p.add_argument("--checkpoint", default=None, help="write an .npz checkpoint here")
     p.add_argument(
-        "--workers", type=int, default=0,
-        help="shard each minibatch over N simulator processes (0/1 = in-process)",
+        "--workers", type=_positive_int, default=1,
+        help="shard each minibatch over N simulator processes (1 = in-process)",
     )
     p.add_argument(
         "--no-cache", action="store_true",
         help="disable memoisation of repeated placements (the default backend "
              "caches the deterministic simulator outcome; noise and env-clock "
              "charges stay per-evaluation, so results are identical either way)",
+    )
+    p.add_argument(
+        "--fault-rate", type=_rate, default=0.0,
+        help="chaos testing: probability an evaluation crashes with an "
+             "injected worker fault (seeded, reproducible)",
+    )
+    p.add_argument(
+        "--straggler-rate", type=_rate, default=0.0,
+        help="chaos testing: probability an evaluation straggles (simulated "
+             "latency charged to the wall-clock channel)",
+    )
+    p.add_argument(
+        "--corruption-rate", type=_rate, default=0.0,
+        help="chaos testing: probability a measurement comes back corrupted "
+             "(NaN / negative / outlier per-step time)",
+    )
+    p.add_argument(
+        "--max-retries", type=_nonnegative_int, default=3,
+        help="re-measure a faulted placement up to N times before "
+             "quarantining it (used when any fault rate is non-zero)",
     )
 
     p = sub.add_parser("gantt", help="render a placement's execution timeline")
@@ -114,8 +165,8 @@ def cmd_eval(args) -> int:
 
 def cmd_place(args) -> int:
     from .bench.experiments import make_agent
-    from .core import PlacementSearch, ProgressPrinter, SearchConfig
-    from .sim import MemoBackend, make_backend
+    from .core import EvaluationPolicy, PlacementSearch, ProgressPrinter, SearchConfig
+    from .sim import FaultInjectingBackend, FaultPlan, MemoBackend, make_backend
 
     graph, env = _make_env(args)
     agent = make_agent(
@@ -124,20 +175,37 @@ def cmd_place(args) -> int:
         topology=env.topology,
     )
     config = SearchConfig(max_samples=args.samples, entropy_coef=0.1, entropy_coef_final=0.01)
-    backend = make_backend(env, workers=args.workers, cache=not args.no_cache, seed=args.seed)
+    plan = policy = None
+    if args.fault_rate or args.straggler_rate or args.corruption_rate:
+        plan = FaultPlan(
+            crash_rate=args.fault_rate,
+            straggler_rate=args.straggler_rate,
+            corruption_rate=args.corruption_rate,
+            seed=args.seed,
+        )
+        policy = EvaluationPolicy(max_retries=args.max_retries)
+    backend = make_backend(
+        env, workers=args.workers, cache=not args.no_cache, seed=args.seed, fault_plan=plan
+    )
     try:
-        search = PlacementSearch(agent, env, args.algorithm, config, backend=backend)
+        search = PlacementSearch(agent, env, args.algorithm, config,
+                                 backend=backend, policy=policy)
         result = search.run(callbacks=[ProgressPrinter(interval=50, total=args.samples)])
     finally:
         backend.close()
     print(f"best placement: {result.final_time * 1000:.1f} ms/step "
           f"({result.num_invalid}/{result.num_samples} invalid)")
-    if isinstance(backend, MemoBackend) and backend.hits:
-        print(f"  cache: {backend.hits} hits / {backend.misses} misses "
-              f"({backend.hit_rate:.0%} of evaluations skipped the simulator)")
+    inner = backend.inner if isinstance(backend, FaultInjectingBackend) else backend
+    if isinstance(inner, MemoBackend) and inner.hits:
+        print(f"  cache: {inner.hits} hits / {inner.misses} misses "
+              f"({inner.hit_rate:.0%} of evaluations skipped the simulator)")
     if args.workers > 1:
         print(f"  parallel: {args.workers} workers, "
               f"{int(backend.stats()['dispatched'])} simulations sharded")
+    if policy is not None:
+        print(f"  faults: {result.num_faults} observed, {result.num_retries} retried, "
+              f"{result.num_quarantined} quarantined "
+              f"({result.wall_time:.0f}s simulated wall-clock lost)")
     if args.checkpoint:
         from .core.checkpoint import save_checkpoint
 

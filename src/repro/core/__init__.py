@@ -14,6 +14,7 @@ from .engine import (
     BestTracker,
     RewardShaper,
     EntropyAnnealer,
+    EvaluationPolicy,
     build_algorithm,
 )
 from .events import (
@@ -32,6 +33,7 @@ __all__ = [
     "BestTracker",
     "RewardShaper",
     "EntropyAnnealer",
+    "EvaluationPolicy",
     "build_algorithm",
     "SearchCallback",
     "CallbackList",

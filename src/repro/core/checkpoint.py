@@ -33,6 +33,10 @@ def save_checkpoint(path: str, agent: PlacementAgentBase, result: SearchResult) 
         "num_invalid": result.num_invalid,
         "env_time": result.env_time,
         "algorithm": result.algorithm,
+        "num_faults": result.num_faults,
+        "num_retries": result.num_retries,
+        "num_quarantined": result.num_quarantined,
+        "wall_time": result.wall_time,
         "graph_name": agent.graph.name,
         "num_groups": agent.num_groups,
         "num_devices": agent.num_devices,

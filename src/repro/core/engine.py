@@ -11,6 +11,10 @@ The historical ``PlacementSearch.run`` monolith is decomposed into
   early, commit late);
 * an :class:`~repro.sim.backends.EvaluationBackend` that measures whole
   minibatches (serial, memoized, or multiprocess);
+* an optional :class:`EvaluationPolicy` — bounded retries with exponential
+  backoff, per-evaluation timeouts, corruption rejection, and quarantine of
+  placements whose measurements keep failing (graceful degradation under a
+  faulty measurement fleet, see :mod:`repro.sim.faults`);
 * a :class:`~repro.core.events.SearchCallback` event layer for everything
   observational (history recording, progress printing, metrics export).
 
@@ -35,6 +39,7 @@ from ..rl.reward import EMABaseline, compute_advantages, reward_from_time
 from ..rl.rollout import RolloutBatch
 from ..sim.backends import EvaluationBackend, SerialBackend
 from ..sim.environment import Measurement, PlacementEnvironment
+from ..sim.faults import EvaluationFault
 from .agent_base import PlacementAgentBase
 from .events import CallbackList, HistoryRecorder, SearchCallback
 
@@ -46,6 +51,7 @@ __all__ = [
     "BestTracker",
     "RewardShaper",
     "EntropyAnnealer",
+    "EvaluationPolicy",
     "SearchEngine",
     "build_algorithm",
 ]
@@ -125,7 +131,17 @@ class SearchHistory:
 
 @dataclass
 class SearchResult:
-    """Outcome of one training run."""
+    """Outcome of one training run.
+
+    The fault counters are zero unless an :class:`EvaluationPolicy` was
+    active: ``num_faults`` counts every crash / timeout / rejected-corrupt
+    measurement the engine observed, and always equals
+    ``num_retries + num_quarantined`` (each fault either triggers a retry
+    or, once retries are exhausted, a quarantine).  ``wall_time`` is the
+    searcher's simulated wall-clock spent on straggler latency and retry
+    backoff — a separate channel from ``env_time``, which stays the
+    device-interaction clock of Figs. 5–7.
+    """
 
     best_placement: Optional[np.ndarray]
     best_time: float
@@ -135,6 +151,10 @@ class SearchResult:
     num_invalid: int
     env_time: float
     algorithm: str
+    num_faults: int = 0
+    num_retries: int = 0
+    num_quarantined: int = 0
+    wall_time: float = 0.0
 
 
 def build_algorithm(
@@ -227,6 +247,76 @@ class EntropyAnnealer:
         return self.start + (self.final - self.start) * progress
 
 
+@dataclass
+class EvaluationPolicy:
+    """How the engine survives a faulty measurement backend.
+
+    When installed, the engine measures each placement individually and, on
+    an :class:`~repro.sim.faults.EvaluationFault` (worker crash), a
+    per-evaluation timeout, or a corrupted value, re-measures with
+    exponential backoff.  After ``max_retries`` failed attempts the
+    placement is *quarantined*: recorded as a failed sample (like an OOM)
+    so the search degrades gracefully instead of aborting.
+
+    Corruption detection rejects measurements whose per-step time is
+    non-finite, non-positive, above ``max_step_time`` (absolute band), or
+    more than ``outlier_factor`` times the worst valid time seen so far
+    (relative band).  Detection is only as complete as the bands: an
+    injected outlier below both bands will be accepted, so chaos suites
+    should configure ``max_step_time`` under the plan's outlier scale.
+
+    ``timeout`` bounds the simulated wall-clock latency of one evaluation
+    (stragglers); ``None`` disables it.  Backoff after attempt *k* charges
+    ``backoff_base * backoff_factor**k`` seconds to the engine's wall-clock
+    channel — simulated time, the tests never sleep.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    timeout: Optional[float] = None
+    reject_nonfinite: bool = True
+    max_step_time: Optional[float] = 3600.0
+    outlier_factor: Optional[float] = 100.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.max_step_time is not None and self.max_step_time <= 0:
+            raise ValueError("max_step_time must be positive (or None)")
+        if self.outlier_factor is not None and self.outlier_factor <= 1.0:
+            raise ValueError("outlier_factor must be > 1 (or None)")
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated seconds to wait before retry number ``attempt + 1``."""
+        return self.backoff_base * self.backoff_factor**attempt
+
+    def corruption_reason(self, measurement: Measurement, reference: float = 0.0) -> Optional[str]:
+        """Why ``measurement`` should be rejected as corrupt, or ``None``.
+
+        ``reference`` is the worst *valid* per-step time seen so far (0 if
+        none yet); it anchors the relative out-of-band check.  Invalid
+        (OOM) measurements are never corrupt — failure is their honest
+        outcome.
+        """
+        if not measurement.valid:
+            return None
+        t = measurement.per_step_time
+        if self.reject_nonfinite and not np.isfinite(t):
+            return "non-finite per-step time"
+        if t <= 0:
+            return "non-positive per-step time"
+        if self.max_step_time is not None and t > self.max_step_time:
+            return f"per-step time {t:.3g}s above absolute band {self.max_step_time:.3g}s"
+        if self.outlier_factor is not None and reference > 0 and t > self.outlier_factor * reference:
+            return f"per-step time {t:.3g}s is {t / reference:.0f}x the worst valid"
+        return None
+
+
 class SearchEngine:
     """Drives one agent against one environment through a backend.
 
@@ -238,6 +328,14 @@ class SearchEngine:
         An :class:`EvaluationBackend`; defaults to a fresh
         :class:`SerialBackend` over ``environment``.  The engine does not
         close a caller-supplied backend.
+    policy:
+        An optional :class:`EvaluationPolicy`.  Without one (the default)
+        the engine hands whole minibatches to the backend and any
+        :class:`~repro.sim.faults.EvaluationFault` propagates — the exact
+        historical behaviour.  With one, placements are measured
+        individually with retry / corruption-rejection / quarantine
+        semantics; on a fault-free backend the results are still
+        bit-for-bit identical to the batch path.
     callbacks:
         Extra :class:`SearchCallback` observers.  A
         :class:`HistoryRecorder` over ``self.history`` is always installed
@@ -252,6 +350,7 @@ class SearchEngine:
         config: Optional[SearchConfig] = None,
         *,
         backend: Optional[EvaluationBackend] = None,
+        policy: Optional[EvaluationPolicy] = None,
         callbacks: Iterable[SearchCallback] = (),
     ) -> None:
         self.agent = agent
@@ -262,6 +361,7 @@ class SearchEngine:
             algorithm, agent, self.config, environment.num_devices
         )
         self.backend = backend if backend is not None else SerialBackend(environment)
+        self.policy = policy
         self.baseline = EMABaseline(decay=self.config.ema_decay)
         self.budget = BudgetTracker(self.config.max_samples, self.config.max_env_time)
         self.tracker = BestTracker(self.config.failure_time)
@@ -279,6 +379,14 @@ class SearchEngine:
         #: ``environment.env_time`` at batch boundaries but is also exact
         #: per-sample while a batch's measurements are being folded in.
         self.env_time = environment.env_time
+        #: fault accounting (policy runs only); the invariant
+        #: ``num_faults == num_retries + num_quarantined`` holds at every
+        #: batch boundary.
+        self.num_faults = 0
+        self.num_retries = 0
+        self.num_quarantined = 0
+        #: simulated searcher wall-clock: straggler latency + retry backoff.
+        self.wall_time = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -293,6 +401,61 @@ class SearchEngine:
         self.callbacks.add(callback)
 
     # ------------------------------------------------------------------ #
+    def _fold_measurement(self, sample, measurement: Measurement) -> None:
+        """Fold one accepted measurement into trackers, rewards and events.
+
+        ``self.env_time`` must already be the clock *through* this
+        measurement.
+        """
+        sample.valid = measurement.valid
+        sample.per_step_time = measurement.per_step_time
+        improved = self.tracker.observe(sample.op_placement, measurement)
+        sample.reward = self.shaper.shape(measurement)
+        self.num_samples += 1
+        self.callbacks.on_measurement(self, sample, measurement)
+        if improved:
+            self.callbacks.on_best(self, self.tracker.best_placement, self.tracker.best_time)
+
+    def _evaluate_resilient(self, placement: np.ndarray) -> Measurement:
+        """Measure one placement under the policy's retry/quarantine rules."""
+        policy = self.policy
+        attempt = 0
+        while True:
+            fault: Optional[EvaluationFault] = None
+            measurement: Optional[Measurement] = None
+            try:
+                measurement = self.backend.evaluate_batch([placement])[0]
+            except EvaluationFault as exc:
+                fault = exc
+            else:
+                latency = float(getattr(self.backend, "last_eval_latency", 0.0))
+                self.wall_time += latency
+                if policy.timeout is not None and latency > policy.timeout:
+                    fault = EvaluationFault(
+                        f"evaluation took {latency:.1f}s, timeout {policy.timeout:.1f}s",
+                        kind="timeout",
+                    )
+                else:
+                    reason = policy.corruption_reason(measurement, self.tracker.worst_valid)
+                    if reason is not None:
+                        fault = EvaluationFault(reason, kind="corruption")
+            if fault is None:
+                return measurement
+            self.num_faults += 1
+            self.callbacks.on_fault(self, placement, fault)
+            if attempt < policy.max_retries:
+                self.wall_time += policy.backoff(attempt)
+                attempt += 1
+                self.num_retries += 1
+                self.callbacks.on_retry(self, placement, attempt, fault)
+                continue
+            self.num_quarantined += 1
+            self.callbacks.on_quarantine(self, placement, fault)
+            # Recorded like an invalid placement: +inf time, failure-charged
+            # reward, no extra environment time (the failed attempts already
+            # paid theirs).
+            return Measurement(per_step_time=float("inf"), valid=False, env_time_charged=0.0)
+
     def _run_batch(self, batch_index: int) -> None:
         cfg = self.config
         self.algorithm.entropy_coef = self.annealer.coef(
@@ -301,21 +464,24 @@ class SearchEngine:
         batch_size = self.budget.next_batch_size(cfg.minibatch_size, self.num_samples)
         self.callbacks.on_batch_start(self, batch_index, batch_size)
         samples = self.agent.sample_placements(batch_size)
-        # Reconstruct the per-sample clock exactly as serial evaluation would
-        # have advanced it: same start value, same left-to-right additions.
-        clock = self.environment.env_time
-        measurements = self.backend.evaluate_batch([s.op_placement for s in samples])
-        for sample, m in zip(samples, measurements):
-            clock += m.env_time_charged
-            self.env_time = clock
-            sample.valid = m.valid
-            sample.per_step_time = m.per_step_time
-            improved = self.tracker.observe(sample.op_placement, m)
-            sample.reward = self.shaper.shape(m)
-            self.num_samples += 1
-            self.callbacks.on_measurement(self, sample, m)
-            if improved:
-                self.callbacks.on_best(self, self.tracker.best_placement, self.tracker.best_time)
+        if self.policy is None:
+            # Reconstruct the per-sample clock exactly as serial evaluation
+            # would have advanced it: same start value, same left-to-right
+            # additions.
+            clock = self.environment.env_time
+            measurements = self.backend.evaluate_batch([s.op_placement for s in samples])
+            for sample, m in zip(samples, measurements):
+                clock += m.env_time_charged
+                self.env_time = clock
+                self._fold_measurement(sample, m)
+        else:
+            # Resilient path: measure one placement at a time so a fault is
+            # attributed (and retried) per placement, and fold immediately so
+            # corruption detection sees an up-to-date worst-valid reference.
+            for sample in samples:
+                m = self._evaluate_resilient(sample.op_placement)
+                self.env_time = self.environment.env_time
+                self._fold_measurement(sample, m)
         advantages = compute_advantages(
             [s.reward for s in samples], self.baseline, cfg.normalize_advantages
         )
@@ -346,6 +512,10 @@ class SearchEngine:
             num_invalid=self.history.num_invalid,
             env_time=self.environment.env_time,
             algorithm=self.algorithm_name,
+            num_faults=self.num_faults,
+            num_retries=self.num_retries,
+            num_quarantined=self.num_quarantined,
+            wall_time=self.wall_time,
         )
         self.callbacks.on_search_end(self, result)
         return result

@@ -16,6 +16,18 @@ engine's lifecycle:
     before rewards were computed).
 ``on_best(engine, placement, per_step_time)``
     The best-so-far placement improved (fires after ``on_measurement``).
+``on_fault(engine, placement, fault)``
+    An evaluation failed operationally — an injected/real worker crash, a
+    per-evaluation timeout, or a corrupted measurement rejected by the
+    :class:`~repro.core.engine.EvaluationPolicy`.  Fires only while a
+    minibatch is being measured (between ``on_batch_start`` and
+    ``on_update``), before the retry/quarantine decision.
+``on_retry(engine, placement, attempt, fault)``
+    The policy decided to re-measure after a fault; ``attempt`` counts from
+    1.  Always preceded by the matching ``on_fault``.
+``on_quarantine(engine, placement, fault)``
+    Retries are exhausted; the placement is recorded as failed (treated like
+    an invalid measurement) and the search continues.
 ``on_update(engine, stats)``
     The RL algorithm finished a policy update for the minibatch.
 ``on_search_end(engine, result)``
@@ -35,6 +47,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..rl.rollout import PlacementSample
     from ..sim.environment import Measurement
+    from ..sim.faults import EvaluationFault
     from .search import SearchHistory, SearchResult
 
 __all__ = [
@@ -64,6 +77,17 @@ class SearchCallback:
         pass
 
     def on_best(self, engine, placement: np.ndarray, per_step_time: float) -> None:
+        pass
+
+    def on_fault(self, engine, placement: np.ndarray, fault: "EvaluationFault") -> None:
+        pass
+
+    def on_retry(
+        self, engine, placement: np.ndarray, attempt: int, fault: "EvaluationFault"
+    ) -> None:
+        pass
+
+    def on_quarantine(self, engine, placement: np.ndarray, fault: "EvaluationFault") -> None:
         pass
 
     def on_update(self, engine, stats: Dict[str, float]) -> None:
@@ -97,6 +121,18 @@ class CallbackList(SearchCallback):
     def on_best(self, engine, placement: np.ndarray, per_step_time: float) -> None:
         for cb in self.callbacks:
             cb.on_best(engine, placement, per_step_time)
+
+    def on_fault(self, engine, placement, fault) -> None:
+        for cb in self.callbacks:
+            cb.on_fault(engine, placement, fault)
+
+    def on_retry(self, engine, placement, attempt: int, fault) -> None:
+        for cb in self.callbacks:
+            cb.on_retry(engine, placement, attempt, fault)
+
+    def on_quarantine(self, engine, placement, fault) -> None:
+        for cb in self.callbacks:
+            cb.on_quarantine(engine, placement, fault)
 
     def on_update(self, engine, stats: Dict[str, float]) -> None:
         for cb in self.callbacks:

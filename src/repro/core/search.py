@@ -27,7 +27,13 @@ import numpy as np
 from ..sim.backends import EvaluationBackend
 from ..sim.environment import PlacementEnvironment
 from .agent_base import PlacementAgentBase
-from .engine import SearchConfig, SearchEngine, SearchHistory, SearchResult
+from .engine import (
+    EvaluationPolicy,
+    SearchConfig,
+    SearchEngine,
+    SearchHistory,
+    SearchResult,
+)
 from .events import LegacyProgressAdapter, ProgressCallback, SearchCallback
 
 __all__ = ["SearchConfig", "SearchHistory", "SearchResult", "PlacementSearch"]
@@ -39,6 +45,7 @@ class PlacementSearch:
     A thin facade over :class:`~repro.core.engine.SearchEngine` that keeps
     the historical constructor and ``run`` signature.  ``backend`` selects
     the evaluation backend (default: serial, the historical behaviour);
+    ``policy`` installs retry/quarantine handling for faulty backends;
     ``callbacks`` subscribes observers to the engine's event layer.
     """
 
@@ -50,10 +57,17 @@ class PlacementSearch:
         config: Optional[SearchConfig] = None,
         *,
         backend: Optional[EvaluationBackend] = None,
+        policy: Optional[EvaluationPolicy] = None,
         callbacks: Iterable[SearchCallback] = (),
     ) -> None:
         self.engine = SearchEngine(
-            agent, environment, algorithm, config, backend=backend, callbacks=callbacks
+            agent,
+            environment,
+            algorithm,
+            config,
+            backend=backend,
+            policy=policy,
+            callbacks=callbacks,
         )
 
     # -- engine views ---------------------------------------------------- #

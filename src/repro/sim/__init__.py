@@ -11,6 +11,7 @@ from .backends import (
     ParallelBackend,
     make_backend,
 )
+from .faults import EvaluationFault, FaultPlan, FaultInjectingBackend
 from .trace import chrome_trace, ascii_gantt, critical_path
 from .memory import peak_memory, PeakMemoryReport
 
@@ -30,6 +31,9 @@ __all__ = [
     "MemoBackend",
     "ParallelBackend",
     "make_backend",
+    "EvaluationFault",
+    "FaultPlan",
+    "FaultInjectingBackend",
     "chrome_trace",
     "ascii_gantt",
     "critical_path",

@@ -29,6 +29,11 @@ Three implementations ship today:
     ``numpy.random.Generator`` spawned from a :class:`numpy.random.SeedSequence`
     — worker-local stochastic extensions (fault injection, perturbed cost
     models) stay deterministic per worker without touching the shared stream.
+
+A fourth, :class:`~repro.sim.faults.FaultInjectingBackend`, wraps any of the
+above and injects seeded crashes, stragglers and corrupted measurements for
+chaos-testing the engine's retry/quarantine policy (see
+:mod:`repro.sim.faults`).
 """
 
 from __future__ import annotations
@@ -37,12 +42,15 @@ import atexit
 import multiprocessing
 import os
 from collections import OrderedDict
-from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from .environment import Measurement, PlacementEnvironment, RawOutcome
 from .simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultPlan
 
 __all__ = [
     "EvaluationBackend",
@@ -270,15 +278,24 @@ def make_backend(
     workers: int = 0,
     cache: bool = True,
     seed: int = 0,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> EvaluationBackend:
     """Pick a backend from CLI-ish knobs.
 
     ``workers > 1`` selects :class:`ParallelBackend`; otherwise ``cache``
     selects :class:`MemoBackend` over :class:`SerialBackend`.  All three
-    produce identical measurements on a fixed environment seed.
+    produce identical measurements on a fixed environment seed.  A
+    ``fault_plan`` with any non-zero rate wraps the result in a
+    :class:`~repro.sim.faults.FaultInjectingBackend` (chaos testing).
     """
     if workers and workers > 1:
-        return ParallelBackend(environment, workers=workers, seed=seed)
-    if cache:
-        return MemoBackend(environment)
-    return SerialBackend(environment)
+        backend: EvaluationBackend = ParallelBackend(environment, workers=workers, seed=seed)
+    elif cache:
+        backend = MemoBackend(environment)
+    else:
+        backend = SerialBackend(environment)
+    if fault_plan is not None and fault_plan.enabled:
+        from .faults import FaultInjectingBackend
+
+        backend = FaultInjectingBackend(backend, fault_plan)
+    return backend

@@ -15,6 +15,7 @@ from repro.core.engine import (
     BestTracker,
     BudgetTracker,
     EntropyAnnealer,
+    EvaluationPolicy,
     RewardShaper,
     SearchEngine,
 )
@@ -27,6 +28,8 @@ from repro.core.events import (
 )
 from repro.graph.models import build_random_layered
 from repro.sim import (
+    FaultInjectingBackend,
+    FaultPlan,
     Measurement,
     MemoBackend,
     ParallelBackend,
@@ -108,6 +111,36 @@ class TestGoldenReproduction:
         result = SearchEngine(agent, env, "ppo", config).run()
         assert_matches_golden(result)
 
+    def test_fault_wrapper_zero_rate_serial(self):
+        _, env, agent, config = golden_scenario()
+        backend = FaultInjectingBackend(SerialBackend(env), FaultPlan())
+        assert_matches_golden(PlacementSearch(agent, env, "ppo", config, backend=backend).run())
+
+    def test_fault_wrapper_zero_rate_memo(self):
+        _, env, agent, config = golden_scenario()
+        backend = FaultInjectingBackend(MemoBackend(env), FaultPlan())
+        assert_matches_golden(PlacementSearch(agent, env, "ppo", config, backend=backend).run())
+
+    def test_fault_wrapper_zero_rate_parallel(self):
+        _, env, agent, config = golden_scenario()
+        with ParallelBackend(env, workers=2, seed=0) as inner:
+            backend = FaultInjectingBackend(inner, FaultPlan())
+            result = PlacementSearch(agent, env, "ppo", config, backend=backend).run()
+        assert_matches_golden(result)
+
+    def test_policy_path_without_faults_is_bit_for_bit(self):
+        """The resilient per-placement path must be semantics-preserving:
+        same commit order, same RNG stream, same golden result."""
+        _, env, agent, config = golden_scenario()
+        result = PlacementSearch(
+            agent, env, "ppo", config,
+            backend=FaultInjectingBackend(MemoBackend(env), FaultPlan()),
+            policy=EvaluationPolicy(max_retries=3),
+        ).run()
+        assert_matches_golden(result)
+        assert (result.num_faults, result.num_retries, result.num_quarantined) == (0, 0, 0)
+        assert result.wall_time == 0.0
+
 
 class TestMemoHitsAtScale:
     def test_standard_500_sample_run_hits_cache(self):
@@ -140,6 +173,15 @@ class RecordingCallback(SearchCallback):
 
     def on_best(self, engine, placement, per_step_time):
         self.events.append(("best", per_step_time))
+
+    def on_fault(self, engine, placement, fault):
+        self.events.append(("fault", fault.kind))
+
+    def on_retry(self, engine, placement, attempt, fault):
+        self.events.append(("retry", attempt))
+
+    def on_quarantine(self, engine, placement, fault):
+        self.events.append(("quarantine", fault.kind))
 
     def on_update(self, engine, stats):
         self.events.append(("update", engine.num_samples))
@@ -233,6 +275,160 @@ class TestEventLayer:
         assert calls == [(7, 0.5, {"loss": 1.0})]
 
 
+def chaos_search(
+    *,
+    backend_kind="serial",
+    plan=None,
+    policy=None,
+    max_samples=30,
+    env_seed=0,
+    agent_seed=0,
+    callbacks=(),
+):
+    """Run the golden scenario under fault injection; returns (result, backend)."""
+    graph = build_random_layered(num_layers=6, width=5, seed=7)
+    topo = Topology.default_4gpu(num_gpus=2)
+    env = PlacementEnvironment(graph, topo, seed=env_seed, setup_time=1.0)
+    agent = PostAgent(graph, topo.num_devices, num_groups=6, seed=agent_seed)
+    config = SearchConfig(max_samples=max_samples, minibatch_size=10)
+    if backend_kind == "serial":
+        inner = SerialBackend(env)
+    elif backend_kind == "memo":
+        inner = MemoBackend(env)
+    else:
+        inner = ParallelBackend(env, workers=2, seed=0)
+    backend = FaultInjectingBackend(inner, plan or FaultPlan.chaos(0.3, seed=123))
+    policy = policy or EvaluationPolicy(max_retries=2, max_step_time=60.0)
+    try:
+        result = PlacementSearch(
+            agent, env, "ppo", config, backend=backend, policy=policy, callbacks=callbacks
+        ).run()
+    finally:
+        backend.close()
+    return result, backend
+
+
+class TestEventOrdering:
+    """The documented event protocol: on_search_start → (on_batch_start →
+    on_measurement* → on_update)* → on_search_end, with fault-family events
+    interleaved only between a batch start and its update."""
+
+    def collect(self, **kwargs):
+        cb = RecordingCallback()
+        result, _ = chaos_search(callbacks=[cb], **kwargs)
+        return cb.events, result
+
+    def test_protocol_under_chaos(self):
+        events, result = self.collect()
+        kinds = [e if isinstance(e, str) else e[0] for e in events]
+        assert kinds[0] == "start" and kinds[-1] == "end"
+        assert kinds.count("start") == 1 and kinds.count("end") == 1
+        # faults occurred (the run would be vacuous otherwise)
+        assert kinds.count("fault") == result.num_faults > 0
+        assert kinds.count("retry") == result.num_retries
+        assert kinds.count("quarantine") == result.num_quarantined
+
+        in_batch = False
+        measures_in_batch = 0
+        for kind in kinds[1:-1]:
+            if kind == "batch":
+                assert not in_batch, "nested batch"
+                in_batch, measures_in_batch = True, 0
+            elif kind == "update":
+                assert in_batch and measures_in_batch > 0
+                in_batch = False
+            elif kind in ("measure", "best", "fault", "retry", "quarantine"):
+                assert in_batch, f"{kind} outside a batch"
+                if kind == "measure":
+                    measures_in_batch += 1
+            else:  # pragma: no cover - defensive
+                pytest.fail(f"unexpected event {kind}")
+        assert not in_batch
+
+    def test_every_retry_and_quarantine_is_preceded_by_its_fault(self):
+        events, _ = self.collect()
+        pending_faults = 0
+        for e in events:
+            kind = e if isinstance(e, str) else e[0]
+            if kind == "fault":
+                pending_faults += 1
+            elif kind in ("retry", "quarantine"):
+                assert pending_faults > 0, f"{kind} without a preceding fault"
+                pending_faults -= 1
+        assert pending_faults == 0  # every fault was resolved one way or the other
+
+    def test_faultless_run_emits_no_fault_events(self):
+        events, result = self.collect(plan=FaultPlan())
+        kinds = {e if isinstance(e, str) else e[0] for e in events}
+        assert kinds.isdisjoint({"fault", "retry", "quarantine"})
+        assert result.num_faults == 0
+
+
+@pytest.mark.slow
+class TestChaosRuns:
+    """Acceptance: a seeded chaos run (fault_rate=0.3, stragglers +
+    corruption) over every backend completes, quarantines rather than
+    aborts, and its counters reproduce exactly under the same seed."""
+
+    @pytest.mark.parametrize("backend_kind", ["serial", "memo", "parallel"])
+    def test_chaos_run_completes_and_reproduces(self, backend_kind):
+        def fingerprint():
+            result, backend = chaos_search(backend_kind=backend_kind)
+            assert result.num_samples == 30  # survived to the full budget
+            assert result.num_faults == result.num_retries + result.num_quarantined
+            assert result.num_faults > 0
+            assert backend.faults_injected == result.num_faults  # no timeout configured
+            assert np.isfinite(result.best_time) and result.best_time > 0
+            return (
+                result.best_time,
+                result.env_time,
+                result.wall_time,
+                result.num_faults,
+                result.num_retries,
+                result.num_quarantined,
+                backend.crashes_injected,
+                backend.stragglers_injected,
+                backend.corruptions_injected,
+            )
+
+        assert fingerprint() == fingerprint()
+
+    def test_zero_retries_quarantines_every_fault(self):
+        result, _ = chaos_search(policy=EvaluationPolicy(max_retries=0, max_step_time=60.0))
+        assert result.num_retries == 0
+        assert result.num_quarantined == result.num_faults > 0
+        # quarantined samples are recorded as failed, not dropped
+        assert result.num_samples == 30
+        assert result.num_invalid >= result.num_quarantined
+
+    def test_timeout_turns_stragglers_into_faults(self):
+        plan = FaultPlan(straggler_rate=1.0, straggler_delay=50.0, seed=3)
+        lenient = EvaluationPolicy(max_retries=2, timeout=None)
+        strict = EvaluationPolicy(max_retries=2, timeout=1e-3)
+        r_lenient, b_lenient = chaos_search(plan=plan, policy=lenient, max_samples=10)
+        r_strict, _ = chaos_search(plan=plan, policy=strict, max_samples=10)
+        assert r_lenient.num_faults == 0 and b_lenient.wall_time > 0
+        assert r_strict.num_faults > 0
+        assert r_strict.num_faults == r_strict.num_retries + r_strict.num_quarantined
+
+    def test_soak_high_fault_rate_long_run(self):
+        """Soak: heavy chaos over a longer budget still degrades gracefully."""
+        result, backend = chaos_search(
+            plan=FaultPlan.chaos(0.5, seed=7),
+            policy=EvaluationPolicy(max_retries=3, max_step_time=60.0),
+            backend_kind="memo",
+            max_samples=150,
+        )
+        assert result.num_samples == 150
+        assert result.num_faults == result.num_retries + result.num_quarantined
+        assert backend.faults_injected == result.num_faults
+        assert result.num_quarantined > 0  # at 0.5³⁺¹ per placement, some must die
+        assert np.isfinite(result.best_time)
+        # the history never recorded a corrupted (finite-but-garbage) time
+        finite_times = [t for t in result.history.per_step_time if np.isfinite(t)]
+        assert all(0 < t < 60.0 for t in finite_times)
+
+
 class TestComponents:
     def test_budget_tracker(self):
         b = BudgetTracker(max_samples=100, max_env_time=50.0)
@@ -275,6 +471,45 @@ class TestComponents:
         t.observe(np.array([0]), Measurement(4.0, True, 1.0))
         assert shaper.shape(oom) == pytest.approx(-np.sqrt(8.0))
         assert shaper.shape(Measurement(4.0, True, 1.0)) == pytest.approx(-2.0)
+
+    def test_evaluation_policy_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            EvaluationPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            EvaluationPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            EvaluationPolicy(max_step_time=-1.0)
+        with pytest.raises(ValueError):
+            EvaluationPolicy(outlier_factor=1.0)
+
+    def test_evaluation_policy_backoff_is_exponential(self):
+        p = EvaluationPolicy(backoff_base=2.0, backoff_factor=3.0)
+        assert [p.backoff(k) for k in range(4)] == [2.0, 6.0, 18.0, 54.0]
+
+    def test_evaluation_policy_corruption_detection(self):
+        p = EvaluationPolicy(max_step_time=100.0, outlier_factor=10.0)
+
+        def reason(t, reference=0.0):
+            return p.corruption_reason(Measurement(t, True, 1.0), reference)
+
+        assert reason(0.5) is None
+        assert "non-finite" in reason(float("nan"))
+        assert "non-finite" in reason(float("inf"))
+        assert "non-positive" in reason(-1.0)
+        assert "non-positive" in reason(0.0)
+        assert "absolute band" in reason(500.0)
+        assert "worst valid" in reason(50.0, reference=1.0)
+        assert reason(50.0, reference=40.0) is None  # within the relative band
+        # an OOM is an honest failure, never corruption
+        oom = Measurement(float("inf"), False, 1.0)
+        assert p.corruption_reason(oom) is None
+
+    def test_evaluation_policy_bands_can_be_disabled(self):
+        p = EvaluationPolicy(max_step_time=None, outlier_factor=None, reject_nonfinite=False)
+        assert p.corruption_reason(Measurement(float("nan"), True, 1.0)) is None
+        assert p.corruption_reason(Measurement(1e9, True, 1.0), reference=1.0) is None
 
     def test_entropy_annealer(self):
         a = EntropyAnnealer(0.1)

@@ -208,6 +208,64 @@ class TestMakeBackend:
         assert isinstance(make_backend(env, workers=1), MemoBackend)
 
 
+class TestFaultWrapperGoldenEquivalence:
+    """A zero-rate FaultInjectingBackend must be invisible: bit-for-bit the
+    wrapped backend's measurements, clock, and search result."""
+
+    def _backend_pair(self, kind, layered_graph, topology):
+        from repro.sim import FaultInjectingBackend, FaultPlan
+
+        env_plain, env_wrapped = _env(layered_graph, topology), _env(layered_graph, topology)
+        if kind == "serial":
+            plain, inner = SerialBackend(env_plain), SerialBackend(env_wrapped)
+        elif kind == "memo":
+            plain, inner = MemoBackend(env_plain), MemoBackend(env_wrapped)
+        else:
+            plain = ParallelBackend(env_plain, workers=2, seed=0)
+            inner = ParallelBackend(env_wrapped, workers=2, seed=0)
+        return plain, FaultInjectingBackend(inner, FaultPlan())
+
+    @pytest.mark.parametrize("kind", ["serial", "memo", "parallel"])
+    def test_measurement_stream_identical(self, kind, layered_graph, topology):
+        plain, wrapped = self._backend_pair(kind, layered_graph, topology)
+        placements = _random_placements(layered_graph, topology, 8)
+        try:
+            expected = plain.evaluate_batch(placements)
+            got = wrapped.evaluate_batch(placements)
+        finally:
+            plain.close()
+            wrapped.close()
+        assert [m.per_step_time for m in got] == [m.per_step_time for m in expected]
+        assert [m.env_time_charged for m in got] == [m.env_time_charged for m in expected]
+        assert wrapped.environment.env_time == plain.environment.env_time
+        assert wrapped.faults_injected == 0 and wrapped.wall_time == 0.0
+
+    @pytest.mark.parametrize("kind", ["serial", "memo"])
+    def test_search_result_identical(self, kind, layered_graph, topology):
+        from repro.core import PlacementSearch, SearchConfig
+
+        def run(wrap):
+            plain, wrapped = self._backend_pair(kind, layered_graph, topology)
+            backend = wrapped if wrap else plain
+            agent_env = backend.environment
+            from repro.core import PostAgent
+
+            agent = PostAgent(layered_graph, topology.num_devices, num_groups=6, seed=0)
+            config = SearchConfig(max_samples=20, minibatch_size=10)
+            result = PlacementSearch(agent, agent_env, "ppo", config, backend=backend).run()
+            plain.close()
+            wrapped.close()
+            return result
+
+        a, b = run(wrap=False), run(wrap=True)
+        assert a.best_time == b.best_time
+        assert a.env_time == b.env_time
+        assert a.history.per_step_time == b.history.per_step_time
+        assert a.history.env_time == b.history.env_time
+        np.testing.assert_array_equal(a.best_placement, b.best_placement)
+        assert (b.num_faults, b.num_retries, b.num_quarantined) == (0, 0, 0)
+
+
 class TestRawOutcomePickling:
     def test_roundtrip(self):
         import pickle

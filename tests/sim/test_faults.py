@@ -1,0 +1,250 @@
+"""Tests for the fault-injection harness (`repro.sim.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    EvaluationFault,
+    FaultInjectingBackend,
+    FaultPlan,
+    MemoBackend,
+    PlacementEnvironment,
+    SerialBackend,
+    Topology,
+    make_backend,
+)
+
+
+def _env(graph, topology, **kwargs):
+    kwargs.setdefault("seed", 0)
+    kwargs.setdefault("setup_time", 1.0)
+    return PlacementEnvironment(graph, topology, **kwargs)
+
+
+def _random_placements(graph, topology, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, topology.num_devices, size=graph.num_ops, dtype=np.int64)
+        for _ in range(n)
+    ]
+
+
+class TestFaultPlan:
+    def test_defaults_are_benign(self):
+        plan = FaultPlan()
+        assert not plan.enabled
+        assert plan.crash_rate == plan.straggler_rate == plan.corruption_rate == 0.0
+
+    def test_chaos_constructor(self):
+        plan = FaultPlan.chaos(0.3, seed=7)
+        assert plan.enabled
+        assert plan.crash_rate == plan.straggler_rate == plan.corruption_rate == 0.3
+        assert plan.seed == 7
+
+    @pytest.mark.parametrize("field", ["crash_rate", "straggler_rate", "corruption_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_validated(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: bad})
+
+    def test_other_fields_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_delay=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(outlier_scale=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corruption_kinds=())
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan(corruption_kinds=("nan", "gremlins"))
+
+
+class TestEvaluationFault:
+    def test_is_a_runtime_error_with_kind(self):
+        fault = EvaluationFault("boom", kind="timeout")
+        assert isinstance(fault, RuntimeError)
+        assert fault.kind == "timeout"
+        assert "boom" in str(fault)
+
+    def test_default_kind_is_crash(self):
+        assert EvaluationFault("x").kind == "crash"
+
+
+class TestCrashInjection:
+    def test_certain_crash_raises_before_any_commit(self, layered_graph, topology):
+        env = _env(layered_graph, topology)
+        backend = FaultInjectingBackend(SerialBackend(env), FaultPlan(crash_rate=1.0))
+        with pytest.raises(EvaluationFault) as ei:
+            backend.evaluate_batch(_random_placements(layered_graph, topology, 1))
+        assert ei.value.kind == "crash"
+        # the worker died before reporting: no measurement, no clock charge
+        assert env.num_evaluations == 0 and env.env_time == 0.0
+        assert backend.crashes_injected == 1
+        assert backend.faults_injected == 1
+
+    def test_crash_aborts_batch_midway(self, layered_graph, topology):
+        # seed chosen so the first placement survives and a later one crashes;
+        # earlier commits stay committed (worker crashed mid-batch).
+        env = _env(layered_graph, topology)
+        backend = FaultInjectingBackend(
+            SerialBackend(env), FaultPlan(crash_rate=0.5, seed=0)
+        )
+        placements = _random_placements(layered_graph, topology, 10)
+        with pytest.raises(EvaluationFault):
+            backend.evaluate_batch(placements)
+        assert 0 < env.num_evaluations < len(placements)
+
+
+class TestStragglerInjection:
+    def test_straggler_charges_wall_clock_not_env_clock(self, layered_graph, topology):
+        env = _env(layered_graph, topology)
+        reference = _env(layered_graph, topology)
+        backend = FaultInjectingBackend(
+            SerialBackend(env), FaultPlan(straggler_rate=1.0, straggler_delay=10.0)
+        )
+        p = _random_placements(layered_graph, topology, 1)[0]
+        (m,) = backend.evaluate_batch([p])
+        expected = reference.evaluate(p)
+        # measurement itself is untouched; the delay lands on the wall channel
+        assert m.per_step_time == expected.per_step_time
+        assert env.env_time == reference.env_time
+        assert backend.stragglers_injected == 1
+        assert backend.wall_time > 0
+        assert backend.last_eval_latency == pytest.approx(backend.wall_time)
+        # stragglers are not faults until a policy timeout says so
+        assert backend.faults_injected == 0
+
+    def test_latency_resets_per_evaluation(self, layered_graph, topology):
+        backend = FaultInjectingBackend(
+            SerialBackend(_env(layered_graph, topology)),
+            FaultPlan(straggler_rate=0.5, straggler_delay=10.0, seed=1),
+        )
+        latencies = []
+        for p in _random_placements(layered_graph, topology, 12):
+            backend.evaluate_batch([p])
+            latencies.append(backend.last_eval_latency)
+        assert any(lat == 0.0 for lat in latencies)  # non-stragglers read 0
+        assert any(lat > 0.0 for lat in latencies)
+        assert backend.wall_time == pytest.approx(sum(latencies))
+
+
+class TestCorruptionInjection:
+    def _corrupted_time(self, layered_graph, topology, kind):
+        env = _env(layered_graph, topology)
+        backend = FaultInjectingBackend(
+            SerialBackend(env),
+            FaultPlan(corruption_rate=1.0, corruption_kinds=(kind,)),
+        )
+        p = _random_placements(layered_graph, topology, 1)[0]
+        (m,) = backend.evaluate_batch([p])
+        assert m.valid  # corruption masquerades as a successful measurement
+        assert backend.corruptions_injected == 1
+        return m.per_step_time
+
+    def test_nan(self, layered_graph, topology):
+        assert np.isnan(self._corrupted_time(layered_graph, topology, "nan"))
+
+    def test_negative(self, layered_graph, topology):
+        assert self._corrupted_time(layered_graph, topology, "negative") < 0
+
+    def test_outlier(self, layered_graph, topology):
+        t = self._corrupted_time(layered_graph, topology, "outlier")
+        assert np.isfinite(t) and t > 1e3  # ~ms baseline scaled by 1e6
+
+    def test_oom_measurements_are_never_corrupted(self, layered_graph):
+        env = _env(layered_graph, Topology.default_4gpu(num_gpus=2, gpu_memory_bytes=1 << 10))
+        backend = FaultInjectingBackend(SerialBackend(env), FaultPlan(corruption_rate=1.0))
+        p = np.full(layered_graph.num_ops, env.topology.gpu_indices()[0], dtype=np.int64)
+        (m,) = backend.evaluate_batch([p])
+        assert not m.valid
+        assert backend.corruptions_injected == 0  # not counted, so accounting balances
+
+
+class TestDeterminism:
+    def test_same_plan_same_fates(self, layered_graph, topology):
+        plan = FaultPlan.chaos(0.4, seed=42)
+        placements = _random_placements(layered_graph, topology, 20)
+
+        def run():
+            backend = FaultInjectingBackend(SerialBackend(_env(layered_graph, topology)), plan)
+            times, crashes = [], 0
+            for p in placements:
+                try:
+                    times.append(backend.evaluate_batch([p])[0].per_step_time)
+                except EvaluationFault:
+                    crashes += 1
+            return times, crashes, backend.stats()
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(a[0], b[0])
+        assert a[1:] == b[1:]
+
+    def test_different_seed_different_fates(self, layered_graph, topology):
+        placements = _random_placements(layered_graph, topology, 30)
+
+        def fate_mask(seed):
+            backend = FaultInjectingBackend(
+                SerialBackend(_env(layered_graph, topology)),
+                FaultPlan(crash_rate=0.5, seed=seed),
+            )
+            mask = []
+            for p in placements:
+                try:
+                    backend.evaluate_batch([p])
+                    mask.append(False)
+                except EvaluationFault:
+                    mask.append(True)
+            return mask
+
+        assert fate_mask(0) != fate_mask(99)
+
+    def test_fault_stream_is_independent_of_measurement_noise(self, layered_graph, topology):
+        # same plan over environments with different noise seeds: identical fates
+        placements = _random_placements(layered_graph, topology, 15)
+
+        def crash_mask(env_seed):
+            backend = FaultInjectingBackend(
+                SerialBackend(_env(layered_graph, topology, seed=env_seed)),
+                FaultPlan(crash_rate=0.4, seed=5),
+            )
+            mask = []
+            for p in placements:
+                try:
+                    backend.evaluate_batch([p])
+                    mask.append(False)
+                except EvaluationFault:
+                    mask.append(True)
+            return mask
+
+        assert crash_mask(0) == crash_mask(123)
+
+
+class TestWrapperPlumbing:
+    def test_environment_is_inner_environment(self, layered_graph, topology):
+        inner = SerialBackend(_env(layered_graph, topology))
+        assert FaultInjectingBackend(inner).environment is inner.environment
+
+    def test_close_delegates(self, layered_graph, topology):
+        closed = []
+
+        class Recorder(SerialBackend):
+            def close(self):
+                closed.append(True)
+
+        FaultInjectingBackend(Recorder(_env(layered_graph, topology))).close()
+        assert closed == [True]
+
+    def test_stats_merges_inner_stats(self, layered_graph, topology):
+        backend = FaultInjectingBackend(MemoBackend(_env(layered_graph, topology)))
+        backend.evaluate_batch(_random_placements(layered_graph, topology, 2))
+        stats = backend.stats()
+        assert stats["misses"] == 2.0  # inner MemoBackend counters survive
+        assert stats["faults_injected"] == 0.0
+        assert stats["wall_time"] == 0.0
+
+    def test_make_backend_wraps_only_when_enabled(self, layered_graph, topology):
+        env = _env(layered_graph, topology)
+        assert isinstance(make_backend(env, fault_plan=None), MemoBackend)
+        assert isinstance(make_backend(env, fault_plan=FaultPlan()), MemoBackend)
+        wrapped = make_backend(env, fault_plan=FaultPlan(crash_rate=0.1))
+        assert isinstance(wrapped, FaultInjectingBackend)
+        assert isinstance(wrapped.inner, MemoBackend)

@@ -58,3 +58,53 @@ class TestCommands:
 
     def test_custom_topology_args(self, capsys):
         assert main(["eval", "--model", "inception_v3", "--gpus", "2", "--gpu-mem", "4"]) == 0
+
+    def test_place_with_fault_injection(self, capsys):
+        rc = main(
+            [
+                "place", "--model", "inception_v3", "--agent", "post",
+                "--samples", "10", "--groups", "8",
+                "--fault-rate", "0.3", "--straggler-rate", "0.3",
+                "--corruption-rate", "0.3", "--max-retries", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out and "quarantined" in out
+
+
+class TestErrorPaths:
+    """Bad flag values exit non-zero with a one-line message, not a traceback."""
+
+    def _expect_usage_error(self, capsys, argv, fragment):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_workers_zero_rejected(self, capsys):
+        self._expect_usage_error(
+            capsys, ["place", "--workers", "0"], "must be >= 1"
+        )
+
+    def test_fault_rate_above_one_rejected(self, capsys):
+        self._expect_usage_error(
+            capsys, ["place", "--fault-rate", "1.5"], "must be a rate in [0, 1]"
+        )
+
+    def test_negative_max_retries_rejected(self, capsys):
+        self._expect_usage_error(
+            capsys, ["place", "--max-retries", "-1"], "must be >= 0"
+        )
+
+    def test_non_numeric_rate_rejected(self, capsys):
+        self._expect_usage_error(
+            capsys, ["place", "--straggler-rate", "lots"], "expected a number"
+        )
+
+    def test_error_names_the_offending_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["place", "--corruption-rate", "2"])
+        assert "--corruption-rate" in capsys.readouterr().err

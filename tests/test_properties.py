@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on the core data structures and
-invariants: graph topology, simulator physics, partitioners, autograd."""
+invariants: graph topology, simulator physics, partitioners, autograd,
+and the fault-injection / retry-policy machinery."""
 
 import numpy as np
 import pytest
@@ -11,7 +12,7 @@ from repro.grouping import cut_cost, partition_kway
 from repro.grouping.fluid import asyn_fluidc_assignment
 from repro.nn import Tensor
 from repro.rl import EMABaseline, reward_from_time
-from repro.sim import OutOfMemoryError, Simulator, Topology
+from repro.sim import FaultPlan, OutOfMemoryError, Simulator, Topology
 
 SETTINGS = dict(max_examples=25, deadline=None)
 
@@ -143,6 +144,84 @@ class TestRewardProperties:
         b = EMABaseline(decay=decay)
         b.update(rewards)
         assert min(rewards) - 1e-9 <= b.value <= max(rewards) + 1e-9
+
+
+fault_plan_strategy = st.builds(
+    FaultPlan,
+    crash_rate=st.floats(0.0, 0.45),
+    straggler_rate=st.floats(0.0, 0.45),
+    corruption_rate=st.floats(0.0, 0.45),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestFaultPolicyProperties:
+    """For any seeded FaultPlan: a search with retries enabled terminates,
+    never surfaces a corrupted (non-finite / non-positive) best time, and
+    the fault accounting balances exactly."""
+
+    def _run(self, plan):
+        from repro.core import EvaluationPolicy, PlacementSearch, PostAgent, SearchConfig
+        from repro.sim import (
+            FaultInjectingBackend,
+            PlacementEnvironment,
+            SerialBackend,
+        )
+
+        graph = build_random_layered(num_layers=4, width=3, seed=11)
+        topo = Topology.default_4gpu(num_gpus=2)
+        env = PlacementEnvironment(graph, topo, seed=0, setup_time=1.0)
+        agent = PostAgent(graph, topo.num_devices, num_groups=4, seed=0)
+        config = SearchConfig(max_samples=16, minibatch_size=8)
+        backend = FaultInjectingBackend(SerialBackend(env), plan)
+        # max_step_time below the plan's outlier scale makes corruption
+        # detection complete, so backend and engine accounting must agree.
+        policy = EvaluationPolicy(max_retries=3, max_step_time=60.0)
+        result = PlacementSearch(
+            agent, env, "ppo", config, backend=backend, policy=policy
+        ).run()
+        return result, backend
+
+    @given(plan=fault_plan_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_search_terminates_with_balanced_accounting(self, plan):
+        result, backend = self._run(plan)
+        # terminated with the full sample budget: quarantine, never abort
+        assert result.num_samples == 16
+        # the loop invariant of the retry policy
+        assert result.num_faults == result.num_retries + result.num_quarantined
+        # detection is complete under these bands, so every injected crash or
+        # corruption was observed by the engine (no policy timeout => injected
+        # stragglers never become faults)
+        assert backend.faults_injected == result.num_faults
+        assert result.num_retries <= result.num_faults
+        assert result.num_quarantined <= result.num_samples
+
+    @given(plan=fault_plan_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_best_time_is_never_garbage(self, plan):
+        result, _ = self._run(plan)
+        if any(result.history.valid):
+            assert np.isfinite(result.best_time) and result.best_time > 0
+        else:  # every sample quarantined or invalid — best is honestly +inf
+            assert result.best_time == float("inf")
+        # corrupted values must never have been folded into the history
+        finite = [t for t in result.history.per_step_time if np.isfinite(t)]
+        assert all(0 < t <= 60.0 for t in finite)
+
+    @given(plan=fault_plan_strategy)
+    @settings(max_examples=5, deadline=None)
+    def test_chaos_is_reproducible(self, plan):
+        a, backend_a = self._run(plan)
+        b, backend_b = self._run(plan)
+        assert a.best_time == b.best_time
+        assert a.wall_time == b.wall_time
+        assert (a.num_faults, a.num_retries, a.num_quarantined) == (
+            b.num_faults,
+            b.num_retries,
+            b.num_quarantined,
+        )
+        assert backend_a.stats() == backend_b.stats()
 
 
 class TestAutogradProperties:
