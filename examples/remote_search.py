@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Two concurrent placement searches sharing one measurement service.
+
+Starts a MeasurementServer on a loopback port, then runs two searches
+against it from separate threads.  Each search keeps its own environment
+(its own RNG stream and clock — the server ships only deterministic raw
+outcomes, which clients commit locally), so search A is bit-for-bit
+identical to a plain in-process SerialBackend run with the same seed, which
+this script verifies.  Because both searches explore the same graph, they
+sample overlapping placements and the server's shared memo cache
+deduplicates the simulator work — the point of amortising one fleet across
+many searches.
+
+Run:  python examples/remote_search.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro import (
+    EvaluationPolicy,
+    MeasurementServer,
+    PlacementEnvironment,
+    PlacementSearch,
+    PostAgent,
+    RemoteBackend,
+    SearchConfig,
+    SerialBackend,
+)
+from repro.graph.models import build_benchmark
+
+MODEL = "inception_v3"
+SAMPLES = 40
+
+
+def run_search(seed: int, address: str, results: dict) -> None:
+    graph = build_benchmark(MODEL)
+    env = PlacementEnvironment(graph, seed=seed)
+    agent = PostAgent(graph, env.num_devices, num_groups=4, seed=seed)
+    config = SearchConfig(max_samples=SAMPLES, minibatch_size=10)
+    backend = RemoteBackend(env, address, timeout=30.0)
+    # The policy turns any network failure into a retry/quarantine instead
+    # of an aborted search; on a healthy loopback link it never fires.
+    policy = EvaluationPolicy(max_retries=2)
+    search = PlacementSearch(agent, env, "ppo", config, backend=backend, policy=policy)
+    try:
+        results[seed] = search.run()
+    finally:
+        backend.close()
+
+
+def run_local(seed: int):
+    """The same search with an in-process SerialBackend (the golden run)."""
+    graph = build_benchmark(MODEL)
+    env = PlacementEnvironment(graph, seed=seed)
+    agent = PostAgent(graph, env.num_devices, num_groups=4, seed=seed)
+    config = SearchConfig(max_samples=SAMPLES, minibatch_size=10)
+    return PlacementSearch(agent, env, "ppo", config, backend=SerialBackend(env)).run()
+
+
+def main() -> None:
+    graph = build_benchmark(MODEL)
+    server = MeasurementServer(PlacementEnvironment(graph, seed=0), port=0, workers=4)
+    server.start()
+    print(f"measurement service for {MODEL} on {server.address} (4 workers)")
+
+    results: dict = {}
+    threads = [
+        threading.Thread(target=run_search, args=(seed, server.address, results))
+        for seed in (0, 1)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for seed in (0, 1):
+        r = results[seed]
+        print(f"  search seed={seed}: best {r.final_time * 1000:.2f} ms/step "
+              f"({r.num_invalid}/{r.num_samples} invalid, "
+              f"{r.num_quarantined} quarantined)")
+
+    stats = server.stats()
+    hits, misses = int(stats["memo_hits"]), int(stats["memo_misses"])
+    print(f"  shared cache: {hits} hits / {misses} misses "
+          f"({stats['memo_hit_rate']:.0%} of requests reused another "
+          f"search's simulation)")
+
+    golden = run_local(seed=0)
+    same = (
+        golden.best_time == results[0].best_time
+        and golden.history.per_step_time == results[0].history.per_step_time
+        and np.array_equal(golden.best_placement, results[0].best_placement)
+    )
+    print(f"  golden check: remote seed-0 run is bit-for-bit identical to a "
+          f"local SerialBackend run: {same}")
+
+    server.close()
+    assert hits > 0, "concurrent searches should have shared simulator work"
+    assert same, "remote search must be bit-for-bit identical to local"
+
+
+if __name__ == "__main__":
+    main()

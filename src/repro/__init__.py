@@ -17,7 +17,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from . import graph, sim, nn, rl, grouping, placement, core, bench
+from . import graph, sim, nn, rl, grouping, placement, core, bench, service
+from .service import MeasurementServer, RemoteBackend
 from .core import (
     EagleAgent,
     HierarchicalPlannerAgent,
@@ -82,5 +83,8 @@ __all__ = [
     "EvaluationFault",
     "FaultPlan",
     "FaultInjectingBackend",
+    "service",
+    "MeasurementServer",
+    "RemoteBackend",
     "__version__",
 ]

@@ -7,9 +7,14 @@ Subcommands::
     python -m repro place --model gnmt --agent eagle --algorithm ppo \
                           --samples 300 --checkpoint out.npz
     python -m repro gantt --model inception_v3 --placement single_gpu
+    python -m repro serve --model gnmt --port 7077       # measurement service
+    python -m repro place --model gnmt --remote 127.0.0.1:7077
 
 All commands run against the simulated 4-GPU environment (the paper's
-machine); ``--gpus`` / ``--gpu-mem`` customise it.
+machine); ``--gpus`` / ``--gpu-mem`` customise it.  ``serve`` exposes that
+environment as a shared measurement service; ``place --remote`` submits
+placements to one instead of simulating in-process (results are bit-for-bit
+identical to a local run with the same seed).
 """
 
 from __future__ import annotations
@@ -107,6 +112,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-measure a faulted placement up to N times before "
              "quarantining it (used when any fault rate is non-zero)",
     )
+    p.add_argument(
+        "--remote", default=None, metavar="HOST:PORT",
+        help="evaluate placements against a running `repro serve` instance "
+             "instead of simulating in-process (takes precedence over "
+             "--workers/--no-cache; network failures are retried and "
+             "quarantined by the evaluation policy)",
+    )
+    p.add_argument(
+        "--remote-timeout", type=float, default=30.0,
+        help="per-request deadline in seconds for --remote",
+    )
+    p.add_argument(
+        "--memo-path", default=None,
+        help="persist the memo cache here: loaded before the search if the "
+             "file exists (refused on graph/topology mismatch), saved after "
+             "(requires the default cached backend)",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="stream search events to PATH as JSON-lines (one object per "
+             "event) for live dashboards",
+    )
+
+    p = sub.add_parser("serve", help="run a shared measurement service")
+    add_common(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_nonnegative_int, default=7077,
+                   help="TCP port to listen on (0 picks a free port)")
+    p.add_argument("--service-workers", type=_positive_int, default=4,
+                   help="simulator worker threads serving evaluations")
+    p.add_argument("--memo-path", default=None,
+                   help="warm the shared raw-outcome cache from this file if "
+                        "it exists, and save it back on shutdown")
 
     p = sub.add_parser("gantt", help="render a placement's execution timeline")
     add_common(p)
@@ -164,9 +202,22 @@ def cmd_eval(args) -> int:
 
 
 def cmd_place(args) -> int:
+    import os
+
     from .bench.experiments import make_agent
-    from .core import EvaluationPolicy, PlacementSearch, ProgressPrinter, SearchConfig
+    from .core import (
+        EvaluationPolicy,
+        MetricsExporter,
+        PlacementSearch,
+        ProgressPrinter,
+        SearchConfig,
+    )
     from .sim import FaultInjectingBackend, FaultPlan, MemoBackend, make_backend
+
+    if args.memo_path and (args.remote or args.workers > 1 or args.no_cache):
+        print("error: --memo-path needs the default cached backend "
+              "(no --remote/--workers/--no-cache)", file=sys.stderr)
+        return 2
 
     graph, env = _make_env(args)
     agent = make_agent(
@@ -184,33 +235,88 @@ def cmd_place(args) -> int:
             seed=args.seed,
         )
         policy = EvaluationPolicy(max_retries=args.max_retries)
+    if args.remote and policy is None:
+        # Network failures must quarantine, not abort the search.
+        policy = EvaluationPolicy(max_retries=args.max_retries)
     backend = make_backend(
-        env, workers=args.workers, cache=not args.no_cache, seed=args.seed, fault_plan=plan
+        env, workers=args.workers, cache=not args.no_cache, seed=args.seed,
+        fault_plan=plan, remote=args.remote, remote_timeout=args.remote_timeout,
     )
+    if args.memo_path and isinstance(backend, MemoBackend) and os.path.exists(args.memo_path):
+        loaded = backend.load(args.memo_path)
+        print(f"memo cache: {loaded} raw outcomes loaded from {args.memo_path}")
+    callbacks = [ProgressPrinter(interval=50, total=args.samples)]
+    exporter = None
+    if args.metrics:
+        exporter = MetricsExporter(path=args.metrics)
+        callbacks.append(exporter)
     try:
         search = PlacementSearch(agent, env, args.algorithm, config,
                                  backend=backend, policy=policy)
-        result = search.run(callbacks=[ProgressPrinter(interval=50, total=args.samples)])
+        result = search.run(callbacks=callbacks)
+        if args.remote:
+            remote = backend.inner if isinstance(backend, FaultInjectingBackend) else backend
+            remote_stats = remote.remote_stats()
     finally:
         backend.close()
+        if exporter is not None:
+            exporter.close()
     print(f"best placement: {result.final_time * 1000:.1f} ms/step "
           f"({result.num_invalid}/{result.num_samples} invalid)")
     inner = backend.inner if isinstance(backend, FaultInjectingBackend) else backend
     if isinstance(inner, MemoBackend) and inner.hits:
         print(f"  cache: {inner.hits} hits / {inner.misses} misses "
               f"({inner.hit_rate:.0%} of evaluations skipped the simulator)")
-    if args.workers > 1:
+    if args.memo_path and isinstance(backend, MemoBackend):
+        backend.save(args.memo_path)
+        print(f"  memo cache: {len(backend)} raw outcomes saved to {args.memo_path}")
+    if args.remote:
+        hits = int(remote_stats.get("memo_hits", 0))
+        misses = int(remote_stats.get("memo_misses", 0))
+        rate = remote_stats.get("memo_hit_rate", 0.0)
+        print(f"  remote cache: {hits} hits / {misses} misses on the server "
+              f"({rate:.0%} shared across all its clients)")
+    if args.workers > 1 and not args.remote:
         print(f"  parallel: {args.workers} workers, "
               f"{int(backend.stats()['dispatched'])} simulations sharded")
     if policy is not None:
         print(f"  faults: {result.num_faults} observed, {result.num_retries} retried, "
               f"{result.num_quarantined} quarantined "
               f"({result.wall_time:.0f}s simulated wall-clock lost)")
+    if args.metrics:
+        print(f"  metrics: events streamed to {args.metrics}")
     if args.checkpoint:
         from .core.checkpoint import save_checkpoint
 
         save_checkpoint(args.checkpoint, agent, result)
         print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import MeasurementServer
+
+    graph, env = _make_env(args)
+    server = MeasurementServer(
+        env,
+        host=args.host,
+        port=args.port,
+        workers=args.service_workers,
+        memo_path=args.memo_path,
+    )
+    print(f"serving {args.model} ({graph.num_ops} ops, "
+          f"{env.num_devices} devices) on {server.address} "
+          f"with {args.service_workers} simulator workers")
+    print(f"  fingerprint {server.fingerprint[:16]}…  (clients must match)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted")
+    finally:
+        if args.memo_path:
+            server.memo.save(args.memo_path)
+            print(f"memo cache: {len(server.memo)} raw outcomes saved to {args.memo_path}")
+        server.close()
     return 0
 
 
@@ -235,6 +341,7 @@ def main(argv: Optional[list] = None) -> int:
         "info": cmd_info,
         "eval": cmd_eval,
         "place": cmd_place,
+        "serve": cmd_serve,
         "gantt": cmd_gantt,
     }[args.command](args)
 

@@ -22,6 +22,7 @@ from .events import (
     CallbackList,
     HistoryRecorder,
     ProgressPrinter,
+    MetricsExporter,
     LegacyProgressAdapter,
 )
 from .heuristic_placement import scotch_style_placement, RandomSearchAgent
@@ -39,6 +40,7 @@ __all__ = [
     "CallbackList",
     "HistoryRecorder",
     "ProgressPrinter",
+    "MetricsExporter",
     "LegacyProgressAdapter",
     "PlacementAgentBase",
     "GrouperPlacerBridge",

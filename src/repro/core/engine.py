@@ -478,6 +478,14 @@ class SearchEngine:
             # Resilient path: measure one placement at a time so a fault is
             # attributed (and retried) per placement, and fold immediately so
             # corruption detection sees an up-to-date worst-valid reference.
+            # Backends that talk to a remote fleet may expose prepare_batch
+            # (batch ticketing): the whole minibatch is submitted in one
+            # round trip and the per-placement calls below consume prefetched
+            # raw outcomes, keeping commit order — and therefore results —
+            # identical to the serial path.
+            prepare = getattr(self.backend, "prepare_batch", None)
+            if prepare is not None:
+                prepare([s.op_placement for s in samples])
             for sample in samples:
                 m = self._evaluate_resilient(sample.op_placement)
                 self.env_time = self.environment.env_time

@@ -39,8 +39,10 @@ implement only what they care about.
 
 from __future__ import annotations
 
+import json
 import sys
-from typing import IO, TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+from collections import Counter
+from typing import IO, TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -56,6 +58,7 @@ __all__ = [
     "CallbackList",
     "HistoryRecorder",
     "ProgressPrinter",
+    "MetricsExporter",
     "LegacyProgressAdapter",
 ]
 
@@ -186,6 +189,129 @@ class ProgressPrinter(SearchCallback):
         print(
             f"  {engine.num_samples:5d}/{total} samples, best {best_ms:8.1f} ms/step",
             file=self.stream or sys.stdout,
+        )
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON-safe float: non-finite values become ``None`` (strict JSON)."""
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+class MetricsExporter(SearchCallback):
+    """Streams search events as JSON-lines and keeps Prometheus-style counters.
+
+    Every lifecycle event is appended to ``path`` (or ``stream``) as one
+    strict-JSON object per line — non-finite floats are rendered as
+    ``null`` — so long searches can be tailed live (``tail -f run.jsonl``)
+    or ingested by dashboards.  Cumulative counters follow the Prometheus
+    naming convention (``*_total``); faults/retries/quarantines are
+    additionally broken out per kind with a ``{kind="..."}`` label.
+
+    With neither ``path`` nor ``stream`` the exporter is counters-only:
+    this is how the measurement service uses it to back its ``stats`` RPC
+    (:mod:`repro.service.server` bumps the same counters via :meth:`inc`).
+    """
+
+    def __init__(self, path: Optional[str] = None, stream: Optional[IO] = None) -> None:
+        if path is not None and stream is not None:
+            raise ValueError("pass either path or stream, not both")
+        self._file: Optional[IO] = open(path, "w") if path is not None else stream
+        self._owns_file = path is not None
+        self.counters: Counter = Counter()
+
+    # -------------------------------------------------------------- #
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Bump one counter (also the service's hook into this exporter)."""
+        self.counters[name] += value
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one JSON-lines record (no-op when counters-only)."""
+        if self._file is None:
+            return
+        record = {"event": event, **fields}
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def render_prometheus(self) -> str:
+        """The counters in Prometheus text exposition format."""
+        lines = []
+        for name in sorted(self.counters):
+            bare = name.split("{", 1)[0]
+            lines.append(f"# TYPE {bare} counter")
+            lines.append(f"{name} {self.counters[name]:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def close(self) -> None:
+        """Close the JSON-lines file (idempotent; counters stay readable)."""
+        if self._owns_file and self._file is not None:
+            self._file.close()
+        self._file = None
+
+    # -------------------------------------------------------------- #
+    def on_search_start(self, engine) -> None:
+        self.inc("repro_searches_started_total")
+        self.emit(
+            "search_start",
+            algorithm=engine.algorithm_name,
+            max_samples=engine.config.max_samples,
+        )
+
+    def on_measurement(self, engine, sample, measurement) -> None:
+        self.inc("repro_measurements_total")
+        if not measurement.valid:
+            self.inc("repro_invalid_measurements_total")
+        self.emit(
+            "measurement",
+            num_samples=engine.num_samples,
+            per_step_time=_finite(measurement.per_step_time),
+            valid=bool(measurement.valid),
+            env_time=_finite(engine.env_time),
+            best_time=_finite(engine.best_time),
+        )
+
+    def on_best(self, engine, placement: np.ndarray, per_step_time: float) -> None:
+        self.inc("repro_best_improvements_total")
+        self.emit(
+            "best",
+            num_samples=engine.num_samples,
+            per_step_time=_finite(per_step_time),
+        )
+
+    def on_fault(self, engine, placement, fault) -> None:
+        self.inc("repro_faults_total")
+        self.inc(f'repro_faults_total{{kind="{fault.kind}"}}')
+        self.emit("fault", num_samples=engine.num_samples, kind=fault.kind, message=str(fault))
+
+    def on_retry(self, engine, placement, attempt: int, fault) -> None:
+        self.inc("repro_retries_total")
+        self.emit("retry", num_samples=engine.num_samples, attempt=attempt, kind=fault.kind)
+
+    def on_quarantine(self, engine, placement, fault) -> None:
+        self.inc("repro_quarantines_total")
+        self.emit("quarantine", num_samples=engine.num_samples, kind=fault.kind)
+
+    def on_update(self, engine, stats: Dict[str, float]) -> None:
+        self.inc("repro_updates_total")
+        self.emit(
+            "update",
+            num_samples=engine.num_samples,
+            stats={k: _finite(v) for k, v in stats.items()},
+        )
+
+    def on_search_end(self, engine, result) -> None:
+        self.inc("repro_searches_finished_total")
+        self.emit(
+            "search_end",
+            num_samples=result.num_samples,
+            best_time=_finite(result.best_time),
+            final_time=_finite(result.final_time),
+            num_invalid=result.num_invalid,
+            num_faults=result.num_faults,
+            num_retries=result.num_retries,
+            num_quarantined=result.num_quarantined,
+            env_time=_finite(result.env_time),
+            wall_time=_finite(result.wall_time),
         )
 
 

@@ -3,6 +3,12 @@
 from .opgraph import OpGraph, OpNode, TensorSpec, GroupedGraph
 from .training import expand_training_graph
 from .serialization import save_graph, load_graph, graph_to_dict, graph_from_dict, graph_summary
+from .fingerprint import (
+    graph_fingerprint,
+    topology_fingerprint,
+    cost_model_fingerprint,
+    placement_space_fingerprint,
+)
 from . import costs
 from . import models
 
@@ -17,6 +23,10 @@ __all__ = [
     "graph_to_dict",
     "graph_from_dict",
     "graph_summary",
+    "graph_fingerprint",
+    "topology_fingerprint",
+    "cost_model_fingerprint",
+    "placement_space_fingerprint",
     "costs",
     "models",
 ]

@@ -1,0 +1,30 @@
+"""Remote measurement service: a shared simulator fleet behind TCP (substrate S8).
+
+``repro.service`` turns the evaluation-backend seam into a network service
+so many searches share one measurement fleet — the distributed-measurement
+architecture of Mirhoseini et al. '17 / GDP '19, applied to the simulator:
+
+* :mod:`~repro.service.protocol` — versioned newline-delimited-JSON wire
+  protocol with a graph-fingerprint handshake;
+* :mod:`~repro.service.server` — :class:`MeasurementServer`, a threaded TCP
+  server with a simulator worker pool and a shared memoisation table;
+* :mod:`~repro.service.client` — :class:`RemoteBackend`, an
+  :class:`~repro.sim.backends.EvaluationBackend` with connection pooling,
+  per-request deadlines, and fault translation into
+  :class:`~repro.sim.faults.EvaluationFault`.
+
+CLI: ``repro serve`` runs a server, ``repro place --remote HOST:PORT``
+searches against one; see DESIGN.md §8.
+"""
+
+from .protocol import PROTOCOL_VERSION, HandshakeError, ProtocolError
+from .server import MeasurementServer
+from .client import RemoteBackend
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "HandshakeError",
+    "MeasurementServer",
+    "RemoteBackend",
+]

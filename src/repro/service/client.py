@@ -1,0 +1,379 @@
+"""``RemoteBackend``: the measurement service as an evaluation backend.
+
+Implements the :class:`~repro.sim.backends.EvaluationBackend` protocol over
+a :class:`~repro.service.server.MeasurementServer`.  The server returns
+only deterministic :class:`~repro.sim.environment.RawOutcome` objects; this
+backend commits them against the *local* environment in submission order,
+so measurement noise and the environment clock come from the same RNG
+stream a :class:`~repro.sim.backends.SerialBackend` would have used — a
+remote search is bit-for-bit identical to a local one on the same seed
+(golden-tested over loopback).
+
+Fault translation keeps the engine's
+:class:`~repro.core.engine.EvaluationPolicy` in charge of *network*
+failures with zero engine changes:
+
+========================================  =============================
+network condition                          surfaces as
+========================================  =============================
+connection refused / reset / closed        ``EvaluationFault(kind="crash")``
+request deadline (socket timeout)          ``EvaluationFault(kind="straggler")``
+server-reported worker error               ``EvaluationFault(kind="crash")``
+protocol-version / fingerprint mismatch    :class:`HandshakeError` (no retry)
+========================================  =============================
+
+A handshake rejection is deliberately **not** a fault: a client measuring
+a different graph would never succeed on retry, so it raises immediately
+instead of burning the policy's retry budget.
+
+No raw outcome is committed until the *whole* batch has arrived: a
+connection that dies halfway through leaves the local environment's clock
+and RNG untouched, so the retried batch replays cleanly.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.backends import _placement_key
+from ..sim.environment import Measurement, PlacementEnvironment, RawOutcome
+from ..sim.faults import EvaluationFault
+from ..graph.fingerprint import placement_space_fingerprint
+from . import protocol
+from .protocol import PROTOCOL_VERSION, HandshakeError, ProtocolError
+
+__all__ = ["RemoteBackend"]
+
+
+def _parse_address(address: str):
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must be 'host:port', got {address!r}")
+    return host, int(port)
+
+
+class _Connection:
+    """One handshaken socket with line-oriented JSON framing."""
+
+    def __init__(self, host: str, port: int, timeout: float, hello: dict) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+        try:
+            reply = self.request(hello)
+        except BaseException:
+            self.close()
+            raise
+        if not reply.get("ok"):
+            message = reply.get("error", "handshake refused")
+            self.close()
+            raise HandshakeError(message)
+        self.server_info = reply.get("server", {})
+
+    def send(self, message: dict) -> None:
+        protocol.write_message(self.wfile, message)
+
+    def recv(self) -> dict:
+        reply = protocol.read_message(self.rfile)
+        if reply is None:
+            raise ConnectionResetError("server closed the connection")
+        return reply
+
+    def request(self, message: dict) -> dict:
+        self.send(message)
+        return self.recv()
+
+    def close(self) -> None:
+        for closer in (self.rfile.close, self.wfile.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+class RemoteBackend:
+    """Evaluates placements against a shared measurement service.
+
+    Parameters
+    ----------
+    environment:
+        The *local* environment; must describe the same measurement space
+        as the server (enforced by the fingerprint handshake).  All noise
+        draws and clock charges happen here.
+    address:
+        ``"host:port"`` of a running server.
+    timeout:
+        Per-request deadline in real seconds, applied to the connect and to
+        every reply line.  Expiry surfaces as
+        ``EvaluationFault(kind="straggler")``.
+    pool_size:
+        Connections kept warm.  One search thread needs one; concurrent
+        callers of ``evaluate_batch`` each borrow their own.
+    """
+
+    def __init__(
+        self,
+        environment: PlacementEnvironment,
+        address: str,
+        *,
+        timeout: float = 30.0,
+        pool_size: int = 2,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.environment = environment
+        self.host, self.port = _parse_address(address)
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self.fingerprint = placement_space_fingerprint(
+            environment.graph, environment.topology, environment.simulator.cost_model
+        )
+        self._idle: List[_Connection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        # Raw outcomes prefetched by prepare_batch (the engine's batch
+        # ticketing hook), keyed by placement bytes.  Successful outcomes
+        # only — faults are re-requested so retries see live state.
+        self._prefetched: Dict[bytes, RawOutcome] = {}
+        self.num_requests = 0
+        self.num_rpc_batches = 0
+        self.num_remote_cached = 0
+        self.num_prefetch_hits = 0
+        self.num_reconnects = 0
+        self.num_faults = 0
+
+    # -------------------------------------------------------------- #
+    def _dial(self) -> _Connection:
+        hello = {
+            "op": "hello",
+            "version": PROTOCOL_VERSION,
+            "fingerprint": self.fingerprint,
+        }
+        try:
+            conn = _Connection(self.host, self.port, self.timeout, hello)
+        except HandshakeError:
+            raise
+        except socket.timeout:
+            self.num_faults += 1
+            raise EvaluationFault(
+                f"measurement service {self.host}:{self.port} did not answer the "
+                f"handshake within {self.timeout:.1f}s",
+                kind="straggler",
+            ) from None
+        except (ConnectionError, ProtocolError, OSError) as exc:
+            self.num_faults += 1
+            raise EvaluationFault(
+                f"cannot reach measurement service {self.host}:{self.port}: {exc}",
+                kind="crash",
+            ) from None
+        self.num_reconnects += 1
+        return conn
+
+    def _borrow(self) -> _Connection:
+        if self._closed:
+            raise RuntimeError("RemoteBackend is closed")
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return self._dial()
+
+    def _release(self, conn: _Connection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.pool_size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    # -------------------------------------------------------------- #
+    def _fault_from(self, exc: BaseException) -> EvaluationFault:
+        self.num_faults += 1
+        if isinstance(exc, socket.timeout):
+            return EvaluationFault(
+                f"no reply from measurement service within {self.timeout:.1f}s",
+                kind="straggler",
+            )
+        return EvaluationFault(f"measurement service connection failed: {exc}", kind="crash")
+
+    def _fetch_raws(self, placements: Sequence[np.ndarray]) -> List[RawOutcome]:
+        """Raw outcomes for ``placements``, in submission order.
+
+        Duplicates within the batch are requested once — a raw outcome is
+        deterministic, so one fetch serves every occurrence (and the server
+        pool never races the same placement against itself).
+        """
+        keys = [_placement_key(p) for p in placements]
+        unique: Dict[bytes, int] = {}
+        send: List[np.ndarray] = []
+        for key, placement in zip(keys, placements):
+            if key not in unique:
+                unique[key] = len(send)
+                send.append(placement)
+        fetched = self._fetch_unique(send)
+        return [fetched[unique[key]] for key in keys]
+
+    def _fetch_unique(self, placements: Sequence[np.ndarray]) -> List[RawOutcome]:
+        """One ticketed ``evaluate_batch`` RPC; raws in submission order."""
+        if not placements:
+            return []
+        conn = self._borrow()
+        try:
+            reply = conn.request(
+                {
+                    "op": "evaluate_batch",
+                    "placements": protocol.encode_placements(placements),
+                }
+            )
+            if not reply.get("ok"):
+                raise self._server_error(reply)
+            tickets = reply.get("tickets")
+            if tickets != list(range(len(placements))):
+                raise ProtocolError(f"unexpected ticket ids {tickets!r}")
+            raws: List[Optional[RawOutcome]] = [None] * len(placements)
+            errors: Dict[int, str] = {}
+            for _ in range(len(placements)):
+                result = conn.recv()
+                if not result.get("ok"):
+                    raise self._server_error(result)
+                ticket = result.get("ticket")
+                if not isinstance(ticket, int) or not 0 <= ticket < len(placements):
+                    raise ProtocolError(f"unknown ticket {ticket!r}")
+                if "error" in result:
+                    detail = result["error"] or {}
+                    errors[ticket] = detail.get("message", "worker failure")
+                    continue
+                raws[ticket] = protocol.decode_raw(result.get("raw"))
+                if result.get("cached"):
+                    self.num_remote_cached += 1
+            self.num_rpc_batches += 1
+            self.num_requests += len(placements)
+        except (socket.timeout, ConnectionError, BrokenPipeError, OSError) as exc:
+            conn.close()
+            raise self._fault_from(exc) from None
+        except ProtocolError:
+            conn.close()
+            raise
+        except EvaluationFault:
+            conn.close()
+            raise
+        self._release(conn)
+        if errors:
+            index = min(errors)
+            self.num_faults += 1
+            raise EvaluationFault(
+                f"measurement worker failed: {errors[index]}", kind="crash", index=index
+            )
+        if any(raw is None for raw in raws):
+            raise ProtocolError("server sent duplicate tickets and dropped others")
+        return raws
+
+    def _server_error(self, reply: dict) -> Exception:
+        message = reply.get("error", "unspecified server error")
+        if reply.get("kind") == "crash":
+            self.num_faults += 1
+            return EvaluationFault(f"measurement worker failed: {message}", kind="crash")
+        return ProtocolError(message)
+
+    # -------------------------------------------------------------- #
+    # EvaluationBackend protocol
+    def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
+        """Measure the batch remotely; commit locally in submission order.
+
+        Commits happen only after every raw outcome has arrived, so any
+        fault leaves the local RNG stream and clock exactly where they
+        were — the engine can retry without perturbing determinism.
+        """
+        pending: List[Optional[RawOutcome]] = []
+        missing: List[np.ndarray] = []
+        missing_at: List[int] = []
+        for i, placement in enumerate(placements):
+            raw = self._prefetched.get(_placement_key(placement))
+            if raw is not None:
+                self.num_prefetch_hits += 1
+                pending.append(raw)
+            else:
+                pending.append(None)
+                missing.append(placement)
+                missing_at.append(i)
+        if missing:
+            for slot, raw in zip(missing_at, self._fetch_raws(missing)):
+                pending[slot] = raw
+        return [self.environment.commit(raw) for raw in pending]
+
+    def prepare_batch(self, placements: Sequence[np.ndarray]) -> None:
+        """Batch-ticketing hint from the engine's resilient path.
+
+        Fetches the whole minibatch in one ticketed RPC so the following
+        per-placement ``evaluate_batch([p])`` calls (which the
+        :class:`~repro.core.engine.EvaluationPolicy` path uses for fault
+        attribution) commit prefetched raws instead of paying a round trip
+        each.  Failures are swallowed — this is an optimisation hint, and
+        the per-placement requests that follow will surface live faults to
+        the policy with correct attribution.
+        """
+        self._prefetched.clear()
+        if not placements:
+            return
+        try:
+            raws = self._fetch_raws(placements)
+        except (EvaluationFault, ProtocolError):
+            return
+        self._prefetched = {
+            _placement_key(p): raw for p, raw in zip(placements, raws)
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+        self._prefetched.clear()
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "requests": float(self.num_requests),
+            "rpc_batches": float(self.num_rpc_batches),
+            "remote_cache_hits": float(self.num_remote_cached),
+            "prefetch_hits": float(self.num_prefetch_hits),
+            "reconnects": float(self.num_reconnects),
+            "faults": float(self.num_faults),
+        }
+
+    # -------------------------------------------------------------- #
+    def remote_stats(self) -> Dict[str, float]:
+        """The server's ``stats`` RPC (shared cache hit rate, counters)."""
+        conn = self._borrow()
+        try:
+            reply = conn.request({"op": "stats"})
+        except (socket.timeout, ConnectionError, BrokenPipeError, OSError) as exc:
+            conn.close()
+            raise self._fault_from(exc) from None
+        self._release(conn)
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "stats RPC failed"))
+        return {k: float(v) for k, v in reply.get("stats", {}).items()}
+
+    def shutdown_server(self) -> None:
+        """Ask the server to exit (the ``shutdown`` RPC)."""
+        conn = self._borrow()
+        try:
+            reply = conn.request({"op": "shutdown"})
+        except (socket.timeout, ConnectionError, BrokenPipeError, OSError) as exc:
+            conn.close()
+            raise self._fault_from(exc) from None
+        conn.close()
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "shutdown RPC failed"))
+
+    def __enter__(self) -> "RemoteBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,157 @@
+"""Wire protocol of the measurement service.
+
+Transport: plain TCP carrying newline-delimited JSON — one strict-JSON
+object per line in each direction.  The protocol is deliberately dumb
+(no pickle, no framing beyond ``\\n``) so any language can implement a
+client and a captured session is human-readable.
+
+Session layout::
+
+    client → server   {"op": "hello", "version": 1, "fingerprint": "..."}
+    server → client   {"ok": true, "server": {...}}          # or error + close
+
+    client → server   {"op": "evaluate", "placement": [...]}
+    server → client   {"ok": true, "raw": {...}, "cached": false}
+
+    client → server   {"op": "evaluate_batch", "placements": [[...], ...]}
+    server → client   {"ok": true, "tickets": [0, 1, ...]}
+    server → client   {"ok": true, "ticket": 1, "raw": {...}, "cached": true}
+    server → client   {"ok": true, "ticket": 0, "error":
+                          {"kind": "crash", "message": "..."}}
+    ...               # one line per ticket, in *completion* order
+
+    client → server   {"op": "stats"}
+    server → client   {"ok": true, "stats": {...}}
+
+    client → server   {"op": "shutdown"}
+    server → client   {"ok": true}                           # then server exits
+
+Errors are ``{"ok": false, "error": "...", "kind": "..."}``; ``kind`` is
+``"protocol"`` for handshake/request-shape violations (the client raises
+them — misconfiguration must not be retried) and ``"crash"`` for worker
+failures (the client surfaces them as
+:class:`~repro.sim.faults.EvaluationFault`, which the engine's
+:class:`~repro.core.engine.EvaluationPolicy` retries/quarantines).
+
+The handshake pins the *measurement space*: the client sends the
+:func:`~repro.graph.fingerprint.placement_space_fingerprint` of its
+graph + topology + cost model and the server refuses the connection unless
+it matches its own — a raw outcome is only meaningful to a client that
+would have computed the identical one locally.  ``version`` must match
+:data:`PROTOCOL_VERSION` exactly; the protocol is renegotiation-free.
+
+Only *raw* outcomes cross the wire (:class:`~repro.sim.environment.RawOutcome`:
+the noiseless makespan or the OOM detail).  Measurement noise and the
+environment-clock charge are applied client-side via
+``PlacementEnvironment.commit`` — that keeps each searcher's RNG stream and
+clock private, which is what makes a remote run bit-for-bit identical to a
+local :class:`~repro.sim.backends.SerialBackend` run on the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.environment import RawOutcome
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "HandshakeError",
+    "read_message",
+    "write_message",
+    "encode_raw",
+    "decode_raw",
+    "decode_placement",
+    "encode_placements",
+    "error_message",
+]
+
+#: Bumped on any incompatible change to the message shapes above.
+PROTOCOL_VERSION = 1
+
+#: Cap on one serialised message (a placement line for a ~100k-op graph is
+#: well under this); keeps a garbage peer from ballooning server memory.
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer spoke something that is not this protocol."""
+
+
+class HandshakeError(ProtocolError):
+    """The server refused the session (version or fingerprint mismatch).
+
+    Deliberately *not* an :class:`~repro.sim.faults.EvaluationFault`: a
+    mismatched client is misconfigured, and retrying would never succeed.
+    """
+
+
+def write_message(wfile: IO[bytes], message: Dict[str, Any]) -> None:
+    """Serialise one message as a strict-JSON line and flush it."""
+    data = json.dumps(message, separators=(",", ":"), allow_nan=False).encode("utf-8")
+    wfile.write(data + b"\n")
+    wfile.flush()
+
+
+def read_message(rfile: IO[bytes]) -> Optional[Dict[str, Any]]:
+    """Read one message; ``None`` on clean EOF; :class:`ProtocolError` on junk."""
+    line = rfile.readline(MAX_MESSAGE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_MESSAGE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def encode_raw(raw: RawOutcome) -> Dict[str, Any]:
+    """A :class:`RawOutcome` as plain JSON (the breakdown never ships)."""
+    oom = None
+    if raw.oom_detail is not None:
+        oom = [[int(d), float(a), float(b)] for d, (a, b) in raw.oom_detail.items()]
+    return {"base_time": raw.base_time, "oom_detail": oom}
+
+
+def decode_raw(data: Dict[str, Any]) -> RawOutcome:
+    """Rebuild a :class:`RawOutcome` encoded by :func:`encode_raw`."""
+    try:
+        base_time = data["base_time"]
+        oom = data["oom_detail"]
+    except (TypeError, KeyError) as exc:
+        raise ProtocolError(f"malformed raw outcome: missing {exc}") from None
+    oom_detail = None
+    if oom is not None:
+        oom_detail = {int(d): (float(a), float(b)) for d, a, b in oom}
+    if base_time is not None:
+        base_time = float(base_time)
+    return RawOutcome(base_time, oom_detail)
+
+
+def decode_placement(data: Sequence[int], num_ops: int) -> np.ndarray:
+    """A JSON placement list as the int64 array the simulator expects."""
+    placement = np.asarray(data, dtype=np.int64)
+    if placement.ndim != 1 or placement.shape[0] != num_ops:
+        raise ProtocolError(
+            f"placement must be a flat list of {num_ops} device ids, "
+            f"got shape {placement.shape}"
+        )
+    return placement
+
+
+def error_message(message: str, kind: str = "protocol") -> Dict[str, Any]:
+    """A ``{"ok": false}`` response line."""
+    return {"ok": False, "error": message, "kind": kind}
+
+
+def encode_placements(placements: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Placements as JSON-ready lists of ints."""
+    return [np.asarray(p, dtype=np.int64).tolist() for p in placements]

@@ -1,0 +1,409 @@
+"""The measurement server: one simulator fleet shared by many searches.
+
+A :class:`MeasurementServer` loads one graph/topology/cost-model triple at
+startup, builds a pool of simulator worker threads (each owning its own
+:class:`~repro.sim.simulator.Simulator` — the precomputed cost tables are
+per-worker, so workers never contend), and serves *raw* outcomes over the
+newline-delimited JSON protocol of :mod:`repro.service.protocol`.
+
+Two properties make the fleet shareable:
+
+* **Server-side memoisation.**  All connections share one
+  :class:`~repro.sim.backends.MemoBackend` raw-outcome table (guarded by a
+  lock; the simulation itself runs outside it).  Concurrent searches that
+  sample the same placement — common early in training, and guaranteed when
+  many seeds search the same graph — deduplicate simulator work; the
+  ``stats`` RPC reports the shared hit rate.
+
+* **Client-side commit.**  The server never draws measurement noise and
+  never touches an environment clock; it ships the deterministic
+  :class:`~repro.sim.environment.RawOutcome` and each client commits it
+  locally.  Searches therefore stay bit-for-bit reproducible per client
+  seed no matter how many of them share the fleet, and the server needs no
+  per-client state beyond the open socket.
+
+``evaluate_batch`` is futures-based: the submit reply carries ticket ids,
+then one result line streams back per ticket *in completion order* — a
+slow placement does not convoy its siblings through the worker pool.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, as_completed
+from typing import Any, Dict, Optional, Set
+
+from ..core.events import MetricsExporter
+from ..graph.fingerprint import placement_space_fingerprint
+from ..sim.backends import MemoBackend
+from ..sim.environment import PlacementEnvironment, RawOutcome
+from ..sim.simulator import Simulator
+from . import protocol
+from .protocol import PROTOCOL_VERSION, ProtocolError
+
+__all__ = ["MeasurementServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client session: handshake first, then a request loop."""
+
+    server: "_TCPServer"
+
+    def setup(self) -> None:
+        super().setup()
+        self.service = self.server.service
+        self.service._register_connection(self.connection)
+
+    def finish(self) -> None:
+        self.service._unregister_connection(self.connection)
+        super().finish()
+
+    # -------------------------------------------------------------- #
+    def handle(self) -> None:
+        service = self.service
+        service.metrics.inc("repro_service_connections_total")
+        try:
+            if not self._handshake():
+                return
+            while True:
+                try:
+                    request = protocol.read_message(self.rfile)
+                except ProtocolError as exc:
+                    self._reply(protocol.error_message(str(exc)))
+                    return
+                if request is None:
+                    return  # clean disconnect
+                if not self._dispatch(request):
+                    return
+        except (ConnectionError, BrokenPipeError, ValueError, OSError):
+            # Client vanished mid-write (or our socket was force-closed by
+            # close()); nothing to clean up beyond the connection itself.
+            pass
+
+    def _reply(self, message: Dict[str, Any]) -> None:
+        protocol.write_message(self.wfile, message)
+
+    def _handshake(self) -> bool:
+        request = protocol.read_message(self.rfile)
+        if request is None:
+            return False
+        if request.get("op") != "hello":
+            self._reply(protocol.error_message("first message must be 'hello'"))
+            return False
+        version = request.get("version")
+        if version != PROTOCOL_VERSION:
+            self.service.metrics.inc("repro_service_handshake_rejected_total")
+            self._reply(
+                protocol.error_message(
+                    f"protocol version mismatch: client speaks {version!r}, "
+                    f"server speaks {PROTOCOL_VERSION}"
+                )
+            )
+            return False
+        fingerprint = request.get("fingerprint")
+        if fingerprint != self.service.fingerprint:
+            self.service.metrics.inc("repro_service_handshake_rejected_total")
+            self._reply(
+                protocol.error_message(
+                    "measurement-space fingerprint mismatch: the client's "
+                    "graph/topology/cost model differs from the server's "
+                    f"({fingerprint!r} != {self.service.fingerprint!r})"
+                )
+            )
+            return False
+        self._reply(
+            {
+                "ok": True,
+                "server": {
+                    "version": PROTOCOL_VERSION,
+                    "graph": self.service.environment.graph.name,
+                    "num_ops": self.service.environment.graph.num_ops,
+                    "num_devices": self.service.environment.num_devices,
+                    "workers": self.service.workers,
+                },
+            }
+        )
+        return True
+
+    # -------------------------------------------------------------- #
+    def _dispatch(self, request: Dict[str, Any]) -> bool:
+        """Handle one request; False ends the session."""
+        op = request.get("op")
+        service = self.service
+        service.metrics.inc("repro_service_requests_total")
+        if op == "evaluate":
+            try:
+                placement = protocol.decode_placement(
+                    request.get("placement"), service.environment.graph.num_ops
+                )
+            except (ProtocolError, TypeError, ValueError) as exc:
+                self._reply(protocol.error_message(f"bad placement: {exc}"))
+                return True
+            try:
+                raw, cached = service._raw_outcome(placement)
+            except Exception as exc:  # worker failure → client-side fault
+                service.metrics.inc("repro_service_worker_errors_total")
+                self._reply(protocol.error_message(str(exc), kind="crash"))
+                return True
+            self._reply({"ok": True, "raw": protocol.encode_raw(raw), "cached": cached})
+            return True
+        if op == "evaluate_batch":
+            return self._evaluate_batch(request)
+        if op == "stats":
+            self._reply({"ok": True, "stats": service.stats()})
+            return True
+        if op == "shutdown":
+            self._reply({"ok": True})
+            service._request_shutdown()
+            return False
+        self._reply(protocol.error_message(f"unknown op {op!r}"))
+        return True
+
+    def _evaluate_batch(self, request: Dict[str, Any]) -> bool:
+        service = self.service
+        placements = request.get("placements")
+        if not isinstance(placements, list):
+            self._reply(protocol.error_message("placements must be a list"))
+            return True
+        try:
+            decoded = [
+                protocol.decode_placement(p, service.environment.graph.num_ops)
+                for p in placements
+            ]
+        except (ProtocolError, TypeError, ValueError) as exc:
+            self._reply(protocol.error_message(f"bad placement: {exc}"))
+            return True
+        tickets = list(range(len(decoded)))
+        self._reply({"ok": True, "tickets": tickets})
+        futures: Dict[Future, int] = {
+            service._submit(placement): ticket
+            for ticket, placement in zip(tickets, decoded)
+        }
+        # Stream each result as its future completes; this handler thread is
+        # the connection's only writer, so no write lock is needed.
+        for future in as_completed(futures):
+            ticket = futures[future]
+            try:
+                raw, cached = future.result()
+            except Exception as exc:
+                service.metrics.inc("repro_service_worker_errors_total")
+                self._reply(
+                    {
+                        "ok": True,
+                        "ticket": ticket,
+                        "error": {"kind": "crash", "message": str(exc)},
+                    }
+                )
+            else:
+                self._reply(
+                    {
+                        "ok": True,
+                        "ticket": ticket,
+                        "raw": protocol.encode_raw(raw),
+                        "cached": cached,
+                    }
+                )
+        return True
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service: "MeasurementServer"
+
+
+class MeasurementServer:
+    """Hosts one measurement space behind a TCP endpoint.
+
+    Parameters
+    ----------
+    environment:
+        Defines the graph/topology/cost model served.  Its RNG and clock
+        are never used — the server only runs the deterministic half of an
+        evaluation.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    workers:
+        Simulator worker threads.  Each lazily builds a private
+        :class:`Simulator` on first use.
+    memo_path:
+        Optional persisted cache (:meth:`MemoBackend.load` format) to warm
+        the shared table from at startup; ignored if missing, refused on a
+        fingerprint mismatch.
+    """
+
+    def __init__(
+        self,
+        environment: PlacementEnvironment,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        memo_path: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.environment = environment
+        self.workers = workers
+        self.fingerprint = placement_space_fingerprint(
+            environment.graph, environment.topology, environment.simulator.cost_model
+        )
+        self.memo = MemoBackend(environment)
+        if memo_path is not None:
+            import os
+
+            if os.path.exists(memo_path):
+                self.memo.load(memo_path)
+        self.metrics = MetricsExporter()
+        self._memo_lock = threading.Lock()
+        self._local = threading.local()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-sim"
+        )
+        self._connections: Set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._shutdown_requested = threading.Event()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._server = _TCPServer((host, port), _Handler, bind_and_activate=True)
+        self._server.service = self
+        bound_host, bound_port = self._server.server_address[:2]
+        #: the bound ``host:port`` (resolves ``port=0`` to the chosen port).
+        self.address = f"{bound_host}:{bound_port}"
+        self.port = bound_port
+
+    # -------------------------------------------------------------- #
+    def _worker_simulator(self) -> Simulator:
+        sim = getattr(self._local, "simulator", None)
+        if sim is None:
+            env = self.environment
+            sim = Simulator(env.graph, env.topology, env.simulator.cost_model)
+            self._local.simulator = sim
+        return sim
+
+    def _simulate(self, placement) -> RawOutcome:
+        """Worker-pool task: one deterministic simulation + cache insert."""
+        from ..sim.simulator import OutOfMemoryError
+
+        sim = self._worker_simulator()
+        try:
+            breakdown = sim.simulate(placement)
+        except OutOfMemoryError as exc:
+            raw = RawOutcome(None, oom_detail=exc.overcommitted)
+        else:
+            raw = RawOutcome(breakdown.makespan)
+        with self._memo_lock:
+            self.memo.insert(placement, raw)
+        return raw
+
+    def _raw_outcome(self, placement):
+        """Shared-cache lookup, falling back to a pool worker; blocking."""
+        with self._memo_lock:
+            raw = self.memo.lookup(placement)
+        if raw is not None:
+            return raw, True
+        return self._pool.submit(self._simulate, placement).result(), False
+
+    def _submit(self, placement) -> Future:
+        """Non-blocking ticket: resolves to ``(raw, cached)``.
+
+        Cache hits resolve immediately without occupying a worker.  Two
+        in-flight misses on the same placement may both simulate — the
+        outcome is deterministic, so the duplicate insert is harmless and
+        not worth a single-flight table.
+        """
+        with self._memo_lock:
+            raw = self.memo.lookup(placement)
+        if raw is not None:
+            future: Future = Future()
+            future.set_result((raw, True))
+            return future
+        task = self._pool.submit(self._simulate, placement)
+        wrapped: Future = Future()
+
+        def _resolve(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                wrapped.set_exception(exc)
+            else:
+                wrapped.set_result((done.result(), False))
+
+        task.add_done_callback(_resolve)
+        return wrapped
+
+    # -------------------------------------------------------------- #
+    def stats(self) -> Dict[str, float]:
+        """Counters behind the ``stats`` RPC (shared cache + service)."""
+        memo_stats = {f"memo_{k}": v for k, v in self.memo.stats().items()}
+        return {
+            **memo_stats,
+            **{name: float(v) for name, v in self.metrics.counters.items()},
+            "workers": float(self.workers),
+        }
+
+    # -------------------------------------------------------------- #
+    def _register_connection(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.add(conn)
+
+    def _unregister_connection(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.discard(conn)
+
+    def _request_shutdown(self) -> None:
+        """Initiate shutdown from a handler thread without deadlocking."""
+        if not self._shutdown_requested.is_set():
+            self._shutdown_requested.set()
+            threading.Thread(target=self.close, daemon=True).start()
+
+    # -------------------------------------------------------------- #
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (or a shutdown RPC)."""
+        self._serving = True
+        self._server.serve_forever(poll_interval=0.05)
+
+    def start(self) -> "MeasurementServer":
+        """Serve on a background thread; returns self for chaining."""
+        if self._serve_thread is not None:
+            raise RuntimeError("server already started")
+        self._serve_thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and drop every live connection.  Idempotent.
+
+        Open sockets are force-closed so clients observe a reset — the
+        'server died mid-search' path their retry policy must absorb.
+        """
+        server, self._server = getattr(self, "_server", None), None
+        if server is None:
+            return
+        if self._serving:
+            server.shutdown()  # waits for serve_forever to drain
+        server.server_close()
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._pool.shutdown(wait=False)
+        thread = self._serve_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._serve_thread = None
+
+    def __enter__(self) -> "MeasurementServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -39,6 +39,7 @@ chaos-testing the engine's retry/quarantine policy (see
 from __future__ import annotations
 
 import atexit
+import json
 import multiprocessing
 import os
 from collections import OrderedDict
@@ -117,7 +118,18 @@ class MemoBackend:
     ``max_entries`` bounds the cache LRU-style (unbounded by default — a raw
     outcome is a few floats, and a search touches at most ``max_samples``
     distinct placements).
+
+    The cache table can be spilled to disk with :meth:`save` and revived in
+    another process with :meth:`load`.  Persisted tables are keyed by the
+    :func:`~repro.graph.fingerprint.placement_space_fingerprint` of the
+    graph + topology + cost model, and :meth:`load` refuses a file whose
+    fingerprint differs — a raw outcome is only reusable in the exact
+    measurement space that produced it.  The :mod:`repro.service` server
+    uses the :meth:`lookup` / :meth:`insert` primitives directly (under its
+    own lock) so many network clients share one table.
     """
+
+    _PERSIST_VERSION = 1
 
     def __init__(
         self, environment: PlacementEnvironment, max_entries: Optional[int] = None
@@ -130,22 +142,94 @@ class MemoBackend:
         self.misses = 0
         self._store: "OrderedDict[bytes, RawOutcome]" = OrderedDict()
 
+    # ------------------------------------------------------------------ #
+    # Cache primitives (no environment commit — shared by evaluate_batch
+    # and the measurement service, which commits client-side).
+    def lookup(self, placement: Sequence[int]) -> Optional[RawOutcome]:
+        """Cached raw outcome for ``placement``, counting a hit or a miss."""
+        key = _placement_key(placement)
+        raw = self._store.get(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._store.move_to_end(key)
+        return raw
+
+    def insert(self, placement: Sequence[int], raw: RawOutcome) -> None:
+        """Store ``raw`` for ``placement``, evicting LRU past ``max_entries``."""
+        self._store[_placement_key(placement)] = raw.without_breakdown()
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def raw(self, placement: Sequence[int]) -> RawOutcome:
+        """The deterministic outcome, from cache or a fresh simulation."""
+        raw = self.lookup(placement)
+        if raw is None:
+            raw = self.environment.simulate_raw(placement).without_breakdown()
+            self.insert(placement, raw)
+        return raw
+
     def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
-        out = []
-        for placement in placements:
-            key = _placement_key(placement)
-            raw = self._store.get(key)
-            if raw is None:
-                self.misses += 1
-                raw = self.environment.simulate_raw(placement).without_breakdown()
-                self._store[key] = raw
-                if self.max_entries is not None and len(self._store) > self.max_entries:
-                    self._store.popitem(last=False)
-            else:
-                self.hits += 1
-                self._store.move_to_end(key)
-            out.append(self.environment.commit(raw))
-        return out
+        return [self.environment.commit(self.raw(p)) for p in placements]
+
+    # ------------------------------------------------------------------ #
+    # Persistence: spill the raw-outcome table across processes/runs.
+    @property
+    def fingerprint(self) -> str:
+        """Fingerprint of the measurement space this cache is valid for."""
+        from ..graph.fingerprint import placement_space_fingerprint
+
+        env = self.environment
+        return placement_space_fingerprint(
+            env.graph, env.topology, env.simulator.cost_model
+        )
+
+    def save(self, path: str) -> None:
+        """Write the raw-outcome table to ``path`` (JSON, fingerprint-keyed)."""
+        entries = []
+        for key, raw in self._store.items():
+            oom = None
+            if raw.oom_detail is not None:
+                oom = [[int(d), float(a), float(b)] for d, (a, b) in raw.oom_detail.items()]
+            entries.append([key.hex(), raw.base_time, oom])
+        payload = {
+            "format_version": self._PERSIST_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": entries,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+
+    def load(self, path: str) -> int:
+        """Merge a table written by :meth:`save`; returns entries loaded.
+
+        Raises :class:`ValueError` if the file's fingerprint (or format
+        version) does not match this backend's measurement space — stale
+        caches must never leak raw outcomes across graphs or topologies.
+        """
+        with open(path) as fh:
+            payload = json.load(fh)
+        version = payload.get("format_version")
+        if version != self._PERSIST_VERSION:
+            raise ValueError(f"unsupported memo-cache format version {version!r}")
+        fingerprint = payload.get("fingerprint")
+        if fingerprint != self.fingerprint:
+            raise ValueError(
+                "memo-cache fingerprint mismatch: file was produced by a "
+                f"different graph/topology/cost model ({fingerprint!r} != "
+                f"{self.fingerprint!r})"
+            )
+        loaded = 0
+        for key_hex, base_time, oom in payload["entries"]:
+            oom_detail = None
+            if oom is not None:
+                oom_detail = {int(d): (float(a), float(b)) for d, a, b in oom}
+            self._store[bytes.fromhex(key_hex)] = RawOutcome(base_time, oom_detail)
+            loaded += 1
+        while self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return loaded
 
     def close(self) -> None:
         pass
@@ -279,17 +363,29 @@ def make_backend(
     cache: bool = True,
     seed: int = 0,
     fault_plan: Optional["FaultPlan"] = None,
+    remote: Optional[str] = None,
+    remote_timeout: float = 30.0,
 ) -> EvaluationBackend:
     """Pick a backend from CLI-ish knobs.
 
-    ``workers > 1`` selects :class:`ParallelBackend`; otherwise ``cache``
-    selects :class:`MemoBackend` over :class:`SerialBackend`.  All three
-    produce identical measurements on a fixed environment seed.  A
-    ``fault_plan`` with any non-zero rate wraps the result in a
+    ``remote="host:port"`` selects a
+    :class:`~repro.service.client.RemoteBackend` talking to a
+    :class:`~repro.service.server.MeasurementServer` (and takes precedence
+    over ``workers``/``cache``); ``workers > 1`` selects
+    :class:`ParallelBackend`; otherwise ``cache`` selects
+    :class:`MemoBackend` over :class:`SerialBackend`.  All of them produce
+    identical measurements on a fixed environment seed.  A ``fault_plan``
+    with any non-zero rate wraps the result in a
     :class:`~repro.sim.faults.FaultInjectingBackend` (chaos testing).
     """
-    if workers and workers > 1:
-        backend: EvaluationBackend = ParallelBackend(environment, workers=workers, seed=seed)
+    if remote is not None:
+        from ..service.client import RemoteBackend
+
+        backend: EvaluationBackend = RemoteBackend(
+            environment, remote, timeout=remote_timeout
+        )
+    elif workers and workers > 1:
+        backend = ParallelBackend(environment, workers=workers, seed=seed)
     elif cache:
         backend = MemoBackend(environment)
     else:

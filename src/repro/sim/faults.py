@@ -34,7 +34,7 @@ rejection, quarantine) lives in :class:`repro.core.engine.EvaluationPolicy`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,16 +53,27 @@ class EvaluationFault(RuntimeError):
     """An evaluation failed for an operational (not placement) reason.
 
     ``kind`` distinguishes the failure mode: ``"crash"`` (injected or real
-    worker death), ``"timeout"`` (the policy's per-evaluation deadline
-    expired), or ``"corruption"`` (the policy rejected the returned value).
-    Unlike an OOM — which is a *property of the placement* and produces an
-    invalid measurement — a fault says nothing about the placement, so the
-    engine retries rather than penalising it.
+    worker death — the remote backend also maps connection refused/reset
+    and server-reported worker errors here), ``"straggler"`` (a network
+    deadline expired before the result arrived), ``"timeout"`` (the
+    policy's per-evaluation deadline expired), or ``"corruption"`` (the
+    policy rejected the returned value).  Unlike an OOM — which is a
+    *property of the placement* and produces an invalid measurement — a
+    fault says nothing about the placement, so the engine retries rather
+    than penalising it.
+
+    ``index`` is the position of the failed placement within the batch that
+    was being evaluated (``None`` when unknown): a batch-level fault raised
+    by ``evaluate_batch`` means placements ``0..index-1`` were measured and
+    charged, and placements past ``index`` were never evaluated.
     """
 
-    def __init__(self, message: str, *, kind: str = "crash") -> None:
+    def __init__(
+        self, message: str, *, kind: str = "crash", index: Optional[int] = None
+    ) -> None:
         super().__init__(message)
         self.kind = kind
+        self.index = index
 
 
 @dataclass(frozen=True)
@@ -168,7 +179,29 @@ class FaultInjectingBackend:
         return self.crashes_injected + self.corruptions_injected
 
     def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
-        return [self._evaluate_one(p) for p in placements]
+        """Measure the batch with per-placement fault draws, in order.
+
+        Batch semantics (identical to :class:`~repro.sim.backends
+        .SerialBackend` evaluating the same prefix): placements are
+        processed strictly left to right, each drawing its own three fault
+        fates; stragglers and corruption garble individual measurements
+        without affecting their siblings.  An injected *crash* at position
+        ``k`` raises immediately with ``fault.index == k`` — placements
+        ``0..k-1`` have already been measured and charged to the
+        environment clock exactly as a serial evaluation of that prefix
+        would, and placements ``k+1..`` are untouched (no fate draws, no
+        clock charges).  Callers that need per-placement fault attribution
+        submit single-element batches, as
+        :class:`~repro.core.engine.EvaluationPolicy` does.
+        """
+        out = []
+        for i, placement in enumerate(placements):
+            try:
+                out.append(self._evaluate_one(placement))
+            except EvaluationFault as fault:
+                fault.index = i
+                raise
+        return out
 
     def _evaluate_one(self, placement: np.ndarray) -> Measurement:
         self.last_eval_latency = 0.0

@@ -1,0 +1,140 @@
+"""Tests for the event layer's MetricsExporter (`repro.core.events`)."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro import (
+    MemoBackend,
+    PlacementEnvironment,
+    PlacementSearch,
+    PostAgent,
+    SearchConfig,
+)
+from repro.core.events import MetricsExporter
+from repro.graph.models import build_random_layered
+from repro.sim import Topology
+
+
+def _read_events(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestCountersAndRendering:
+    def test_inc_accumulates(self):
+        m = MetricsExporter()
+        m.inc("repro_requests_total")
+        m.inc("repro_requests_total", 2.0)
+        assert m.counters["repro_requests_total"] == 3.0
+
+    def test_render_prometheus_format(self):
+        m = MetricsExporter()
+        m.inc("repro_faults_total")
+        m.inc('repro_faults_total{kind="crash"}')
+        text = m.render_prometheus()
+        assert "# TYPE repro_faults_total counter" in text
+        assert 'repro_faults_total{kind="crash"} 1\n' in text
+        assert text.endswith("\n")
+        # the labelled series declares the *bare* metric name
+        assert '# TYPE repro_faults_total{kind="crash"}' not in text
+
+    def test_render_empty(self):
+        assert MetricsExporter().render_prometheus() == ""
+
+
+class TestJsonLines:
+    def test_path_xor_stream(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            MetricsExporter(path=str(tmp_path / "x.jsonl"), stream=io.StringIO())
+
+    def test_counters_only_mode_emits_nothing(self):
+        m = MetricsExporter()
+        m.emit("event", value=1)  # must be a silent no-op
+        m.inc("repro_x_total")
+        assert m.counters["repro_x_total"] == 1.0
+
+    def test_emit_writes_strict_json_lines(self):
+        stream = io.StringIO()
+        m = MetricsExporter(stream=stream)
+        m.emit("custom", answer=42)
+        (record,) = _read_events(stream)
+        assert record == {"event": "custom", "answer": 42}
+
+    def test_nonfinite_floats_become_null(self):
+        from repro.core.events import _finite
+
+        assert _finite(float("inf")) is None
+        assert _finite(float("nan")) is None
+        assert _finite(1.5) == 1.5
+
+    def test_close_is_idempotent_and_keeps_counters(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        m = MetricsExporter(path=str(path))
+        m.emit("one")
+        m.inc("repro_x_total")
+        m.close()
+        m.close()
+        m.emit("after-close")  # silently dropped, not an error
+        assert m.counters["repro_x_total"] == 1.0
+        assert [r["event"] for r in (json.loads(x) for x in path.read_text().splitlines())] == [
+            "one"
+        ]
+
+    def test_stream_is_not_closed_by_close(self):
+        stream = io.StringIO()
+        m = MetricsExporter(stream=stream)
+        m.emit("x")
+        m.close()
+        assert not stream.closed  # caller owns it
+
+
+class TestSearchIntegration:
+    def _run(self, exporter):
+        graph_env = PlacementEnvironment(
+            build_random_layered(num_layers=4, width=4, seed=7),
+            Topology.default_4gpu(num_gpus=2),
+            seed=0,
+        )
+        agent = PostAgent(graph_env.graph, graph_env.num_devices, num_groups=4, seed=0)
+        config = SearchConfig(max_samples=8, minibatch_size=4)
+        return PlacementSearch(
+            agent,
+            graph_env,
+            "ppo",
+            config,
+            backend=MemoBackend(graph_env),
+            callbacks=[exporter],
+        ).run()
+
+    def test_full_search_event_stream(self):
+        stream = io.StringIO()
+        exporter = MetricsExporter(stream=stream)
+        result = self._run(exporter)
+        events = _read_events(stream)
+
+        assert events[0]["event"] == "search_start"
+        assert events[0]["algorithm"] == "ppo"
+        assert events[-1]["event"] == "search_end"
+        assert events[-1]["num_samples"] == result.num_samples
+
+        measurements = [e for e in events if e["event"] == "measurement"]
+        assert len(measurements) == result.num_samples
+        for e in measurements:
+            assert e["valid"] in (True, False)
+            assert e["per_step_time"] is None or math.isfinite(e["per_step_time"])
+
+        assert exporter.counters["repro_measurements_total"] == result.num_samples
+        assert exporter.counters["repro_updates_total"] == len(
+            [e for e in events if e["event"] == "update"]
+        )
+        assert exporter.counters["repro_searches_started_total"] == 1.0
+        assert exporter.counters["repro_searches_finished_total"] == 1.0
+
+    def test_counters_survive_multiple_searches(self):
+        exporter = MetricsExporter()
+        self._run(exporter)
+        self._run(exporter)
+        assert exporter.counters["repro_searches_started_total"] == 2.0
+        assert exporter.counters["repro_measurements_total"] == 16.0

@@ -1,0 +1,60 @@
+"""Tests for the measurement-space fingerprints."""
+
+from repro.graph import (
+    graph_fingerprint,
+    placement_space_fingerprint,
+    topology_fingerprint,
+)
+from repro.graph.models import build_chain, build_random_layered
+from repro.sim import CostModel, LinkSpec, Topology
+
+
+def test_graph_fingerprint_is_stable_and_content_keyed():
+    a = build_random_layered(num_layers=6, width=5, seed=7)
+    b = build_random_layered(num_layers=6, width=5, seed=7)
+    c = build_random_layered(num_layers=6, width=5, seed=8)
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+    assert graph_fingerprint(a) != graph_fingerprint(c)
+    assert len(graph_fingerprint(a)) == 64  # sha256 hex
+
+
+def test_graph_fingerprint_sees_node_attributes():
+    a = build_chain(length=4)
+    b = build_chain(length=4)
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+    b.node(1).flops += 1.0
+    assert graph_fingerprint(a) != graph_fingerprint(b)
+
+
+def test_topology_fingerprint_sees_devices_and_links():
+    a = Topology.default_4gpu(num_gpus=2)
+    b = Topology.default_4gpu(num_gpus=2)
+    assert topology_fingerprint(a) == topology_fingerprint(b)
+    assert topology_fingerprint(a) != topology_fingerprint(
+        Topology.default_4gpu(num_gpus=4)
+    )
+    assert topology_fingerprint(a) != topology_fingerprint(
+        Topology.default_4gpu(num_gpus=2, gpu_memory_bytes=1 << 30)
+    )
+    with_link = Topology(
+        a.devices, a.default_link, links={(0, 1): LinkSpec(1e9, 1e-6)}
+    )
+    assert topology_fingerprint(a) != topology_fingerprint(with_link)
+
+
+def test_placement_space_fingerprint_covers_all_inputs():
+    graph = build_random_layered(num_layers=4, width=4, seed=3)
+    topo = Topology.default_4gpu(num_gpus=2)
+    base = placement_space_fingerprint(graph, topo, CostModel())
+    assert base == placement_space_fingerprint(graph, topo, CostModel())
+    other_graph = build_random_layered(num_layers=4, width=4, seed=4)
+    assert base != placement_space_fingerprint(other_graph, topo, CostModel())
+    other_topo = Topology.default_4gpu(num_gpus=3)
+    assert base != placement_space_fingerprint(graph, other_topo, CostModel())
+    other_cost = CostModel(gpu_dispatch=1e-3)
+    assert base != placement_space_fingerprint(graph, topo, other_cost)
+    # cost model optional: still deterministic, still graph/topology-keyed
+    assert placement_space_fingerprint(graph, topo) == placement_space_fingerprint(
+        graph, topo
+    )
+    assert placement_space_fingerprint(graph, topo) != base

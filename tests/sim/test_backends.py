@@ -274,3 +274,65 @@ class TestRawOutcomePickling:
         assert pickle.loads(pickle.dumps(raw)) == raw
         oom = RawOutcome(None, oom_detail={1: (2.0, 1.0)})
         assert pickle.loads(pickle.dumps(oom)).is_oom
+
+
+class TestMemoPersistence:
+    def test_save_load_roundtrip_serves_hits(self, layered_graph, topology, tmp_path):
+        writer = MemoBackend(_env(layered_graph, topology))
+        placements = _random_placements(layered_graph, topology, 5)
+        writer.evaluate_batch(placements)
+        path = str(tmp_path / "memo.json")
+        writer.save(path)
+
+        reader = MemoBackend(_env(layered_graph, topology, seed=9))
+        assert reader.load(path) == 5
+        reader.evaluate_batch(placements)
+        assert reader.hits == 5 and reader.misses == 0
+        # loaded raws are the exact simulator outcomes, not approximations
+        for p in placements:
+            assert reader.lookup(p) == writer.lookup(p)
+
+    def test_oom_entries_survive_the_roundtrip(self, layered_graph, tmp_path):
+        topology = _tiny_gpu_topology()
+        writer = MemoBackend(_env(layered_graph, topology))
+        p = np.full(layered_graph.num_ops, topology.gpu_indices()[0], dtype=np.int64)
+        writer.evaluate_batch([p])
+        path = str(tmp_path / "memo.json")
+        writer.save(path)
+
+        reader = MemoBackend(_env(layered_graph, topology))
+        reader.load(path)
+        raw = reader.lookup(p)
+        assert raw.is_oom and raw.oom_detail == writer.lookup(p).oom_detail
+
+    def test_load_refuses_fingerprint_mismatch(self, layered_graph, topology, tmp_path):
+        from repro.graph.models import build_random_layered
+
+        writer = MemoBackend(_env(layered_graph, topology))
+        writer.evaluate_batch(_random_placements(layered_graph, topology, 2))
+        path = str(tmp_path / "memo.json")
+        writer.save(path)
+
+        other_graph = build_random_layered(num_layers=6, width=5, seed=8)
+        reader = MemoBackend(_env(other_graph, topology))
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            reader.load(path)
+        assert len(reader) == 0  # nothing leaked in
+
+    def test_load_refuses_unknown_format_version(self, layered_graph, topology, tmp_path):
+        import json
+
+        path = tmp_path / "memo.json"
+        path.write_text(json.dumps({"format_version": 999, "entries": []}))
+        with pytest.raises(ValueError, match="format version"):
+            MemoBackend(_env(layered_graph, topology)).load(str(path))
+
+    def test_load_honours_max_entries(self, layered_graph, topology, tmp_path):
+        writer = MemoBackend(_env(layered_graph, topology))
+        writer.evaluate_batch(_random_placements(layered_graph, topology, 6))
+        path = str(tmp_path / "memo.json")
+        writer.save(path)
+
+        reader = MemoBackend(_env(layered_graph, topology), max_entries=3)
+        reader.load(path)
+        assert len(reader) == 3

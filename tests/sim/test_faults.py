@@ -248,3 +248,86 @@ class TestWrapperPlumbing:
         wrapped = make_backend(env, fault_plan=FaultPlan(crash_rate=0.1))
         assert isinstance(wrapped, FaultInjectingBackend)
         assert isinstance(wrapped.inner, MemoBackend)
+
+
+class TestBatchSemantics:
+    """Multi-placement batches: per-placement draws, documented ordering."""
+
+    def _first_crash_index(self, layered_graph, topology, placements, plan):
+        """Crash index according to one-at-a-time evaluation (the oracle)."""
+        backend = FaultInjectingBackend(SerialBackend(_env(layered_graph, topology)), plan)
+        for i, p in enumerate(placements):
+            try:
+                backend.evaluate_batch([p])
+            except EvaluationFault:
+                return i
+        return None
+
+    def test_crash_mid_batch_sets_fault_index(self, layered_graph, topology):
+        plan = FaultPlan(crash_rate=0.4, seed=1)
+        placements = _random_placements(layered_graph, topology, 10)
+        k = self._first_crash_index(layered_graph, topology, placements, plan)
+        assert k is not None and k > 0  # seed chosen so the crash is mid-batch
+
+        env = _env(layered_graph, topology)
+        backend = FaultInjectingBackend(SerialBackend(env), plan)
+        with pytest.raises(EvaluationFault) as ei:
+            backend.evaluate_batch(placements)
+        assert ei.value.index == k
+        assert env.num_evaluations == k  # prefix measured, suffix untouched
+
+    def test_prefix_charged_identically_to_serial(self, layered_graph, topology):
+        plan = FaultPlan(crash_rate=0.4, seed=1)
+        placements = _random_placements(layered_graph, topology, 10)
+        k = self._first_crash_index(layered_graph, topology, placements, plan)
+
+        env = _env(layered_graph, topology)
+        backend = FaultInjectingBackend(SerialBackend(env), plan)
+        with pytest.raises(EvaluationFault):
+            backend.evaluate_batch(placements)
+
+        reference = _env(layered_graph, topology)
+        expected = SerialBackend(reference).evaluate_batch(placements[:k])
+        assert env.env_time == reference.env_time
+        assert env.num_evaluations == len(expected)
+
+    def test_batch_and_single_calls_draw_identical_fates(self, layered_graph, topology):
+        plan = FaultPlan(straggler_rate=0.5, corruption_rate=0.3, seed=11)
+        placements = _random_placements(layered_graph, topology, 12)
+
+        batched = FaultInjectingBackend(SerialBackend(_env(layered_graph, topology)), plan)
+        times_batched = [m.per_step_time for m in batched.evaluate_batch(placements)]
+
+        single = FaultInjectingBackend(SerialBackend(_env(layered_graph, topology)), plan)
+        times_single = [
+            single.evaluate_batch([p])[0].per_step_time for p in placements
+        ]
+        np.testing.assert_array_equal(times_batched, times_single)
+        assert batched.stats() == single.stats()
+
+    def test_corruption_garbles_only_its_own_placement(self, layered_graph, topology):
+        plan = FaultPlan(corruption_rate=0.3, corruption_kinds=("nan",), seed=2)
+        placements = _random_placements(layered_graph, topology, 12)
+        env = _env(layered_graph, topology)
+        backend = FaultInjectingBackend(SerialBackend(env), plan)
+        got = backend.evaluate_batch(placements)
+        assert 0 < backend.corruptions_injected < len(placements)
+
+        reference = _env(layered_graph, topology)
+        want = SerialBackend(reference).evaluate_batch(placements)
+        for g, w in zip(got, want):
+            if np.isnan(g.per_step_time):
+                continue  # the corrupted ones
+            assert g.per_step_time == w.per_step_time  # siblings untouched
+        assert env.env_time == reference.env_time
+
+    def test_straggler_mid_batch_leaves_siblings_untouched(self, layered_graph, topology):
+        plan = FaultPlan(straggler_rate=0.3, straggler_delay=5.0, seed=4)
+        placements = _random_placements(layered_graph, topology, 12)
+        backend = FaultInjectingBackend(SerialBackend(_env(layered_graph, topology)), plan)
+        got = backend.evaluate_batch(placements)
+        assert 0 < backend.stragglers_injected < len(placements)
+        assert backend.wall_time > 0.0
+
+        want = SerialBackend(_env(layered_graph, topology)).evaluate_batch(placements)
+        assert [m.per_step_time for m in got] == [m.per_step_time for m in want]

@@ -108,3 +108,60 @@ class TestErrorPaths:
         with pytest.raises(SystemExit):
             main(["place", "--corruption-rate", "2"])
         assert "--corruption-rate" in capsys.readouterr().err
+
+
+class TestServiceCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7077 and args.service_workers == 4
+
+    def test_place_remote_parser(self):
+        args = build_parser().parse_args(["place", "--remote", "10.0.0.1:7077"])
+        assert args.remote == "10.0.0.1:7077" and args.remote_timeout == 30.0
+
+    def test_memo_path_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "memo.json")
+        argv = [
+            "place", "--model", "inception_v3", "--agent", "post",
+            "--samples", "8", "--groups", "4", "--memo-path", path,
+        ]
+        assert main(argv) == 0
+        assert "raw outcomes saved to" in capsys.readouterr().out
+        assert main(argv) == 0  # second run warm-starts from the file
+        assert "raw outcomes loaded from" in capsys.readouterr().out
+
+    def test_memo_path_needs_cached_backend(self, capsys):
+        assert main(["place", "--memo-path", "x.json", "--no-cache"]) == 2
+        assert "--memo-path" in capsys.readouterr().err
+
+    def test_metrics_stream(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        rc = main([
+            "place", "--model", "inception_v3", "--agent", "post",
+            "--samples", "8", "--groups", "4", "--metrics", str(path),
+        ])
+        assert rc == 0
+        assert "metrics: events streamed" in capsys.readouterr().out
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events[0]["event"] == "search_start"
+        assert events[-1]["event"] == "search_end"
+
+    def test_place_remote_end_to_end(self, capsys):
+        from repro.cli import _make_env
+        from repro.service import MeasurementServer
+
+        serve_args = build_parser().parse_args(["serve", "--model", "inception_v3"])
+        _, env = _make_env(serve_args)
+        with MeasurementServer(env, port=0, workers=2) as server:
+            server.start()
+            rc = main([
+                "place", "--model", "inception_v3", "--agent", "post",
+                "--samples", "8", "--groups", "4", "--remote", server.address,
+            ])
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert "best placement:" in out
+        assert "remote cache:" in out and "on the server" in out
