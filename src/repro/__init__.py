@@ -17,7 +17,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from . import graph, sim, nn, rl, grouping, placement, core, bench, service
+from . import analysis, graph, sim, nn, rl, grouping, placement, core, bench, service
 from .service import MeasurementServer, RemoteBackend
 from .core import (
     EagleAgent,
@@ -51,6 +51,7 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "graph",
     "sim",
     "nn",

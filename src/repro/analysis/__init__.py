@@ -1,0 +1,48 @@
+"""repro.analysis — the repo's own static-analysis subsystem.
+
+A small AST-based linter that enforces the invariants the test suite
+cannot see: bit-for-bit determinism of the simulation core (no wall
+clocks, no unseeded RNG, no order-leaking set iteration), the duck-typed
+contracts between engine, callbacks, backends and the wire protocol, and
+basic hygiene.  Run it as ``repro lint`` (or
+``python -m repro lint src/repro tests examples``); suppress a finding
+with ``# repro: allow[rule-id] reason`` — the reason is mandatory and the
+pragma itself is linted.
+
+The rule catalogue lives in DESIGN.md §9; ``repro lint --list-rules``
+prints it from the registry.
+"""
+
+from .context import ContractIndex, FileContext, module_for_path
+from .findings import ERROR, SEVERITIES, WARNING, Finding
+from .linter import LintResult, discover_files, lint_file, lint_paths, lint_source
+from .pragmas import PRAGMA_RULE_IDS, Pragma, PragmaSheet
+from .registry import Rule, all_rules, get_rule, known_rule_ids, register
+from .report import JSON_REPORT_VERSION, render_json, render_text, to_report_dict
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "SEVERITIES",
+    "Finding",
+    "ContractIndex",
+    "FileContext",
+    "module_for_path",
+    "LintResult",
+    "discover_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "PRAGMA_RULE_IDS",
+    "Pragma",
+    "PragmaSheet",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "known_rule_ids",
+    "register",
+    "JSON_REPORT_VERSION",
+    "render_json",
+    "render_text",
+    "to_report_dict",
+]

@@ -1,0 +1,259 @@
+"""Per-file lint context and the cross-file contract index.
+
+:class:`FileContext` bundles everything a rule needs to check one file:
+the parsed AST, the dotted module name inferred from the path (``None``
+for files outside the ``repro`` package, e.g. tests and examples — rules
+scoped to specific packages skip those), an import-alias resolver, and
+the shared :class:`ContractIndex`.
+
+:class:`ContractIndex` is the static source of truth for the contract
+rules.  It is extracted *by AST parsing* — never by importing — from the
+repo's own definition sites:
+
+* ``repro/core/events.py`` — the :class:`SearchCallback` base hook
+  signatures;
+* ``repro/sim/backends.py`` — the :class:`EvaluationBackend` protocol
+  surface;
+* ``repro/service/protocol.py`` — the ``MESSAGE_SCHEMA`` /
+  ``NESTED_FIELDS`` wire-message tables.
+
+Because the tables are read from the source tree adjacent to this
+package, editing a contract definition automatically retargets the
+linter: drift between a subclass and its base, or between a message
+constructor and the schema, is a lint error before it is a runtime or
+wire error.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePath
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["FileContext", "ContractIndex", "module_for_path", "resolve_dotted"]
+
+
+def module_for_path(path: str) -> Optional[str]:
+    """Dotted module name for ``path``, or ``None`` outside ``repro``.
+
+    The mapping is purely lexical so it works for synthetic fixture paths
+    too: the module root is the ``repro`` directory that follows the last
+    ``src`` path component (``.../src/repro/sim/backends.py`` →
+    ``repro.sim.backends``); a path with no ``src/repro`` segment (tests,
+    examples, scratch files) has no repro module name.
+    """
+    parts = PurePath(path).parts
+    idx = None
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            idx = i + 1
+    if idx is None:
+        return None
+    mod_parts = list(parts[idx:])
+    last = mod_parts[-1]
+    if not last.endswith(".py"):
+        return None
+    if last == "__init__.py":
+        mod_parts = mod_parts[:-1]
+    else:
+        mod_parts[-1] = last[: -len(".py")]
+    return ".".join(mod_parts)
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    chain: List[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    chain.append(node.id)
+    chain.reverse()
+    return chain
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain through the file's import aliases.
+
+    ``np.random.normal`` with ``import numpy as np`` resolves to
+    ``numpy.random.normal``; a *bare* non-imported name resolves to
+    itself (so builtins like ``list``/``sorted`` are recognisable); an
+    attribute chain rooted at a non-imported name (a local variable,
+    ``self``) resolves to ``None``.
+    """
+    chain = _attr_chain(node)
+    if chain is None:
+        return None
+    root = aliases.get(chain[0])
+    if root is None:
+        if len(chain) == 1:
+            return chain[0]
+        return None
+    return ".".join([root] + chain[1:])
+
+
+def collect_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the absolute dotted names they were imported as."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".", 1)[0]
+                target = item.name if item.asname else item.name.split(".", 1)[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+class FileContext:
+    """Everything the rules need to know about one file."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.AST,
+        contracts: "ContractIndex",
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.contracts = contracts
+        self.module = module_for_path(path)
+        self.aliases = collect_aliases(tree)
+
+    # ------------------------------------------------------------------ #
+    def in_packages(self, prefixes: Tuple[str, ...]) -> bool:
+        """True when this file's module lives under one of ``prefixes``."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        return resolve_dotted(node, self.aliases)
+
+
+class ContractIndex:
+    """Statically extracted contract tables (see module docstring)."""
+
+    def __init__(
+        self,
+        callback_signatures: Dict[str, List[str]],
+        backend_methods: Dict[str, List[str]],
+        message_schema: Dict[str, Dict[str, Tuple[str, ...]]],
+        nested_fields: Set[str],
+    ) -> None:
+        self.callback_signatures = callback_signatures
+        self.backend_methods = backend_methods
+        self.message_schema = message_schema
+        self.nested_fields = nested_fields
+
+    # ------------------------------------------------------------------ #
+    @property
+    def request_fields(self) -> Dict[str, Set[str]]:
+        return {
+            op: set(spec.get("request", ()))
+            for op, spec in self.message_schema.items()
+        }
+
+    @property
+    def response_fields(self) -> Set[str]:
+        fields: Set[str] = set()
+        for spec in self.message_schema.values():
+            fields.update(spec.get("response", ()))
+        return fields
+
+    @property
+    def all_wire_fields(self) -> Set[str]:
+        fields = set(self.nested_fields) | self.response_fields
+        for spec in self.message_schema.values():
+            fields.update(spec.get("request", ()))
+        return fields
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, package_root: Optional[Path] = None) -> "ContractIndex":
+        """Extract the tables from the repro source tree.
+
+        ``package_root`` is the ``repro`` package directory; defaults to
+        the one this module lives in, so the linter always checks against
+        the contracts of the tree it ships with.
+        """
+        root = package_root or Path(__file__).resolve().parent.parent
+        callbacks = cls._extract_method_signatures(
+            root / "core" / "events.py", "SearchCallback", prefix="on_"
+        )
+        backend = cls._extract_method_signatures(
+            root / "sim" / "backends.py", "EvaluationBackend"
+        )
+        schema, nested = cls._extract_message_schema(
+            root / "service" / "protocol.py"
+        )
+        return cls(callbacks, backend, schema, nested)
+
+    @staticmethod
+    def _extract_method_signatures(
+        path: Path, class_name: str, prefix: str = ""
+    ) -> Dict[str, List[str]]:
+        signatures: Dict[str, List[str]] = {}
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):
+            return signatures
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.ClassDef) and node.name == class_name):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if prefix and not item.name.startswith(prefix):
+                    continue
+                if item.name.startswith("__"):
+                    continue
+                signatures[item.name] = [arg.arg for arg in item.args.args]
+            break
+        return signatures
+
+    @staticmethod
+    def _extract_message_schema(
+        path: Path,
+    ) -> Tuple[Dict[str, Dict[str, Tuple[str, ...]]], Set[str]]:
+        schema: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        nested: Set[str] = set()
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):
+            return schema, nested
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "MESSAGE_SCHEMA":
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:
+                        continue
+                    if isinstance(value, dict):
+                        schema = {
+                            str(op): {
+                                str(k): tuple(v) for k, v in spec.items()
+                            }
+                            for op, spec in value.items()
+                        }
+                elif target.id == "NESTED_FIELDS":
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:
+                        continue
+                    nested = {str(v) for v in value}
+        return schema, nested

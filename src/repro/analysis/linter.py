@@ -1,0 +1,116 @@
+"""The lint driver: discover files, run rules, apply pragmas.
+
+The two entry points are :func:`lint_paths` (what the CLI calls) and
+:func:`lint_source` (what fixture tests call — lint a source string under
+a synthetic path, so package-scoped rules can be exercised without
+touching disk).  Both return findings in deterministic sorted order.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .context import ContractIndex, FileContext
+from .findings import ERROR, Finding
+from .pragmas import PRAGMA_RULE_IDS, PragmaSheet
+from .registry import all_rules, known_rule_ids
+
+__all__ = ["LintResult", "discover_files", "lint_paths", "lint_source", "lint_file"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+class LintResult:
+    """Findings plus the file census of one lint run."""
+
+    def __init__(self, findings: List[Finding], files_scanned: int) -> None:
+        self.findings = findings
+        self.files_scanned = files_scanned
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity != ERROR)
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Python files under ``paths`` (files or directories), sorted."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.append(candidate)
+    unique = sorted(set(files), key=lambda p: str(p))
+    return unique
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    contracts: Optional[ContractIndex] = None,
+) -> List[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    ``path`` controls package scoping: pass a synthetic path like
+    ``src/repro/sim/example.py`` to put the snippet inside a scoped
+    package.  A syntax error is reported as a ``syntax-error`` finding
+    rather than raised — the linter must survive any input.
+    """
+    if contracts is None:
+        contracts = ContractIndex.load()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path, exc.lineno or 1, (exc.offset or 1) - 1,
+                "syntax-error", ERROR, f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree, contracts)
+    sheet = PragmaSheet.parse(source)
+    known = known_rule_ids()
+
+    findings: List[Finding] = []
+    for rule in all_rules():
+        for finding in rule.check(ctx):
+            # Pragma meta-findings are produced by the sheet, never suppressed.
+            if finding.rule_id in PRAGMA_RULE_IDS:
+                findings.append(finding)
+                continue
+            if sheet.suppresses(finding.rule_id, finding.line):
+                continue
+            findings.append(finding)
+    findings.extend(sheet.meta_findings(path, known))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(path: Path, contracts: Optional[ContractIndex] = None) -> List[Finding]:
+    try:
+        source = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(str(path), 1, 0, "syntax-error", ERROR, f"cannot read file: {exc}")]
+    return lint_source(source, str(path), contracts)
+
+
+def lint_paths(
+    paths: Sequence[str], contracts: Optional[ContractIndex] = None
+) -> LintResult:
+    """Lint every Python file under ``paths``; the CLI entry point."""
+    if contracts is None:
+        contracts = ContractIndex.load()
+    files = discover_files(paths)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, contracts))
+    return LintResult(sorted(findings, key=Finding.sort_key), len(files))

@@ -1,0 +1,121 @@
+"""The rule registry.
+
+Every rule is a singleton instance registered under a stable kebab-case
+id — the id users write in ``# repro: allow[rule-id]`` pragmas and see in
+lint output, so it is part of the repo's public contract and must never
+be renamed casually.  Rules declare a severity (``error`` findings always
+fail the gate; ``warning`` findings fail it under the default
+``--fail-on warning``) and a rationale: which invariant the rule protects
+and which past or latent bug class motivated it (surfaced by
+``repro lint --list-rules`` and DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Type
+
+from .findings import ERROR, SEVERITIES, Finding
+from .pragmas import PRAGMA_RULE_IDS
+
+__all__ = ["Rule", "register", "all_rules", "known_rule_ids", "get_rule"]
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one parsed file (the ``ctx`` is a
+    :class:`~repro.analysis.context.FileContext`).
+    """
+
+    rule_id: str = ""
+    severity: str = ERROR
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx, node, message: str) -> Finding:
+        """A finding of this rule at ``node`` (an AST node or a line number)."""
+        line = getattr(node, "lineno", node)
+        col = getattr(node, "col_offset", 0)
+        return Finding(ctx.path, int(line), int(col), self.rule_id, self.severity, message)
+
+
+class _PragmaMetaRule(Rule):
+    """Placeholder registry entries for the pragma meta-findings.
+
+    The findings are produced by :class:`~repro.analysis.pragmas.PragmaSheet`,
+    not by :meth:`check`; registering them here makes their ids *known* (so
+    an allow pragma naming them is not flagged as unknown) and lists them in
+    ``--list-rules``.
+    """
+
+    def check(self, ctx) -> Iterator[Finding]:
+        return iter(())
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"{cls.__name__} has invalid severity {rule.severity!r}")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def _register_pragma_meta_rules() -> None:
+    docs = {
+        "pragma-reason": (
+            "allow pragmas must carry a reason string",
+            "an unexplained suppression is indistinguishable from a silenced bug",
+        ),
+        "pragma-unknown-rule": (
+            "allow pragmas must name registered rule ids",
+            "a typo'd id silently suppresses nothing while looking safe",
+        ),
+        "pragma-unused": (
+            "allow pragmas must suppress something",
+            "stale pragmas hide the next real finding on that line",
+        ),
+    }
+    for rule_id, (title, rationale) in docs.items():
+        rule = _PragmaMetaRule()
+        rule.rule_id = rule_id
+        rule.severity = ERROR if rule_id != "pragma-unused" else "warning"
+        rule.title = title
+        rule.rationale = rationale
+        _REGISTRY[rule_id] = rule
+
+
+_register_pragma_meta_rules()
+assert set(PRAGMA_RULE_IDS) <= set(_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id (deterministic output order)."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def known_rule_ids() -> Set[str]:
+    _load_builtin_rules()
+    return set(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules (registration happens at import time)."""
+    from .rules import contracts, determinism, hygiene  # noqa: F401

@@ -1,0 +1,45 @@
+"""Render a lint run as text or JSON.
+
+Text is the human form (one finding per line plus a summary); JSON is the
+machine form consumed by the CI lane and by the JSON-schema test.  Both
+are pure functions of a :class:`~repro.analysis.linter.LintResult`, so
+output format never influences findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .linter import LintResult
+
+__all__ = ["JSON_REPORT_VERSION", "render_text", "render_json", "to_report_dict"]
+
+#: Bumped whenever the JSON report shape changes incompatibly.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    noun = "file" if result.files_scanned == 1 else "files"
+    if result.findings:
+        lines.append(
+            f"{result.errors} error(s), {result.warnings} warning(s) "
+            f"in {result.files_scanned} {noun}"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {result.files_scanned} {noun}")
+    return "\n".join(lines)
+
+
+def to_report_dict(result: LintResult) -> Dict[str, Any]:
+    return {
+        "version": JSON_REPORT_VERSION,
+        "files_scanned": result.files_scanned,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "summary": {"errors": result.errors, "warnings": result.warnings},
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_report_dict(result), indent=2, sort_keys=True)

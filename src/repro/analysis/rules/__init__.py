@@ -1,0 +1,10 @@
+"""Built-in rule modules.
+
+Importing a module here registers its rules (the ``@register`` decorator
+runs at import time); :func:`repro.analysis.registry.all_rules` imports
+all three lazily.
+"""
+
+from . import contracts, determinism, hygiene
+
+__all__ = ["contracts", "determinism", "hygiene"]

@@ -1,0 +1,280 @@
+"""Contract rules: interfaces that drift silently at runtime.
+
+Three duck-typed seams in the codebase have no compiler to keep them
+honest: the :class:`SearchCallback` event hooks (a misspelled or
+re-ordered ``on_*`` override is simply never called, or crashes mid-run),
+the :class:`EvaluationBackend` protocol (``isinstance`` checks against a
+``runtime_checkable`` Protocol verify method *names* only), and the
+newline-delimited JSON wire protocol (an unknown field is dropped on the
+floor by ``.get()``).  Each rule cross-checks subclasses / claimants /
+message literals against the contract tables in
+:class:`~repro.analysis.context.ContractIndex`, which are AST-extracted
+from the definition sites — so the contracts self-update when the
+definitions change.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["CallbackSignatureRule", "BackendProtocolRule", "ProtocolSchemaRule"]
+
+#: Base-class name whose subclasses must match the hook signatures.
+_CALLBACK_BASES = ("SearchCallback",)
+#: Protocol name whose claimants must define the full surface.
+_BACKEND_PROTOCOL = "EvaluationBackend"
+#: Methods a backend may add beyond the Protocol surface; ``prepare_batch``
+#: is the engine's optional pre-dispatch hook and must take (self, placements)
+#: when present.
+_OPTIONAL_BACKEND_METHODS = {"prepare_batch": ["self", "placements"]}
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _positional_params(fn: ast.FunctionDef) -> List[str]:
+    return [arg.arg for arg in fn.args.args]
+
+
+@register
+class CallbackSignatureRule(Rule):
+    rule_id = "callback-signature"
+    title = "SearchCallback overrides must match the base hook signatures"
+    rationale = (
+        "the engine dispatches hooks positionally and swallows nothing: a "
+        "drifted on_measurement(self, engine, sample) override raises "
+        "TypeError twenty minutes into a search, and a misnamed hook is "
+        "silently never called."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        base_sigs = ctx.contracts.callback_signatures
+        if not base_sigs:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(b in _CALLBACK_BASES for b in _base_names(node)):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if not item.name.startswith("on_"):
+                    continue
+                expected = base_sigs.get(item.name)
+                if expected is None:
+                    close = ", ".join(sorted(base_sigs))
+                    yield self.finding(
+                        ctx, item,
+                        f"{node.name}.{item.name} overrides no SearchCallback "
+                        f"hook — it will never be called (hooks: {close})",
+                    )
+                    continue
+                actual = _positional_params(item)
+                if actual != expected:
+                    yield self.finding(
+                        ctx, item,
+                        f"{node.name}.{item.name}({', '.join(actual)}) drifts "
+                        f"from the base hook signature "
+                        f"({', '.join(expected)}) — the engine calls hooks "
+                        "positionally",
+                    )
+
+
+@register
+class BackendProtocolRule(Rule):
+    rule_id = "backend-protocol"
+    title = "EvaluationBackend claimants must define the full protocol surface"
+    rationale = (
+        "the Protocol is runtime_checkable, which verifies method *names* "
+        "only; a backend with a drifted evaluate_batch signature passes "
+        "isinstance and fails inside the search loop."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        surface = ctx.contracts.backend_methods
+        if not surface:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == _BACKEND_PROTOCOL:
+                continue
+            if not self._claims_backend(node):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            for name, expected in sorted(surface.items()):
+                fn = methods.get(name)
+                if fn is None:
+                    yield self.finding(
+                        ctx, node,
+                        f"{node.name} claims EvaluationBackend but does not "
+                        f"define {name}({', '.join(expected)})",
+                    )
+                    continue
+                actual = _positional_params(fn)
+                if actual != expected:
+                    yield self.finding(
+                        ctx, fn,
+                        f"{node.name}.{name}({', '.join(actual)}) drifts from "
+                        f"the EvaluationBackend surface ({', '.join(expected)})",
+                    )
+            for name, expected in sorted(_OPTIONAL_BACKEND_METHODS.items()):
+                fn = methods.get(name)
+                if fn is None:
+                    continue
+                actual = _positional_params(fn)
+                if actual != expected:
+                    yield self.finding(
+                        ctx, fn,
+                        f"{node.name}.{name}({', '.join(actual)}) drifts from "
+                        f"the optional backend hook signature "
+                        f"({', '.join(expected)}) — the engine calls it "
+                        "positionally when present",
+                    )
+
+    @staticmethod
+    def _claims_backend(node: ast.ClassDef) -> bool:
+        """A class claims the protocol nominally or structurally.
+
+        Nominal subclassing of a Protocol is optional in the codebase
+        (SerialBackend et al. are structural claimants), so a class also
+        claims the surface when it defines ``evaluate_batch`` — the
+        protocol's defining method.
+        """
+        if _BACKEND_PROTOCOL in _base_names(node):
+            return True
+        return any(
+            isinstance(item, ast.FunctionDef) and item.name == "evaluate_batch"
+            for item in node.body
+        )
+
+
+@register
+class ProtocolSchemaRule(Rule):
+    rule_id = "protocol-schema"
+    title = "wire messages must match the protocol schema table"
+    rationale = (
+        "the wire layer reads fields with .get(): a constructor writing "
+        "an unknown key or a handler reading a misspelled one produces "
+        "None-shaped bugs on the far side of a socket, where tracebacks "
+        "do not reach the client."
+    )
+
+    #: Only the wire layer itself is checked — tests deliberately build
+    #: malformed messages to exercise error paths.
+    _SCOPE = ("repro.service",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        schema = ctx.contracts.message_schema
+        if not schema or not ctx.in_packages(self._SCOPE):
+            return
+        known_fields = ctx.contracts.all_wire_fields
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Dict):
+                yield from self._check_message_literal(ctx, node, schema, known_fields)
+            elif isinstance(node, ast.Call):
+                yield from self._check_get_access(ctx, node, known_fields)
+
+    # ------------------------------------------------------------------ #
+    def _check_message_literal(
+        self, ctx: FileContext, node: ast.Dict, schema, known_fields: Set[str]
+    ) -> Iterator[Finding]:
+        keys = self._literal_keys(node)
+        if keys is None:
+            return
+        key_names = [k for k, _ in keys]
+        if "op" not in key_names:
+            return
+        op_value = self._op_value(node)
+        if op_value is not None:
+            spec = schema.get(op_value)
+            if spec is None:
+                yield self.finding(
+                    ctx, node,
+                    f"message literal uses unknown op {op_value!r} "
+                    f"(schema ops: {', '.join(sorted(schema))})",
+                )
+                return
+            allowed = set(spec.get("request", ())) | set(spec.get("response", ()))
+            for key, key_node in keys:
+                if key not in allowed:
+                    yield self.finding(
+                        ctx, key_node,
+                        f"field {key!r} is not in the {op_value!r} message "
+                        f"schema (allowed: {', '.join(sorted(allowed))})",
+                    )
+        else:
+            # op is computed (e.g. echoing a variable); fall back to the
+            # union of all wire fields.
+            for key, key_node in keys:
+                if key not in known_fields:
+                    yield self.finding(
+                        ctx, key_node,
+                        f"field {key!r} is not in any wire message schema",
+                    )
+
+    def _check_get_access(
+        self, ctx: FileContext, node: ast.Call, known_fields: Set[str]
+    ) -> Iterator[Finding]:
+        """Flag ``msg.get("unknown-field")`` reads in the wire layer."""
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "get"):
+            return
+        if not node.args:
+            return
+        key = node.args[0]
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return
+        # Only flag keys that look like wire fields: reads from dicts named
+        # like messages.  Anything else (config dicts, kwargs) is out of scope.
+        owner = node.func.value
+        owner_name = owner.id if isinstance(owner, ast.Name) else None
+        if owner_name not in ("message", "msg", "request", "response", "reply"):
+            return
+        if key.value not in known_fields:
+            yield self.finding(
+                ctx, node,
+                f"read of unknown wire field {key.value!r} from "
+                f"{owner_name} — not in the protocol schema",
+            )
+
+    @staticmethod
+    def _op_value(node: ast.Dict) -> Optional[str]:
+        """The literal string value of the ``"op"`` entry, if it is one."""
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "op"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                return value.value
+        return None
+
+    @staticmethod
+    def _literal_keys(node: ast.Dict) -> Optional[List[Tuple[str, ast.AST]]]:
+        """String keys of a dict literal; None when any key is dynamic."""
+        keys: List[Tuple[str, ast.AST]] = []
+        for key in node.keys:
+            if key is None:  # **spread
+                return None
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                return None
+            keys.append((key.value, key))
+        return keys

@@ -1,0 +1,184 @@
+"""Hygiene rules: cheap-to-check habits with expensive failure modes.
+
+Mutable default arguments alias state across calls (a classic source of
+cross-test contamination in long-lived engines); bare ``except:`` clauses
+swallow ``KeyboardInterrupt``/``SystemExit`` and turn a wedged worker
+into an unkillable one; and imports that run *against* the layer order
+(e.g. ``repro.sim`` importing ``repro.service``) create cycles that only
+surface as ImportErrors under specific import orders.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["MutableDefaultRule", "BareExceptRule", "LayerImportRule", "LAYERS"]
+
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque")
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "mutable-default"
+    title = "no mutable default argument values"
+    rationale = (
+        "a list/dict/set default is evaluated once and shared by every "
+        "call — callback histories and backend caches would bleed state "
+        "across engine instances; default to None (or a tuple) and "
+        "construct inside."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(ctx, default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default in {node.name}() is shared across "
+                        "calls — default to None and construct in the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(ctx: FileContext, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            return name in _MUTABLE_CALLS
+        return False
+
+
+@register
+class BareExceptRule(Rule):
+    rule_id = "bare-except"
+    title = "no bare except clauses"
+    rationale = (
+        "`except:` catches KeyboardInterrupt and SystemExit — a retry "
+        "loop with one turns Ctrl-C into another retry; catch Exception "
+        "(or narrower) instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare `except:` also catches KeyboardInterrupt/SystemExit "
+                    "— catch Exception or a narrower type",
+                )
+
+
+#: The layer order, lowest first.  An import is legal when the importing
+#: module's rank is >= the imported module's rank (you may look *down*
+#: the stack, never up).  Ranks are derived from the actual dependency
+#: graph of the tree; ``repro`` top-level modules (cli, __main__) sit at
+#: the top and may import anything.
+LAYERS = {
+    "repro.nn": 0,
+    "repro.analysis": 0,
+    "repro.graph": 1,
+    "repro.rl": 2,
+    "repro.sim": 3,
+    "repro.grouping": 4,
+    "repro.placement": 5,
+    "repro.core": 6,
+    "repro.service": 7,
+    "repro.bench": 8,
+    "repro": 9,
+}
+
+
+def _layer_rank(module: str) -> Optional[int]:
+    """Rank by longest matching package prefix; None for non-repro modules."""
+    best: Optional[int] = None
+    best_len = -1
+    for prefix, rank in LAYERS.items():
+        if module == prefix or module.startswith(prefix + "."):
+            if len(prefix) > best_len:
+                best, best_len = rank, len(prefix)
+    return best
+
+
+def _layer_name(module: str) -> str:
+    best = module
+    best_len = -1
+    for prefix in LAYERS:
+        if module == prefix or module.startswith(prefix + "."):
+            if len(prefix) > best_len:
+                best, best_len = prefix, len(prefix)
+    return best
+
+
+@register
+class LayerImportRule(Rule):
+    rule_id = "layer-import"
+    title = "imports must respect the layer order"
+    rationale = (
+        "an upward import (sim → service) makes the layering cyclic: the "
+        "cycle only breaks under one import order, and the next refactor "
+        "that changes import order ships an ImportError; lower layers "
+        "must stay importable standalone."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module is None:
+            return
+        importer_rank = _layer_rank(ctx.module)
+        if importer_rank is None:
+            return
+        is_package = ctx.path.endswith("__init__.py")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    yield from self._check_target(ctx, node, importer_rank, item.name)
+            elif isinstance(node, ast.ImportFrom):
+                target = self._absolute_target(ctx.module, is_package, node)
+                if target is not None:
+                    yield from self._check_target(ctx, node, importer_rank, target)
+
+    def _check_target(
+        self, ctx: FileContext, node: ast.AST, importer_rank: int, target: str
+    ) -> Iterator[Finding]:
+        if not (target == "repro" or target.startswith("repro.")):
+            return
+        imported_rank = _layer_rank(target)
+        if imported_rank is None or imported_rank <= importer_rank:
+            return
+        yield self.finding(
+            ctx, node,
+            f"{_layer_name(ctx.module)} (layer {importer_rank}) imports "
+            f"{_layer_name(target)} (layer {imported_rank}) — imports must "
+            "point down the layer order",
+        )
+
+    @staticmethod
+    def _absolute_target(
+        module: str, is_package: bool, node: ast.ImportFrom
+    ) -> Optional[str]:
+        """Absolute dotted target of an import-from, resolving relativity."""
+        if node.level == 0:
+            return node.module
+        parts = module.split(".")
+        if not is_package:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop >= len(parts):
+            return None
+        base = parts[: len(parts) - drop] if drop else parts
+        if node.module:
+            return ".".join(base + node.module.split("."))
+        return ".".join(base)

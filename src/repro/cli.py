@@ -9,6 +9,7 @@ Subcommands::
     python -m repro gantt --model inception_v3 --placement single_gpu
     python -m repro serve --model gnmt --port 7077       # measurement service
     python -m repro place --model gnmt --remote 127.0.0.1:7077
+    python -m repro lint  src/repro tests examples       # static analysis
 
 All commands run against the simulated 4-GPU environment (the paper's
 machine); ``--gpus`` / ``--gpu-mem`` customise it.  ``serve`` exposes that
@@ -150,6 +151,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("--placement", default="single_gpu", choices=["single_gpu", "expert", "scotch"])
     p.add_argument("--width", type=int, default=80)
+
+    p = sub.add_parser("lint", help="run the repo's own static analysis")
+    p.add_argument(
+        "paths", nargs="*", default=["src/repro", "tests", "examples"],
+        help="files or directories to lint (default: src/repro tests examples)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--fail-on", choices=["error", "warning"], default="warning",
+        help="exit 1 at this severity or worse (default: warning, i.e. "
+             "any finding fails)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue (id, severity, title, rationale) and exit",
+    )
 
     return parser
 
@@ -335,6 +352,25 @@ def cmd_gantt(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} [{rule.severity}] — {rule.title}")
+            if rule.rationale:
+                print(f"    {rule.rationale}")
+        return 0
+    result = lint_paths(args.paths)
+    if result.files_scanned == 0:
+        print(f"error: no Python files found under {' '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+    print(render_json(result) if args.format == "json" else render_text(result))
+    failed = result.errors > 0 if args.fail_on == "error" else bool(result.findings)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     return {
@@ -343,6 +379,7 @@ def main(argv: Optional[list] = None) -> int:
         "place": cmd_place,
         "serve": cmd_serve,
         "gantt": cmd_gantt,
+        "lint": cmd_lint,
     }[args.command](args)
 
 

@@ -251,7 +251,7 @@ class OpGraph:
     def validate(self) -> None:
         """Check acyclicity and internal consistency; raise on violation."""
         self.topological_order()
-        for s, d in self._edge_set:
+        for s, d in self.edges():
             if d not in self._succ[s] or s not in self._pred[d]:
                 raise AssertionError("adjacency lists inconsistent with edge set")
 
@@ -275,7 +275,7 @@ class OpGraph:
         """Dense ``(N, N)`` adjacency; weights are edge tensor bytes."""
         n = self.num_ops
         a = np.zeros((n, n), dtype=np.float64)
-        for s, d in self._edge_set:
+        for s, d in self.edges():
             a[s, d] = self._nodes[s].output.bytes if weighted else 1.0
         return a
 
@@ -294,7 +294,7 @@ class OpGraph:
                 param_bytes=node.param_bytes,
                 cpu_only=node.cpu_only,
             )
-        for s, d in self._edge_set:
+        for s, d in self.edges():
             g.add_edge(s, d, weight=float(self._nodes[s].output.bytes))
         return g
 

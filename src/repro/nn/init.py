@@ -52,6 +52,11 @@ def uniform(shape: Tuple[int, ...], rng: np.random.Generator, bound: float = 0.1
     return rng.uniform(-bound, bound, size=shape)
 
 
-def zeros(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
-    """All-zero initialisation (biases)."""
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialisation (biases).
+
+    Deterministic, but takes ``rng`` like every other initialiser so the
+    whole family shares one signature — callers can swap initialisers
+    (or table-dispatch over them) without special-casing the zero case.
+    """
     return np.zeros(shape, dtype=np.float64)

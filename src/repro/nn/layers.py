@@ -32,7 +32,7 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng), name="weight")
-        self.bias: Optional[Parameter] = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        self.bias: Optional[Parameter] = Parameter(init.zeros((out_features,), rng), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.T

@@ -59,6 +59,8 @@ from ..sim.environment import RawOutcome
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MESSAGE_SCHEMA",
+    "NESTED_FIELDS",
     "ProtocolError",
     "HandshakeError",
     "read_message",
@@ -76,6 +78,40 @@ PROTOCOL_VERSION = 1
 #: Cap on one serialised message (a placement line for a ~100k-op graph is
 #: well under this); keeps a garbage peer from ballooning server memory.
 MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+#: The authoritative field table per op: which top-level keys may appear
+#: in a request line and in its response line(s).  This is *data*, not
+#: code — client and server constructors/readers are cross-checked
+#: against it by the ``protocol-schema`` lint rule (which AST-extracts
+#: this literal; keep it a plain literal), so adding a field here is the
+#: one required step when the wire format grows.
+MESSAGE_SCHEMA = {
+    "hello": {
+        "request": ("op", "version", "fingerprint"),
+        "response": ("ok", "server", "error", "kind"),
+    },
+    "evaluate": {
+        "request": ("op", "placement"),
+        "response": ("ok", "raw", "cached", "error", "kind"),
+    },
+    "evaluate_batch": {
+        "request": ("op", "placements"),
+        "response": ("ok", "tickets", "ticket", "raw", "cached", "error", "kind"),
+    },
+    "stats": {
+        "request": ("op",),
+        "response": ("ok", "stats", "error", "kind"),
+    },
+    "shutdown": {
+        "request": ("op",),
+        "response": ("ok", "error", "kind"),
+    },
+}
+
+#: Keys that appear only *inside* nested payload objects (the ``server``
+#: info dict, per-ticket ``error`` details) — legal in ``.get()`` reads
+#: but never as top-level message fields of their own.
+NESTED_FIELDS = {"message", "kind", "version", "graph", "num_ops", "num_devices", "workers"}
 
 
 class ProtocolError(RuntimeError):

@@ -385,6 +385,7 @@ class MeasurementServer:
             server.shutdown()  # waits for serve_forever to drain
         server.server_close()
         with self._conn_lock:
+            # repro: allow[set-iteration] teardown snapshot under the lock: sockets are closed in any order and nothing downstream observes the sequence
             connections = list(self._connections)
             self._connections.clear()
         for conn in connections:

@@ -379,6 +379,7 @@ def make_backend(
     :class:`~repro.sim.faults.FaultInjectingBackend` (chaos testing).
     """
     if remote is not None:
+        # repro: allow[layer-import] lazy factory hook — runs only when --remote is requested, so sim carries no import-time service dependency (service imports sim eagerly; the reverse eager import would be a cycle)
         from ..service.client import RemoteBackend
 
         backend: EvaluationBackend = RemoteBackend(

@@ -1,0 +1,77 @@
+"""Tests for the pragma allowlist machinery and its meta-rules."""
+
+import pytest
+
+from repro.analysis import ContractIndex, PragmaSheet, lint_source
+
+SIM_PATH = "src/repro/sim/fixture.py"
+
+
+@pytest.fixture(scope="module")
+def contracts():
+    return ContractIndex.load()
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestParsing:
+    def test_trailing_pragma_covers_its_line(self):
+        sheet = PragmaSheet.parse("x = 1  # repro: allow[wall-clock] why\n")
+        (pragma,) = sheet.pragmas
+        assert pragma.rule_ids == ("wall-clock",)
+        assert pragma.reason == "why"
+        assert not pragma.own_line
+        assert pragma.covers(1) and not pragma.covers(2)
+
+    def test_own_line_pragma_covers_next_line(self):
+        sheet = PragmaSheet.parse("# repro: allow[wall-clock] why\nx = 1\n")
+        (pragma,) = sheet.pragmas
+        assert pragma.own_line
+        assert pragma.covers(1) and pragma.covers(2) and not pragma.covers(3)
+
+    def test_multiple_rule_ids(self):
+        sheet = PragmaSheet.parse("x  # repro: allow[wall-clock, unseeded-rng] why\n")
+        assert sheet.pragmas[0].rule_ids == ("wall-clock", "unseeded-rng")
+
+    def test_docstring_mention_is_not_a_pragma(self):
+        source = '"""Write ``# repro: allow[rule-id] reason`` to suppress."""\n'
+        assert PragmaSheet.parse(source).pragmas == []
+
+    def test_string_literal_is_not_a_pragma(self):
+        source = 'text = "# repro: allow[wall-clock] nope"\n'
+        assert PragmaSheet.parse(source).pragmas == []
+
+
+class TestMetaRules:
+    def test_missing_reason_flagged(self, contracts):
+        src = "import time\n\ndef f():\n    return time.time()  # repro: allow[wall-clock]\n"
+        ids = rule_ids(lint_source(src, SIM_PATH, contracts))
+        assert ids == ["pragma-reason"]
+
+    def test_unknown_rule_id_flagged(self, contracts):
+        src = "x = 1  # repro: allow[wall-clcok] typo'd suppression\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["pragma-unknown-rule"]
+
+    def test_empty_brackets_flagged(self, contracts):
+        src = "x = 1  # repro: allow[] no rule named\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["pragma-unknown-rule"]
+
+    def test_unused_pragma_flagged(self, contracts):
+        src = "x = 1  # repro: allow[wall-clock] nothing here to suppress\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["pragma-unused"]
+
+    def test_used_pragma_not_flagged_as_unused(self, contracts):
+        src = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # repro: allow[wall-clock] boundary metric\n"
+        )
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_suppression_still_applies_without_reason(self, contracts):
+        """A reasonless pragma suppresses its target but is itself an error."""
+        src = "import time\n\ndef f():\n    return time.time()  # repro: allow[wall-clock]\n"
+        findings = lint_source(src, SIM_PATH, contracts)
+        assert rule_ids(findings) == ["pragma-reason"]
+        assert all(f.rule_id != "wall-clock" for f in findings)

@@ -1,0 +1,174 @@
+"""Fixture tests for the contract rules.
+
+The contract tables are AST-extracted from the real definition sites
+(events.py / backends.py / protocol.py), so these tests double as a check
+that extraction found the actual contracts.
+"""
+
+import pytest
+
+from repro.analysis import ContractIndex, lint_source
+
+CORE_PATH = "src/repro/core/fixture.py"
+SERVICE_PATH = "src/repro/service/fixture.py"
+
+
+@pytest.fixture(scope="module")
+def contracts():
+    return ContractIndex.load()
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestContractExtraction:
+    def test_callback_hooks_extracted(self, contracts):
+        sigs = contracts.callback_signatures
+        assert sigs["on_measurement"] == ["self", "engine", "sample", "measurement"]
+        assert sigs["on_search_start"] == ["self", "engine"]
+        assert "on_search_end" in sigs
+
+    def test_backend_surface_extracted(self, contracts):
+        surface = contracts.backend_methods
+        assert surface["evaluate_batch"] == ["self", "placements"]
+        assert set(surface) >= {"evaluate_batch", "close", "stats"}
+
+    def test_message_schema_extracted(self, contracts):
+        assert set(contracts.message_schema) == {
+            "hello", "evaluate", "evaluate_batch", "stats", "shutdown"
+        }
+        assert "fingerprint" in contracts.request_fields["hello"]
+        assert "raw" in contracts.response_fields
+
+
+class TestCallbackSignature:
+    def test_drifted_override_flagged(self, contracts):
+        src = (
+            "from repro.core import SearchCallback\n\n"
+            "class C(SearchCallback):\n"
+            "    def on_measurement(self, engine, sample):\n"
+            "        pass\n"
+        )
+        assert rule_ids(lint_source(src, CORE_PATH, contracts)) == ["callback-signature"]
+
+    def test_unknown_hook_flagged(self, contracts):
+        src = (
+            "from repro.core import SearchCallback\n\n"
+            "class C(SearchCallback):\n"
+            "    def on_measurment(self, engine, sample, measurement):\n"
+            "        pass\n"
+        )
+        assert rule_ids(lint_source(src, CORE_PATH, contracts)) == ["callback-signature"]
+
+    def test_conforming_override_clean(self, contracts):
+        src = (
+            "from repro.core import SearchCallback\n\n"
+            "class C(SearchCallback):\n"
+            "    def on_measurement(self, engine, sample, measurement):\n"
+            "        pass\n"
+            "    def on_search_end(self, engine, result):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, CORE_PATH, contracts) == []
+
+    def test_non_callback_class_ignored(self, contracts):
+        src = "class C:\n    def on_anything(self, x):\n        pass\n"
+        assert lint_source(src, CORE_PATH, contracts) == []
+
+    def test_pragma_suppresses(self, contracts):
+        src = (
+            "from repro.core import SearchCallback\n\n"
+            "class C(SearchCallback):\n"
+            "    # repro: allow[callback-signature] adapter shims the legacy arity on purpose\n"
+            "    def on_measurement(self, engine, sample):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, CORE_PATH, contracts) == []
+
+
+class TestBackendProtocol:
+    def test_missing_surface_flagged(self, contracts):
+        src = (
+            "from repro.sim.backends import EvaluationBackend\n\n"
+            "class Bad(EvaluationBackend):\n"
+            "    def evaluate_batch(self, placements):\n"
+            "        return []\n"
+        )
+        ids = rule_ids(lint_source(src, CORE_PATH, contracts))
+        assert ids == ["backend-protocol", "backend-protocol"]  # close + stats
+
+    def test_structural_claimant_drift_flagged(self, contracts):
+        src = (
+            "class S:\n"
+            "    def evaluate_batch(self, batch):\n"
+            "        return []\n"
+            "    def close(self):\n"
+            "        pass\n"
+            "    def stats(self):\n"
+            "        return {}\n"
+        )
+        assert rule_ids(lint_source(src, CORE_PATH, contracts)) == ["backend-protocol"]
+
+    def test_prepare_batch_drift_flagged(self, contracts):
+        src = (
+            "class S:\n"
+            "    def evaluate_batch(self, placements):\n"
+            "        return []\n"
+            "    def close(self):\n"
+            "        pass\n"
+            "    def stats(self):\n"
+            "        return {}\n"
+            "    def prepare_batch(self, placements, eager):\n"
+            "        pass\n"
+        )
+        assert rule_ids(lint_source(src, CORE_PATH, contracts)) == ["backend-protocol"]
+
+    def test_full_surface_clean(self, contracts):
+        src = (
+            "class S:\n"
+            "    def evaluate_batch(self, placements):\n"
+            "        return []\n"
+            "    def close(self):\n"
+            "        pass\n"
+            "    def stats(self):\n"
+            "        return {}\n"
+            "    def prepare_batch(self, placements):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, CORE_PATH, contracts) == []
+
+
+class TestProtocolSchema:
+    def test_unknown_field_flagged(self, contracts):
+        src = 'def f(p):\n    return {"op": "evaluate", "placment": p}\n'
+        assert rule_ids(lint_source(src, SERVICE_PATH, contracts)) == ["protocol-schema"]
+
+    def test_unknown_op_flagged(self, contracts):
+        src = 'def f():\n    return {"op": "frobnicate"}\n'
+        assert rule_ids(lint_source(src, SERVICE_PATH, contracts)) == ["protocol-schema"]
+
+    def test_unknown_get_read_flagged(self, contracts):
+        src = 'def f(message):\n    return message.get("placment")\n'
+        assert rule_ids(lint_source(src, SERVICE_PATH, contracts)) == ["protocol-schema"]
+
+    def test_valid_message_clean(self, contracts):
+        src = (
+            'def f(p, fp):\n'
+            '    hello = {"op": "hello", "version": 1, "fingerprint": fp}\n'
+            '    return hello, {"op": "evaluate", "placement": p}\n'
+        )
+        assert lint_source(src, SERVICE_PATH, contracts) == []
+
+    def test_schema_read_clean(self, contracts):
+        src = 'def f(message):\n    return message.get("placements")\n'
+        assert lint_source(src, SERVICE_PATH, contracts) == []
+
+    def test_outside_service_ignored(self, contracts):
+        # Tests construct deliberately-bad messages to exercise error paths.
+        src = 'def f():\n    return {"op": "frobnicate"}\n'
+        assert lint_source(src, "tests/service/fixture.py", contracts) == []
+
+    def test_non_message_dict_ignored(self, contracts):
+        src = 'def f():\n    return {"makespan": 1.0, "hits": 3}\n'
+        assert lint_source(src, SERVICE_PATH, contracts) == []

@@ -1,0 +1,134 @@
+"""Fixture tests for the determinism rules.
+
+Each rule gets a positive snippet (finding fires), a negative snippet
+(clean), and a pragma-suppressed snippet.  Snippets are linted under
+synthetic ``src/repro/...`` paths so package-scoped rules see them as
+core code; the same snippet under a test/example path must be clean.
+"""
+
+import pytest
+
+from repro.analysis import ContractIndex, lint_source
+
+SIM_PATH = "src/repro/sim/fixture.py"
+TEST_PATH = "tests/fixture.py"
+
+
+@pytest.fixture(scope="module")
+def contracts():
+    return ContractIndex.load()
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, contracts):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["wall-clock"]
+
+    def test_aliased_import_flagged(self, contracts):
+        src = "from time import perf_counter as pc\n\ndef f():\n    return pc()\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["wall-clock"]
+
+    def test_datetime_now_flagged(self, contracts):
+        src = "import datetime\n\ndef f():\n    return datetime.datetime.now()\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["wall-clock"]
+
+    def test_outside_core_is_clean(self, contracts):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert lint_source(src, TEST_PATH, contracts) == []
+
+    def test_env_clock_attribute_is_clean(self, contracts):
+        src = "def f(env):\n    return env.env_time\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_pragma_suppresses(self, contracts):
+        src = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # repro: allow[wall-clock] boundary metric, not simulated state\n"
+        )
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+
+class TestUnseededRng:
+    def test_global_numpy_draw_flagged(self, contracts):
+        src = "import numpy as np\n\ndef f():\n    return np.random.normal()\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["unseeded-rng"]
+
+    def test_unseeded_default_rng_flagged(self, contracts):
+        src = "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["unseeded-rng"]
+
+    def test_seeded_default_rng_clean(self, contracts):
+        src = "import numpy as np\n\ndef f(seed):\n    return np.random.default_rng(seed)\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_seed_sequence_clean(self, contracts):
+        src = "import numpy as np\n\ndef f(s):\n    return np.random.SeedSequence(s)\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_generator_method_clean(self, contracts):
+        src = "def f(rng):\n    return rng.normal(0.0, 1.0)\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_stdlib_random_flagged(self, contracts):
+        src = "import random\n\ndef f():\n    return random.random()\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["unseeded-rng"]
+
+    def test_seeded_stdlib_random_instance_clean(self, contracts):
+        src = "import random\n\ndef f(seed):\n    return random.Random(seed)\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_outside_core_is_clean(self, contracts):
+        src = "import numpy as np\n\ndef f():\n    return np.random.normal()\n"
+        assert lint_source(src, TEST_PATH, contracts) == []
+
+    def test_pragma_suppresses(self, contracts):
+        src = (
+            "import numpy as np\n\ndef f():\n"
+            "    return np.random.normal()  # repro: allow[unseeded-rng] demo path, result unused\n"
+        )
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_flagged(self, contracts):
+        src = "def f():\n    s = {1, 2, 3}\n    for x in s:\n        print(x)\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["set-iteration"]
+
+    def test_list_of_set_flagged(self, contracts):
+        src = "def f(items):\n    s = set(items)\n    return list(s)\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["set-iteration"]
+
+    def test_annotated_attribute_flagged(self, contracts):
+        src = (
+            "from typing import Set\n\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._edges: Set[int] = set()\n"
+            "    def dump(self):\n"
+            "        return [e for e in self._edges]\n"
+        )
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["set-iteration"]
+
+    def test_sorted_sink_is_clean(self, contracts):
+        src = "def f(items):\n    s = set(items)\n    return sorted(s)\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_len_and_membership_clean(self, contracts):
+        src = "def f(items, x):\n    s = set(items)\n    return len(s) + (x in s)\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_pragma_suppresses(self, contracts):
+        src = (
+            "def f(items):\n    s = set(items)\n"
+            "    return list(s)  # repro: allow[set-iteration] order discarded by caller\n"
+        )
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_severity_is_warning(self, contracts):
+        src = "def f():\n    s = {1}\n    for x in s:\n        pass\n"
+        (finding,) = lint_source(src, SIM_PATH, contracts)
+        assert finding.severity == "warning"

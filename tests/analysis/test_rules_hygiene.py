@@ -1,0 +1,106 @@
+"""Fixture tests for the hygiene rules."""
+
+import pytest
+
+from repro.analysis import ContractIndex, lint_source
+from repro.analysis.rules.hygiene import LAYERS
+
+SIM_PATH = "src/repro/sim/fixture.py"
+NN_PATH = "src/repro/nn/fixture.py"
+SERVICE_PATH = "src/repro/service/fixture.py"
+
+
+@pytest.fixture(scope="module")
+def contracts():
+    return ContractIndex.load()
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self, contracts):
+        src = "def f(x=[]):\n    return x\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["mutable-default"]
+
+    def test_dict_and_set_defaults_flagged(self, contracts):
+        src = "def f(a={}, b=set()):\n    return a, b\n"
+        ids = rule_ids(lint_source(src, SIM_PATH, contracts))
+        assert ids == ["mutable-default", "mutable-default"]
+
+    def test_kwonly_default_flagged(self, contracts):
+        src = "def f(*, hist=list()):\n    return hist\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["mutable-default"]
+
+    def test_applies_outside_repro_too(self, contracts):
+        src = "def f(x=[]):\n    return x\n"
+        assert rule_ids(lint_source(src, "tests/fixture.py", contracts)) == ["mutable-default"]
+
+    def test_none_and_tuple_defaults_clean(self, contracts):
+        src = "def f(x=None, y=(), z=0):\n    return x, y, z\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_pragma_suppresses(self, contracts):
+        src = "def f(x=[]):  # repro: allow[mutable-default] sentinel list is never mutated\n    return x\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, contracts):
+        src = "def f():\n    try:\n        pass\n    except:\n        pass\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["bare-except"]
+
+    def test_typed_except_clean(self, contracts):
+        src = "def f():\n    try:\n        pass\n    except Exception:\n        pass\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_pragma_suppresses(self, contracts):
+        src = (
+            "def f():\n    try:\n        pass\n"
+            "    except:  # repro: allow[bare-except] last-ditch logging shim\n"
+            "        pass\n"
+        )
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+
+class TestLayerImport:
+    def test_upward_absolute_import_flagged(self, contracts):
+        src = "from repro.service import client\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["layer-import"]
+
+    def test_upward_relative_import_flagged(self, contracts):
+        src = "from ..service.client import RemoteBackend\n"
+        assert rule_ids(lint_source(src, SIM_PATH, contracts)) == ["layer-import"]
+
+    def test_upward_plain_import_flagged(self, contracts):
+        src = "import repro.service.server\n"
+        assert rule_ids(lint_source(src, NN_PATH, contracts)) == ["layer-import"]
+
+    def test_downward_import_clean(self, contracts):
+        src = "from repro.graph import OpGraph\nfrom ..nn import init\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_same_package_clean(self, contracts):
+        src = "from .simulator import Simulator\nfrom . import faults\n"
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_top_layer_imports_anything(self, contracts):
+        src = "from repro.service import MeasurementServer\nfrom repro.sim import backends\n"
+        assert lint_source(src, "src/repro/cli.py", contracts) == []
+
+    def test_third_party_imports_ignored(self, contracts):
+        src = "import numpy as np\nimport json\n"
+        assert lint_source(src, NN_PATH, contracts) == []
+
+    def test_pragma_suppresses(self, contracts):
+        src = (
+            "# repro: allow[layer-import] lazy hook, no import-time dependency\n"
+            "from repro.service import client\n"
+        )
+        assert lint_source(src, SIM_PATH, contracts) == []
+
+    def test_layer_table_is_a_total_order_over_packages(self):
+        assert LAYERS["repro.sim"] < LAYERS["repro.service"]
+        assert LAYERS["repro.nn"] == 0
+        assert max(LAYERS.values()) == LAYERS["repro"]

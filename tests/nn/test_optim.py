@@ -121,5 +121,15 @@ class TestInit:
         with pytest.raises(ValueError):
             init.orthogonal((5,), rng)
 
-    def test_zeros(self):
-        assert np.allclose(init.zeros((3, 3)), 0.0)
+    def test_zeros(self, rng):
+        assert np.allclose(init.zeros((3, 3), rng), 0.0)
+
+    def test_initializer_signatures_uniform(self):
+        """Every initialiser takes (shape, rng, ...) — zeros included."""
+        import inspect
+
+        for name in init.__all__:
+            params = list(inspect.signature(getattr(init, name)).parameters)
+            assert params[:2] == ["shape", "rng"], name
+            fn_params = inspect.signature(getattr(init, name)).parameters
+            assert fn_params["rng"].default is inspect.Parameter.empty, name
