@@ -13,6 +13,7 @@ The rule catalogue lives in DESIGN.md §9; ``repro lint --list-rules``
 prints it from the registry.
 """
 
+from .cache import DEFAULT_CACHE_PATH, LintCache
 from .context import ContractIndex, FileContext, module_for_path
 from .findings import ERROR, SEVERITIES, WARNING, Finding
 from .linter import LintResult, discover_files, lint_file, lint_paths, lint_source
@@ -25,6 +26,8 @@ __all__ = [
     "WARNING",
     "SEVERITIES",
     "Finding",
+    "DEFAULT_CACHE_PATH",
+    "LintCache",
     "ContractIndex",
     "FileContext",
     "module_for_path",

@@ -1,0 +1,151 @@
+"""Incremental lint cache: skip re-linting files whose content is unchanged.
+
+Linting is pure — findings are a function of (file content, rule
+implementations, contract sources) — so results can be memoised on a
+content hash.  :class:`LintCache` stores, per file path, the SHA-256 of
+the source it last linted and the findings that run produced; a lookup
+hits only when the hash still matches.
+
+The whole cache is *salted* with a digest over the analysis package's own
+sources and the contract files the rules extract their tables from
+(``core/events.py``, ``sim/backends.py``, ``service/protocol.py``).
+Editing any rule or contract changes the salt and silently invalidates
+every entry, so a stale cache can never mask a new finding.
+
+Persistence follows the repo's crash-safety discipline: the cache is
+written with :func:`repro.ioutil.atomic_write_json` (temp → fsync →
+rename), and a corrupt or wrong-salt cache file is treated as empty, not
+an error — the cache is an accelerator, never a correctness dependency.
+``repro lint`` keeps it at ``.repro-lint-cache.json`` by default and
+accepts ``--no-cache`` / ``--cache-path``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .findings import Finding
+from ..ioutil import atomic_write_json
+
+__all__ = ["DEFAULT_CACHE_PATH", "LintCache", "content_hash", "rules_salt"]
+
+#: Where ``repro lint`` keeps its cache unless ``--cache-path`` overrides.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+_CACHE_VERSION = 1
+
+#: Files (relative to the ``repro`` package root) whose content feeds the
+#: salt besides the analysis package itself: the contract sources that
+#: :class:`~repro.analysis.context.ContractIndex` extracts tables from.
+_CONTRACT_SOURCES = (
+    Path("core") / "events.py",
+    Path("sim") / "backends.py",
+    Path("service") / "protocol.py",
+)
+
+
+def content_hash(source: str) -> str:
+    """SHA-256 of one file's source text (the per-entry cache key)."""
+    return hashlib.sha256(source.encode("utf-8", errors="replace")).hexdigest()
+
+
+def rules_salt(package_root: Optional[Path] = None) -> str:
+    """Digest over rule implementations and contract sources.
+
+    Any edit to the analysis package (rules, pragmas, driver, this module)
+    or to a contract source changes the salt, invalidating the cache
+    wholesale.  Missing files fold in as absent rather than raising so the
+    salt is always computable.
+    """
+    root = package_root or Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    paths = sorted((root / "analysis").rglob("*.py"), key=str)
+    paths.extend(root / rel for rel in _CONTRACT_SOURCES)
+    for path in paths:
+        digest.update(str(path.relative_to(root)).encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            digest.update(b"<missing>")
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Content-hash-keyed findings store for :func:`~repro.analysis.linter.lint_paths`.
+
+    Lifecycle: :meth:`load` once per run, :meth:`lookup` per file,
+    :meth:`store` for every fresh result, :meth:`save` at the end (written
+    only when something changed).
+    """
+
+    def __init__(self, path: str, salt: str) -> None:
+        self.path = path
+        self.salt = salt
+        self._entries: Dict[str, Dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(
+        cls, path: str = DEFAULT_CACHE_PATH, *, package_root: Optional[Path] = None
+    ) -> "LintCache":
+        """Read the cache file; corrupt, missing or stale-salt → empty."""
+        cache = cls(path, rules_salt(package_root))
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, UnicodeDecodeError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _CACHE_VERSION
+            or payload.get("salt") != cache.salt
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return cache
+        for file_path, entry in payload["files"].items():
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("hash"), str)
+                and isinstance(entry.get("findings"), list)
+            ):
+                cache._entries[file_path] = entry
+        return cache
+
+    def lookup(self, path: str, source_hash: str) -> Optional[List[Finding]]:
+        """Findings from the last run, iff the file content is unchanged."""
+        entry = self._entries.get(path)
+        if entry is None or entry["hash"] != source_hash:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(item) for item in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            # A damaged entry is a miss, and is dropped so it cannot
+            # damage the next save.
+            del self._entries[path]
+            self._dirty = True
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, path: str, source_hash: str, findings: List[Finding]) -> None:
+        self._entries[path] = {
+            "hash": source_hash,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically publish the cache if anything changed this run."""
+        if not self._dirty:
+            return
+        atomic_write_json(
+            self.path,
+            {"version": _CACHE_VERSION, "salt": self.salt, "files": self._entries},
+        )
+        self._dirty = False

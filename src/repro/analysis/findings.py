@@ -45,6 +45,18 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental lint cache)."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule_id=str(payload["rule"]),
+            severity=str(payload["severity"]),
+            message=str(payload["message"]),
+        )
+
     def render(self) -> str:
         """The one-line text form: ``path:line:col: severity[rule] message``."""
         return (

@@ -12,6 +12,7 @@ import ast
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .cache import LintCache, content_hash
 from .context import ContractIndex, FileContext
 from .findings import ERROR, Finding
 from .pragmas import PRAGMA_RULE_IDS, PragmaSheet
@@ -25,9 +26,15 @@ _SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "build", "d
 class LintResult:
     """Findings plus the file census of one lint run."""
 
-    def __init__(self, findings: List[Finding], files_scanned: int) -> None:
+    def __init__(
+        self,
+        findings: List[Finding],
+        files_scanned: int,
+        cache_hits: int = 0,
+    ) -> None:
         self.findings = findings
         self.files_scanned = files_scanned
+        self.cache_hits = cache_hits
 
     @property
     def errors(self) -> int:
@@ -104,13 +111,40 @@ def lint_file(path: Path, contracts: Optional[ContractIndex] = None) -> List[Fin
 
 
 def lint_paths(
-    paths: Sequence[str], contracts: Optional[ContractIndex] = None
+    paths: Sequence[str],
+    contracts: Optional[ContractIndex] = None,
+    cache: Optional[LintCache] = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths``; the CLI entry point."""
+    """Lint every Python file under ``paths``; the CLI entry point.
+
+    With ``cache`` (see :class:`~repro.analysis.cache.LintCache`), files
+    whose content hash matches the last run reuse its findings instead of
+    re-running every rule; fresh results are stored back and the cache is
+    atomically saved before returning.  Unreadable files bypass the cache
+    (their ``syntax-error`` finding has no content to key on).
+    """
     if contracts is None:
         contracts = ContractIndex.load()
     files = discover_files(paths)
     findings: List[Finding] = []
     for path in files:
-        findings.extend(lint_file(path, contracts))
-    return LintResult(sorted(findings, key=Finding.sort_key), len(files))
+        if cache is None:
+            findings.extend(lint_file(path, contracts))
+            continue
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(str(path), 1, 0, "syntax-error", ERROR, f"cannot read file: {exc}")
+            )
+            continue
+        source_hash = content_hash(source)
+        cached = cache.lookup(str(path), source_hash)
+        if cached is None:
+            cached = lint_source(source, str(path), contracts)
+            cache.store(str(path), source_hash, cached)
+        findings.extend(cached)
+    hits = cache.hits if cache is not None else 0
+    if cache is not None:
+        cache.save()
+    return LintResult(sorted(findings, key=Finding.sort_key), len(files), hits)

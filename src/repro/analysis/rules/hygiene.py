@@ -88,6 +88,7 @@ class BareExceptRule(Rule):
 #: graph of the tree; ``repro`` top-level modules (cli, __main__) sit at
 #: the top and may import anything.
 LAYERS = {
+    "repro.ioutil": 0,
     "repro.nn": 0,
     "repro.analysis": 0,
     "repro.graph": 1,

@@ -26,6 +26,17 @@ from typing import Optional
 
 __all__ = ["main", "build_parser"]
 
+#: ``place`` options that determine the search's result bit-for-bit.  They
+#: are recorded in every engine checkpoint (under ``meta["cli"]``) and
+#: restored by ``--resume`` so a resumed search continues the *original*
+#: configuration even if the resuming command line differs.  Operational
+#: flags (--workers, --remote, --metrics, ...) deliberately stay live.
+_RESUME_KEYS = (
+    "model", "agent", "algorithm", "samples", "groups", "hidden", "seed",
+    "gpus", "gpu_mem", "no_cache",
+    "fault_rate", "straggler_rate", "corruption_rate", "max_retries",
+)
+
 
 def _rate(value: str) -> float:
     """Argparse type: a probability in [0, 1]."""
@@ -83,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--groups", type=int, default=64)
     p.add_argument("--hidden", type=int, default=128)
     p.add_argument("--checkpoint", default=None, help="write an .npz checkpoint here")
+    p.add_argument(
+        "--checkpoint-every", type=_positive_int, default=1,
+        help="with --checkpoint, write a crash-safe engine snapshot every N "
+             "policy updates (atomic temp-then-rename; the final write marks "
+             "the search complete)",
+    )
+    p.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume an interrupted search from an engine checkpoint written "
+             "by --checkpoint: restores agent parameters, optimiser state, "
+             "every RNG stream, the memo cache and fault/retry/quarantine "
+             "counters, then continues to the original sample budget — "
+             "bit-for-bit identical to the uninterrupted run",
+    )
     p.add_argument(
         "--workers", type=_positive_int, default=1,
         help="shard each minibatch over N simulator processes (1 = in-process)",
@@ -146,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memo-path", default=None,
                    help="warm the shared raw-outcome cache from this file if "
                         "it exists, and save it back on shutdown")
+    p.add_argument("--metrics-port", type=_nonnegative_int, default=None,
+                   help="also serve Prometheus plaintext metrics over HTTP on "
+                        "this port at /metrics (0 picks a free port)")
+    p.add_argument("--request-deadline", type=float, default=None,
+                   help="server-side seconds one request may wait on results "
+                        "before unresolved tickets answer deadline errors")
 
     p = sub.add_parser("gantt", help="render a placement's execution timeline")
     add_common(p)
@@ -166,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue (id, severity, title, rationale) and exit",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="re-lint every file instead of reusing results for files whose "
+             "content hash is unchanged since the last run",
+    )
+    p.add_argument(
+        "--cache-path", default=None, metavar="PATH",
+        help="where the incremental cache lives "
+             "(default: .repro-lint-cache.json; invalidated wholesale when "
+             "any rule or contract source changes)",
     )
 
     return parser
@@ -229,7 +271,40 @@ def cmd_place(args) -> int:
         ProgressPrinter,
         SearchConfig,
     )
+    from .core.checkpoint import (
+        CheckpointCallback,
+        CheckpointCorruptError,
+        load_checkpoint,
+        restore_engine,
+    )
     from .sim import FaultInjectingBackend, FaultPlan, MemoBackend, make_backend
+
+    resume_state = None
+    if args.resume:
+        try:
+            resume_state = load_checkpoint(args.resume)
+        except CheckpointCorruptError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot resume from {args.resume!r}: {exc}", file=sys.stderr)
+            return 2
+        cli_meta = resume_state["meta"].get("cli")
+        if resume_state["engine"] is None or not cli_meta:
+            print(f"error: {args.resume!r} is not a resumable engine checkpoint "
+                  "(write one with `place --checkpoint PATH`)", file=sys.stderr)
+            return 2
+        if resume_state["meta"].get("complete"):
+            best = resume_state["meta"].get("best_time")
+            print(f"search already complete in {args.resume} "
+                  f"(best {best * 1000:.1f} ms/step) — nothing to resume")
+            return 0
+        # The checkpoint's recorded configuration wins over the resuming
+        # command line for everything result-determining.
+        for key in _RESUME_KEYS:
+            setattr(args, key, cli_meta[key])
+        if not args.checkpoint:
+            args.checkpoint = args.resume
 
     if args.memo_path and (args.remote or args.workers > 1 or args.no_cache):
         print("error: --memo-path needs the default cached backend "
@@ -267,9 +342,19 @@ def cmd_place(args) -> int:
     if args.metrics:
         exporter = MetricsExporter(path=args.metrics)
         callbacks.append(exporter)
+    if args.checkpoint:
+        callbacks.append(CheckpointCallback(
+            args.checkpoint,
+            every=args.checkpoint_every,
+            extra_meta={"cli": {key: getattr(args, key) for key in _RESUME_KEYS}},
+        ))
     try:
         search = PlacementSearch(agent, env, args.algorithm, config,
                                  backend=backend, policy=policy)
+        if resume_state is not None:
+            restore_engine(search.engine, resume_state)
+            print(f"resumed from {args.resume} at sample "
+                  f"{search.engine.num_samples}/{args.samples}")
         result = search.run(callbacks=callbacks)
         if args.remote:
             remote = backend.inner if isinstance(backend, FaultInjectingBackend) else backend
@@ -303,15 +388,17 @@ def cmd_place(args) -> int:
     if args.metrics:
         print(f"  metrics: events streamed to {args.metrics}")
     if args.checkpoint:
-        from .core.checkpoint import save_checkpoint
-
-        save_checkpoint(args.checkpoint, agent, result)
+        # CheckpointCallback.on_search_end already wrote the complete
+        # checkpoint (atomically, with engine state for later resumes).
         print(f"checkpoint written to {args.checkpoint}")
     return 0
 
 
 def cmd_serve(args) -> int:
-    from .service import MeasurementServer
+    import signal
+    import threading
+
+    from .service import MeasurementServer, MetricsHTTPServer
 
     graph, env = _make_env(args)
     server = MeasurementServer(
@@ -320,20 +407,42 @@ def cmd_serve(args) -> int:
         port=args.port,
         workers=args.service_workers,
         memo_path=args.memo_path,
+        request_deadline=args.request_deadline,
     )
+    metrics_http = None
+    if args.metrics_port is not None:
+        metrics_http = MetricsHTTPServer(
+            server.render_metrics, host=args.host, port=args.metrics_port
+        ).start()
     print(f"serving {args.model} ({graph.num_ops} ops, "
           f"{env.num_devices} devices) on {server.address} "
           f"with {args.service_workers} simulator workers")
     print(f"  fingerprint {server.fingerprint[:16]}…  (clients must match)")
+    if metrics_http is not None:
+        print(f"  metrics: http://{metrics_http.address}/metrics")
+
+    def _handle_sigterm(signum, frame):
+        # Drain off the signal handler's frame: refuse new work, let
+        # in-flight requests finish, then close — which unblocks
+        # serve_forever below.  KeyboardInterrupt keeps the fast path.
+        print("SIGTERM: draining (in-flight requests finish, new work refused)")
+        threading.Thread(
+            target=server.drain, kwargs={"timeout": 30.0}, daemon=True
+        ).start()
+
+    previous = signal.signal(signal.SIGTERM, _handle_sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("interrupted")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         if args.memo_path:
             server.memo.save(args.memo_path)
             print(f"memo cache: {len(server.memo)} raw outcomes saved to {args.memo_path}")
         server.close()
+        if metrics_http is not None:
+            metrics_http.close()
     return 0
 
 
@@ -353,7 +462,7 @@ def cmd_gantt(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import all_rules, lint_paths, render_json, render_text
+    from .analysis import DEFAULT_CACHE_PATH, LintCache, all_rules, lint_paths, render_json, render_text
 
     if args.list_rules:
         for rule in all_rules():
@@ -361,7 +470,10 @@ def cmd_lint(args) -> int:
             if rule.rationale:
                 print(f"    {rule.rationale}")
         return 0
-    result = lint_paths(args.paths)
+    cache = None
+    if not args.no_cache:
+        cache = LintCache.load(args.cache_path or DEFAULT_CACHE_PATH)
+    result = lint_paths(args.paths, cache=cache)
     if result.files_scanned == 0:
         print(f"error: no Python files found under {' '.join(args.paths)}",
               file=sys.stderr)

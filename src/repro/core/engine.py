@@ -387,6 +387,9 @@ class SearchEngine:
         self.num_quarantined = 0
         #: simulated searcher wall-clock: straggler latency + retry backoff.
         self.wall_time = 0.0
+        #: minibatches completed (policy updates applied).  Persisted so a
+        #: resumed run continues the batch-index sequence seamlessly.
+        self.num_batches = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -399,6 +402,102 @@ class SearchEngine:
 
     def add_callback(self, callback: SearchCallback) -> None:
         self.callbacks.add(callback)
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Complete, serialisable snapshot of the search at a batch boundary.
+
+        Captures everything that influences future measurements and policy
+        updates: agent parameters *and* its sampling-RNG position, the
+        optimiser's moment buffers (plus elite stores / critic weights for
+        the richer algorithms), the environment clock and noise-RNG, the
+        best/worst trackers, the EMA baseline, fault accounting, the
+        recorded history, and — when the backend supports it — the backend's
+        own state (memo raws, fault-injection RNG).  Restoring the snapshot
+        into a freshly constructed engine of the same configuration and
+        calling :meth:`run` again produces a :class:`SearchResult` bit-for-
+        bit identical to the uninterrupted run (golden-tested).
+
+        Snapshots are only consistent at batch boundaries (``on_update``);
+        :class:`~repro.core.checkpoint.CheckpointCallback` takes them there.
+        """
+        backend_state = None
+        if hasattr(self.backend, "state_dict"):
+            backend_state = self.backend.state_dict()
+        return {
+            "algorithm_name": self.algorithm_name,
+            "num_samples": self.num_samples,
+            "num_batches": self.num_batches,
+            "env_time": self.env_time,
+            "num_faults": self.num_faults,
+            "num_retries": self.num_retries,
+            "num_quarantined": self.num_quarantined,
+            "wall_time": self.wall_time,
+            "baseline_value": self.baseline.value,
+            "tracker": {
+                "best_time": self.tracker.best_time,
+                "worst_valid": self.tracker.worst_valid,
+                "best_placement": (
+                    None
+                    if self.tracker.best_placement is None
+                    else self.tracker.best_placement.copy()
+                ),
+            },
+            "agent": {
+                "params": self.agent.state_dict(),
+                "rng": self.agent.rng.bit_generator.state,
+            },
+            "environment": self.environment.state_dict(),
+            "algorithm": self.algorithm.state_dict(),
+            "history": {
+                "env_time": list(self.history.env_time),
+                "per_step_time": list(self.history.per_step_time),
+                "best_so_far": list(self.history.best_so_far),
+                "valid": list(self.history.valid),
+            },
+            "backend": backend_state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this engine.
+
+        The engine must have been constructed with the same agent shape,
+        algorithm name, and config as the one that produced the snapshot;
+        the algorithm name is verified, the rest is the caller's contract
+        (:func:`~repro.core.checkpoint.restore_engine` checks shapes).
+        """
+        if state["algorithm_name"] != self.algorithm_name:
+            raise ValueError(
+                f"checkpoint was produced by algorithm {state['algorithm_name']!r}, "
+                f"engine runs {self.algorithm_name!r}"
+            )
+        self.num_samples = int(state["num_samples"])
+        self.num_batches = int(state["num_batches"])
+        self.env_time = float(state["env_time"])
+        self.num_faults = int(state["num_faults"])
+        self.num_retries = int(state["num_retries"])
+        self.num_quarantined = int(state["num_quarantined"])
+        self.wall_time = float(state["wall_time"])
+        value = state["baseline_value"]
+        self.baseline.value = None if value is None else float(value)
+        tracker = state["tracker"]
+        self.tracker.best_time = float(tracker["best_time"])
+        self.tracker.worst_valid = float(tracker["worst_valid"])
+        best = tracker["best_placement"]
+        self.tracker.best_placement = None if best is None else np.asarray(best).copy()
+        self.agent.load_state_dict(state["agent"]["params"])
+        self.agent.rng.bit_generator.state = state["agent"]["rng"]
+        self.environment.load_state_dict(state["environment"])
+        self.algorithm.load_state_dict(state["algorithm"])
+        # Mutate the existing history in place: the engine's HistoryRecorder
+        # (and any external holder of engine.history) keeps its reference.
+        hist = state["history"]
+        self.history.env_time[:] = [float(t) for t in hist["env_time"]]
+        self.history.per_step_time[:] = [float(t) for t in hist["per_step_time"]]
+        self.history.best_so_far[:] = [float(t) for t in hist["best_so_far"]]
+        self.history.valid[:] = [bool(v) for v in hist["valid"]]
+        if state.get("backend") is not None and hasattr(self.backend, "load_state_dict"):
+            self.backend.load_state_dict(state["backend"])
 
     # ------------------------------------------------------------------ #
     def _fold_measurement(self, sample, measurement: Measurement) -> None:
@@ -501,10 +600,9 @@ class SearchEngine:
         for cb in callbacks:
             self.callbacks.add(cb)
         self.callbacks.on_search_start(self)
-        batch_index = 0
         while not self.budget.exhausted(self.num_samples, self.environment.env_time):
-            self._run_batch(batch_index)
-            batch_index += 1
+            self._run_batch(self.num_batches)
+            self.num_batches += 1
 
         final_time = self.tracker.best_time
         if self.tracker.best_placement is not None:

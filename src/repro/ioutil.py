@@ -1,0 +1,74 @@
+"""Crash-safe file IO helpers.
+
+Durable artifacts (checkpoints, memo caches, lint caches) must never be
+observable in a half-written state: a process killed mid-write should
+leave either the previous file or the new one, not a truncated hybrid.
+Every writer here follows the same discipline — write to a temporary
+file in the *destination directory* (so the final rename cannot cross a
+filesystem boundary), flush and ``fsync`` the data, then atomically
+``os.replace`` it over the target, and finally best-effort-fsync the
+directory so the rename itself survives a power cut.
+
+This module sits at the bottom of the layer table (rank 0) so every
+package — including ``repro.analysis``, which must not import the heavy
+numeric layers — can reach it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush the directory entry so the rename is durable (best effort)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        # Platforms (or filesystems) that cannot open directories still
+        # get the atomic-rename guarantee; only rename durability across
+        # power loss is weakened, which is beyond our recovery contract.
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp → fsync → rename)."""
+    target = os.path.abspath(os.fspath(path))
+    directory = os.path.dirname(target) or "."
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(directory)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, payload: Any, *, indent: int = 0) -> None:
+    """Serialise ``payload`` as JSON and write it to ``path`` atomically."""
+    text = json.dumps(payload, sort_keys=True, indent=indent or None)
+    atomic_write_text(path, text + "\n")

@@ -7,7 +7,7 @@ tests and ablations.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -56,6 +56,33 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable slot state (moments, step counts) for checkpointing.
+
+        Parameter *values* are not included — they belong to the module's
+        own ``state_dict``; this covers only the optimiser's internal
+        momentum/moment buffers so a resumed run steps identically.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore slot state written by :meth:`state_dict`."""
+
+
+def _load_slots(target: List[np.ndarray], source: Sequence[np.ndarray], label: str) -> None:
+    if len(target) != len(source):
+        raise ValueError(
+            f"optimizer state mismatch: {len(source)} {label} buffers for "
+            f"{len(target)} parameters"
+        )
+    for buf, value in zip(target, source):
+        value = np.asarray(value, dtype=np.float64)
+        if buf.shape != value.shape:
+            raise ValueError(
+                f"optimizer {label} buffer shape mismatch: {value.shape} != {buf.shape}"
+            )
+        buf[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -76,6 +103,12 @@ class SGD(Optimizer):
                 p.data = p.data - self.lr * v
             else:
                 p.data = p.data - self.lr * p.grad
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        _load_slots(self._velocity, state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -110,3 +143,15 @@ class Adam(Optimizer):
             v *= b2
             v += (1 - b2) * (g * g)
             p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._t = int(state["t"])
+        _load_slots(self._m, state["m"], "m")
+        _load_slots(self._v, state["v"], "v")

@@ -72,6 +72,13 @@ class ValueNetwork:
             loss_value = loss.item()
         return loss_value
 
+    def state_dict(self) -> Dict:
+        return {"params": self.net.state_dict(), "optimizer": self.optimizer.state_dict()}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.net.load_state_dict(state["params"])
+        self.optimizer.load_state_dict(state["optimizer"])
+
 
 class PPOWithValueBaseline(PPO):
     """Clipped PPO whose advantages come from a learned value network.
@@ -107,3 +114,12 @@ class PPOWithValueBaseline(PPO):
         stats["critic_loss"] = critic_loss
         stats["value_mean"] = float(values.mean())
         return stats
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["value_net"] = self.value_net.state_dict()
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self.value_net.load_state_dict(state["value_net"])

@@ -66,6 +66,19 @@ class _AlgorithmBase:
     def update(self, batch: RolloutBatch) -> Dict[str, float]:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> Dict:
+        """Serialisable algorithm state beyond the agent's parameters.
+
+        Covers everything a resumed run needs to keep updating *identically*
+        to an uninterrupted one: the optimiser's moment buffers here, plus
+        whatever the subclass accumulates across minibatches (elite stores,
+        CE cadence, critic weights).
+        """
+        return {"optimizer": self.optimizer.state_dict()}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.optimizer.load_state_dict(state["optimizer"])
+
 
 class Reinforce(_AlgorithmBase):
     """Vanilla policy gradient with an external baseline (advantages are
@@ -177,6 +190,17 @@ class PPOWithCrossEntropy(PPO):
                 self._apply(ce_loss)
             stats["ce_loss"] = ce_loss.item()
         return stats
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["since_ce"] = self._since_ce
+        state["elites"] = self.elites.state_dict()
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._since_ce = int(state["since_ce"])
+        self.elites.load_state_dict(state["elites"])
 
 
 def make_algorithm(name: str, agent: PolicyAgent, **kwargs) -> _AlgorithmBase:

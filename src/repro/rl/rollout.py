@@ -52,6 +52,28 @@ class PlacementSample:
             valid=self.valid,
         )
 
+    def state_dict(self) -> Dict:
+        """Checkpoint form: plain dict of arrays and scalars."""
+        return {
+            "actions": {k: v.copy() for k, v in self.actions.items()},
+            "op_placement": self.op_placement.copy(),
+            "logp_old": self.logp_old.copy(),
+            "reward": float(self.reward),
+            "per_step_time": float(self.per_step_time),
+            "valid": bool(self.valid),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict) -> "PlacementSample":
+        return cls(
+            actions={k: np.asarray(v) for k, v in state["actions"].items()},
+            op_placement=np.asarray(state["op_placement"]),
+            logp_old=np.asarray(state["logp_old"]),
+            reward=float(state["reward"]),
+            per_step_time=float(state["per_step_time"]),
+            valid=bool(state["valid"]),
+        )
+
 
 @dataclass
 class RolloutBatch:
@@ -105,6 +127,14 @@ class EliteStore:
     @property
     def elites(self) -> List[PlacementSample]:
         return list(self._elites)
+
+    def state_dict(self) -> Dict:
+        return {"elites": [s.state_dict() for s in self._elites]}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._elites = [PlacementSample.from_state_dict(s) for s in state["elites"]]
+        self._elites.sort(key=lambda s: s.per_step_time)
+        del self._elites[self.capacity :]
 
     def __len__(self) -> int:
         return len(self._elites)

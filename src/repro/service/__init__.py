@@ -10,21 +10,36 @@ architecture of Mirhoseini et al. '17 / GDP '19, applied to the simulator:
   server with a simulator worker pool and a shared memoisation table;
 * :mod:`~repro.service.client` — :class:`RemoteBackend`, an
   :class:`~repro.sim.backends.EvaluationBackend` with connection pooling,
-  per-request deadlines, and fault translation into
-  :class:`~repro.sim.faults.EvaluationFault`.
+  per-request deadlines, seeded-backoff reconnection onto server-side
+  sessions, and fault translation into
+  :class:`~repro.sim.faults.EvaluationFault`;
+* :mod:`~repro.service.pool` — the supervised bounded worker pool behind
+  the server (dead-worker healing, ``busy`` backpressure, drain);
+* :mod:`~repro.service.sessions` — per-client batch-result retention for
+  at-most-once evaluation across reconnects;
+* :mod:`~repro.service.metrics_http` — the ``--metrics-port`` Prometheus
+  plaintext endpoint.
 
 CLI: ``repro serve`` runs a server, ``repro place --remote HOST:PORT``
 searches against one; see DESIGN.md §8.
 """
 
-from .protocol import PROTOCOL_VERSION, HandshakeError, ProtocolError
+from .protocol import MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, HandshakeError, ProtocolError
 from .server import MeasurementServer
 from .client import RemoteBackend
+from .metrics_http import MetricsHTTPServer
+from .pool import PoolBusy, WorkerPool
+from .sessions import SessionRegistry
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "ProtocolError",
     "HandshakeError",
     "MeasurementServer",
     "RemoteBackend",
+    "MetricsHTTPServer",
+    "PoolBusy",
+    "WorkerPool",
+    "SessionRegistry",
 ]

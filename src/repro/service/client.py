@@ -19,6 +19,8 @@ network condition                          surfaces as
 connection refused / reset / closed        ``EvaluationFault(kind="crash")``
 request deadline (socket timeout)          ``EvaluationFault(kind="straggler")``
 server-reported worker error               ``EvaluationFault(kind="crash")``
+server busy / server-side deadline         ``EvaluationFault(kind="straggler")``
+server draining (graceful shutdown)        ``EvaluationFault(kind="crash")``
 protocol-version / fingerprint mismatch    :class:`HandshakeError` (no retry)
 ========================================  =============================
 
@@ -29,13 +31,28 @@ instead of burning the policy's retry budget.
 No raw outcome is committed until the *whole* batch has arrived: a
 connection that dies halfway through leaves the local environment's clock
 and RNG untouched, so the retried batch replays cleanly.
+
+Reconnect and replay (protocol v2)
+----------------------------------
+
+A connection that breaks *mid-RPC* — after a successful handshake — is
+retried before any fault reaches the policy: the backend backs off with
+seeded exponential delays + jitter (a private RNG, so the search's noise
+streams are untouched), re-dials, re-attaches to its server-side session
+with the ``resume`` op, and re-sends the interrupted batch under the same
+client-monotonic ``batch`` id.  The server replays retained results and
+re-attaches to still-running simulations, so the retried batch costs zero
+duplicate simulator work (at-most-once evaluation).  An *initial* dial
+failure still faults immediately — a server that was never reachable is
+the policy's problem, not the transport's.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -44,9 +61,18 @@ from ..sim.environment import Measurement, PlacementEnvironment, RawOutcome
 from ..sim.faults import EvaluationFault
 from ..graph.fingerprint import placement_space_fingerprint
 from . import protocol
-from .protocol import PROTOCOL_VERSION, HandshakeError, ProtocolError
+from .protocol import (
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    HandshakeError,
+    ProtocolError,
+)
 
 __all__ = ["RemoteBackend"]
+
+#: transport-level failures that trigger the reconnect/backoff loop when
+#: they interrupt an RPC on an established connection.
+_TRANSPORT_ERRORS = (socket.timeout, ConnectionError, BrokenPipeError, OSError)
 
 
 def _parse_address(address: str):
@@ -74,6 +100,12 @@ class _Connection:
             self.close()
             raise HandshakeError(message)
         self.server_info = reply.get("server", {})
+        #: protocol version both sides agreed on (1 for a v1 server).
+        self.version = self.server_info.get("version", 1)
+        if not isinstance(self.version, int):
+            self.version = 1
+        #: server-side session id (None from a v1 server).
+        self.session = reply.get("session")
 
     def send(self, message: dict) -> None:
         protocol.write_message(self.wfile, message)
@@ -114,6 +146,17 @@ class RemoteBackend:
     pool_size:
         Connections kept warm.  One search thread needs one; concurrent
         callers of ``evaluate_batch`` each borrow their own.
+    reconnect_attempts:
+        Re-dial attempts after a connection breaks *mid-RPC* (an initial
+        dial failure faults immediately).  0 disables reconnection.
+    backoff_base, backoff_factor, backoff_jitter:
+        Reconnect delay: ``base * factor**attempt * (1 + jitter * u)``
+        with ``u`` uniform from a private RNG seeded by
+        ``reconnect_seed`` — deterministic, and decoupled from the
+        search's noise streams.
+    sleep:
+        Injectable delay function (tests pass a recorder to keep the
+        reconnect path instant).
     """
 
     def __init__(
@@ -123,30 +166,53 @@ class RemoteBackend:
         *,
         timeout: float = 30.0,
         pool_size: int = 2,
+        reconnect_attempts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.5,
+        reconnect_seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if reconnect_attempts < 0:
+            raise ValueError("reconnect_attempts must be >= 0")
+        if backoff_base < 0 or backoff_jitter < 0:
+            raise ValueError("backoff_base and backoff_jitter must be >= 0")
+        if backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
         self.environment = environment
         self.host, self.port = _parse_address(address)
         self.timeout = timeout
         self.pool_size = pool_size
+        self.reconnect_attempts = reconnect_attempts
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
         self.fingerprint = placement_space_fingerprint(
             environment.graph, environment.topology, environment.simulator.cost_model
         )
         self._idle: List[_Connection] = []
         self._lock = threading.Lock()
         self._closed = False
-        # Raw outcomes prefetched by prepare_batch (the engine's batch
-        # ticketing hook), keyed by placement bytes.  Successful outcomes
-        # only — faults are re-requested so retries see live state.
+        self._sleep = sleep
+        self._backoff_rng = np.random.default_rng(reconnect_seed)
+        # The server-side session this backend re-attaches to after a
+        # reconnect (adopted from the first successful handshake).
+        self._session: Optional[str] = None
+        # Client-monotonic id tagged onto every ticketed batch RPC; a
+        # retried batch reuses its id so the server replays, never re-runs.
+        self._next_batch = 0
         self._prefetched: Dict[bytes, RawOutcome] = {}
         self.num_requests = 0
         self.num_rpc_batches = 0
         self.num_remote_cached = 0
         self.num_prefetch_hits = 0
         self.num_reconnects = 0
+        self.num_session_resumes = 0
+        self.num_replayed = 0
         self.num_faults = 0
 
     # -------------------------------------------------------------- #
@@ -154,6 +220,7 @@ class RemoteBackend:
         hello = {
             "op": "hello",
             "version": PROTOCOL_VERSION,
+            "min_version": MIN_PROTOCOL_VERSION,
             "fingerprint": self.fingerprint,
         }
         try:
@@ -174,7 +241,39 @@ class RemoteBackend:
                 kind="crash",
             ) from None
         self.num_reconnects += 1
+        self._attach_session(conn)
         return conn
+
+    def _attach_session(self, conn: _Connection) -> None:
+        """Adopt or re-attach the backend's server-side session.
+
+        The first handshake's session becomes the backend's identity;
+        later connections (pool growth, reconnects) ``resume`` onto it so
+        retained batches replay.  An unknown-session answer means the
+        server restarted or reaped us — adopt the fresh session instead;
+        retention is gone, so interrupted batches simply re-evaluate.
+        """
+        if conn.version < 2 or conn.session is None:
+            return
+        if self._session is None or self._session == conn.session:
+            self._session = conn.session
+            return
+        try:
+            reply = conn.request({"op": "resume", "session": self._session})
+        except _TRANSPORT_ERRORS as exc:
+            conn.close()
+            raise self._fault_from(exc) from None
+        if reply.get("ok"):
+            self.num_session_resumes += 1
+        else:
+            self._session = conn.session
+
+    def _backoff(self, attempt: int) -> None:
+        """Seeded exponential backoff with jitter before re-dial ``attempt``."""
+        delay = self.backoff_base * self.backoff_factor ** attempt
+        delay *= 1.0 + self.backoff_jitter * float(self._backoff_rng.random())
+        if delay > 0:
+            self._sleep(delay)
 
     def _borrow(self) -> _Connection:
         if self._closed:
@@ -219,24 +318,64 @@ class RemoteBackend:
         return [fetched[unique[key]] for key in keys]
 
     def _fetch_unique(self, placements: Sequence[np.ndarray]) -> List[RawOutcome]:
-        """One ticketed ``evaluate_batch`` RPC; raws in submission order."""
+        """A ticketed ``evaluate_batch``, reconnecting across broken links.
+
+        The batch id is allocated once; every wire attempt re-sends it, so
+        a reconnect after a mid-stream break replays the server's retained
+        results instead of re-simulating.  An initial dial failure raises
+        immediately; only breaks on an *established* connection enter the
+        backoff/reconnect loop.
+        """
         if not placements:
             return []
-        conn = self._borrow()
+        with self._lock:
+            batch_id = self._next_batch
+            self._next_batch += 1
+        conn: Optional[_Connection] = self._borrow()
+        fault: Optional[EvaluationFault] = None
+        for attempt in range(self.reconnect_attempts + 1):
+            if attempt > 0:
+                self._backoff(attempt - 1)
+            if conn is None:
+                try:
+                    conn = self._borrow()
+                except EvaluationFault as exc:
+                    fault = exc  # server still down; back off and re-dial
+                    continue
+            try:
+                return self._fetch_on(conn, placements, batch_id)
+            except _TRANSPORT_ERRORS as exc:
+                conn.close()
+                conn = None
+                fault = self._fault_from(exc)
+        if fault is None:  # pragma: no cover - the loop always sets it
+            fault = EvaluationFault("measurement service unavailable", kind="crash")
+        raise fault
+
+    def _fetch_on(
+        self, conn: _Connection, placements: Sequence[np.ndarray], batch_id: int
+    ) -> List[RawOutcome]:
+        """One ``evaluate_batch`` RPC on ``conn``; raws in submission order.
+
+        Transport failures propagate raw (the caller owns reconnection);
+        protocol violations and server-reported faults close the
+        connection and raise — those must not be retried here.
+        """
+        request = {
+            "op": "evaluate_batch",
+            "placements": protocol.encode_placements(placements),
+        }
+        if conn.version >= 2:
+            request["batch"] = batch_id
         try:
-            reply = conn.request(
-                {
-                    "op": "evaluate_batch",
-                    "placements": protocol.encode_placements(placements),
-                }
-            )
+            reply = conn.request(request)
             if not reply.get("ok"):
                 raise self._server_error(reply)
             tickets = reply.get("tickets")
             if tickets != list(range(len(placements))):
                 raise ProtocolError(f"unexpected ticket ids {tickets!r}")
             raws: List[Optional[RawOutcome]] = [None] * len(placements)
-            errors: Dict[int, str] = {}
+            errors: Dict[int, Dict] = {}
             for _ in range(len(placements)):
                 result = conn.recv()
                 if not result.get("ok"):
@@ -244,30 +383,30 @@ class RemoteBackend:
                 ticket = result.get("ticket")
                 if not isinstance(ticket, int) or not 0 <= ticket < len(placements):
                     raise ProtocolError(f"unknown ticket {ticket!r}")
+                if result.get("replayed"):
+                    self.num_replayed += 1
                 if "error" in result:
-                    detail = result["error"] or {}
-                    errors[ticket] = detail.get("message", "worker failure")
+                    errors[ticket] = result["error"] or {}
                     continue
                 raws[ticket] = protocol.decode_raw(result.get("raw"))
                 if result.get("cached"):
                     self.num_remote_cached += 1
             self.num_rpc_batches += 1
             self.num_requests += len(placements)
-        except (socket.timeout, ConnectionError, BrokenPipeError, OSError) as exc:
-            conn.close()
-            raise self._fault_from(exc) from None
-        except ProtocolError:
-            conn.close()
-            raise
-        except EvaluationFault:
+        except (ProtocolError, EvaluationFault):
             conn.close()
             raise
         self._release(conn)
         if errors:
             index = min(errors)
+            detail = errors[index]
+            kind = "straggler" if detail.get("kind") == "deadline" else "crash"
             self.num_faults += 1
             raise EvaluationFault(
-                f"measurement worker failed: {errors[index]}", kind="crash", index=index
+                f"measurement worker failed: "
+                f"{detail.get('message', 'worker failure')}",
+                kind=kind,
+                index=index,
             )
         if any(raw is None for raw in raws):
             raise ProtocolError("server sent duplicate tickets and dropped others")
@@ -275,9 +414,15 @@ class RemoteBackend:
 
     def _server_error(self, reply: dict) -> Exception:
         message = reply.get("error", "unspecified server error")
-        if reply.get("kind") == "crash":
+        kind = reply.get("kind")
+        if kind == "crash" or kind == "draining":
             self.num_faults += 1
-            return EvaluationFault(f"measurement worker failed: {message}", kind="crash")
+            return EvaluationFault(f"measurement service refused: {message}", kind="crash")
+        if kind == "busy" or kind == "deadline":
+            self.num_faults += 1
+            return EvaluationFault(
+                f"measurement service deferred: {message}", kind="straggler"
+            )
         return ProtocolError(message)
 
     # -------------------------------------------------------------- #
@@ -343,10 +488,25 @@ class RemoteBackend:
             "remote_cache_hits": float(self.num_remote_cached),
             "prefetch_hits": float(self.num_prefetch_hits),
             "reconnects": float(self.num_reconnects),
+            "session_resumes": float(self.num_session_resumes),
+            "replayed": float(self.num_replayed),
             "faults": float(self.num_faults),
         }
 
     # -------------------------------------------------------------- #
+    def ping(self) -> str:
+        """The server's liveness state: ``"serving"`` or ``"draining"``."""
+        conn = self._borrow()
+        try:
+            reply = conn.request({"op": "ping"})
+        except _TRANSPORT_ERRORS as exc:
+            conn.close()
+            raise self._fault_from(exc) from None
+        self._release(conn)
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "ping RPC failed"))
+        return reply.get("state", "serving")
+
     def remote_stats(self) -> Dict[str, float]:
         """The server's ``stats`` RPC (shared cache hit rate, counters)."""
         conn = self._borrow()

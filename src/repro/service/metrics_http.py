@@ -1,0 +1,100 @@
+"""A plaintext HTTP endpoint exposing the measurement server's metrics.
+
+``repro serve --metrics-port N`` starts one of these next to the TCP
+measurement endpoint: ``GET /metrics`` answers the server's counters in
+Prometheus text exposition format (rendered live by
+:meth:`~repro.service.server.MeasurementServer.render_metrics`), so a
+standard Prometheus scrape — or plain ``curl`` — can watch cache hit
+rates, worker replacements, replays, and backpressure without speaking
+the measurement protocol.
+
+Read-only and dependency-free: stdlib ``http.server`` on a daemon thread,
+serving whatever render callable it was given.  It deliberately knows
+nothing about the measurement server beyond that callable.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+__all__ = ["MetricsHTTPServer"]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server: "_HTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's required casing
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        try:
+            body = self.server.render().encode("utf-8")
+        except Exception as exc:
+            self.send_error(500, f"metrics render failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the default stderr access log — scrapes are periodic."""
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    render: Callable[[], str]
+
+
+class MetricsHTTPServer:
+    """Serves ``render()`` at ``GET /metrics`` on a background thread.
+
+    Parameters
+    ----------
+    render:
+        Zero-argument callable producing the Prometheus text payload.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    """
+
+    def __init__(
+        self, render: Callable[[], str], *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._server = _HTTPServer((host, port), _MetricsHandler)
+        self._server.render = render
+        self._thread: Optional[threading.Thread] = None
+        bound_host, bound_port = self._server.server_address[:2]
+        self.address = f"{bound_host}:{bound_port}"
+        self.port = bound_port
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        server, self._server = getattr(self, "_server", None), None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -7,18 +7,28 @@ client and a captured session is human-readable.
 
 Session layout::
 
-    client → server   {"op": "hello", "version": 1, "fingerprint": "..."}
-    server → client   {"ok": true, "server": {...}}          # or error + close
+    client → server   {"op": "hello", "version": 2, "min_version": 1,
+                       "fingerprint": "..."}
+    server → client   {"ok": true, "server": {...}, "session": "s1"}
+                      # or error + close
+
+    client → server   {"op": "ping"}
+    server → client   {"ok": true, "state": "serving"}       # or "draining"
+
+    client → server   {"op": "resume", "session": "s1"}
+    server → client   {"ok": true, "session": "s1", "retained": [4, 5]}
 
     client → server   {"op": "evaluate", "placement": [...]}
     server → client   {"ok": true, "raw": {...}, "cached": false}
 
-    client → server   {"op": "evaluate_batch", "placements": [[...], ...]}
+    client → server   {"op": "evaluate_batch", "placements": [[...], ...],
+                       "batch": 5}
     server → client   {"ok": true, "tickets": [0, 1, ...]}
     server → client   {"ok": true, "ticket": 1, "raw": {...}, "cached": true}
     server → client   {"ok": true, "ticket": 0, "error":
                           {"kind": "crash", "message": "..."}}
     ...               # one line per ticket, in *completion* order
+                      # (replayed results carry "replayed": true)
 
     client → server   {"op": "stats"}
     server → client   {"ok": true, "stats": {...}}
@@ -28,17 +38,37 @@ Session layout::
 
 Errors are ``{"ok": false, "error": "...", "kind": "..."}``; ``kind`` is
 ``"protocol"`` for handshake/request-shape violations (the client raises
-them — misconfiguration must not be retried) and ``"crash"`` for worker
+them — misconfiguration must not be retried), ``"crash"`` for worker
 failures (the client surfaces them as
 :class:`~repro.sim.faults.EvaluationFault`, which the engine's
-:class:`~repro.core.engine.EvaluationPolicy` retries/quarantines).
+:class:`~repro.core.engine.EvaluationPolicy` retries/quarantines),
+``"busy"`` when the admission queue is full (retryable backpressure),
+``"deadline"`` when the server-side per-request deadline expired
+(surfaced as a straggler fault), ``"draining"`` while the server finishes
+in-flight work before exiting, and ``"session"`` for a ``resume`` against
+an unknown/expired session id.
 
 The handshake pins the *measurement space*: the client sends the
 :func:`~repro.graph.fingerprint.placement_space_fingerprint` of its
 graph + topology + cost model and the server refuses the connection unless
 it matches its own — a raw outcome is only meaningful to a client that
-would have computed the identical one locally.  ``version`` must match
-:data:`PROTOCOL_VERSION` exactly; the protocol is renegotiation-free.
+would have computed the identical one locally.
+
+Version negotiation (v2+): the client offers the range
+``[min_version, version]`` it can speak; the server answers with
+``min(server's max, client's max)`` in ``server["version"]`` provided the
+result is acceptable to both sides' minima, and refuses the handshake
+otherwise.  A v1 client omits ``min_version`` (treated as its ``version``)
+and ignores the extra reply fields, so v1 sessions interoperate unchanged.
+
+Sessions and replay (v2): every handshake creates a server-side *session*
+(id in the hello reply).  The server retains the results of recently
+completed ``evaluate_batch`` calls per session, keyed by the
+client-monotonic ``batch`` id.  A client that loses its connection
+mid-batch reconnects, re-attaches with ``resume``, and re-sends the same
+``batch`` — the server replays retained ticket results (and attaches to
+still-running simulations) instead of re-simulating, making evaluation
+at-most-once across connection failures.
 
 Only *raw* outcomes cross the wire (:class:`~repro.sim.environment.RawOutcome`:
 the noiseless makespan or the OOM detail).  Measurement noise and the
@@ -59,6 +89,7 @@ from ..sim.environment import RawOutcome
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "MESSAGE_SCHEMA",
     "NESTED_FIELDS",
     "ProtocolError",
@@ -72,8 +103,15 @@ __all__ = [
     "error_message",
 ]
 
-#: Bumped on any incompatible change to the message shapes above.
-PROTOCOL_VERSION = 1
+#: Bumped on any incompatible change to the message shapes above.  v2 adds
+#: version negotiation, sessions (``ping``/``resume``), batch-result
+#: retention/replay, and the backpressure/drain error kinds.
+PROTOCOL_VERSION = 2
+
+#: Oldest protocol version this build still speaks.  Negotiation picks the
+#: highest version inside both peers' ``[min, max]`` ranges and refuses the
+#: handshake when the ranges are disjoint.
+MIN_PROTOCOL_VERSION = 1
 
 #: Cap on one serialised message (a placement line for a ~100k-op graph is
 #: well under this); keeps a garbage peer from ballooning server memory.
@@ -87,16 +125,26 @@ MAX_MESSAGE_BYTES = 16 * 1024 * 1024
 #: one required step when the wire format grows.
 MESSAGE_SCHEMA = {
     "hello": {
-        "request": ("op", "version", "fingerprint"),
-        "response": ("ok", "server", "error", "kind"),
+        "request": ("op", "version", "min_version", "fingerprint"),
+        "response": ("ok", "server", "session", "error", "kind"),
+    },
+    "ping": {
+        "request": ("op",),
+        "response": ("ok", "state", "error", "kind"),
+    },
+    "resume": {
+        "request": ("op", "session"),
+        "response": ("ok", "session", "retained", "error", "kind"),
     },
     "evaluate": {
         "request": ("op", "placement"),
         "response": ("ok", "raw", "cached", "error", "kind"),
     },
     "evaluate_batch": {
-        "request": ("op", "placements"),
-        "response": ("ok", "tickets", "ticket", "raw", "cached", "error", "kind"),
+        "request": ("op", "placements", "batch"),
+        "response": (
+            "ok", "tickets", "ticket", "raw", "cached", "replayed", "error", "kind",
+        ),
     },
     "stats": {
         "request": ("op",),

@@ -25,15 +25,43 @@ Two properties make the fleet shareable:
 ``evaluate_batch`` is futures-based: the submit reply carries ticket ids,
 then one result line streams back per ticket *in completion order* — a
 slow placement does not convoy its siblings through the worker pool.
+
+Self-healing (protocol v2)
+--------------------------
+
+The server is built to survive its clients and its own workers:
+
+* **Supervised workers.**  Simulations run on a
+  :class:`~repro.service.pool.WorkerPool` — dead worker threads are
+  detected and replaced (by submissions and the housekeeping loop), and
+  the admission queue is bounded, answering ``busy`` backpressure instead
+  of queueing unboundedly.
+* **Sessions and replay.**  Each handshake mints a
+  :class:`~repro.service.sessions.Session`; ticketed batch results are
+  retained per session and written by future done-callbacks, independent
+  of the socket.  A client that reconnects and ``resume``-s its session
+  replays retained results instead of re-simulating (at-most-once
+  evaluation); :attr:`MeasurementServer.num_simulations` counts actual
+  simulator runs so tests can assert the "zero duplicate work" property.
+* **Deadlines and reaping.**  ``request_deadline`` bounds how long one
+  request may hold its connection (expired tickets answer ``deadline``
+  errors; the simulation still completes into the retained record), and
+  idle sessions are reaped by a housekeeping thread.
+* **Graceful drain.**  :meth:`MeasurementServer.drain` (wired to SIGTERM
+  by the CLI) refuses new work with ``draining`` errors, finishes
+  in-flight batches, then closes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import socket
 import socketserver
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor, as_completed
-from typing import Any, Dict, Optional, Set
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import MetricsExporter
 from ..graph.fingerprint import placement_space_fingerprint
@@ -41,9 +69,19 @@ from ..sim.backends import MemoBackend
 from ..sim.environment import PlacementEnvironment, RawOutcome
 from ..sim.simulator import Simulator
 from . import protocol
-from .protocol import PROTOCOL_VERSION, ProtocolError
+from .pool import PoolBusy, WorkerPool
+from .protocol import MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, ProtocolError
+from .sessions import BatchRecord, Session, SessionRegistry
 
 __all__ = ["MeasurementServer"]
+
+
+def _placements_digest(decoded: Sequence) -> str:
+    """Content digest identifying a batch's placements (replay guard)."""
+    hasher = hashlib.sha256()
+    for placement in decoded:
+        hasher.update(placement.tobytes())
+    return hasher.hexdigest()
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -54,6 +92,8 @@ class _Handler(socketserver.StreamRequestHandler):
     def setup(self) -> None:
         super().setup()
         self.service = self.server.service
+        self.session: Optional[Session] = None
+        self.version = PROTOCOL_VERSION
         self.service._register_connection(self.connection)
 
     def finish(self) -> None:
@@ -75,7 +115,12 @@ class _Handler(socketserver.StreamRequestHandler):
                     return
                 if request is None:
                     return  # clean disconnect
-                if not self._dispatch(request):
+                service._begin_request()
+                try:
+                    keep = self._dispatch(request)
+                finally:
+                    service._end_request()
+                if not keep:
                     return
         except (ConnectionError, BrokenPipeError, ValueError, OSError):
             # Client vanished mid-write (or our socket was force-closed by
@@ -92,37 +137,49 @@ class _Handler(socketserver.StreamRequestHandler):
         if request.get("op") != "hello":
             self._reply(protocol.error_message("first message must be 'hello'"))
             return False
+        service = self.service
         version = request.get("version")
-        if version != PROTOCOL_VERSION:
-            self.service.metrics.inc("repro_service_handshake_rejected_total")
+        # A v1 client sends no min_version: it speaks exactly its version.
+        min_version = request.get("min_version", version)
+        negotiated = None
+        if isinstance(version, int) and isinstance(min_version, int):
+            candidate = min(PROTOCOL_VERSION, version)
+            if candidate >= max(MIN_PROTOCOL_VERSION, min_version):
+                negotiated = candidate
+        if negotiated is None:
+            service.metrics.inc("repro_service_handshake_rejected_total")
             self._reply(
                 protocol.error_message(
-                    f"protocol version mismatch: client speaks {version!r}, "
-                    f"server speaks {PROTOCOL_VERSION}"
+                    f"protocol version mismatch: client speaks "
+                    f"[{min_version!r}, {version!r}], server speaks "
+                    f"[{MIN_PROTOCOL_VERSION}, {PROTOCOL_VERSION}]"
                 )
             )
             return False
         fingerprint = request.get("fingerprint")
-        if fingerprint != self.service.fingerprint:
-            self.service.metrics.inc("repro_service_handshake_rejected_total")
+        if fingerprint != service.fingerprint:
+            service.metrics.inc("repro_service_handshake_rejected_total")
             self._reply(
                 protocol.error_message(
                     "measurement-space fingerprint mismatch: the client's "
                     "graph/topology/cost model differs from the server's "
-                    f"({fingerprint!r} != {self.service.fingerprint!r})"
+                    f"({fingerprint!r} != {service.fingerprint!r})"
                 )
             )
             return False
+        self.version = negotiated
+        self.session = service.sessions.create(service.clock())
         self._reply(
             {
                 "ok": True,
                 "server": {
-                    "version": PROTOCOL_VERSION,
-                    "graph": self.service.environment.graph.name,
-                    "num_ops": self.service.environment.graph.num_ops,
-                    "num_devices": self.service.environment.num_devices,
-                    "workers": self.service.workers,
+                    "version": negotiated,
+                    "graph": service.environment.graph.name,
+                    "num_ops": service.environment.graph.num_ops,
+                    "num_devices": service.environment.num_devices,
+                    "workers": service.workers,
                 },
+                "session": self.session.id,
             }
         )
         return True
@@ -133,7 +190,40 @@ class _Handler(socketserver.StreamRequestHandler):
         op = request.get("op")
         service = self.service
         service.metrics.inc("repro_service_requests_total")
+        if self.session is not None:
+            self.session.touch(service.clock())
+        if op == "ping":
+            state = "draining" if service.draining.is_set() else "serving"
+            self._reply({"ok": True, "state": state})
+            return True
+        if op == "resume":
+            session = service.sessions.resume(request.get("session"), service.clock())
+            if session is None:
+                self._reply(
+                    protocol.error_message(
+                        f"unknown session {request.get('session')!r}",
+                        kind="session",
+                    )
+                )
+                return True
+            self.session = session
+            self._reply(
+                {
+                    "ok": True,
+                    "session": session.id,
+                    "retained": session.retained_batches(),
+                }
+            )
+            return True
         if op == "evaluate":
+            if service.draining.is_set():
+                self._reply(
+                    protocol.error_message(
+                        "server is draining and accepts no new work",
+                        kind="draining",
+                    )
+                )
+                return True
             try:
                 placement = protocol.decode_placement(
                     request.get("placement"), service.environment.graph.num_ops
@@ -143,6 +233,19 @@ class _Handler(socketserver.StreamRequestHandler):
                 return True
             try:
                 raw, cached = service._raw_outcome(placement)
+            except PoolBusy as exc:
+                service.metrics.inc("repro_service_busy_total")
+                self._reply(protocol.error_message(str(exc), kind="busy"))
+                return True
+            except FutureTimeoutError:
+                service.metrics.inc("repro_service_deadline_total")
+                self._reply(
+                    protocol.error_message(
+                        "result not ready within the server's request deadline",
+                        kind="deadline",
+                    )
+                )
+                return True
             except Exception as exc:  # worker failure → client-side fault
                 service.metrics.inc("repro_service_worker_errors_total")
                 self._reply(protocol.error_message(str(exc), kind="crash"))
@@ -161,6 +264,7 @@ class _Handler(socketserver.StreamRequestHandler):
         self._reply(protocol.error_message(f"unknown op {op!r}"))
         return True
 
+    # -------------------------------------------------------------- #
     def _evaluate_batch(self, request: Dict[str, Any]) -> bool:
         service = self.service
         placements = request.get("placements")
@@ -175,34 +279,135 @@ class _Handler(socketserver.StreamRequestHandler):
         except (ProtocolError, TypeError, ValueError) as exc:
             self._reply(protocol.error_message(f"bad placement: {exc}"))
             return True
-        tickets = list(range(len(decoded)))
-        self._reply({"ok": True, "tickets": tickets})
-        futures: Dict[Future, int] = {
-            service._submit(placement): ticket
-            for ticket, placement in zip(tickets, decoded)
-        }
-        # Stream each result as its future completes; this handler thread is
-        # the connection's only writer, so no write lock is needed.
-        for future in as_completed(futures):
-            ticket = futures[future]
+        batch_id = request.get("batch")
+        if batch_id is not None and not isinstance(batch_id, int):
+            self._reply(protocol.error_message("batch must be an integer"))
+            return True
+        # v2 clients tag batches with a session-monotonic id: the batch is
+        # retained on the session so a reconnect can replay it.  Untagged
+        # (v1) batches get a connection-local record, never retained.
+        record: Optional[BatchRecord] = None
+        created = True
+        if batch_id is not None and self.session is not None:
+            record, created = self.session.get_or_add(
+                batch_id, len(decoded), _placements_digest(decoded)
+            )
+        if service.draining.is_set() and created:
+            if record is not None and self.session is not None:
+                self.session.discard(batch_id)
+            self._reply(
+                protocol.error_message(
+                    "server is draining and accepts no new work", kind="draining"
+                )
+            )
+            return True
+        if record is None:
+            record = BatchRecord(-1, len(decoded), "")
+        # Tickets already resolved before this request attach as replays.
+        already = {} if created else record.snapshot()
+        if created:
             try:
-                raw, cached = future.result()
-            except Exception as exc:
-                service.metrics.inc("repro_service_worker_errors_total")
-                self._reply(
-                    {
-                        "ok": True,
-                        "ticket": ticket,
-                        "error": {"kind": "crash", "message": str(exc)},
-                    }
+                self._submit_into(record, decoded)
+            except PoolBusy as exc:
+                if batch_id is not None and self.session is not None:
+                    self.session.discard(batch_id)
+                service.metrics.inc("repro_service_busy_total")
+                self._reply(protocol.error_message(str(exc), kind="busy"))
+                return True
+        if already:
+            service.metrics.inc("repro_service_replayed_total", float(len(already)))
+        self._reply({"ok": True, "tickets": list(range(len(decoded)))})
+        return self._stream_results(record, already)
+
+    def _submit_into(self, record: BatchRecord, decoded: List) -> None:
+        """Resolve cache hits into the record; submit misses to the pool.
+
+        All-or-nothing on admission: if the pool is busy no future exists,
+        so the (discarded) record never waits on tickets that cannot come.
+        """
+        service = self.service
+        misses: List[Tuple[int, Any]] = []
+        for ticket, placement in enumerate(decoded):
+            with service._memo_lock:
+                raw = service.memo.lookup(placement)
+            if raw is not None:
+                record.store(
+                    ticket, {"raw": protocol.encode_raw(raw), "cached": True}
                 )
             else:
+                misses.append((ticket, placement))
+        if not misses:
+            return
+        futures = service._pool.submit_many(
+            [(service._simulate, placement) for _, placement in misses]
+        )
+        for (ticket, _), future in zip(misses, futures):
+            self._attach(record, ticket, future)
+
+    def _attach(self, record: BatchRecord, ticket: int, future: Future) -> None:
+        """Wire a worker future to the record, independent of this socket.
+
+        The done-callback — not the connection — owns result delivery into
+        the record, so results of a batch whose client vanished mid-stream
+        keep accumulating and can be replayed after a reconnect.
+        """
+        service = self.service
+
+        def _store(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                service.metrics.inc("repro_service_worker_errors_total")
+                record.store(
+                    ticket, {"error": {"kind": "crash", "message": str(exc)}}
+                )
+            else:
+                record.store(
+                    ticket,
+                    {"raw": protocol.encode_raw(done.result()), "cached": False},
+                )
+
+        future.add_done_callback(_store)
+
+    def _stream_results(self, record: BatchRecord, already: Dict[int, Any]) -> bool:
+        """Stream the record's results as they land, oldest-ready first.
+
+        This handler thread is the connection's only writer, so no write
+        lock is needed.  Tickets still unresolved when the server's
+        ``request_deadline`` expires answer ``deadline`` errors — their
+        simulations continue into the record for a later replay.
+        """
+        service = self.service
+        deadline = None
+        if service.request_deadline is not None:
+            deadline = service.clock() + service.request_deadline
+        written: Set[int] = set()
+        while len(written) < record.expected:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - service.clock()
+                if remaining <= 0:
+                    break
+            ready = record.wait_ready(written, remaining)
+            for ticket in sorted(ready):
+                line = {"ok": True, "ticket": ticket, **ready[ticket]}
+                if ticket in already:
+                    line["replayed"] = True
+                self._reply(line)
+                written.add(ticket)
+        for ticket in range(record.expected):
+            if ticket not in written:
+                service.metrics.inc("repro_service_deadline_total")
                 self._reply(
                     {
                         "ok": True,
                         "ticket": ticket,
-                        "raw": protocol.encode_raw(raw),
-                        "cached": cached,
+                        "error": {
+                            "kind": "deadline",
+                            "message": (
+                                "result not ready within the server's "
+                                f"{service.request_deadline:.1f}s request deadline"
+                            ),
+                        },
                     }
                 )
         return True
@@ -232,6 +437,21 @@ class MeasurementServer:
         Optional persisted cache (:meth:`MemoBackend.load` format) to warm
         the shared table from at startup; ignored if missing, refused on a
         fingerprint mismatch.
+    max_backlog:
+        Queued simulations admitted before requests answer ``busy``
+        backpressure; defaults to ``32 * workers``.
+    request_deadline:
+        Server-side seconds one request may wait on its results before
+        unresolved tickets answer ``deadline`` errors; ``None`` disables.
+    session_retention:
+        Completed/ in-flight batch records retained per session for replay.
+    session_idle_timeout:
+        Seconds of inactivity before the housekeeping loop reaps a session.
+    housekeeping_interval:
+        Cadence of the supervision loop (session reaping, worker healing).
+    clock:
+        Monotonic-seconds callable (injectable so tests drive idle reaping
+        and deadlines deterministically).
     """
 
     def __init__(
@@ -242,11 +462,23 @@ class MeasurementServer:
         port: int = 0,
         workers: int = 4,
         memo_path: Optional[str] = None,
+        max_backlog: Optional[int] = None,
+        request_deadline: Optional[float] = None,
+        session_retention: int = 4,
+        session_idle_timeout: float = 300.0,
+        housekeeping_interval: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if request_deadline is not None and request_deadline <= 0:
+            raise ValueError("request_deadline must be positive")
+        if housekeeping_interval <= 0:
+            raise ValueError("housekeeping_interval must be positive")
         self.environment = environment
         self.workers = workers
+        self.request_deadline = request_deadline
+        self.clock = clock
         self.fingerprint = placement_space_fingerprint(
             environment.graph, environment.topology, environment.simulator.cost_model
         )
@@ -257,13 +489,25 @@ class MeasurementServer:
             if os.path.exists(memo_path):
                 self.memo.load(memo_path)
         self.metrics = MetricsExporter()
+        self.sessions = SessionRegistry(
+            retention=session_retention, idle_timeout=session_idle_timeout
+        )
+        self.draining = threading.Event()
+        #: Exact count of simulator runs (cache hits excluded) — the
+        #: quantity the at-most-once replay guarantee is asserted against.
+        self.num_simulations = 0
         self._memo_lock = threading.Lock()
         self._local = threading.local()
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-sim"
+        self._pool = WorkerPool(
+            workers,
+            max_backlog=max_backlog if max_backlog is not None else 32 * workers,
+            name_prefix="repro-sim",
+            clock=clock,
         )
         self._connections: Set[socket.socket] = set()
         self._conn_lock = threading.Lock()
+        self._active_requests = 0
+        self._active_cond = threading.Condition()
         self._shutdown_requested = threading.Event()
         self._serve_thread: Optional[threading.Thread] = None
         self._serving = False
@@ -273,6 +517,12 @@ class MeasurementServer:
         #: the bound ``host:port`` (resolves ``port=0`` to the chosen port).
         self.address = f"{bound_host}:{bound_port}"
         self.port = bound_port
+        self._housekeeping_interval = housekeeping_interval
+        self._housekeeping_stop = threading.Event()
+        self._housekeeping = threading.Thread(
+            target=self._housekeeping_loop, name="repro-housekeeping", daemon=True
+        )
+        self._housekeeping.start()
 
     # -------------------------------------------------------------- #
     def _worker_simulator(self) -> Simulator:
@@ -295,6 +545,7 @@ class MeasurementServer:
         else:
             raw = RawOutcome(breakdown.makespan)
         with self._memo_lock:
+            self.num_simulations += 1
             self.memo.insert(placement, raw)
         return raw
 
@@ -304,34 +555,8 @@ class MeasurementServer:
             raw = self.memo.lookup(placement)
         if raw is not None:
             return raw, True
-        return self._pool.submit(self._simulate, placement).result(), False
-
-    def _submit(self, placement) -> Future:
-        """Non-blocking ticket: resolves to ``(raw, cached)``.
-
-        Cache hits resolve immediately without occupying a worker.  Two
-        in-flight misses on the same placement may both simulate — the
-        outcome is deterministic, so the duplicate insert is harmless and
-        not worth a single-flight table.
-        """
-        with self._memo_lock:
-            raw = self.memo.lookup(placement)
-        if raw is not None:
-            future: Future = Future()
-            future.set_result((raw, True))
-            return future
-        task = self._pool.submit(self._simulate, placement)
-        wrapped: Future = Future()
-
-        def _resolve(done: Future) -> None:
-            exc = done.exception()
-            if exc is not None:
-                wrapped.set_exception(exc)
-            else:
-                wrapped.set_result((done.result(), False))
-
-        task.add_done_callback(_resolve)
-        return wrapped
+        future = self._pool.submit(self._simulate, placement)
+        return future.result(timeout=self.request_deadline), False
 
     # -------------------------------------------------------------- #
     def stats(self) -> Dict[str, float]:
@@ -341,7 +566,28 @@ class MeasurementServer:
             **memo_stats,
             **{name: float(v) for name, v in self.metrics.counters.items()},
             "workers": float(self.workers),
+            "workers_alive": float(self._pool.alive_workers()),
+            "workers_replaced": float(self._pool.workers_replaced),
+            "backlog": float(self._pool.backlog()),
+            "simulations": float(self.num_simulations),
+            "sessions": float(len(self.sessions)),
+            "draining": float(self.draining.is_set()),
         }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition for the ``--metrics-port`` endpoint."""
+        self.metrics.counters["repro_service_simulations_total"] = float(
+            self.num_simulations
+        )
+        self.metrics.counters["repro_service_sessions"] = float(len(self.sessions))
+        self.metrics.counters["repro_service_workers_alive"] = float(
+            self._pool.alive_workers()
+        )
+        self.metrics.counters["repro_service_backlog"] = float(self._pool.backlog())
+        self.metrics.counters["repro_service_workers_replaced_total"] = float(
+            self._pool.workers_replaced
+        )
+        return self.metrics.render_prometheus()
 
     # -------------------------------------------------------------- #
     def _register_connection(self, conn: socket.socket) -> None:
@@ -352,11 +598,57 @@ class MeasurementServer:
         with self._conn_lock:
             self._connections.discard(conn)
 
+    def _begin_request(self) -> None:
+        with self._active_cond:
+            self._active_requests += 1
+
+    def _end_request(self) -> None:
+        with self._active_cond:
+            self._active_requests -= 1
+            self._active_cond.notify_all()
+
+    def _wait_requests_drained(self, timeout: Optional[float]) -> bool:
+        """Block until no request is being served; False on timeout."""
+        deadline = None if timeout is None else self.clock() + timeout
+        with self._active_cond:
+            while self._active_requests > 0:
+                remaining = None if deadline is None else deadline - self.clock()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._active_cond.wait(remaining)
+        return True
+
+    def _housekeeping_loop(self) -> None:
+        """Supervision: reap idle sessions, resurrect dead workers.
+
+        Workers killed by a task replace themselves inside the pool;
+        :meth:`WorkerPool.heal` here is the backstop for threads that died
+        any other way.  ``repro_service_workers_replaced_total`` reads the
+        pool's cumulative counter at render time, covering both paths.
+        """
+        while not self._housekeeping_stop.wait(self._housekeeping_interval):
+            self.sessions.reap(self.clock())
+            self._pool.heal()
+
     def _request_shutdown(self) -> None:
         """Initiate shutdown from a handler thread without deadlocking."""
         if not self._shutdown_requested.is_set():
             self._shutdown_requested.set()
             threading.Thread(target=self.close, daemon=True).start()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight, close.
+
+        New evaluations answer ``draining`` errors the moment this is
+        called (replays of already-retained batches still complete);
+        queued and running simulations finish; responses still streaming
+        are given until ``timeout`` to flush; then the server closes.
+        This is what the CLI wires to SIGTERM.
+        """
+        self.draining.set()
+        self._pool.drain(timeout=timeout)
+        self._wait_requests_drained(timeout)
+        self.close()
 
     # -------------------------------------------------------------- #
     def serve_forever(self) -> None:
@@ -381,6 +673,7 @@ class MeasurementServer:
         server, self._server = getattr(self, "_server", None), None
         if server is None:
             return
+        self._housekeeping_stop.set()
         if self._serving:
             server.shutdown()  # waits for serve_forever to drain
         server.server_close()
@@ -398,6 +691,7 @@ class MeasurementServer:
             except OSError:
                 pass
         self._pool.shutdown(wait=False)
+        self._housekeeping.join(timeout=5.0)
         thread = self._serve_thread
         if thread is not None and thread is not threading.current_thread():
             thread.join(timeout=5.0)

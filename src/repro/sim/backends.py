@@ -42,11 +42,13 @@ import atexit
 import json
 import multiprocessing
 import os
+import warnings
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..ioutil import atomic_write_text
 from .environment import Measurement, PlacementEnvironment, RawOutcome
 from .simulator import Simulator
 
@@ -185,43 +187,18 @@ class MemoBackend:
             env.graph, env.topology, env.simulator.cost_model
         )
 
-    def save(self, path: str) -> None:
-        """Write the raw-outcome table to ``path`` (JSON, fingerprint-keyed)."""
+    def _encode_entries(self) -> List[list]:
         entries = []
         for key, raw in self._store.items():
             oom = None
             if raw.oom_detail is not None:
                 oom = [[int(d), float(a), float(b)] for d, (a, b) in raw.oom_detail.items()]
             entries.append([key.hex(), raw.base_time, oom])
-        payload = {
-            "format_version": self._PERSIST_VERSION,
-            "fingerprint": self.fingerprint,
-            "entries": entries,
-        }
-        with open(path, "w") as fh:
-            json.dump(payload, fh)
+        return entries
 
-    def load(self, path: str) -> int:
-        """Merge a table written by :meth:`save`; returns entries loaded.
-
-        Raises :class:`ValueError` if the file's fingerprint (or format
-        version) does not match this backend's measurement space — stale
-        caches must never leak raw outcomes across graphs or topologies.
-        """
-        with open(path) as fh:
-            payload = json.load(fh)
-        version = payload.get("format_version")
-        if version != self._PERSIST_VERSION:
-            raise ValueError(f"unsupported memo-cache format version {version!r}")
-        fingerprint = payload.get("fingerprint")
-        if fingerprint != self.fingerprint:
-            raise ValueError(
-                "memo-cache fingerprint mismatch: file was produced by a "
-                f"different graph/topology/cost model ({fingerprint!r} != "
-                f"{self.fingerprint!r})"
-            )
+    def _merge_entries(self, entries: Sequence[Sequence]) -> int:
         loaded = 0
-        for key_hex, base_time, oom in payload["entries"]:
+        for key_hex, base_time, oom in entries:
             oom_detail = None
             if oom is not None:
                 oom_detail = {int(d): (float(a), float(b)) for d, a, b in oom}
@@ -230,6 +207,83 @@ class MemoBackend:
         while self.max_entries is not None and len(self._store) > self.max_entries:
             self._store.popitem(last=False)
         return loaded
+
+    def save(self, path: str) -> None:
+        """Write the raw-outcome table to ``path`` (JSON, fingerprint-keyed).
+
+        The write is atomic (temp file → fsync → rename), so a process
+        killed mid-save leaves either the previous table or the new one on
+        disk — never a truncated file.
+        """
+        payload = {
+            "format_version": self._PERSIST_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": self._encode_entries(),
+        }
+        atomic_write_text(path, json.dumps(payload))
+
+    def load(self, path: str) -> int:
+        """Merge a table written by :meth:`save`; returns entries loaded.
+
+        Raises :class:`ValueError` if the file's fingerprint (or format
+        version) does not match this backend's measurement space — stale
+        caches must never leak raw outcomes across graphs or topologies.
+        A file that cannot be *parsed* (truncated or garbled by an unclean
+        shutdown predating atomic saves) is not an error: it warns and
+        loads nothing, so the run starts with a cold cache instead of
+        crashing.
+        """
+        with open(path) as fh:
+            text = fh.read()
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError(f"expected a JSON object, got {type(payload).__name__}")
+            version = payload.get("format_version")
+            fingerprint = payload.get("fingerprint")
+            entries = payload.get("entries", [])
+        except ValueError as exc:  # includes json.JSONDecodeError
+            warnings.warn(
+                f"memo cache {path!r} is corrupt ({exc}); starting fresh",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
+        if version != self._PERSIST_VERSION:
+            raise ValueError(f"unsupported memo-cache format version {version!r}")
+        if fingerprint != self.fingerprint:
+            raise ValueError(
+                "memo-cache fingerprint mismatch: file was produced by a "
+                f"different graph/topology/cost model ({fingerprint!r} != "
+                f"{self.fingerprint!r})"
+            )
+        try:
+            return self._merge_entries(entries)
+        except (TypeError, ValueError) as exc:
+            warnings.warn(
+                f"memo cache {path!r} has corrupt entries ({exc}); starting fresh",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._store.clear()
+            return 0
+
+    def state_dict(self) -> Dict:
+        """Checkpoint form of the cache: entries plus hit/miss counters.
+
+        Restoring memoised raws on resume means the re-run of already-seen
+        placements costs a table lookup, not a simulation."""
+        return {
+            "entries": self._encode_entries(),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._store.clear()
+        self._merge_entries(state["entries"])
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
 
     def close(self) -> None:
         pass

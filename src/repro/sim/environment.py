@@ -226,3 +226,25 @@ class PlacementEnvironment:
         self.env_time = 0.0
         self.num_evaluations = 0
         self.num_oom = 0
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict:
+        """Clock, counters, and the exact noise-RNG position.
+
+        Restoring this into a structurally identical environment makes the
+        next ``commit``/``final_evaluate`` draw the same noise an
+        uninterrupted run would have — the foundation of bit-for-bit
+        checkpoint resume.
+        """
+        return {
+            "env_time": self.env_time,
+            "num_evaluations": self.num_evaluations,
+            "num_oom": self.num_oom,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.env_time = float(state["env_time"])
+        self.num_evaluations = int(state["num_evaluations"])
+        self.num_oom = int(state["num_oom"])
+        self._rng.bit_generator.state = state["rng"]

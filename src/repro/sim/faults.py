@@ -227,6 +227,35 @@ class FaultInjectingBackend:
     def close(self) -> None:
         self.inner.close()
 
+    def state_dict(self) -> Dict:
+        """Fault-RNG position and counters (plus the wrapped backend's state).
+
+        Restoring this on resume makes the post-resume fault *stream*
+        identical to the uninterrupted run's — crashes, stragglers, and
+        corruptions land on the same evaluations."""
+        inner = None
+        if hasattr(self.inner, "state_dict"):
+            inner = self.inner.state_dict()
+        return {
+            "rng": self._rng.bit_generator.state,
+            "crashes_injected": self.crashes_injected,
+            "stragglers_injected": self.stragglers_injected,
+            "corruptions_injected": self.corruptions_injected,
+            "wall_time": self.wall_time,
+            "last_eval_latency": self.last_eval_latency,
+            "inner": inner,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self.crashes_injected = int(state["crashes_injected"])
+        self.stragglers_injected = int(state["stragglers_injected"])
+        self.corruptions_injected = int(state["corruptions_injected"])
+        self.wall_time = float(state["wall_time"])
+        self.last_eval_latency = float(state["last_eval_latency"])
+        if state.get("inner") is not None and hasattr(self.inner, "load_state_dict"):
+            self.inner.load_state_dict(state["inner"])
+
     def stats(self) -> Dict[str, float]:
         return {
             **self.inner.stats(),

@@ -1,0 +1,121 @@
+"""Tests for the incremental lint cache (content-hash keyed, salted)."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis import ContractIndex, LintCache, lint_paths
+from repro.analysis.cache import content_hash, rules_salt
+
+
+@pytest.fixture(scope="module")
+def contracts():
+    return ContractIndex.load()
+
+
+def _tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "good.py").write_text("def f(rng):\n    return rng.normal()\n")
+    (pkg / "bad.py").write_text("import time\n\ndef f():\n    return time.time()\n")
+    return tmp_path
+
+
+class TestLintCache:
+    def test_warm_run_reuses_findings(self, tmp_path, contracts):
+        tree = _tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+
+        cache = LintCache.load(cache_path)
+        cold = lint_paths([str(tree)], contracts, cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+        assert cold.cache_hits == 0
+
+        cache = LintCache.load(cache_path)
+        warm = lint_paths([str(tree)], contracts, cache=cache)
+        assert cache.hits == 2 and cache.misses == 0
+        assert warm.cache_hits == 2
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path, contracts):
+        tree = _tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+        lint_paths([str(tree)], contracts, cache=LintCache.load(cache_path))
+
+        bad = tree / "src" / "repro" / "sim" / "bad.py"
+        bad.write_text("def f(rng):\n    return rng.normal()\n")  # now clean
+        cache = LintCache.load(cache_path)
+        result = lint_paths([str(tree)], contracts, cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert result.findings == []
+
+    def test_corrupt_cache_file_is_treated_as_empty(self, tmp_path, contracts):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json at all")
+        cache = LintCache.load(str(cache_path))
+        result = lint_paths([str(tree)], contracts, cache=cache)
+        assert cache.hits == 0
+        assert result.files_scanned == 2
+        # And the save repaired the file.
+        assert json.loads(cache_path.read_text())["salt"] == rules_salt()
+
+    def test_stale_salt_invalidates_wholesale(self, tmp_path, contracts):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        lint_paths([str(tree)], contracts, cache=LintCache.load(str(cache_path)))
+        payload = json.loads(cache_path.read_text())
+        payload["salt"] = "0" * 64  # as if a rule implementation changed
+        cache_path.write_text(json.dumps(payload))
+        cache = LintCache.load(str(cache_path))
+        lint_paths([str(tree)], contracts, cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_damaged_entry_is_a_miss_and_dropped(self, tmp_path, contracts):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        lint_paths([str(tree)], contracts, cache=LintCache.load(str(cache_path)))
+        payload = json.loads(cache_path.read_text())
+        bad_key = str(tree / "src" / "repro" / "sim" / "bad.py")
+        payload["files"][bad_key]["findings"] = [{"nonsense": True}]
+        cache_path.write_text(json.dumps(payload))
+        cache = LintCache.load(str(cache_path))
+        result = lint_paths([str(tree)], contracts, cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert any(f.rule_id == "wall-clock" for f in result.findings)
+
+    def test_unreadable_file_bypasses_cache(self, tmp_path, contracts):
+        tree = _tree(tmp_path)
+        target = tree / "src" / "repro" / "sim" / "bad.py"
+        target.write_bytes(b"\xff\xfe junk \xff")
+        cache = LintCache.load(str(tmp_path / "cache.json"))
+        result = lint_paths([str(tree)], contracts, cache=cache)
+        assert any(f.rule_id == "syntax-error" for f in result.findings)
+
+    def test_content_hash_is_stable(self):
+        assert content_hash("x = 1\n") == content_hash("x = 1\n")
+        assert content_hash("x = 1\n") != content_hash("x = 2\n")
+
+
+class TestCliCacheFlags:
+    def test_cache_path_flag_writes_there(self, tmp_path, capsys):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "custom-cache.json"
+        assert cli.main(["lint", "--cache-path", str(cache_path), str(tree)]) == 1
+        assert cache_path.exists()
+        capsys.readouterr()
+        # Second run answers from the cache, findings unchanged.
+        assert cli.main(["lint", "--cache-path", str(cache_path), str(tree)]) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_no_cache_flag_skips_the_cache(self, tmp_path, capsys):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "never-written.json"
+        assert cli.main([
+            "lint", "--no-cache", "--cache-path", str(cache_path), str(tree)
+        ]) == 1
+        assert not cache_path.exists()
+        capsys.readouterr()

@@ -36,10 +36,13 @@ class TestContractExtraction:
 
     def test_message_schema_extracted(self, contracts):
         assert set(contracts.message_schema) == {
-            "hello", "evaluate", "evaluate_batch", "stats", "shutdown"
+            "hello", "ping", "resume", "evaluate", "evaluate_batch",
+            "stats", "shutdown",
         }
         assert "fingerprint" in contracts.request_fields["hello"]
+        assert "batch" in contracts.request_fields["evaluate_batch"]
         assert "raw" in contracts.response_fields
+        assert "replayed" in contracts.response_fields
 
 
 class TestCallbackSignature:

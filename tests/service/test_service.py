@@ -269,13 +269,31 @@ class TestFaultTranslation:
 # ---------------------------------------------------------------------- #
 class TestHandshake:
     def test_protocol_version_mismatch_rejected(self, server, monkeypatch):
+        # A client whose whole version *range* is above the server's must
+        # be refused — negotiation only bridges overlapping ranges.
         from repro.service import client as client_mod
 
         monkeypatch.setattr(client_mod, "PROTOCOL_VERSION", 999)
+        monkeypatch.setattr(client_mod, "MIN_PROTOCOL_VERSION", 999)
         with pytest.raises(HandshakeError, match="version mismatch"):
             RemoteBackend(_env(), server.address, timeout=5.0).evaluate_batch(
                 _placements(_env(), 1)
             )
+
+    def test_version_ranges_negotiate_down(self, server, monkeypatch):
+        # A future client still speaking v1..v999 lands on the server's max.
+        from repro.service import client as client_mod
+        from repro.service.protocol import PROTOCOL_VERSION as SERVER_MAX
+
+        monkeypatch.setattr(client_mod, "PROTOCOL_VERSION", 999)
+        env = _env()
+        with RemoteBackend(env, server.address, timeout=5.0) as remote:
+            conn = remote._borrow()
+            try:
+                assert conn.version == SERVER_MAX
+                assert isinstance(conn.session, str)
+            finally:
+                conn.close()
 
     def test_fingerprint_mismatch_rejected(self, server):
         other_graph = build_random_layered(num_layers=6, width=5, seed=8)

@@ -1,0 +1,160 @@
+"""Process-level chaos tests (slow lane): SIGKILL and server restarts.
+
+These drive the survivability story end to end with real processes and
+real sockets — the in-process equivalents live in
+``tests/core/test_resume.py`` and ``tests/service/test_reconnect.py``.
+Run with ``pytest -m slow`` (CI has a dedicated kill-and-resume lane).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    EvaluationPolicy,
+    MeasurementServer,
+    PlacementEnvironment,
+    PlacementSearch,
+    PostAgent,
+    RemoteBackend,
+    SearchConfig,
+)
+from repro.core.checkpoint import load_checkpoint
+from repro.core.events import SearchCallback
+from repro.graph.models import build_random_layered
+from repro.sim import Topology
+
+pytestmark = pytest.mark.slow
+
+_REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _run_place(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "place", "--model", "inception_v3",
+         "--samples", "40", "--seed", "3", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+class TestSigkillResume:
+    def test_sigkilled_search_resumes_bit_for_bit(self, tmp_path):
+        """SIGKILL `repro place` mid-search; `--resume` must land on the
+        uninterrupted run's exact SearchResult (ISSUE acceptance test)."""
+        golden = _run_place(["--checkpoint", "golden.npz"], cwd=tmp_path)
+        assert golden.returncode == 0, golden.stderr
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _REPO_SRC
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "place", "--model", "inception_v3",
+             "--samples", "40", "--seed", "3", "--checkpoint", "killed.npz"],
+            cwd=tmp_path, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        killed_path = tmp_path / "killed.npz"
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if killed_path.exists() and killed_path.stat().st_size > 0:
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("mid-run checkpoint never appeared")
+        time.sleep(0.2)  # let another update or two land mid-write
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        # The atomic writer guarantees the file is a complete snapshot.
+        ckpt = load_checkpoint(str(killed_path))
+        assert ckpt["meta"]["complete"] is False
+        assert 0 < ckpt["meta"]["num_samples"] < 40
+
+        # Resume with *conflicting* flags: the checkpoint's stored CLI
+        # configuration must win over the resuming command line.
+        resumed = _run_place(
+            ["--resume", "killed.npz", "--seed", "999"], cwd=tmp_path
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed from killed.npz" in resumed.stdout
+
+        want = load_checkpoint(str(tmp_path / "golden.npz"))
+        got = load_checkpoint(str(killed_path))
+        assert got["meta"]["complete"] is True
+        for key in ("best_time", "final_time", "num_samples", "num_invalid",
+                    "env_time", "num_faults", "num_retries",
+                    "num_quarantined", "wall_time"):
+            assert got["meta"][key] == want["meta"][key], key
+        assert np.array_equal(got["best_placement"], want["best_placement"])
+        assert got["history"].per_step_time == want["history"].per_step_time
+
+    def test_resume_of_complete_checkpoint_is_a_report(self, tmp_path):
+        done = _run_place(["--checkpoint", "done.npz"], cwd=tmp_path)
+        assert done.returncode == 0, done.stderr
+        again = _run_place(["--resume", "done.npz"], cwd=tmp_path)
+        assert again.returncode == 0, again.stderr
+        assert "already complete" in again.stdout
+
+
+class _RestartServerMidSearch(SearchCallback):
+    """Kills the measurement server after N updates, then restarts it on
+    the same port — the client must ride out both the mid-batch break and
+    the session loss on the restarted process."""
+
+    def __init__(self, server, make_server, after_updates=2):
+        self.server = server
+        self.make_server = make_server
+        self.after_updates = after_updates
+        self.restarted = False
+        self._updates = 0
+
+    def on_update(self, engine, stats):
+        self._updates += 1
+        if self._updates == self.after_updates and not self.restarted:
+            port = int(self.server.address.rsplit(":", 1)[1])
+            self.server.close()  # drops every live connection mid-search
+            self.server = self.make_server(port)
+            self.restarted = True
+
+
+class TestServerRestartMidSearch:
+    def test_search_completes_across_a_server_restart(self):
+        graph = build_random_layered(num_layers=6, width=5, seed=7)
+        topo = Topology.default_4gpu(num_gpus=2)
+
+        def make_server(port):
+            return MeasurementServer(
+                PlacementEnvironment(graph, topo, seed=99),
+                port=port, workers=2,
+            ).start()
+
+        server = make_server(0)
+        env = PlacementEnvironment(graph, topo, seed=0)
+        backend = RemoteBackend(
+            env, server.address, timeout=10.0,
+            reconnect_attempts=5, backoff_base=0.05,
+        )
+        agent = PostAgent(graph, topo.num_devices, num_groups=6, seed=0)
+        restarter = _RestartServerMidSearch(server, make_server)
+        try:
+            search = PlacementSearch(
+                agent, env, "ppo", SearchConfig(max_samples=60),
+                backend=backend, policy=EvaluationPolicy(max_retries=3),
+            )
+            result = search.run(callbacks=[restarter])
+        finally:
+            backend.close()
+            restarter.server.close()
+        assert restarter.restarted
+        assert result.num_samples == 60
+        assert np.isfinite(result.best_time)
+        # The restart forced at least one re-dial (session was lost with
+        # the old process; the backend adopted the new server's session).
+        assert backend.num_reconnects >= 2
