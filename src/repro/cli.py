@@ -160,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream search events to PATH as JSON-lines (one object per "
              "event) for live dashboards",
     )
+    p.add_argument(
+        "--vectorized", action="store_true",
+        help="evaluate each minibatch in one vectorized critical-path sweep "
+             "(BatchSimulator) instead of per-placement simulator calls; "
+             "results are bit-for-bit identical, only faster (operational "
+             "flag — safe to toggle across --resume)",
+    )
 
     p = sub.add_parser("serve", help="run a shared measurement service")
     add_common(p)
@@ -177,6 +184,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--request-deadline", type=float, default=None,
                    help="server-side seconds one request may wait on results "
                         "before unresolved tickets answer deadline errors")
+    p.add_argument("--vectorized", action="store_true",
+                   help="sweep each batch's cache misses through one "
+                        "vectorized BatchSimulator pool task per request "
+                        "instead of one task per placement (bit-for-bit "
+                        "identical results)")
+
+    p = sub.add_parser("bench-micro", help="run the microbenchmark lane")
+    p.add_argument("--out", default="BENCH_micro.json", metavar="PATH",
+                   help="write the versioned benchmark report here")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="compare against this committed BENCH_*.json and exit "
+                        "non-zero if any tracked metric regressed beyond "
+                        "--tolerance")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed fractional slowdown vs the baseline before "
+                        "the regression gate trips (default 0.5 = 50%%, "
+                        "absorbing CI machine jitter)")
+    p.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                   help="require the batch-of-64 inception_v3 sweep to be at "
+                        "least X times faster than serial simulation "
+                        "(the acceptance gate runs with X=3)")
+    p.add_argument("--batch", type=_positive_int, default=64,
+                   help="placements per vectorized sweep (default 64)")
+    p.add_argument("--repeats", type=_positive_int, default=3,
+                   help="timing repeats per metric; the best is reported")
+    p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("gantt", help="render a placement's execution timeline")
     add_common(p)
@@ -333,6 +366,7 @@ def cmd_place(args) -> int:
     backend = make_backend(
         env, workers=args.workers, cache=not args.no_cache, seed=args.seed,
         fault_plan=plan, remote=args.remote, remote_timeout=args.remote_timeout,
+        vectorized=args.vectorized,
     )
     if args.memo_path and isinstance(backend, MemoBackend) and os.path.exists(args.memo_path):
         loaded = backend.load(args.memo_path)
@@ -408,15 +442,17 @@ def cmd_serve(args) -> int:
         workers=args.service_workers,
         memo_path=args.memo_path,
         request_deadline=args.request_deadline,
+        vectorized=args.vectorized,
     )
     metrics_http = None
     if args.metrics_port is not None:
         metrics_http = MetricsHTTPServer(
             server.render_metrics, host=args.host, port=args.metrics_port
         ).start()
+    mode = " (vectorized sweeps)" if args.vectorized else ""
     print(f"serving {args.model} ({graph.num_ops} ops, "
           f"{env.num_devices} devices) on {server.address} "
-          f"with {args.service_workers} simulator workers")
+          f"with {args.service_workers} simulator workers{mode}")
     print(f"  fingerprint {server.fingerprint[:16]}…  (clients must match)")
     if metrics_http is not None:
         print(f"  metrics: http://{metrics_http.address}/metrics")
@@ -444,6 +480,27 @@ def cmd_serve(args) -> int:
         if metrics_http is not None:
             metrics_http.close()
     return 0
+
+
+def cmd_bench_micro(args) -> int:
+    from .bench.micro import run_micro_bench, write_report, check_report
+
+    report = run_micro_bench(
+        batch=args.batch, repeats=args.repeats, seed=args.seed
+    )
+    write_report(report, args.out)
+    print(f"benchmark report written to {args.out}")
+    for line in report["summary"]:
+        print(f"  {line}")
+    failures = check_report(
+        report,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+        min_speedup=args.min_speedup,
+    )
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_gantt(args) -> int:
@@ -490,6 +547,7 @@ def main(argv: Optional[list] = None) -> int:
         "eval": cmd_eval,
         "place": cmd_place,
         "serve": cmd_serve,
+        "bench-micro": cmd_bench_micro,
         "gantt": cmd_gantt,
         "lint": cmd_lint,
     }[args.command](args)

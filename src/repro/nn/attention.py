@@ -3,6 +3,14 @@
 The paper adopts "the mechanism proposed by Bahdanau et al.", computing a
 context vector from the encoder outputs and the decoder's previous hidden
 state (§III-C).  ``score(s, h_j) = v^T tanh(W_s s + W_h h_j)``.
+
+:meth:`BahdanauAttention.forward_batched` scores *all* queries of a
+teacher-forced decode against the memory in one broadcasted pass — one
+``(T, G, B, A)`` score tensor instead of ``G`` per-step ``(T, B, A)``
+passes.  Like :func:`repro.nn.rnn.lstm_sweep` it is a single custom
+autograd node whose backward replays the per-step loop's exact gradient
+closures so fused-vs-loop outputs *and* gradients stay equal (``==``);
+``tests/nn/test_fused.py`` enforces this through the seq2seq decoder.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from . import init
 from .functional import softmax
 from .module import Module, Parameter
 from .layers import Linear
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["BahdanauAttention"]
 
@@ -67,3 +75,100 @@ class BahdanauAttention(Module):
         weights = softmax(scores, axis=0)
         context = (memory * weights.reshape(weights.shape[0], weights.shape[1], 1)).sum(axis=0)
         return context, weights
+
+    def forward_batched(
+        self, queries: Tensor, memory: Tensor, memory_proj: Tensor | None = None
+    ) -> Tensor:
+        """Attend with a whole decode's queries at once.
+
+        ``queries`` is ``(G, B, query_size)`` (e.g. every decoder hidden
+        state of a teacher-forced pass); returns the contexts
+        ``(G, B, memory_size)``.  Outputs and gradients are equal (``==``)
+        to ``G`` independent :meth:`forward` calls: the forward computes
+        the same elementwise/reduction expressions over one broadcasted
+        ``(T, G, B, A)`` array (each ``(t, g, b)`` cell sees the identical
+        float ops), and the backward replays the per-step closures in the
+        order the loop graph runs them (steps in reverse order; the query
+        projection's weight, which flows through a fresh per-step
+        transpose node in the loop, in forward order).
+        """
+        if memory_proj is None:
+            memory_proj = self.precompute(memory)
+        w_query, v = self.w_query.weight, self.v
+        G, B = queries.shape[0], queries.shape[1]
+        T = memory.shape[0]
+        A = v.shape[0]
+        mem = memory.data
+        q_all = queries.data @ w_query.data.T  # (G, B, A): stacked GEMM,
+        # row-for-row identical to the loop's per-step (B, Q) matmuls.
+        pre = memory_proj.data[:, None] + q_all[None]  # (T, G, B, A)
+        tanh_pre = np.tanh(pre)
+        scores = (tanh_pre * v.data).sum(axis=3)  # (T, G, B)
+        smax = scores.max(axis=0, keepdims=True)
+        e = np.exp(scores - smax)
+        ssum = e.sum(axis=0, keepdims=True)
+        weights = e / ssum
+        contexts = (mem[:, None] * weights[..., None]).sum(axis=0)  # (G, B, M)
+
+        # ``queries`` goes last so the engine's DFS (which visits the last
+        # parent first) descends the decoder subgraph before the encoder
+        # chain hanging under ``memory_proj`` — that postorders the decoder
+        # ahead of the encoder, so the encoder's closures *execute* first,
+        # matching the per-step loop graph's closure order into shared
+        # upstream tensors (e.g. the encoder input ``x``).
+        parents = (memory, memory_proj, w_query, v, queries)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(contexts)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            g_queries = np.zeros((G, B) + queries.shape[2:])
+            g_memory = g_memory_proj = g_v = None
+            wq_steps = [None] * G
+            # The loop graph's closures for the shared parents run in
+            # forward step order (the stack/logits chain visits step
+            # subgraphs ascending), so contributions reduce ascending.
+            for i in range(G):
+                w_i = weights[:, i, :, None]  # the loop's (T, B, 1) reshape
+                e_i = e[:, i]
+                ssum_i = ssum[:, i]
+                tanh_i = tanh_pre[:, i]
+                g_mm = np.broadcast_to(np.expand_dims(grad[i], 0), mem.shape)
+                mem_step = g_mm * w_i
+                g_wr = (g_mm * mem).sum(axis=(2,), keepdims=True)
+                g_w = g_wr.reshape(T, B)
+                g_e = g_w / ssum_i
+                g_ssum = (-g_w * e_i / (ssum_i**2)).sum(axis=(0,), keepdims=True)
+                g_e = g_e + np.broadcast_to(g_ssum, (T, B))
+                g_scores = g_e * e_i
+                g_mul = np.broadcast_to(np.expand_dims(g_scores, 2), (T, B, A))
+                g_tanh = g_mul * v.data
+                v_step = (g_mul * tanh_i).sum(axis=(0, 1))
+                g_add = g_tanh * (1.0 - tanh_i**2)
+                g_q = g_add.sum(axis=(0,))
+                g_queries[i] += g_q @ w_query.data
+                wq_steps[i] = (queries.data[i].T @ g_q).T
+                if g_memory is None:
+                    g_memory = mem_step.copy()
+                    g_memory_proj = g_add.copy()
+                    g_v = v_step.copy()
+                else:
+                    g_memory += mem_step
+                    g_memory_proj += g_add
+                    g_v += v_step
+            if queries.requires_grad:
+                queries._accumulate(g_queries)
+            if memory.requires_grad:
+                memory._accumulate(g_memory)
+            if memory_proj.requires_grad:
+                memory_proj._accumulate(g_memory_proj)
+            if w_query.requires_grad:
+                g_wq = wq_steps[0].copy()
+                for i in range(1, G):
+                    g_wq += wq_steps[i]
+                w_query._accumulate(g_wq)
+            if v.requires_grad:
+                v._accumulate(g_v)
+
+        return Tensor(contexts, requires_grad=True, _parents=parents, _backward=backward)

@@ -5,6 +5,23 @@ unidirectional LSTM decoder.  Sequences are laid out time-major,
 ``(T, B, input_size)``; the input projection for the whole sequence is done
 with a single matmul so the per-step Python loop only carries the recurrent
 part.
+
+Fused sweep
+-----------
+
+:func:`lstm_sweep` collapses the remaining per-step Python loop into one
+autograd node: the forward runs the recurrence in raw numpy (no per-step
+graph bookkeeping) and the backward hand-replays, step by step in reverse
+time, the exact closures the loop's autograd graph would have executed —
+the same numpy expressions, in the same accumulation order.  Outputs and
+gradients are therefore equal (``==``) to the step-by-step path; the fused
+regression suite (``tests/nn/test_fused.py``) enforces this, including a
+finite-difference check.  :class:`LSTM` uses the sweep by default
+(``fused=True``); the one observable difference is that the *final*
+``(h, c)`` state it returns is detached from the graph — the in-repo
+consumer (:class:`~repro.placement.seq2seq.Seq2SeqPlacer`) discards it,
+and callers that need to backpropagate through the final state can pass
+``fused=False``.
 """
 
 from __future__ import annotations
@@ -16,9 +33,9 @@ import numpy as np
 from . import init
 from .functional import concatenate, stack
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
-__all__ = ["LSTMCell", "LSTM", "BiLSTM"]
+__all__ = ["LSTMCell", "LSTM", "BiLSTM", "lstm_sweep"]
 
 State = Tuple[Tensor, Tensor]
 
@@ -70,18 +87,138 @@ class LSTMCell(Module):
         return z, z
 
 
+def lstm_sweep(
+    proj: Tensor, cell: LSTMCell, state: State, *, reverse: bool = False
+) -> Tuple[Tensor, State]:
+    """Fused multi-timestep LSTM: one autograd node for the whole recurrence.
+
+    ``proj`` is the bulk input projection ``(T, B, 4H)`` (``x @ w_ih.T``,
+    still an ordinary autograd matmul so input gradients are unchanged);
+    the recurrent sweep over time runs in raw numpy here.  Returns the
+    stacked hidden states ``(T, B, H)`` and the final ``(h, c)`` state
+    *detached* from the graph.
+
+    The backward closure replays, in reverse time order, exactly the
+    gradient expressions the per-step autograd graph executes — e.g.
+    sigmoid's ``g * out * (1 - out)`` with the same left-to-right
+    association, the matmul-then-transpose form ``(h.T @ g).T`` for the
+    recurrent weight, and per-gate gradients assembled by adding into a
+    zero array the way four slice scatters would.  That is what makes
+    fused-vs-loop equality exact rather than approximate.
+    """
+    H = cell.hidden_size
+    w_hh, bias = cell.w_hh, cell.bias
+    T, B = proj.shape[0], proj.shape[1]
+    if T == 0:
+        raise ValueError("lstm_sweep needs at least one timestep")
+    order = list(range(T - 1, -1, -1) if reverse else range(T))
+    w = w_hh.data
+    w_T = w.T
+    b = bias.data
+    h, c = state[0].data, state[1].data
+    outputs = np.empty((T, B, H))
+    # Per-step cache for the backward replay: (h_prev, c_prev, i, f, g, o,
+    # tanh_c), indexed by sweep position k (not time t).
+    cache = []
+    for t in order:
+        gates = proj.data[t] + h @ w_T + b
+        i = 1.0 / (1.0 + np.exp(-gates[:, 0 * H : 1 * H]))
+        f = 1.0 / (1.0 + np.exp(-gates[:, 1 * H : 2 * H]))
+        g = np.tanh(gates[:, 2 * H : 3 * H])
+        o = 1.0 / (1.0 + np.exp(-gates[:, 3 * H : 4 * H]))
+        c_next = f * c + i * g
+        tanh_c = np.tanh(c_next)
+        h_next = o * tanh_c
+        cache.append((h, c, i, f, g, o, tanh_c))
+        h, c = h_next, c_next
+        outputs[t] = h
+
+    final = (Tensor(h), Tensor(c))
+    parents = (proj, w_hh, bias, state[0], state[1])
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(outputs), final
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        g_proj = np.zeros((T, B, 4 * H))
+        g_b = None
+        g_h = g_c = None
+        # w_hh contributions flow through a fresh per-step ``w_hh.T``
+        # transpose node whose closure runs in *ascending* time order in
+        # the loop graph (unlike the step chains, which close in reverse
+        # time) — collect per-step and reduce in that order below.
+        w_steps = [None] * T
+        for k in range(T - 1, -1, -1):
+            t = order[k]
+            h_prev, c_prev, i, f, g_gate, o, tanh_c = cache[k]
+            if g_h is None:
+                g_h = grad[t].copy()
+            g_o = g_h * tanh_c
+            g_tanh = g_h * o
+            local = g_tanh * (1.0 - tanh_c**2)
+            g_ctot = local if g_c is None else g_c + local
+            g_f = g_ctot * c_prev
+            g_i = g_ctot * g_gate
+            g_g = g_ctot * i
+            gg = np.zeros((B, 4 * H))
+            gg[:, 0 * H : 1 * H] += g_i * i * (1.0 - i)
+            gg[:, 1 * H : 2 * H] += g_f * f * (1.0 - f)
+            gg[:, 2 * H : 3 * H] += g_g * (1.0 - g_gate**2)
+            gg[:, 3 * H : 4 * H] += g_o * o * (1.0 - o)
+            g_proj[t] += gg
+            b_step = gg.sum(axis=0)
+            w_steps[t] = (h_prev.T @ gg).T
+            if g_b is None:
+                g_b = b_step.copy()
+            else:
+                g_b += b_step
+            if k > 0:
+                g_h = grad[order[k - 1]].copy()
+                g_h += gg @ w
+                g_c = g_ctot * f
+            else:
+                if state[0].requires_grad:
+                    state[0]._accumulate(gg @ w)
+                if state[1].requires_grad:
+                    state[1]._accumulate(g_ctot * f)
+        if w_hh.requires_grad:
+            g_w = w_steps[0].copy()
+            for t in range(1, T):
+                g_w += w_steps[t]
+            w_hh._accumulate(g_w)
+        if bias.requires_grad:
+            bias._accumulate(g_b)
+        if proj.requires_grad:
+            proj._accumulate(g_proj)
+
+    out = Tensor(outputs, requires_grad=True, _parents=parents, _backward=backward)
+    return out, final
+
+
 class LSTM(Module):
     """Unidirectional LSTM over a time-major sequence ``(T, B, input_size)``.
 
     Returns the stacked hidden states ``(T, B, hidden_size)`` and the final
-    ``(h, c)`` state.
+    ``(h, c)`` state.  With ``fused=True`` (the default) the recurrence
+    runs through :func:`lstm_sweep` — same outputs and gradients, one
+    autograd node instead of ~12 per step, detached final state.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, *, rng: np.random.Generator, reverse: bool = False) -> None:
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        *,
+        rng: np.random.Generator,
+        reverse: bool = False,
+        fused: bool = True,
+    ) -> None:
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
         self.reverse = reverse
+        self.fused = fused
 
     def forward(self, x: Tensor, state: Optional[State] = None) -> Tuple[Tensor, State]:
         T, B = x.shape[0], x.shape[1]
@@ -90,6 +227,8 @@ class LSTM(Module):
         # Bulk input projection: one (T*B, I) @ (I, 4H) matmul.
         proj = x.reshape(T * B, x.shape[2]) @ self.cell.w_ih.T
         proj = proj.reshape(T, B, 4 * self.hidden_size)
+        if self.fused:
+            return lstm_sweep(proj, self.cell, state, reverse=self.reverse)
         order = range(T - 1, -1, -1) if self.reverse else range(T)
         outputs = [None] * T
         for t in order:
@@ -105,10 +244,17 @@ class BiLSTM(Module):
     final states of the two directions concatenated along features.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, *, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        *,
+        rng: np.random.Generator,
+        fused: bool = True,
+    ) -> None:
         super().__init__()
-        self.fwd = LSTM(input_size, hidden_size, rng=rng, reverse=False)
-        self.bwd = LSTM(input_size, hidden_size, rng=rng, reverse=True)
+        self.fwd = LSTM(input_size, hidden_size, rng=rng, reverse=False, fused=fused)
+        self.bwd = LSTM(input_size, hidden_size, rng=rng, reverse=True, fused=fused)
         self.hidden_size = hidden_size
 
     def forward(self, x: Tensor) -> Tuple[Tensor, State]:

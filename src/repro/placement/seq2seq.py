@@ -23,8 +23,134 @@ import numpy as np
 
 from ..nn import BahdanauAttention, BiLSTM, LSTMCell, Linear, Module, Parameter, Tensor, init, no_grad
 from ..nn.functional import concatenate, log_softmax, softmax, stack
+from ..nn.tensor import is_grad_enabled
 
 __all__ = ["Seq2SeqPlacer"]
+
+
+def _decode_sweep(x: Tensor, embedding: Parameter, prev_idx: np.ndarray, cell: LSTMCell) -> Tensor:
+    """Fused teacher-forced decoder: one autograd node for the whole decode.
+
+    Per step the loop gathers the previous decision's embedding, concatenates
+    it with ``x[i]``, projects through ``w_ih`` and runs one LSTM step; under
+    teacher forcing every ``prev_idx`` row is known upfront, so the whole
+    sweep fuses.  Like :func:`repro.nn.rnn.lstm_sweep` the backward replays
+    the loop graph's exact closures — same expressions, same accumulation
+    orders (reverse time for the bias/recurrence chain and the ``w_ih``/
+    embedding contributions, ascending time for the recurrent weight's
+    transpose nodes) — so outputs *and* gradients are equal (``==``) to the
+    step-by-step path.
+
+    ``x`` is ``(G, B, Hx)``; ``embedding`` is the ``(V, E)`` device-embedding
+    table; ``prev_idx`` is ``(G, B)`` int64 (row ``i`` holds the device fed to
+    step ``i``).  Returns the stacked hidden states ``(G, B, H)``.
+    """
+    G, B, Hx = x.shape
+    H = cell.hidden_size
+    w_ih, w_hh, bias = cell.w_ih, cell.w_hh, cell.bias
+    wi = w_ih.data
+    wi_T = wi.T
+    w = w_hh.data
+    w_T = w.T
+    b = bias.data
+    emb = embedding.data
+    h = np.zeros((B, H))
+    c = np.zeros((B, H))
+    outputs = np.empty((G, B, H))
+    inps = []
+    cache = []
+    for t in range(G):
+        inp = np.concatenate([x.data[t], emb[prev_idx[t]]], axis=1)
+        gates = inp @ wi_T + h @ w_T + b
+        i = 1.0 / (1.0 + np.exp(-gates[:, 0 * H : 1 * H]))
+        f = 1.0 / (1.0 + np.exp(-gates[:, 1 * H : 2 * H]))
+        g = np.tanh(gates[:, 2 * H : 3 * H])
+        o = 1.0 / (1.0 + np.exp(-gates[:, 3 * H : 4 * H]))
+        c_next = f * c + i * g
+        tanh_c = np.tanh(c_next)
+        h_next = o * tanh_c
+        inps.append(inp)
+        cache.append((c, i, f, g, o, tanh_c))
+        h, c = h_next, c_next
+        outputs[t] = h
+
+    # ``embedding`` goes last: the DFS visits the last parent first, and the
+    # loop graph postorders each step's embedding gather under the step
+    # subtree before reaching ``x``'s ancestors.
+    parents = (w_ih, w_hh, bias, x, embedding)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(outputs)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        gg_steps = [None] * G
+        g_b = None
+        g_h = g_c = None
+        for t in range(G - 1, -1, -1):
+            c_prev, i, f, g_gate, o, tanh_c = cache[t]
+            if g_h is None:
+                g_h = grad[t].copy()
+            g_o = g_h * tanh_c
+            g_tanh = g_h * o
+            local = g_tanh * (1.0 - tanh_c**2)
+            g_ctot = local if g_c is None else g_c + local
+            g_f = g_ctot * c_prev
+            gg = np.zeros((B, 4 * H))
+            gg[:, 0 * H : 1 * H] += (g_ctot * g_gate) * i * (1.0 - i)
+            gg[:, 1 * H : 2 * H] += g_f * f * (1.0 - f)
+            gg[:, 2 * H : 3 * H] += (g_ctot * i) * (1.0 - g_gate**2)
+            gg[:, 3 * H : 4 * H] += g_o * o * (1.0 - o)
+            gg_steps[t] = gg
+            b_step = gg.sum(axis=0)
+            if g_b is None:
+                g_b = b_step.copy()
+            else:
+                g_b += b_step
+            if t > 0:
+                g_h = grad[t - 1].copy()
+                g_h += gg @ w
+                g_c = g_ctot * f
+        # Input-side contributions: ``x`` rows are disjoint per step (any
+        # reduction order is exact); the recurrent weight's transpose nodes
+        # close forward-in-time in the loop graph (ascending, as in
+        # lstm_sweep), while the embedding gathers and the input weight's
+        # transposes close reverse-in-time (descending).
+        g_x = np.zeros((G, B, Hx))
+        g_inp_steps = [None] * G
+        g_wh = None
+        for t in range(G):
+            gg = gg_steps[t]
+            g_inp_steps[t] = gg @ wi
+            g_x[t] += g_inp_steps[t][:, :Hx]
+            wh_step = ((outputs[t - 1] if t else np.zeros((B, H))).T @ gg).T
+            if g_wh is None:
+                g_wh = wh_step
+            else:
+                g_wh += wh_step
+        g_emb = None
+        g_wi = None
+        for t in range(G - 1, -1, -1):
+            scat = np.zeros_like(emb)
+            np.add.at(scat, prev_idx[t], g_inp_steps[t][:, Hx:])
+            wi_step = (inps[t].T @ gg_steps[t]).T
+            if g_emb is None:
+                g_emb, g_wi = scat, wi_step
+            else:
+                g_emb += scat
+                g_wi += wi_step
+        if w_ih.requires_grad:
+            w_ih._accumulate(g_wi)
+        if w_hh.requires_grad:
+            w_hh._accumulate(g_wh)
+        if bias.requires_grad:
+            bias._accumulate(g_b)
+        if x.requires_grad:
+            x._accumulate(g_x)
+        if embedding.requires_grad:
+            embedding._accumulate(g_emb)
+
+    return Tensor(outputs, requires_grad=True, _parents=parents, _backward=backward)
 
 
 class Seq2SeqPlacer(Module):
@@ -48,6 +174,16 @@ class Seq2SeqPlacer(Module):
         Optional per-device initial logit offsets added to the output
         layer's bias (e.g. a negative value on the CPU so early samples
         prefer accelerators).  The bias remains trainable.
+    fused:
+        Use the fused hot paths (default): the encoder runs through
+        :func:`~repro.nn.rnn.lstm_sweep`, and ``"after"``-mode
+        teacher-forced decodes additionally fuse the decoder recurrence
+        and batch the attention scores (the whole decoder input sequence
+        is known upfront under teacher forcing).  Outputs and gradients
+        are equal (``==``) to the step-by-step path — enforced by
+        ``tests/nn/test_fused.py``.  ``"before"``-mode decodes stay
+        per-step (the attention context feeds the next LSTM input, a true
+        recurrence).
     """
 
     def __init__(
@@ -61,6 +197,7 @@ class Seq2SeqPlacer(Module):
         device_prior: Optional[np.ndarray] = None,
         *,
         rng: np.random.Generator,
+        fused: bool = True,
     ) -> None:
         super().__init__()
         if attention not in ("before", "after"):
@@ -71,12 +208,13 @@ class Seq2SeqPlacer(Module):
         self.num_devices = num_devices
         self.hidden = hidden
         self.attention = attention
+        self.fused = fused
         attn_size = attn_size or hidden // 2
         device_embed_dim = device_embed_dim or max(8, hidden // 8)
         self.device_embed_dim = device_embed_dim
 
         self.input_proj = Linear(embed_dim, hidden, rng=rng)
-        self.encoder = BiLSTM(hidden, hidden // 2, rng=rng)  # outputs (G, B, hidden)
+        self.encoder = BiLSTM(hidden, hidden // 2, rng=rng, fused=fused)  # outputs (G, B, hidden)
         # +1 device id: the start-of-decode token.
         self.device_embedding = Parameter(
             init.xavier_normal((num_devices + 1, device_embed_dim), rng), name="device_embedding"
@@ -116,6 +254,21 @@ class Seq2SeqPlacer(Module):
         G, B = embeddings.shape[0], embeddings.shape[1]
         x, enc_out = self._encode(embeddings)
         memory_proj = self.attn.precompute(enc_out)
+
+        if self.attention == "after" and self.fused:
+            # Teacher forcing makes every decoder input known upfront, so
+            # the gather/concat/project/LSTM chain fuses into one
+            # _decode_sweep node and the attention into one batched-scores
+            # node; only the per-step output projections stay as loop nodes.
+            prev_idx = np.empty((G, B), dtype=np.int64)
+            prev_idx[0] = self.num_devices  # start token
+            prev_idx[1:] = devices[:, : G - 1].T
+            hs = _decode_sweep(x, self.device_embedding, prev_idx, self.decoder)
+            contexts = self.attn.forward_batched(hs, enc_out, memory_proj)
+            logits_steps = [
+                self.out_proj(concatenate([hs[i], contexts[i]], axis=1)) for i in range(G)
+            ]
+            return stack(logits_steps, axis=0)
 
         h, c = self.decoder.zero_state(B)
         logits_steps = []

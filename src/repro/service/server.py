@@ -66,6 +66,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..core.events import MetricsExporter
 from ..graph.fingerprint import placement_space_fingerprint
 from ..sim.backends import MemoBackend
+from ..sim.batch import BatchSimulator
 from ..sim.environment import PlacementEnvironment, RawOutcome
 from ..sim.simulator import Simulator
 from . import protocol
@@ -338,6 +339,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 misses.append((ticket, placement))
         if not misses:
             return
+        if service.vectorized and len(misses) > 1:
+            # One pool task sweeps every miss in a single vectorized pass;
+            # admission stays all-or-nothing because it is a single submit.
+            chunk = [placement for _, placement in misses]
+            future = service._pool.submit(service._simulate_chunk, chunk)
+            self._attach_chunk(record, [ticket for ticket, _ in misses], future)
+            return
         futures = service._pool.submit_many(
             [(service._simulate, placement) for _, placement in misses]
         )
@@ -365,6 +373,33 @@ class _Handler(socketserver.StreamRequestHandler):
                     ticket,
                     {"raw": protocol.encode_raw(done.result()), "cached": False},
                 )
+
+        future.add_done_callback(_store)
+
+    def _attach_chunk(
+        self, record: BatchRecord, tickets: List[int], future: Future
+    ) -> None:
+        """Wire one vectorized-sweep future to every ticket it resolves.
+
+        Same socket-independence contract as :meth:`_attach`; a sweep
+        failure answers a ``crash`` error on every ticket in the chunk
+        (the lanes share one worker, so they share its fate).
+        """
+        service = self.service
+
+        def _store(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                service.metrics.inc("repro_service_worker_errors_total")
+                for ticket in tickets:
+                    record.store(
+                        ticket, {"error": {"kind": "crash", "message": str(exc)}}
+                    )
+            else:
+                for ticket, raw in zip(tickets, done.result()):
+                    record.store(
+                        ticket, {"raw": protocol.encode_raw(raw), "cached": False}
+                    )
 
         future.add_done_callback(_store)
 
@@ -452,6 +487,13 @@ class MeasurementServer:
     clock:
         Monotonic-seconds callable (injectable so tests drive idle reaping
         and deadlines deterministically).
+    vectorized:
+        When True, a batch's cache misses run as *one* pool task through a
+        per-worker :class:`~repro.sim.batch.BatchSimulator` sweep instead
+        of one task per placement.  Results are bit-for-bit identical (the
+        sweep is golden-tested against the scalar loop), so clients cannot
+        observe the difference except in throughput; single ``evaluate``
+        requests keep the scalar path.
     """
 
     def __init__(
@@ -468,6 +510,7 @@ class MeasurementServer:
         session_idle_timeout: float = 300.0,
         housekeeping_interval: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        vectorized: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -479,6 +522,9 @@ class MeasurementServer:
         self.workers = workers
         self.request_deadline = request_deadline
         self.clock = clock
+        self.vectorized = vectorized
+        #: lanes evaluated by vectorized sweeps (0 unless ``vectorized``).
+        self.batch_lanes = 0
         self.fingerprint = placement_space_fingerprint(
             environment.graph, environment.topology, environment.simulator.cost_model
         )
@@ -533,6 +579,13 @@ class MeasurementServer:
             self._local.simulator = sim
         return sim
 
+    def _worker_batch_simulator(self) -> BatchSimulator:
+        batch = getattr(self._local, "batch_simulator", None)
+        if batch is None:
+            batch = BatchSimulator(self._worker_simulator())
+            self._local.batch_simulator = batch
+        return batch
+
     def _simulate(self, placement) -> RawOutcome:
         """Worker-pool task: one deterministic simulation + cache insert."""
         from ..sim.simulator import OutOfMemoryError
@@ -548,6 +601,22 @@ class MeasurementServer:
             self.num_simulations += 1
             self.memo.insert(placement, raw)
         return raw
+
+    def _simulate_chunk(self, placements: List) -> List[RawOutcome]:
+        """Worker-pool task: one vectorized sweep over a batch's misses.
+
+        Every lane counts as one simulation — the sweep performs the same
+        per-placement work as K scalar runs, just without K Python loops —
+        so the at-most-once accounting in :attr:`num_simulations` is
+        unchanged by the vectorized path.
+        """
+        raws = self._worker_batch_simulator().raw_outcomes(placements)
+        with self._memo_lock:
+            self.num_simulations += len(placements)
+            self.batch_lanes += len(placements)
+            for placement, raw in zip(placements, raws):
+                self.memo.insert(placement, raw)
+        return raws
 
     def _raw_outcome(self, placement):
         """Shared-cache lookup, falling back to a pool worker; blocking."""
@@ -572,6 +641,8 @@ class MeasurementServer:
             "simulations": float(self.num_simulations),
             "sessions": float(len(self.sessions)),
             "draining": float(self.draining.is_set()),
+            "vectorized": float(self.vectorized),
+            "batch_lanes": float(self.batch_lanes),
         }
 
     def render_metrics(self) -> str:

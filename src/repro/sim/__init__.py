@@ -3,6 +3,7 @@
 from .devices import DeviceSpec, LinkSpec, Topology
 from .cost_model import CostModel
 from .simulator import Simulator, StepBreakdown, OutOfMemoryError
+from .batch import BatchSimulator, BatchStepBreakdown
 from .environment import PlacementEnvironment, Measurement, RawOutcome
 from .backends import (
     EvaluationBackend,
@@ -23,6 +24,8 @@ __all__ = [
     "Simulator",
     "StepBreakdown",
     "OutOfMemoryError",
+    "BatchSimulator",
+    "BatchStepBreakdown",
     "PlacementEnvironment",
     "Measurement",
     "RawOutcome",

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, runt
 import numpy as np
 
 from ..ioutil import atomic_write_text
+from .batch import BatchSimulator
 from .environment import Measurement, PlacementEnvironment, RawOutcome
 from .simulator import Simulator
 
@@ -89,19 +90,74 @@ class EvaluationBackend(Protocol):
 
 
 class SerialBackend:
-    """The historical behaviour: one in-process evaluation per placement."""
+    """The historical behaviour: one in-process evaluation per placement.
 
-    def __init__(self, environment: PlacementEnvironment) -> None:
+    With ``vectorized=True`` the deterministic simulations of a minibatch run
+    as one :class:`~repro.sim.batch.BatchSimulator` sweep; the raw outcomes
+    are still committed per placement in submission order, so measurements,
+    noise draws and clock charges are bit-for-bit those of the scalar path.
+    ``prepare_batch`` (the engine's optional pre-dispatch hook) sweeps the
+    upcoming minibatch once and parks the raws, so the policy path's
+    one-placement-at-a-time calls become table lookups.
+    """
+
+    def __init__(
+        self, environment: PlacementEnvironment, *, vectorized: bool = False
+    ) -> None:
         self.environment = environment
+        self.vectorized = bool(vectorized)
+        self._batch = BatchSimulator(environment.simulator) if vectorized else None
+        self._prefetched: Dict[bytes, RawOutcome] = {}
+        self.batch_lanes = 0
+        self.prefetch_hits = 0
+
+    def prepare_batch(self, placements) -> None:
+        """Pre-simulate an upcoming minibatch in one vectorized sweep.
+
+        A hint, not a contract: nothing is committed here, and evaluation
+        falls back to the scalar path for any placement not prepared.
+        """
+        if self._batch is None:
+            return
+        self._prefetched.clear()
+        keys: List[bytes] = []
+        unique: List[np.ndarray] = []
+        for p in placements:
+            key = _placement_key(p)
+            if key not in self._prefetched:
+                self._prefetched[key] = RawOutcome(None)  # placeholder, set below
+                keys.append(key)
+                unique.append(p)
+        raws = self._batch.raw_outcomes(unique)
+        self.batch_lanes += len(unique)
+        for key, raw in zip(keys, raws):
+            self._prefetched[key] = raw
+
+    def _raw(self, placement: np.ndarray) -> RawOutcome:
+        raw = self._prefetched.pop(_placement_key(placement), None)
+        if raw is not None:
+            self.prefetch_hits += 1
+            return raw
+        return self.environment.simulate_raw(placement)
 
     def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
+        if self._batch is not None:
+            if len(placements) > 1:
+                sweep = self._batch.raw_outcomes(placements)
+                self.batch_lanes += len(placements)
+                return [self.environment.commit(raw) for raw in sweep]
+            return [self.environment.commit(self._raw(p)) for p in placements]
         return [self.environment.evaluate(p) for p in placements]
 
     def close(self) -> None:
         pass
 
     def stats(self) -> Dict[str, float]:
-        return {"evaluations": float(self.environment.num_evaluations)}
+        out = {"evaluations": float(self.environment.num_evaluations)}
+        if self.vectorized:
+            out["batch_lanes"] = float(self.batch_lanes)
+            out["prefetch_hits"] = float(self.prefetch_hits)
+        return out
 
 
 def _placement_key(placement: Sequence[int]) -> bytes:
@@ -134,12 +190,18 @@ class MemoBackend:
     _PERSIST_VERSION = 1
 
     def __init__(
-        self, environment: PlacementEnvironment, max_entries: Optional[int] = None
+        self,
+        environment: PlacementEnvironment,
+        max_entries: Optional[int] = None,
+        *,
+        vectorized: bool = False,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.environment = environment
         self.max_entries = max_entries
+        self.vectorized = bool(vectorized)
+        self._batch = BatchSimulator(environment.simulator) if vectorized else None
         self.hits = 0
         self.misses = 0
         self._store: "OrderedDict[bytes, RawOutcome]" = OrderedDict()
@@ -172,7 +234,63 @@ class MemoBackend:
             self.insert(placement, raw)
         return raw
 
+    def prepare_batch(self, placements) -> None:
+        """Warm the cache for an upcoming minibatch in one vectorized sweep.
+
+        Peeks the table without touching the hit/miss counters (nothing is
+        being evaluated yet) and simulates only the absent placements.  A
+        no-op unless constructed with ``vectorized=True``.
+        """
+        if self._batch is None:
+            return
+        seen: Dict[bytes, None] = {}
+        missing: List[np.ndarray] = []
+        for p in placements:
+            key = _placement_key(p)
+            if key not in self._store and key not in seen:
+                seen[key] = None
+                missing.append(p)
+        if missing:
+            for p, raw in zip(missing, self._batch.raw_outcomes(missing)):
+                self.insert(p, raw)
+
+    def _raws_vectorized(self, placements: Sequence[np.ndarray]) -> List[RawOutcome]:
+        """Batch equivalent of ``[self.raw(p) for p in placements]``.
+
+        Counter semantics match the scalar walk exactly: the first
+        occurrence of an uncached placement is a miss, repeats within the
+        batch are hits (the scalar walk would have inserted it by then).
+        Only LRU eviction *timing* under ``max_entries`` can differ — raw
+        outcomes are deterministic, so a re-simulated eviction victim
+        yields the identical measurement either way.
+        """
+        keys = [_placement_key(p) for p in placements]
+        pending: Dict[bytes, int] = {}
+        missing: List[np.ndarray] = []
+        for key, p in zip(keys, placements):
+            if key in self._store or key in pending:
+                self.hits += 1
+                if key in self._store:
+                    self._store.move_to_end(key)
+            else:
+                self.misses += 1
+                pending[key] = len(missing)
+                missing.append(p)
+        fresh = self._batch.raw_outcomes(missing) if missing else []
+        for p, raw in zip(missing, fresh):
+            self.insert(p, raw)
+        out: List[RawOutcome] = []
+        for key in keys:
+            raw = self._store.get(key)
+            if raw is None:  # evicted within this batch under max_entries
+                raw = fresh[pending[key]].without_breakdown()
+            out.append(raw)
+        return out
+
     def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
+        if self._batch is not None and len(placements) > 1:
+            raws = self._raws_vectorized(placements)
+            return [self.environment.commit(raw) for raw in raws]
         return [self.environment.commit(self.raw(p)) for p in placements]
 
     # ------------------------------------------------------------------ #
@@ -419,6 +537,7 @@ def make_backend(
     fault_plan: Optional["FaultPlan"] = None,
     remote: Optional[str] = None,
     remote_timeout: float = 30.0,
+    vectorized: bool = False,
 ) -> EvaluationBackend:
     """Pick a backend from CLI-ish knobs.
 
@@ -431,6 +550,13 @@ def make_backend(
     identical measurements on a fixed environment seed.  A ``fault_plan``
     with any non-zero rate wraps the result in a
     :class:`~repro.sim.faults.FaultInjectingBackend` (chaos testing).
+
+    ``vectorized=True`` makes the in-process backends run each minibatch's
+    deterministic simulations as one :class:`~repro.sim.batch
+    .BatchSimulator` sweep (measurements stay bit-for-bit identical; only
+    throughput changes).  Remote evaluation vectorizes server-side
+    (``repro serve --vectorized``), and :class:`ParallelBackend` already
+    shards across processes, so the flag is a no-op for both.
     """
     if remote is not None:
         # repro: allow[layer-import] lazy factory hook — runs only when --remote is requested, so sim carries no import-time service dependency (service imports sim eagerly; the reverse eager import would be a cycle)
@@ -442,9 +568,9 @@ def make_backend(
     elif workers and workers > 1:
         backend = ParallelBackend(environment, workers=workers, seed=seed)
     elif cache:
-        backend = MemoBackend(environment)
+        backend = MemoBackend(environment, vectorized=vectorized)
     else:
-        backend = SerialBackend(environment)
+        backend = SerialBackend(environment, vectorized=vectorized)
     if fault_plan is not None and fault_plan.enabled:
         from .faults import FaultInjectingBackend
 

@@ -178,6 +178,20 @@ class FaultInjectingBackend:
         """
         return self.crashes_injected + self.corruptions_injected
 
+    def prepare_batch(self, placements) -> None:
+        """Forward the engine's pre-dispatch hint to the wrapped backend.
+
+        Without this forwarding, wrapping a backend for chaos testing would
+        silently disable batch ticketing (remote prefetch, vectorized
+        sweeps): the engine discovers ``prepare_batch`` with ``getattr`` on
+        the outermost backend only.  No fault fates are drawn here — the
+        hint is not an evaluation, and the fault stream must depend only on
+        how many evaluations ran.
+        """
+        prepare = getattr(self.inner, "prepare_batch", None)
+        if prepare is not None:
+            prepare(placements)
+
     def evaluate_batch(self, placements: Sequence[np.ndarray]) -> List[Measurement]:
         """Measure the batch with per-placement fault draws, in order.
 

@@ -1,0 +1,147 @@
+"""Golden equivalence: BatchSimulator vs K independent scalar simulations.
+
+Every assertion here is ``==`` / ``array_equal`` — never ``allclose``.  The
+vectorized sweep performs the same float operations in the same order as
+the scalar loop, so the results must be bit-for-bit identical, including
+on memory-infeasible lanes (where the batch reports the scalar path's
+exact ``OutOfMemoryError`` over-commit detail instead of raising).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.models import build_benchmark, build_random_layered
+from repro.sim import BatchSimulator, OutOfMemoryError, Simulator, Topology
+
+BENCHMARKS = ["inception_v3", "gnmt", "bert"]
+
+
+def _random_batch(rng, num_ops, num_devices, k):
+    return [rng.integers(0, num_devices, size=num_ops) for _ in range(k)]
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("model", BENCHMARKS)
+    def test_benchmark_graphs_bit_for_bit(self, model):
+        graph = build_benchmark(model)
+        topo = Topology.default_4gpu()
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        rng = np.random.default_rng(0)
+        placements = _random_batch(rng, graph.num_ops, topo.num_devices, 16)
+
+        result = batch.simulate_batch(placements)
+        for i, p in enumerate(placements):
+            try:
+                bd = sim.simulate(p)
+            except OutOfMemoryError as exc:
+                assert result.step_times[i] == np.inf
+                assert result.critical_op[i] == -1
+                assert result.oom_details[i] == exc.overcommitted
+                continue
+            assert result.oom_details[i] is None
+            assert result.step_times[i] == bd.makespan
+            assert np.array_equal(result.device_busy[i], bd.device_busy)
+            assert np.array_equal(result.device_memory[i], sim.memory_usage(p))
+            assert result.comm_bytes[i] == bd.comm_bytes
+            assert result.comm_time[i] == bd.comm_time
+            assert result.critical_op[i] == bd.critical_op
+            assert result.dispatch_total[i] == bd.dispatch_total
+
+    def test_memory_infeasible_lanes_report_scalar_oom_detail(self):
+        """Force over-commit by shrinking GPU memory until placements OOM."""
+        graph = build_benchmark("inception_v3")
+        topo = Topology.default_4gpu(gpu_memory_bytes=16_000_000)  # tiny GPUs
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        rng = np.random.default_rng(1)
+        placements = _random_batch(rng, graph.num_ops, topo.num_devices, 8)
+        # All ops on CPU is always feasible — mix it in so the batch holds
+        # both kinds of lane.
+        placements.append(np.zeros(graph.num_ops, dtype=np.int64))
+
+        result = batch.simulate_batch(placements)
+        saw_oom = saw_ok = False
+        for i, p in enumerate(placements):
+            try:
+                bd = sim.simulate(p)
+            except OutOfMemoryError as exc:
+                saw_oom = True
+                assert result.step_times[i] == np.inf
+                assert result.oom_details[i] == exc.overcommitted
+                assert np.all(result.device_busy[i] == 0.0)
+                assert result.comm_bytes[i] == 0.0
+            else:
+                saw_ok = True
+                assert result.step_times[i] == bd.makespan
+        assert saw_oom and saw_ok
+
+    def test_record_trace_parity(self):
+        graph = build_benchmark("inception_v3")
+        topo = Topology.default_4gpu()
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        rng = np.random.default_rng(2)
+        placements = _random_batch(rng, graph.num_ops, topo.num_devices, 4)
+
+        result = batch.simulate_batch(placements, record_trace=True)
+        assert result.op_start.shape == (4, graph.num_ops)
+        for i, p in enumerate(placements):
+            bd = sim.simulate(p, record_trace=True)
+            assert np.array_equal(result.op_start[i], bd.op_start)
+            assert np.array_equal(result.op_end[i], bd.op_end)
+
+    def test_raw_outcomes_roundtrip(self):
+        graph = build_random_layered(num_layers=5, width=4, seed=3)
+        topo = Topology.default_4gpu(num_gpus=2)
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        rng = np.random.default_rng(4)
+        placements = _random_batch(rng, graph.num_ops, topo.num_devices, 6)
+        raws = batch.raw_outcomes(placements)
+        assert len(raws) == 6
+        for raw, p in zip(raws, placements):
+            if raw.oom_detail is None:
+                assert raw.base_time == sim.simulate(p).makespan
+            else:
+                with pytest.raises(OutOfMemoryError):
+                    sim.simulate(p)
+
+
+class TestBatchShapes:
+    def test_empty_batch(self):
+        graph = build_random_layered(num_layers=3, width=3, seed=0)
+        sim = Simulator(graph, Topology.default_4gpu(num_gpus=2))
+        batch = BatchSimulator(sim)
+        result = batch.simulate_batch([])
+        assert len(result) == 0
+        assert result.step_times.shape == (0,)
+
+    def test_batch_of_one_equals_scalar(self):
+        graph = build_random_layered(num_layers=4, width=4, seed=1)
+        topo = Topology.default_4gpu(num_gpus=2)
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        p = np.random.default_rng(5).integers(0, topo.num_devices, size=graph.num_ops)
+        assert batch.step_times([p])[0] == sim.simulate(p).makespan
+
+    def test_shape_validation(self):
+        graph = build_random_layered(num_layers=3, width=3, seed=2)
+        sim = Simulator(graph, Topology.default_4gpu(num_gpus=2))
+        batch = BatchSimulator(sim)
+        with pytest.raises(ValueError, match="placement batch"):
+            batch.simulate_batch(np.zeros((2, graph.num_ops + 1), dtype=np.int64))
+        with pytest.raises(ValueError, match="out of range"):
+            batch.simulate_batch(np.full((1, graph.num_ops), 99, dtype=np.int64))
+
+    def test_normalization_matches_scalar(self):
+        """Colocation snap and CPU pinning follow the scalar rules row-wise."""
+        graph = build_benchmark("gnmt")
+        topo = Topology.default_4gpu()
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        rng = np.random.default_rng(6)
+        placements = _random_batch(rng, graph.num_ops, topo.num_devices, 3)
+        P = batch.normalize_batch(placements)
+        for row, p in zip(P, placements):
+            assert np.array_equal(row, sim.normalize_placement(p))

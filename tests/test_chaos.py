@@ -95,6 +95,58 @@ class TestSigkillResume:
         assert np.array_equal(got["best_placement"], want["best_placement"])
         assert got["history"].per_step_time == want["history"].per_step_time
 
+    def test_vectorized_sigkill_resume_matches_serial_golden(self, tmp_path):
+        """Kill a `--vectorized` search mid-run; the resumed run must land on
+        the *serial* golden's exact SearchResult.  This pins two promises at
+        once: vectorized sweeps are results-neutral, and prepare_batch
+        minibatches replay correctly across a checkpoint resume (commits are
+        per-placement in submission order, so a half-committed minibatch
+        resumes exactly where the kill landed)."""
+        golden = _run_place(["--checkpoint", "golden.npz"], cwd=tmp_path)
+        assert golden.returncode == 0, golden.stderr
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _REPO_SRC
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "place", "--model", "inception_v3",
+             "--samples", "40", "--seed", "3", "--vectorized",
+             "--checkpoint", "killed_vec.npz"],
+            cwd=tmp_path, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        killed_path = tmp_path / "killed_vec.npz"
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if killed_path.exists() and killed_path.stat().st_size > 0:
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("mid-run checkpoint never appeared")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        ckpt = load_checkpoint(str(killed_path))
+        assert ckpt["meta"]["complete"] is False
+
+        # --vectorized is operational, not semantic: it is NOT a resume key,
+        # so resuming with the flag (or without — either way) must reproduce
+        # the serial golden bit for bit.
+        resumed = _run_place(
+            ["--resume", "killed_vec.npz", "--vectorized"], cwd=tmp_path
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        want = load_checkpoint(str(tmp_path / "golden.npz"))
+        got = load_checkpoint(str(killed_path))
+        assert got["meta"]["complete"] is True
+        for key in ("best_time", "final_time", "num_samples", "num_invalid",
+                    "env_time", "num_faults", "num_retries",
+                    "num_quarantined", "wall_time"):
+            assert got["meta"][key] == want["meta"][key], key
+        assert np.array_equal(got["best_placement"], want["best_placement"])
+        assert got["history"].per_step_time == want["history"].per_step_time
+
     def test_resume_of_complete_checkpoint_is_a_report(self, tmp_path):
         done = _run_place(["--checkpoint", "done.npz"], cwd=tmp_path)
         assert done.returncode == 0, done.stderr

@@ -12,7 +12,7 @@ from repro.grouping import cut_cost, partition_kway
 from repro.grouping.fluid import asyn_fluidc_assignment
 from repro.nn import Tensor
 from repro.rl import EMABaseline, reward_from_time
-from repro.sim import FaultPlan, OutOfMemoryError, Simulator, Topology
+from repro.sim import BatchSimulator, FaultPlan, OutOfMemoryError, Simulator, Topology
 
 SETTINGS = dict(max_examples=25, deadline=None)
 
@@ -128,6 +128,55 @@ class TestSimulatorProperties:
         assert bd.comm_bytes == 0.0
 
 
+class TestBatchSimulatorProperties:
+    """The vectorized sweep is bit-for-bit the scalar loop, on *generated*
+    graphs and topologies — not just the benchmark graphs the golden suite
+    pins (``tests/sim/test_batch_simulator.py``)."""
+
+    @given(
+        graph=graph_strategy,
+        num_gpus=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+        k=st.integers(1, 8),
+    )
+    @settings(**SETTINGS)
+    def test_batch_equals_scalar_bit_for_bit(self, graph, num_gpus, seed, k):
+        topo = Topology.default_4gpu(num_gpus=num_gpus)
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        rng = np.random.default_rng(seed)
+        placements = [
+            rng.integers(0, topo.num_devices, size=graph.num_ops) for _ in range(k)
+        ]
+        result = batch.simulate_batch(placements)
+        for i, p in enumerate(placements):
+            try:
+                bd = sim.simulate(p)
+            except OutOfMemoryError as exc:
+                assert result.step_times[i] == float("inf")
+                assert result.oom_details[i] == exc.overcommitted
+            else:
+                assert result.step_times[i] == bd.makespan
+                assert result.critical_op[i] == bd.critical_op
+                assert np.array_equal(result.device_busy[i], bd.device_busy)
+
+    @given(graph=graph_strategy, seed=st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_lower_bound_bounds_every_feasible_lane(self, graph, seed):
+        """``lower_bound() <= step_time()`` for any feasible placement."""
+        topo = Topology.default_4gpu(num_gpus=2)
+        sim = Simulator(graph, topo)
+        batch = BatchSimulator(sim)
+        rng = np.random.default_rng(seed)
+        placements = [
+            rng.integers(0, topo.num_devices, size=graph.num_ops) for _ in range(6)
+        ]
+        times = batch.step_times(placements)
+        finite = times[np.isfinite(times)]
+        assume(finite.size)
+        assert np.all(sim.lower_bound() <= finite)
+
+
 class TestRewardProperties:
     @given(times=st.lists(st.floats(0.001, 100.0), min_size=1, max_size=30))
     @settings(**SETTINGS)
@@ -160,7 +209,7 @@ class TestFaultPolicyProperties:
     never surfaces a corrupted (non-finite / non-positive) best time, and
     the fault accounting balances exactly."""
 
-    def _run(self, plan):
+    def _run(self, plan, vectorized=False):
         from repro.core import EvaluationPolicy, PlacementSearch, PostAgent, SearchConfig
         from repro.sim import (
             FaultInjectingBackend,
@@ -173,7 +222,7 @@ class TestFaultPolicyProperties:
         env = PlacementEnvironment(graph, topo, seed=0, setup_time=1.0)
         agent = PostAgent(graph, topo.num_devices, num_groups=4, seed=0)
         config = SearchConfig(max_samples=16, minibatch_size=8)
-        backend = FaultInjectingBackend(SerialBackend(env), plan)
+        backend = FaultInjectingBackend(SerialBackend(env, vectorized=vectorized), plan)
         # max_step_time below the plan's outlier scale makes corruption
         # detection complete, so backend and engine accounting must agree.
         policy = EvaluationPolicy(max_retries=3, max_step_time=60.0)
@@ -208,6 +257,29 @@ class TestFaultPolicyProperties:
         # corrupted values must never have been folded into the history
         finite = [t for t in result.history.per_step_time if np.isfinite(t)]
         assert all(0 < t <= 60.0 for t in finite)
+
+    @given(plan=fault_plan_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_vectorized_batches_preserve_fault_accounting(self, plan):
+        """FaultInjectingBackend over a vectorized backend (prepare_batch
+        sweeps + per-placement commits) keeps the accounting invariant and
+        lands on the serial run's exact numbers."""
+        vec, backend_vec = self._run(plan, vectorized=True)
+        assert vec.num_faults == vec.num_retries + vec.num_quarantined
+        assert backend_vec.faults_injected == vec.num_faults
+        serial, backend_serial = self._run(plan, vectorized=False)
+        assert vec.best_time == serial.best_time
+        assert vec.wall_time == serial.wall_time
+        assert (vec.num_faults, vec.num_retries, vec.num_quarantined) == (
+            serial.num_faults,
+            serial.num_retries,
+            serial.num_quarantined,
+        )
+        # stats must agree on everything but the operational lane counters
+        # the vectorized backend adds (batch_lanes, vectorized).
+        sv, ss = backend_vec.stats(), backend_serial.stats()
+        shared = set(sv) & set(ss)
+        assert {k: sv[k] for k in shared} == {k: ss[k] for k in shared}
 
     @given(plan=fault_plan_strategy)
     @settings(max_examples=5, deadline=None)
