@@ -44,6 +44,8 @@ _CONTRACT_SOURCES = (
     Path("core") / "events.py",
     Path("sim") / "backends.py",
     Path("service") / "protocol.py",
+    Path("service") / "server.py",
+    Path("service") / "client.py",
 )
 
 

@@ -15,7 +15,11 @@ repo's own definition sites:
 * ``repro/sim/backends.py`` — the :class:`EvaluationBackend` protocol
   surface;
 * ``repro/service/protocol.py`` — the ``MESSAGE_SCHEMA`` /
-  ``NESTED_FIELDS`` wire-message tables.
+  ``NESTED_FIELDS`` wire-message tables;
+* ``repro/service/server.py`` — the ``_OP_HANDLERS`` dispatch table and
+  the handler method names it must resolve to;
+* ``repro/service/client.py`` — per-op counts of request-constructor
+  dict literals (each op must have exactly one client constructor).
 
 Because the tables are read from the source tree adjacent to this
 package, editing a contract definition automatically retargets the
@@ -150,11 +154,24 @@ class ContractIndex:
         backend_methods: Dict[str, List[str]],
         message_schema: Dict[str, Dict[str, Tuple[str, ...]]],
         nested_fields: Set[str],
+        *,
+        server_dispatch: Optional[Dict[str, str]] = None,
+        server_methods: Optional[Set[str]] = None,
+        client_constructors: Optional[Dict[str, int]] = None,
     ) -> None:
         self.callback_signatures = callback_signatures
         self.backend_methods = backend_methods
         self.message_schema = message_schema
         self.nested_fields = nested_fields
+        #: op → handler method name, from server.py's ``_OP_HANDLERS``
+        #: literal (empty when the server source was unavailable).
+        self.server_dispatch = dict(server_dispatch or {})
+        #: every method name defined anywhere in server.py — the namespace
+        #: the dispatch table's values must resolve into.
+        self.server_methods = set(server_methods or ())
+        #: op → number of ``{"op": <op>, ...}`` request-literal
+        #: constructors in client.py.
+        self.client_constructors = dict(client_constructors or {})
 
     # ------------------------------------------------------------------ #
     @property
@@ -197,7 +214,21 @@ class ContractIndex:
         schema, nested = cls._extract_message_schema(
             root / "service" / "protocol.py"
         )
-        return cls(callbacks, backend, schema, nested)
+        dispatch, methods = cls._extract_server_dispatch(
+            root / "service" / "server.py"
+        )
+        constructors = cls._extract_client_constructors(
+            root / "service" / "client.py"
+        )
+        return cls(
+            callbacks,
+            backend,
+            schema,
+            nested,
+            server_dispatch=dispatch,
+            server_methods=methods,
+            client_constructors=constructors,
+        )
 
     @staticmethod
     def _extract_method_signatures(
@@ -257,3 +288,56 @@ class ContractIndex:
                         continue
                     nested = {str(v) for v in value}
         return schema, nested
+
+    @staticmethod
+    def _extract_server_dispatch(
+        path: Path,
+    ) -> Tuple[Dict[str, str], Set[str]]:
+        """The ``_OP_HANDLERS`` literal plus every method name in server.py."""
+        dispatch: Dict[str, str] = {}
+        methods: Set[str] = set()
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):
+            return dispatch, methods
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "_OP_HANDLERS":
+                        try:
+                            value = ast.literal_eval(node.value)
+                        except ValueError:
+                            continue
+                        if isinstance(value, dict):
+                            dispatch = {
+                                str(op): str(handler)
+                                for op, handler in value.items()
+                            }
+        return dispatch, methods
+
+    @staticmethod
+    def _extract_client_constructors(path: Path) -> Dict[str, int]:
+        """How many ``{"op": <literal>, ...}`` dicts client.py builds per op.
+
+        Subscript assignments (``hello["space"] = ...``) deliberately do
+        not count — only whole-message dict literals are constructors.
+        """
+        constructors: Dict[str, int] = {}
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):
+            return constructors
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "op"
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    constructors[value.value] = constructors.get(value.value, 0) + 1
+        return constructors

@@ -22,7 +22,12 @@ from ..context import FileContext
 from ..findings import Finding
 from ..registry import Rule, register
 
-__all__ = ["CallbackSignatureRule", "BackendProtocolRule", "ProtocolSchemaRule"]
+__all__ = [
+    "CallbackSignatureRule",
+    "BackendProtocolRule",
+    "ProtocolSchemaRule",
+    "ProtocolDispatchRule",
+]
 
 #: Base-class name whose subclasses must match the hook signatures.
 _CALLBACK_BASES = ("SearchCallback",)
@@ -278,3 +283,81 @@ class ProtocolSchemaRule(Rule):
                 return None
             keys.append((key.value, key))
         return keys
+
+
+@register
+class ProtocolDispatchRule(Rule):
+    rule_id = "protocol-dispatch"
+    title = "every schema op needs one server handler and one client constructor"
+    rationale = (
+        "the schema, the server's _OP_HANDLERS table, and the client's "
+        "request constructors live in three files: an op added to the "
+        "schema but not dispatched answers 'unknown op' at runtime, a "
+        "dispatch entry naming a missing method crashes the handler "
+        "thread, and a second client constructor for the same op is a "
+        "fork of the wire format waiting to drift."
+    )
+
+    #: The rule cross-checks three files but must report deterministically
+    #: from one: it fires while linting the schema's own module, anchored
+    #: at the ``MESSAGE_SCHEMA`` assignment.
+    _HOME_MODULE = "repro.service.protocol"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module != self._HOME_MODULE:
+            return
+        schema = ctx.contracts.message_schema
+        dispatch = ctx.contracts.server_dispatch
+        constructors = ctx.contracts.client_constructors
+        if not schema or not dispatch or not constructors:
+            # A contract source was unreadable (e.g. a fixture tree with
+            # no server/client); silence beats guessing.
+            return
+        anchor = self._schema_assign(ctx.tree)
+        if anchor is None:
+            return
+        methods = ctx.contracts.server_methods
+        for op in sorted(schema):
+            handler = dispatch.get(op)
+            if handler is None:
+                yield self.finding(
+                    ctx, anchor,
+                    f"schema op {op!r} has no entry in the server's "
+                    "_OP_HANDLERS dispatch table — requests answer "
+                    "'unknown op'",
+                )
+            elif methods and handler not in methods:
+                yield self.finding(
+                    ctx, anchor,
+                    f"schema op {op!r} dispatches to {handler!r}, which "
+                    "server.py does not define",
+                )
+            count = constructors.get(op, 0)
+            if count != 1:
+                detail = (
+                    "no client request constructor"
+                    if count == 0
+                    else f"{count} client request constructors"
+                )
+                yield self.finding(
+                    ctx, anchor,
+                    f"schema op {op!r} has {detail} in client.py — "
+                    "exactly one dict literal per op keeps the wire "
+                    "format single-sourced",
+                )
+        for op in sorted(set(dispatch) - set(schema)):
+            yield self.finding(
+                ctx, anchor,
+                f"server _OP_HANDLERS dispatches unknown op {op!r} — "
+                "not in MESSAGE_SCHEMA",
+            )
+
+    @staticmethod
+    def _schema_assign(tree: ast.AST) -> Optional[ast.AST]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "MESSAGE_SCHEMA":
+                    return node
+        return None

@@ -1,0 +1,418 @@
+"""Load generation against a router-fronted measurement fleet.
+
+Drives many concurrent placement searches across *mixed tenants* — each
+search is a worker thread owning a :class:`~repro.service.client.RemoteBackend`
+for one tenant space — against a single router address, and reports fleet
+throughput plus client-observed RPC latency percentiles in the
+``BENCH_micro.json`` metric idiom (``loadgen.*`` names, higher is better
+except the latency lanes, which the micro gate skips because they are
+absent from the committed baseline).
+
+The harness doubles as a *correctness* probe for the multi-tenant stack:
+
+* every worker replays its placement stream for ``rounds`` rounds, so
+  round 1 populates each tenant's memo and later rounds must hit it —
+  nonzero per-space memo hits prove cross-tenant cache *isolation*
+  (a shared cache would alias fingerprints and under-count misses);
+* :func:`check_fleet` compares the client-side count of *distinct*
+  placements per tenant against the fleet's per-space simulation
+  counters — equality proves **zero duplicate simulations** even under
+  retries, concurrent sessions, and router failover.
+
+:class:`LocalFleet` spins up N in-process multi-tenant servers behind a
+:class:`~repro.service.router.RouterServer` for self-hosted runs (CI, the
+``repro loadgen --self-hosted`` CLI); production runs point ``address`` at
+a real fleet instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.models.random_graphs import build_random_layered
+from ..service.client import RemoteBackend
+from ..service.router import RouterServer, fetch_router_stats
+from ..service.server import MeasurementServer
+from ..service.tenancy import SpaceSpec
+from ..sim.cost_model import CostModel
+from ..sim.devices import Topology
+from ..sim.faults import EvaluationFault
+from .micro import FORMAT as MICRO_FORMAT
+from .micro import FORMAT_VERSION as MICRO_FORMAT_VERSION
+from .micro import load_report, write_report
+
+__all__ = [
+    "FORMAT",
+    "FORMAT_VERSION",
+    "make_tenant_specs",
+    "LocalFleet",
+    "run_loadgen",
+    "check_fleet",
+    "publish_to_bench",
+]
+
+FORMAT = "repro.bench.loadgen"
+FORMAT_VERSION = 1
+
+#: How many error strings the report retains verbatim (counters keep the
+#: full tally; this only bounds report size).
+_MAX_REPORTED_ERRORS = 20
+
+
+def make_tenant_specs(
+    count: int,
+    *,
+    num_layers: int = 3,
+    width: int = 3,
+    base_seed: int = 0,
+) -> List[SpaceSpec]:
+    """``count`` distinct tenant spaces (different random graphs).
+
+    Graph seeds differ per tenant, so the fingerprints are distinct and
+    the consistent-hash router spreads them across the fleet.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    topology = Topology.default_4gpu(num_gpus=2)
+    cost_model = CostModel()
+    specs = []
+    for i in range(count):
+        graph = build_random_layered(
+            num_layers=num_layers, width=width, seed=base_seed + i
+        )
+        specs.append(SpaceSpec(graph, topology, cost_model))
+    return specs
+
+
+class LocalFleet:
+    """N in-process multi-tenant servers behind one router.
+
+    ``spaces_dir`` (optional) gives each server its own durability
+    subdirectory, so a fleet restart replays rather than re-simulates.
+    """
+
+    def __init__(
+        self,
+        *,
+        servers: int = 2,
+        workers: int = 2,
+        spaces_dir: Optional[str] = None,
+        space_quota: Optional[int] = None,
+        max_backlog: int = 4096,
+    ) -> None:
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        self.servers: List[MeasurementServer] = []
+        try:
+            for i in range(servers):
+                server_dir = f"{spaces_dir}/server{i}" if spaces_dir else None
+                self.servers.append(
+                    MeasurementServer(
+                        multi_tenant=True,
+                        workers=workers,
+                        max_backlog=max_backlog,
+                        spaces_dir=server_dir,
+                        space_quota=space_quota,
+                    ).start()
+                )
+            self.router = RouterServer(
+                [server.address for server in self.servers]
+            ).start()
+        except BaseException:
+            self.close()
+            raise
+        self.address = self.router.address
+
+    def space_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-fingerprint stats summed across the fleet's servers."""
+        merged: Dict[str, Dict[str, float]] = {}
+        for server in self.servers:
+            for space in server.registry.snapshot():
+                stats = space.stats()
+                into = merged.setdefault(stats["fingerprint"], {})
+                for name, value in stats.items():
+                    if name == "fingerprint":
+                        continue
+                    into[name] = into.get(name, 0.0) + float(value)
+        return merged
+
+    def router_stats(self) -> Dict[str, float]:
+        return fetch_router_stats(self.address)
+
+    def close(self) -> None:
+        router = getattr(self, "router", None)
+        if router is not None:
+            router.close()
+            self.router = None
+        for server in self.servers:
+            server.close()
+        self.servers = []
+
+    def __enter__(self) -> "LocalFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _SearchResult:
+    """Mutable per-worker scratch, merged single-threaded afterwards."""
+
+    __slots__ = ("latencies_s", "placements", "fingerprint", "errors", "retries", "rpcs")
+
+    def __init__(self, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self.latencies_s: List[float] = []
+        self.placements: set = set()
+        self.errors: List[str] = []
+        self.retries = 0
+        self.rpcs = 0
+
+
+def _run_search(
+    address: str,
+    spec: SpaceSpec,
+    result: _SearchResult,
+    *,
+    samples: int,
+    batch: int,
+    rounds: int,
+    seed: int,
+    timeout: float,
+    max_retries: int,
+) -> None:
+    """One tenant search: a seeded placement stream, replayed ``rounds`` times."""
+    rng = np.random.default_rng(seed)
+    environment = spec.build_environment(seed=seed)
+    num_ops = environment.graph.num_ops
+    num_devices = environment.num_devices
+    placements = [
+        rng.integers(0, num_devices, size=num_ops, dtype=np.int64)
+        for _ in range(samples)
+    ]
+    for placement in placements:
+        result.placements.add(tuple(int(d) for d in placement))
+    try:
+        backend = RemoteBackend(
+            environment,
+            address,
+            offer_space=True,
+            pool_size=1,
+            timeout=timeout,
+            reconnect_seed=seed,
+        )
+    except Exception as exc:  # handshake/dial failure is a search error
+        result.errors.append(f"connect: {exc}")
+        return
+    try:
+        for _ in range(rounds):
+            for start in range(0, len(placements), batch):
+                chunk = placements[start : start + batch]
+                for attempt in range(max_retries + 1):
+                    began = time.perf_counter()
+                    try:
+                        measurements = backend.evaluate_batch(chunk)
+                    except EvaluationFault as exc:
+                        if attempt == max_retries:
+                            result.errors.append(f"evaluate: {exc}")
+                            return
+                        result.retries += 1
+                        time.sleep(0.05 * (attempt + 1))
+                        continue
+                    except Exception as exc:
+                        result.errors.append(f"evaluate: {exc}")
+                        return
+                    result.latencies_s.append(time.perf_counter() - began)
+                    result.rpcs += 1
+                    if len(measurements) != len(chunk):
+                        result.errors.append(
+                            f"short batch: {len(measurements)} != {len(chunk)}"
+                        )
+                        return
+                    break
+    finally:
+        backend.close()
+
+
+def run_loadgen(
+    address: str,
+    specs: Sequence[SpaceSpec],
+    *,
+    searches: int = 64,
+    samples: int = 16,
+    batch: int = 8,
+    rounds: int = 2,
+    seed: int = 0,
+    timeout: float = 60.0,
+    max_retries: int = 5,
+) -> Dict[str, Any]:
+    """Drive ``searches`` concurrent mixed-tenant searches at ``address``.
+
+    Search ``i`` belongs to tenant ``i % len(specs)`` and draws its
+    placement stream from an ``i``-derived seed, so streams are disjoint
+    across workers (w.h.p.) and the run is reproducible end to end.
+    Returns a versioned report dict; see :func:`check_fleet` for the
+    correctness gate and :func:`publish_to_bench` for BENCH publication.
+    """
+    if not specs:
+        raise ValueError("at least one tenant spec is required")
+    if searches < 1:
+        raise ValueError("searches must be >= 1")
+    results: List[_SearchResult] = []
+    threads: List[threading.Thread] = []
+    for i in range(searches):
+        spec = specs[i % len(specs)]
+        result = _SearchResult(spec.fingerprint)
+        results.append(result)
+        threads.append(
+            threading.Thread(
+                target=_run_search,
+                args=(address, spec, result),
+                kwargs=dict(
+                    samples=samples,
+                    batch=batch,
+                    rounds=rounds,
+                    seed=seed * 100_003 + i,
+                    timeout=timeout,
+                    max_retries=max_retries,
+                ),
+                daemon=True,
+            )
+        )
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = max(time.perf_counter() - began, 1e-9)
+
+    latencies = sorted(lat for r in results for lat in r.latencies_s)
+    errors = [err for r in results for err in r.errors]
+    retries = sum(r.retries for r in results)
+    rpcs = sum(r.rpcs for r in results)
+    placements_done = sum(len(r.latencies_s) * batch for r in results)
+    per_tenant: Dict[str, Dict[str, float]] = {}
+    for r in results:
+        into = per_tenant.setdefault(
+            r.fingerprint, {"searches": 0.0, "placements_sent": 0.0}
+        )
+        into["searches"] += 1.0
+        into["placements_sent"] += float(len(r.latencies_s) * batch)
+    tenant_unique: Dict[str, set] = {}
+    for r in results:
+        tenant_unique.setdefault(r.fingerprint, set()).update(r.placements)
+    for fingerprint, unique in tenant_unique.items():
+        per_tenant[fingerprint]["unique_placements"] = float(len(unique))
+
+    def percentile_ms(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return float(np.percentile(latencies, q)) * 1e3
+
+    metrics = {
+        "loadgen.throughput_placements_per_sec": placements_done / elapsed,
+        "loadgen.latency_p50_ms": percentile_ms(50),
+        "loadgen.latency_p95_ms": percentile_ms(95),
+        "loadgen.latency_p99_ms": percentile_ms(99),
+        "loadgen.searches": float(searches),
+        "loadgen.tenants": float(len(specs)),
+        "loadgen.rpcs": float(rpcs),
+        "loadgen.retries": float(retries),
+        "loadgen.errors": float(len(errors)),
+    }
+    return {
+        "format": FORMAT,
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "searches": searches,
+            "samples": samples,
+            "batch": batch,
+            "rounds": rounds,
+            "seed": seed,
+            "tenants": len(specs),
+        },
+        "metrics": {name: float(value) for name, value in metrics.items()},
+        "per_tenant": per_tenant,
+        "tenant_fingerprints": [spec.fingerprint for spec in specs],
+        "elapsed_s": elapsed,
+        "errors": errors[:_MAX_REPORTED_ERRORS],
+        "summary": [
+            f"{name}: {value:,.1f}" for name, value in sorted(metrics.items())
+        ],
+    }
+
+
+def check_fleet(
+    report: Dict[str, Any],
+    space_stats: Dict[str, Dict[str, float]],
+    *,
+    expect_memo_hits: bool = True,
+) -> List[str]:
+    """Correctness gate over a loadgen run; returns failures (empty = pass).
+
+    ``space_stats`` is the fleet's per-fingerprint view (see
+    :meth:`LocalFleet.space_stats`).  Checks, per tenant: the space is
+    hosted somewhere; server-side simulations equal the client-side
+    distinct placement count (zero duplicate simulations); and — when
+    ``expect_memo_hits`` (rounds >= 2) — the space's memo served hits,
+    proving per-tenant cache isolation.
+    """
+    failures: List[str] = []
+    if report.get("metrics", {}).get("loadgen.errors"):
+        failures.append(
+            f"{int(report['metrics']['loadgen.errors'])} search errors: "
+            + "; ".join(report.get("errors", [])[:3])
+        )
+    for fingerprint in report.get("tenant_fingerprints", []):
+        short = fingerprint[:12]
+        stats = space_stats.get(fingerprint)
+        tenant = report.get("per_tenant", {}).get(fingerprint, {})
+        if stats is None:
+            failures.append(f"tenant {short} is hosted by no server in the fleet")
+            continue
+        unique = tenant.get("unique_placements")
+        simulations = stats.get("simulations")
+        if unique is not None and simulations != unique:
+            failures.append(
+                f"tenant {short}: {simulations:.0f} simulations for "
+                f"{unique:.0f} distinct placements (duplicates!)"
+            )
+        if expect_memo_hits and not stats.get("memo_hits"):
+            failures.append(
+                f"tenant {short}: zero memo hits — replay rounds missed the "
+                "per-space cache"
+            )
+    return failures
+
+
+def publish_to_bench(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Merge ``loadgen.*`` metrics into the ``BENCH_micro.json`` at ``path``.
+
+    The micro gate skips metrics absent from its baseline, so publishing
+    extra lanes into the shared report is safe; an absent or foreign file
+    is replaced by a fresh micro-format skeleton.  Returns the merged
+    report (also written to ``path``).
+    """
+    try:
+        merged = load_report(path)
+    except (OSError, ValueError):
+        merged = {
+            "format": MICRO_FORMAT,
+            "format_version": MICRO_FORMAT_VERSION,
+            "config": {},
+            "metrics": {},
+            "summary": [],
+        }
+    metrics = dict(merged.get("metrics", {}))
+    metrics.update(report["metrics"])
+    merged["metrics"] = {name: float(value) for name, value in metrics.items()}
+    merged.setdefault("config", {})["loadgen"] = dict(report.get("config", {}))
+    merged["summary"] = [
+        f"{name}: {value:,.1f}" for name, value in sorted(metrics.items())
+    ]
+    write_report(merged, path)
+    return merged

@@ -189,6 +189,77 @@ def build_parser() -> argparse.ArgumentParser:
                         "vectorized BatchSimulator pool task per request "
                         "instead of one task per placement (bit-for-bit "
                         "identical results)")
+    p.add_argument("--multi-tenant", action="store_true",
+                   help="host many measurement spaces keyed by fingerprint: "
+                        "the --model space is seeded first, and handshakes "
+                        "offering a serialized space spec are adopted on "
+                        "the fly")
+    p.add_argument("--spaces-dir", default=None, metavar="DIR",
+                   help="persist per-space specs + session/memo state here "
+                        "so a restarted server replays instead of "
+                        "re-simulating (also enables lazy spec loading)")
+    p.add_argument("--space-budget", type=_positive_int, default=None,
+                   metavar="N",
+                   help="host at most N resident spaces; least-recently-used "
+                        "idle spaces are persisted and evicted over budget")
+    p.add_argument("--memo-budget", type=_positive_int, default=None,
+                   metavar="N",
+                   help="per-space raw-outcome cache cap (LRU entries)")
+    p.add_argument("--space-quota", type=_positive_int, default=None,
+                   metavar="N",
+                   help="per-space in-flight simulation quota (fair "
+                        "scheduling: one hot tenant cannot starve the rest)")
+
+    p = sub.add_parser("route",
+                       help="run a consistent-hash router over a server fleet")
+    p.add_argument("--backends", required=True, metavar="HOST:PORT,...",
+                   help="comma-separated backend server addresses; each "
+                        "fingerprint consistently hashes to one of them")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_nonnegative_int, default=7070,
+                   help="TCP port to listen on (0 picks a free port)")
+    p.add_argument("--replicas", type=_positive_int, default=64,
+                   help="virtual nodes per backend on the hash ring")
+    p.add_argument("--dial-timeout", type=float, default=5.0,
+                   help="seconds per backend dial before failing over along "
+                        "the ring")
+
+    p = sub.add_parser("loadgen",
+                       help="drive concurrent mixed-tenant searches at a fleet")
+    p.add_argument("--address", default=None, metavar="HOST:PORT",
+                   help="router (or single server) to load; omit with "
+                        "--self-hosted")
+    p.add_argument("--self-hosted", action="store_true",
+                   help="spin up an in-process fleet (N servers behind a "
+                        "router) and aim the load at it")
+    p.add_argument("--servers", type=_positive_int, default=2,
+                   help="fleet size for --self-hosted")
+    p.add_argument("--service-workers", type=_positive_int, default=2,
+                   help="simulator workers per self-hosted server")
+    p.add_argument("--spaces-dir", default=None, metavar="DIR",
+                   help="durability directory for the self-hosted fleet")
+    p.add_argument("--tenants", type=_positive_int, default=3,
+                   help="distinct tenant spaces to mix (random graphs)")
+    p.add_argument("--searches", type=_positive_int, default=64,
+                   help="concurrent searches (threads); search i drives "
+                        "tenant i %% --tenants")
+    p.add_argument("--samples", type=_positive_int, default=16,
+                   help="placements per search round")
+    p.add_argument("--batch", type=_positive_int, default=8,
+                   help="placements per evaluate_batch RPC")
+    p.add_argument("--rounds", type=_positive_int, default=2,
+                   help="times each search replays its placement stream "
+                        "(round 2+ must hit the per-space memo)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="client RPC timeout in seconds")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="merge loadgen.* metrics into this BENCH_micro-format "
+                        "report (e.g. BENCH_micro.json)")
+    p.add_argument("--check", action="store_true",
+                   help="fail unless the fleet shows zero duplicate "
+                        "simulations and nonzero per-space memo hits "
+                        "(needs --self-hosted for fleet-side counters)")
 
     p = sub.add_parser("bench-micro", help="run the microbenchmark lane")
     p.add_argument("--out", default="BENCH_micro.json", metavar="PATH",
@@ -443,6 +514,11 @@ def cmd_serve(args) -> int:
         memo_path=args.memo_path,
         request_deadline=args.request_deadline,
         vectorized=args.vectorized,
+        multi_tenant=args.multi_tenant,
+        spaces_dir=args.spaces_dir,
+        max_spaces=args.space_budget,
+        memo_budget=args.memo_budget,
+        space_quota=args.space_quota,
     )
     metrics_http = None
     if args.metrics_port is not None:
@@ -453,6 +529,15 @@ def cmd_serve(args) -> int:
     print(f"serving {args.model} ({graph.num_ops} ops, "
           f"{env.num_devices} devices) on {server.address} "
           f"with {args.service_workers} simulator workers{mode}")
+    if args.multi_tenant:
+        extras = []
+        if args.spaces_dir:
+            extras.append(f"persisting to {args.spaces_dir}")
+        if args.space_budget:
+            extras.append(f"budget {args.space_budget} spaces")
+        detail = f" ({', '.join(extras)})" if extras else ""
+        print(f"  multi-tenant: {len(server.registry)} space(s) resident, "
+              f"offered specs adopted on handshake{detail}")
     print(f"  fingerprint {server.fingerprint[:16]}…  (clients must match)")
     if metrics_http is not None:
         print(f"  metrics: http://{metrics_http.address}/metrics")
@@ -480,6 +565,97 @@ def cmd_serve(args) -> int:
         if metrics_http is not None:
             metrics_http.close()
     return 0
+
+
+def cmd_route(args) -> int:
+    from .service.router import RouterServer
+
+    backends = [part.strip() for part in args.backends.split(",") if part.strip()]
+    router = RouterServer(
+        backends,
+        host=args.host,
+        port=args.port,
+        replicas=args.replicas,
+        dial_timeout=args.dial_timeout,
+    )
+    print(f"routing {len(backends)} backend(s) on {router.address} "
+          f"({args.replicas} virtual nodes each)")
+    for backend in backends:
+        print(f"  backend {backend}")
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted")
+    finally:
+        router.close()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from .bench.loadgen import (
+        LocalFleet,
+        check_fleet,
+        make_tenant_specs,
+        publish_to_bench,
+        run_loadgen,
+    )
+
+    if not args.self_hosted and not args.address:
+        print("error: provide --address or use --self-hosted", file=sys.stderr)
+        return 2
+    specs = make_tenant_specs(args.tenants, base_seed=args.seed)
+    fleet = None
+    try:
+        if args.self_hosted:
+            fleet = LocalFleet(
+                servers=args.servers,
+                workers=args.service_workers,
+                spaces_dir=args.spaces_dir,
+            )
+            address = fleet.address
+            print(f"self-hosted fleet: {args.servers} server(s) behind "
+                  f"router {address}")
+        else:
+            address = args.address
+        print(f"loadgen: {args.searches} concurrent searches x "
+              f"{args.samples} placements x {args.rounds} round(s) over "
+              f"{args.tenants} tenant space(s)")
+        report = run_loadgen(
+            address,
+            specs,
+            searches=args.searches,
+            samples=args.samples,
+            batch=args.batch,
+            rounds=args.rounds,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+        for line in report["summary"]:
+            print(f"  {line}")
+        failures = []
+        if args.check:
+            if fleet is None:
+                failures.append(
+                    "--check needs --self-hosted (fleet-side counters)"
+                )
+            else:
+                failures = check_fleet(
+                    report, fleet.space_stats(),
+                    expect_memo_hits=args.rounds >= 2,
+                )
+        if args.out:
+            publish_to_bench(report, args.out)
+            print(f"loadgen metrics merged into {args.out}")
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        if not failures and not report["errors"]:
+            print("loadgen clean: zero search errors"
+                  + (", zero duplicate simulations, per-space memo hits "
+                     "verified" if args.check and fleet is not None else ""))
+        return 1 if failures or report["errors"] else 0
+    finally:
+        if fleet is not None:
+            fleet.close()
 
 
 def cmd_bench_micro(args) -> int:
@@ -547,6 +723,8 @@ def main(argv: Optional[list] = None) -> int:
         "eval": cmd_eval,
         "place": cmd_place,
         "serve": cmd_serve,
+        "route": cmd_route,
+        "loadgen": cmd_loadgen,
         "bench-micro": cmd_bench_micro,
         "gantt": cmd_gantt,
         "lint": cmd_lint,

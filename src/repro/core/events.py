@@ -234,11 +234,19 @@ class MetricsExporter(SearchCallback):
         self._file.flush()
 
     def render_prometheus(self) -> str:
-        """The counters in Prometheus text exposition format."""
+        """The counters in Prometheus text exposition format.
+
+        Labelled series (``name{label="v"}``) share their bare metric's
+        single ``# TYPE`` declaration — scrapers reject a family declared
+        twice.
+        """
         lines = []
+        declared = set()
         for name in sorted(self.counters):
             bare = name.split("{", 1)[0]
-            lines.append(f"# TYPE {bare} counter")
+            if bare not in declared:
+                declared.add(bare)
+                lines.append(f"# TYPE {bare} counter")
             lines.append(f"{name} {self.counters[name]:g}")
         return "\n".join(lines) + ("\n" if lines else "")
 

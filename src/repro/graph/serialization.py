@@ -19,6 +19,46 @@ __all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph", "grap
 _FORMAT_VERSION = 1
 
 
+def _edge_replay_order(graph: OpGraph):
+    """Edges in an order whose replay through ``add_edge`` rebuilds the
+    graph's adjacency lists *exactly*.
+
+    ``add_edge`` appends to ``_succ[src]`` and ``_pred[dst]``, and the
+    simulator breaks scheduling ties in predecessor order — so a graph
+    rebuilt from edges in any other order (e.g. sorted) can simulate
+    measurably differently while holding the same edge *set*.  Each
+    ``_succ[s]`` and ``_pred[d]`` is an insertion-ordered chain and the
+    original ``add_edge`` sequence respects all of them at once, so the
+    chain-precedence constraints form a DAG; this Kahn walk emits any
+    edge that is next in both its source's successor chain and its
+    destination's predecessor chain until none remain.  The walk is
+    deterministic, so re-serialising a rebuilt graph is byte-stable
+    (fingerprints survive arbitrarily many round trips).
+    """
+    n = graph.num_ops
+    succ = [graph.successors(i) for i in range(n)]
+    pred = [graph.predecessors(i) for i in range(n)]
+    succ_head = [0] * n
+    pred_head = [0] * n
+    order = []
+    remaining = graph.num_edges
+    while remaining:
+        progressed = False
+        for s in range(n):
+            while succ_head[s] < len(succ[s]):
+                d = succ[s][succ_head[s]]
+                if pred[d][pred_head[d]] != s:
+                    break
+                order.append((s, d))
+                succ_head[s] += 1
+                pred_head[d] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:  # pragma: no cover - unreachable for add_edge-built graphs
+            raise ValueError("adjacency lists admit no common edge order")
+    return order
+
+
 def graph_to_dict(graph: OpGraph) -> Dict:
     """Serialise a graph to plain JSON-compatible data."""
     return {
@@ -37,7 +77,7 @@ def graph_to_dict(graph: OpGraph) -> Dict:
             }
             for n in graph.nodes()
         ],
-        "edges": sorted(graph.edges()),
+        "edges": _edge_replay_order(graph),
     }
 
 

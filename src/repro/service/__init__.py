@@ -17,11 +17,17 @@ architecture of Mirhoseini et al. '17 / GDP '19, applied to the simulator:
   the server (dead-worker healing, ``busy`` backpressure, drain);
 * :mod:`~repro.service.sessions` — per-client batch-result retention for
   at-most-once evaluation across reconnects;
+* :mod:`~repro.service.tenancy` — fingerprint-keyed tenant spaces
+  (:class:`SpaceRegistry`), each with its own memo cache, sessions, and
+  in-flight quota, persisted for replay-transparent restarts;
+* :mod:`~repro.service.router` — :class:`RouterServer`, a consistent-hash
+  TCP proxy spreading tenant spaces across a fleet of servers;
 * :mod:`~repro.service.metrics_http` — the ``--metrics-port`` Prometheus
   plaintext endpoint.
 
-CLI: ``repro serve`` runs a server, ``repro place --remote HOST:PORT``
-searches against one; see DESIGN.md §8.
+CLI: ``repro serve`` runs a server (``--multi-tenant`` hosts many spaces),
+``repro route`` fronts a fleet, ``repro place --remote HOST:PORT``
+searches against one; see DESIGN.md §8 and §12.
 """
 
 from .protocol import MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, HandshakeError, ProtocolError
@@ -29,7 +35,9 @@ from .server import MeasurementServer
 from .client import RemoteBackend
 from .metrics_http import MetricsHTTPServer
 from .pool import PoolBusy, WorkerPool
+from .router import HashRing, RouterServer
 from .sessions import SessionRegistry
+from .tenancy import SpaceLoading, SpaceRegistry, SpaceSpec, TenantSpace
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -41,5 +49,11 @@ __all__ = [
     "MetricsHTTPServer",
     "PoolBusy",
     "WorkerPool",
+    "HashRing",
+    "RouterServer",
     "SessionRegistry",
+    "SpaceLoading",
+    "SpaceRegistry",
+    "SpaceSpec",
+    "TenantSpace",
 ]

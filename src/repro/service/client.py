@@ -26,7 +26,12 @@ protocol-version / fingerprint mismatch    :class:`HandshakeError` (no retry)
 
 A handshake rejection is deliberately **not** a fault: a client measuring
 a different graph would never succeed on retry, so it raises immediately
-instead of burning the policy's retry budget.
+instead of burning the policy's retry budget.  v3 servers attach a
+structured code (``version_range`` / ``unknown_fingerprint`` /
+``space_loading``) that surfaces verbatim as ``HandshakeError.code``; a
+backend constructed with ``offer_space=True`` ships its environment's
+serialized :class:`~repro.service.tenancy.SpaceSpec` in the handshake so
+a multi-tenant server can adopt the space instead of refusing.
 
 No raw outcome is committed until the *whole* batch has arrived: a
 connection that dies halfway through leaves the local environment's clock
@@ -96,9 +101,10 @@ class _Connection:
             self.close()
             raise
         if not reply.get("ok"):
-            message = reply.get("error", "handshake refused")
+            refusal = reply.get("error", "handshake refused")
+            code = reply.get("code")
             self.close()
-            raise HandshakeError(message)
+            raise HandshakeError(refusal, code=code if isinstance(code, str) else None)
         self.server_info = reply.get("server", {})
         #: protocol version both sides agreed on (1 for a v1 server).
         self.version = self.server_info.get("version", 1)
@@ -157,6 +163,11 @@ class RemoteBackend:
     sleep:
         Injectable delay function (tests pass a recorder to keep the
         reconnect path instant).
+    offer_space:
+        Ship the environment's serialized space spec in every handshake,
+        letting a ``multi_tenant`` server adopt the space on first contact
+        (and re-adopt it after a restart that lost its registry) instead
+        of refusing with ``unknown_fingerprint``.
     """
 
     def __init__(
@@ -172,6 +183,7 @@ class RemoteBackend:
         backoff_jitter: float = 0.5,
         reconnect_seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
+        offer_space: bool = False,
     ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
@@ -194,6 +206,8 @@ class RemoteBackend:
         self.fingerprint = placement_space_fingerprint(
             environment.graph, environment.topology, environment.simulator.cost_model
         )
+        self.offer_space = offer_space
+        self._space_payload: Optional[dict] = None
         self._idle: List[_Connection] = []
         self._lock = threading.Lock()
         self._closed = False
@@ -223,6 +237,14 @@ class RemoteBackend:
             "min_version": MIN_PROTOCOL_VERSION,
             "fingerprint": self.fingerprint,
         }
+        if self.offer_space:
+            if self._space_payload is None:
+                from .tenancy import SpaceSpec
+
+                self._space_payload = SpaceSpec.from_environment(
+                    self.environment
+                ).to_dict()
+            hello["space"] = self._space_payload
         try:
             conn = _Connection(self.host, self.port, self.timeout, hello)
         except HandshakeError:
@@ -494,6 +516,47 @@ class RemoteBackend:
         }
 
     # -------------------------------------------------------------- #
+    def evaluate_one(self, placement: np.ndarray) -> Measurement:
+        """One scalar ``evaluate`` RPC, committed locally.
+
+        The streaming ``evaluate_batch`` path is what searches use; this
+        is the protocol's scalar op for probes and tooling.  Server-side
+        cache hits count into ``num_remote_cached`` exactly like batched
+        ones.
+        """
+        conn = self._borrow()
+        try:
+            reply = conn.request(
+                {
+                    "op": "evaluate",
+                    "placement": protocol.encode_placements([placement])[0],
+                }
+            )
+        except _TRANSPORT_ERRORS as exc:
+            conn.close()
+            raise self._fault_from(exc) from None
+        if not reply.get("ok"):
+            conn.close()
+            raise self._server_error(reply)
+        self._release(conn)
+        if reply.get("cached"):
+            self.num_remote_cached += 1
+        self.num_requests += 1
+        return self.environment.commit(protocol.decode_raw(reply.get("raw")))
+
+    def remote_spaces(self) -> List[dict]:
+        """Per-tenant stats for every space the server hosts (``spaces`` op)."""
+        conn = self._borrow()
+        try:
+            reply = conn.request({"op": "spaces"})
+        except _TRANSPORT_ERRORS as exc:
+            conn.close()
+            raise self._fault_from(exc) from None
+        self._release(conn)
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "spaces RPC failed"))
+        return list(reply.get("spaces") or [])
+
     def ping(self) -> str:
         """The server's liveness state: ``"serving"`` or ``"draining"``."""
         conn = self._borrow()

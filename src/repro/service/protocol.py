@@ -7,10 +7,10 @@ client and a captured session is human-readable.
 
 Session layout::
 
-    client → server   {"op": "hello", "version": 2, "min_version": 1,
-                       "fingerprint": "..."}
+    client → server   {"op": "hello", "version": 3, "min_version": 1,
+                       "fingerprint": "...", "space": {...}}   # space optional
     server → client   {"ok": true, "server": {...}, "session": "s1"}
-                      # or error + close
+                      # or error (+ "code" since v3) + close
 
     client → server   {"op": "ping"}
     server → client   {"ok": true, "state": "serving"}       # or "draining"
@@ -33,6 +33,9 @@ Session layout::
     client → server   {"op": "stats"}
     server → client   {"ok": true, "stats": {...}}
 
+    client → server   {"op": "spaces"}
+    server → client   {"ok": true, "spaces": [{...}, ...]}    # per-tenant stats
+
     client → server   {"op": "shutdown"}
     server → client   {"ok": true}                           # then server exits
 
@@ -51,8 +54,21 @@ an unknown/expired session id.
 The handshake pins the *measurement space*: the client sends the
 :func:`~repro.graph.fingerprint.placement_space_fingerprint` of its
 graph + topology + cost model and the server refuses the connection unless
-it matches its own — a raw outcome is only meaningful to a client that
-would have computed the identical one locally.
+it hosts that space — a raw outcome is only meaningful to a client that
+would have computed the identical one locally.  Since v3 a multi-tenant
+server hosts *many* spaces (see :mod:`repro.service.tenancy`): the
+handshake resolves the fingerprint against the space registry, lazily
+loading persisted specs, and may instead *adopt* a new space from the
+serialized ``space`` spec the client offers.  Refusals carry a structured
+``code`` alongside the human-readable ``error``:
+
+``version_range``
+    The peers' ``[min, max]`` version ranges are disjoint.
+``unknown_fingerprint``
+    The server does not host the space and no adoptable spec was offered.
+``space_loading``
+    Another connection is materialising the space right now — the one
+    retryable refusal (a client may redial after a short pause).
 
 Version negotiation (v2+): the client offers the range
 ``[min_version, version]`` it can speak; the server answers with
@@ -92,6 +108,7 @@ __all__ = [
     "MIN_PROTOCOL_VERSION",
     "MESSAGE_SCHEMA",
     "NESTED_FIELDS",
+    "HANDSHAKE_CODES",
     "ProtocolError",
     "HandshakeError",
     "read_message",
@@ -105,8 +122,10 @@ __all__ = [
 
 #: Bumped on any incompatible change to the message shapes above.  v2 adds
 #: version negotiation, sessions (``ping``/``resume``), batch-result
-#: retention/replay, and the backpressure/drain error kinds.
-PROTOCOL_VERSION = 2
+#: retention/replay, and the backpressure/drain error kinds.  v3 adds
+#: multi-tenancy: the ``space`` spec offer in ``hello``, structured
+#: handshake rejection ``code``s, and the ``spaces`` op.
+PROTOCOL_VERSION = 3
 
 #: Oldest protocol version this build still speaks.  Negotiation picks the
 #: highest version inside both peers' ``[min, max]`` ranges and refuses the
@@ -125,8 +144,8 @@ MAX_MESSAGE_BYTES = 16 * 1024 * 1024
 #: one required step when the wire format grows.
 MESSAGE_SCHEMA = {
     "hello": {
-        "request": ("op", "version", "min_version", "fingerprint"),
-        "response": ("ok", "server", "session", "error", "kind"),
+        "request": ("op", "version", "min_version", "fingerprint", "space"),
+        "response": ("ok", "server", "session", "error", "kind", "code"),
     },
     "ping": {
         "request": ("op",),
@@ -150,6 +169,10 @@ MESSAGE_SCHEMA = {
         "request": ("op",),
         "response": ("ok", "stats", "error", "kind"),
     },
+    "spaces": {
+        "request": ("op",),
+        "response": ("ok", "spaces", "error", "kind"),
+    },
     "shutdown": {
         "request": ("op",),
         "response": ("ok", "error", "kind"),
@@ -161,6 +184,9 @@ MESSAGE_SCHEMA = {
 #: but never as top-level message fields of their own.
 NESTED_FIELDS = {"message", "kind", "version", "graph", "num_ops", "num_devices", "workers"}
 
+#: The structured rejection codes a refused ``hello`` may carry (v3).
+HANDSHAKE_CODES = ("version_range", "unknown_fingerprint", "space_loading")
+
 
 class ProtocolError(RuntimeError):
     """The peer spoke something that is not this protocol."""
@@ -170,8 +196,16 @@ class HandshakeError(ProtocolError):
     """The server refused the session (version or fingerprint mismatch).
 
     Deliberately *not* an :class:`~repro.sim.faults.EvaluationFault`: a
-    mismatched client is misconfigured, and retrying would never succeed.
+    mismatched client is misconfigured, and retrying would never succeed
+    (``space_loading`` is the one transient code, but redialling is a
+    caller decision, not backend policy).  ``code`` carries the server's
+    structured rejection code verbatim — one of :data:`HANDSHAKE_CODES`,
+    or ``None`` when a pre-v3 server refused without one.
     """
+
+    def __init__(self, text: str, code: Optional[str] = None) -> None:
+        super().__init__(text)
+        self.code = code
 
 
 def write_message(wfile: IO[bytes], message: Dict[str, Any]) -> None:

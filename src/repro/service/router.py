@@ -1,0 +1,382 @@
+"""Router tier: consistent-hash fingerprint routing across a server fleet.
+
+A :class:`RouterServer` is a thin TCP proxy in front of N
+:class:`~repro.service.server.MeasurementServer` backends.  It reads
+exactly one message — the client's ``hello`` — picks the backend that
+owns the handshake's fingerprint on a :class:`HashRing` (SHA-256
+consistent hashing with virtual nodes, so adding or removing one backend
+remaps only ~1/N of the tenant spaces), forwards the handshake, and then
+pumps raw bytes in both directions.  The router never parses evaluation
+traffic: placements stream through at socket speed, and protocol
+evolution below ``hello`` costs zero router changes.
+
+Failure semantics
+-----------------
+
+* **Dial-time death.**  The handshake is idempotent, so the router
+  retries it along the ring (``HashRing.ordered``) past dead backends —
+  a fleet survives a lost server with only its resident spaces' warmth.
+* **Handshake refusals** (version/fingerprint/loading) are forwarded to
+  the client verbatim, never failed over: every backend would refuse the
+  same way, and the structured ``code`` must reach the client untouched.
+* **Mid-stream death.**  The router closes the client socket.  This is
+  deliberate: replaying an interrupted stream *transparently* would
+  require the router to track sessions, but
+  :class:`~repro.service.client.RemoteBackend` already owns that — it
+  reconnects (through the router, whose ring walk now skips the dead
+  backend), ``resume``-s its session, and re-sends the batch id, which
+  is idempotent end-to-end.  The router stays stateless per connection.
+
+A first message of ``{"op": "stats"}`` short-circuits the proxy and
+answers the *router's* fleet-wide counters (connections, per-backend
+routing, dial failures, failovers) without touching a backend — see
+:func:`fetch_router_stats`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from . import protocol
+from .protocol import ProtocolError
+
+__all__ = ["HashRing", "RouterServer", "fetch_router_stats"]
+
+_PUMP_CHUNK = 65536
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"backend address must be 'host:port', got {address!r}")
+    return host, int(port)
+
+
+class HashRing:
+    """Consistent hashing of string keys over backend addresses.
+
+    Each backend contributes ``replicas`` virtual nodes at positions
+    ``sha256("<addr>#<i>")``; a key routes to the first virtual node at or
+    after its own hash position.  Determinism matters twice over: every
+    router instance must agree on the mapping, and tests pin it.
+    """
+
+    def __init__(self, backends: Iterable[str], replicas: int = 64) -> None:
+        addresses = list(backends)
+        if not addresses:
+            raise ValueError("at least one backend is required")
+        if len(set(addresses)) != len(addresses):
+            raise ValueError("duplicate backend addresses")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        for address in addresses:
+            _parse_address(address)  # validate early, not on first dial
+        self.backends = addresses
+        self.replicas = replicas
+        points: List[Tuple[int, str]] = []
+        for address in addresses:
+            for i in range(replicas):
+                points.append((self._hash(f"{address}#{i}"), address))
+        points.sort()
+        self._points = points
+        self._positions = [position for position, _ in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int(hashlib.sha256(key.encode("utf-8")).hexdigest()[:16], 16)
+
+    def lookup(self, key: str) -> str:
+        """The backend owning ``key``."""
+        return self.ordered(key)[0]
+
+    def ordered(self, key: str) -> List[str]:
+        """Every backend, in ring-walk (failover) order from ``key``."""
+        start = bisect.bisect(self._positions, self._hash(key)) % len(self._points)
+        walk: List[str] = []
+        for offset in range(len(self._points)):
+            address = self._points[(start + offset) % len(self._points)][1]
+            if address not in walk:
+                walk.append(address)
+                if len(walk) == len(self.backends):
+                    break
+        return walk
+
+
+class _RouterHandler(socketserver.StreamRequestHandler):
+    server: "_RouterTCPServer"
+
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        protocol.write_message(self.wfile, payload)
+
+    def handle(self) -> None:
+        router = self.server.router
+        router._count("connections", 1.0)
+        try:
+            first = protocol.read_message(self.rfile)
+        except ProtocolError as exc:
+            try:
+                self._reply(protocol.error_message(str(exc)))
+            except OSError:
+                pass
+            return
+        if first is None:
+            return
+        op = first.get("op")
+        try:
+            if op == "stats":
+                self._serve_stats()
+            elif op == "hello":
+                self._proxy(first)
+            else:
+                self._reply(
+                    protocol.error_message(
+                        "router accepts 'hello' (proxied to a backend) or "
+                        "'stats' (router counters) as the first message"
+                    )
+                )
+        except (ConnectionError, BrokenPipeError, ValueError, OSError):
+            pass
+
+    def _serve_stats(self) -> None:
+        """Answer router counters; keeps answering on the same socket."""
+        router = self.server.router
+        while True:
+            self._reply({"ok": True, "stats": router.stats()})
+            try:
+                nxt = protocol.read_message(self.rfile)
+            except ProtocolError as exc:
+                self._reply(protocol.error_message(str(exc)))
+                return
+            if nxt is None:
+                return
+            if nxt.get("op") != "stats":
+                self._reply(
+                    protocol.error_message(
+                        "router admin connections only answer 'stats'"
+                    )
+                )
+                return
+
+    def _proxy(self, hello: Dict[str, Any]) -> None:
+        router = self.server.router
+        fingerprint = hello.get("fingerprint")
+        key = fingerprint if isinstance(fingerprint, str) else ""
+        upstream: Optional[Tuple[str, socket.socket, Any]] = None
+        reply: Optional[Dict[str, Any]] = None
+        for rank, address in enumerate(router.ring.ordered(key)):
+            try:
+                sock = socket.create_connection(
+                    _parse_address(address), timeout=router.dial_timeout
+                )
+            except OSError:
+                router._count("dial_failures", 1.0)
+                continue
+            sock.settimeout(router.dial_timeout)
+            up_rfile = sock.makefile("rb")
+            try:
+                protocol.write_message(sock.makefile("wb"), hello)
+                reply = protocol.read_message(up_rfile)
+                if reply is None:
+                    raise ProtocolError("backend closed during handshake")
+            except (OSError, ProtocolError):
+                router._count("dial_failures", 1.0)
+                up_rfile.close()
+                sock.close()
+                continue
+            if rank > 0:
+                router._count("failovers", 1.0)
+            upstream = (address, sock, up_rfile)
+            break
+        if upstream is None:
+            self._reply(
+                protocol.error_message(
+                    "no live backend in the fleet for this fingerprint",
+                    kind="busy",
+                )
+            )
+            return
+        address, sock, up_rfile = upstream
+        try:
+            self._reply(reply)
+            if not reply.get("ok"):
+                # Refusal forwarded verbatim (with its structured code);
+                # every backend hosts the same protocol range and the
+                # ring owner is authoritative for the space — failing
+                # over would just refuse again, slower.
+                return
+            router._count(f"routed[{address}]", 1.0)
+            router._count("active", 1.0)
+            try:
+                self._pump_both(sock, up_rfile)
+            finally:
+                router._count("active", -1.0)
+        finally:
+            up_rfile.close()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump_both(self, up_sock: socket.socket, up_rfile: Any) -> None:
+        """Raw byte relay in both directions until either side closes."""
+        up_sock.settimeout(None)
+        self.connection.settimeout(None)
+        client_sock = self.connection
+
+        def _shutdown_both() -> None:
+            for target in (up_sock, client_sock):
+                try:
+                    target.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+        def _downstream() -> None:  # backend → client
+            try:
+                while True:
+                    data = up_rfile.read1(_PUMP_CHUNK)
+                    if not data:
+                        break
+                    client_sock.sendall(data)
+            except (OSError, ValueError):
+                pass
+            finally:
+                _shutdown_both()
+
+        relay = threading.Thread(target=_downstream, daemon=True)
+        relay.start()
+        try:  # client → backend, on this handler thread
+            while True:
+                data = self.rfile.read1(_PUMP_CHUNK)
+                if not data:
+                    break
+                up_sock.sendall(data)
+        except (OSError, ValueError):
+            pass
+        finally:
+            _shutdown_both()
+        relay.join(timeout=5.0)
+
+
+class _RouterTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    router: "RouterServer"
+
+
+class RouterServer:
+    """Consistent-hash TCP proxy over a fleet of measurement servers.
+
+    Parameters
+    ----------
+    backends:
+        ``"host:port"`` addresses of the backend servers.  The set is
+        fixed per router instance (restart the router to resize the
+        fleet; consistent hashing keeps the remap surface ~1/N).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    replicas:
+        Virtual nodes per backend on the :class:`HashRing`.
+    dial_timeout:
+        Seconds allowed for a backend dial + proxied handshake before the
+        ring walks to the next candidate.
+    """
+
+    def __init__(
+        self,
+        backends: Iterable[str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 64,
+        dial_timeout: float = 5.0,
+    ) -> None:
+        if dial_timeout <= 0:
+            raise ValueError("dial_timeout must be positive")
+        self.ring = HashRing(backends, replicas=replicas)
+        self.backends = self.ring.backends
+        self.dial_timeout = dial_timeout
+        self._counters: Dict[str, float] = {}
+        self._counter_lock = threading.Lock()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._server = _RouterTCPServer((host, port), _RouterHandler)
+        self._server.router = self
+        bound_host, bound_port = self._server.server_address[:2]
+        self.address = f"{bound_host}:{bound_port}"
+        self.port = bound_port
+
+    def _count(self, name: str, value: float) -> None:
+        with self._counter_lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def stats(self) -> Dict[str, float]:
+        """Fleet-wide routing counters (flat floats, RPC-friendly)."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        counters.setdefault("connections", 0.0)
+        counters.setdefault("active", 0.0)
+        counters.setdefault("dial_failures", 0.0)
+        counters.setdefault("failovers", 0.0)
+        for address in self.backends:
+            counters.setdefault(f"routed[{address}]", 0.0)
+        counters["router"] = 1.0
+        counters["backends"] = float(len(self.backends))
+        return counters
+
+    # -------------------------------------------------------------- #
+    def serve_forever(self) -> None:
+        """Block serving until :meth:`close`."""
+        self._serving = True
+        self._server.serve_forever(poll_interval=0.05)
+
+    def start(self) -> "RouterServer":
+        """Serve on a background thread; returns self for chaining."""
+        if self._serve_thread is not None:
+            raise RuntimeError("router already started")
+        self._serve_thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving.  Idempotent; live proxied streams are dropped."""
+        server, self._server = getattr(self, "_server", None), None
+        if server is None:
+            return
+        if self._serving:
+            server.shutdown()
+        server.server_close()
+        thread = self._serve_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._serve_thread = None
+
+    def __enter__(self) -> "RouterServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def fetch_router_stats(address: str, timeout: float = 5.0) -> Dict[str, float]:
+    """The router's fleet-wide counters via its first-message ``stats`` path."""
+    host, port = _parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    rfile = sock.makefile("rb")
+    wfile = sock.makefile("wb")
+    try:
+        protocol.write_message(wfile, {"op": "stats"})
+        reply = protocol.read_message(rfile)
+    finally:
+        rfile.close()
+        wfile.close()
+        sock.close()
+    if reply is None or not reply.get("ok"):
+        detail = "connection closed" if reply is None else reply.get("error")
+        raise ProtocolError(f"router stats failed: {detail}")
+    return {k: float(v) for k, v in reply.get("stats", {}).items()}

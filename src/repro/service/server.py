@@ -1,60 +1,74 @@
-"""The measurement server: one simulator fleet shared by many searches.
+"""The measurement server: a multi-tenant simulator fleet behind one port.
 
-A :class:`MeasurementServer` loads one graph/topology/cost-model triple at
-startup, builds a pool of simulator worker threads (each owning its own
-:class:`~repro.sim.simulator.Simulator` — the precomputed cost tables are
-per-worker, so workers never contend), and serves *raw* outcomes over the
-newline-delimited JSON protocol of :mod:`repro.service.protocol`.
+A :class:`MeasurementServer` hosts *measurement spaces* — graph/topology/
+cost-model triples — from a :class:`~repro.service.tenancy.SpaceRegistry`,
+builds a pool of simulator worker threads (each owning private
+:class:`~repro.sim.simulator.Simulator` instances per space — the
+precomputed cost tables are per-worker, so workers never contend), and
+serves *raw* outcomes over the newline-delimited JSON protocol of
+:mod:`repro.service.protocol`.  A classic single-tenant server is just
+the registry seeded with one space built from the ``environment``
+argument; ``multi_tenant=True`` additionally adopts spaces offered in v3
+handshakes and lazily loads persisted specs from ``spaces_dir``.
 
-Two properties make the fleet shareable:
+Three properties make the fleet shareable:
 
-* **Server-side memoisation.**  All connections share one
-  :class:`~repro.sim.backends.MemoBackend` raw-outcome table (guarded by a
-  lock; the simulation itself runs outside it).  Concurrent searches that
-  sample the same placement — common early in training, and guaranteed when
-  many seeds search the same graph — deduplicate simulator work; the
-  ``stats`` RPC reports the shared hit rate.
+* **Per-space memoisation.**  Connections of one tenant share that
+  space's :class:`~repro.sim.backends.MemoBackend` raw-outcome table
+  (guarded by a lock; the simulation itself runs outside it).  Concurrent
+  searches that sample the same placement deduplicate simulator work;
+  tenants never see each other's entries — isolation the ``spaces`` RPC
+  makes observable.
 
 * **Client-side commit.**  The server never draws measurement noise and
   never touches an environment clock; it ships the deterministic
   :class:`~repro.sim.environment.RawOutcome` and each client commits it
   locally.  Searches therefore stay bit-for-bit reproducible per client
-  seed no matter how many of them share the fleet, and the server needs no
-  per-client state beyond the open socket.
+  seed no matter how many of them share the fleet.
+
+* **Fair scheduling.**  The worker pool's bounded admission protects the
+  *server*; the optional per-space in-flight quota (``space_quota``)
+  protects the *tenants* from each other: a hot tenant's submissions
+  answer ``busy`` backpressure once its quota is full, leaving pool lanes
+  for everyone else.
 
 ``evaluate_batch`` is futures-based: the submit reply carries ticket ids,
 then one result line streams back per ticket *in completion order* — a
 slow placement does not convoy its siblings through the worker pool.
 
-Self-healing (protocol v2)
---------------------------
+Self-healing and durability (protocol v2/v3)
+--------------------------------------------
 
-The server is built to survive its clients and its own workers:
+The server is built to survive its clients, its own workers, and — given
+a ``spaces_dir`` — its own process:
 
 * **Supervised workers.**  Simulations run on a
   :class:`~repro.service.pool.WorkerPool` — dead worker threads are
-  detected and replaced (by submissions and the housekeeping loop), and
-  the admission queue is bounded, answering ``busy`` backpressure instead
-  of queueing unboundedly.
-* **Sessions and replay.**  Each handshake mints a
-  :class:`~repro.service.sessions.Session`; ticketed batch results are
-  retained per session and written by future done-callbacks, independent
-  of the socket.  A client that reconnects and ``resume``-s its session
-  replays retained results instead of re-simulating (at-most-once
-  evaluation); :attr:`MeasurementServer.num_simulations` counts actual
-  simulator runs so tests can assert the "zero duplicate work" property.
-* **Deadlines and reaping.**  ``request_deadline`` bounds how long one
-  request may hold its connection (expired tickets answer ``deadline``
-  errors; the simulation still completes into the retained record), and
-  idle sessions are reaped by a housekeeping thread.
-* **Graceful drain.**  :meth:`MeasurementServer.drain` (wired to SIGTERM
-  by the CLI) refuses new work with ``draining`` errors, finishes
-  in-flight batches, then closes.
+  detected and replaced, and the admission queue is bounded, answering
+  ``busy`` backpressure instead of queueing unboundedly.
+* **Sessions and replay.**  Each handshake minted session retains
+  ticketed batch results written by future done-callbacks, independent
+  of the socket; a reconnecting client ``resume``-s and replays instead
+  of re-simulating (at-most-once); :attr:`MeasurementServer.num_simulations`
+  counts actual simulator runs so tests can assert "zero duplicate work".
+* **Restart transparency.**  With a ``spaces_dir``, each completed batch
+  persists its space's sessions + memo through the atomic writers in
+  :mod:`repro.ioutil`.  A *restarted* server restores them on space
+  load: the session-id counter continues (no reissue), recorded batches
+  replay bit-for-bit, and records whose futures died with the old
+  process come back ``orphaned`` — exactly their unresolved tickets are
+  resubmitted on the next replay request.
+* **Deadlines, reaping, drain.**  ``request_deadline`` bounds how long
+  one request may hold its connection, idle sessions are reaped per
+  space by the housekeeping thread, and :meth:`MeasurementServer.drain`
+  (wired to SIGTERM by the CLI) refuses new work, finishes in-flight
+  batches, persists every space, then closes.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import socket
 import socketserver
 import threading
@@ -64,17 +78,21 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import MetricsExporter
-from ..graph.fingerprint import placement_space_fingerprint
-from ..sim.backends import MemoBackend
 from ..sim.batch import BatchSimulator
 from ..sim.environment import PlacementEnvironment, RawOutcome
 from ..sim.simulator import Simulator
 from . import protocol
 from .pool import PoolBusy, WorkerPool
 from .protocol import MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, ProtocolError
-from .sessions import BatchRecord, Session, SessionRegistry
+from .sessions import BatchRecord, Session
+from .tenancy import SpaceLoading, SpaceRegistry, SpaceSpec, TenantSpace
 
 __all__ = ["MeasurementServer"]
+
+#: Per-worker-thread simulator instances kept per space; oldest dropped
+#: past this so a worker that served many evicted tenants does not pin
+#: every cost table it ever built.
+_SIMULATORS_PER_WORKER = 8
 
 
 def _placements_digest(decoded: Sequence) -> str:
@@ -90,10 +108,27 @@ class _Handler(socketserver.StreamRequestHandler):
 
     server: "_TCPServer"
 
+    #: Declarative op → handler-method table.  This is *data* the
+    #: ``protocol-dispatch`` lint rule AST-extracts and cross-checks
+    #: against ``MESSAGE_SCHEMA`` (every op exactly one handler) — keep it
+    #: a plain literal.  ``hello`` is special-cased: the real work happens
+    #: in the pre-loop handshake, and its in-loop handler just refuses.
+    _OP_HANDLERS = {
+        "hello": "_op_hello",
+        "ping": "_op_ping",
+        "resume": "_op_resume",
+        "evaluate": "_op_evaluate",
+        "evaluate_batch": "_op_evaluate_batch",
+        "stats": "_op_stats",
+        "spaces": "_op_spaces",
+        "shutdown": "_op_shutdown",
+    }
+
     def setup(self) -> None:
         super().setup()
         self.service = self.server.service
         self.session: Optional[Session] = None
+        self.space: Optional[TenantSpace] = None
         self.version = PROTOCOL_VERSION
         self.service._register_connection(self.connection)
 
@@ -128,8 +163,14 @@ class _Handler(socketserver.StreamRequestHandler):
             # close()); nothing to clean up beyond the connection itself.
             pass
 
-    def _reply(self, message: Dict[str, Any]) -> None:
-        protocol.write_message(self.wfile, message)
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        protocol.write_message(self.wfile, payload)
+
+    def _refuse_handshake(self, text: str, code: str) -> None:
+        self.service.metrics.inc("repro_service_handshake_rejected_total")
+        refusal = protocol.error_message(text)
+        refusal["code"] = code
+        self._reply(refusal)
 
     def _handshake(self) -> bool:
         request = protocol.read_message(self.rfile)
@@ -148,37 +189,47 @@ class _Handler(socketserver.StreamRequestHandler):
             if candidate >= max(MIN_PROTOCOL_VERSION, min_version):
                 negotiated = candidate
         if negotiated is None:
-            service.metrics.inc("repro_service_handshake_rejected_total")
-            self._reply(
-                protocol.error_message(
-                    f"protocol version mismatch: client speaks "
-                    f"[{min_version!r}, {version!r}], server speaks "
-                    f"[{MIN_PROTOCOL_VERSION}, {PROTOCOL_VERSION}]"
-                )
+            self._refuse_handshake(
+                f"protocol version mismatch: client speaks "
+                f"[{min_version!r}, {version!r}], server speaks "
+                f"[{MIN_PROTOCOL_VERSION}, {PROTOCOL_VERSION}]",
+                "version_range",
             )
             return False
         fingerprint = request.get("fingerprint")
-        if fingerprint != service.fingerprint:
-            service.metrics.inc("repro_service_handshake_rejected_total")
-            self._reply(
-                protocol.error_message(
-                    "measurement-space fingerprint mismatch: the client's "
-                    "graph/topology/cost model differs from the server's "
-                    f"({fingerprint!r} != {service.fingerprint!r})"
-                )
+        try:
+            space = service._resolve_space(fingerprint, request.get("space"))
+        except SpaceLoading:
+            self._refuse_handshake(
+                f"measurement space {fingerprint!r} is still loading; "
+                "redial shortly",
+                "space_loading",
+            )
+            return False
+        if space is None:
+            self._refuse_handshake(
+                "measurement-space fingerprint mismatch: the client's "
+                "graph/topology/cost model is not hosted by this server "
+                f"({fingerprint!r} not among {len(service.registry)} spaces)",
+                "unknown_fingerprint",
             )
             return False
         self.version = negotiated
-        self.session = service.sessions.create(service.clock())
+        self.space = space
+        now = service.clock()
+        space.touch(now)
+        self.session = space.sessions.create(now)
         self._reply(
             {
                 "ok": True,
                 "server": {
                     "version": negotiated,
-                    "graph": service.environment.graph.name,
-                    "num_ops": service.environment.graph.num_ops,
-                    "num_devices": service.environment.num_devices,
+                    "graph": space.environment.graph.name,
+                    "num_ops": space.environment.graph.num_ops,
+                    "num_devices": space.environment.num_devices,
                     "workers": service.workers,
+                    "fingerprint": space.fingerprint,
+                    "spaces": len(service.registry),
                 },
                 "session": self.session.id,
             }
@@ -187,94 +238,123 @@ class _Handler(socketserver.StreamRequestHandler):
 
     # -------------------------------------------------------------- #
     def _dispatch(self, request: Dict[str, Any]) -> bool:
-        """Handle one request; False ends the session."""
+        """Route one request through :data:`_OP_HANDLERS`; False ends it."""
         op = request.get("op")
         service = self.service
         service.metrics.inc("repro_service_requests_total")
+        now = service.clock()
         if self.session is not None:
-            self.session.touch(service.clock())
-        if op == "ping":
-            state = "draining" if service.draining.is_set() else "serving"
-            self._reply({"ok": True, "state": state})
+            self.session.touch(now)
+        if self.space is not None:
+            self.space.touch(now)
+        handler = self._OP_HANDLERS.get(op) if isinstance(op, str) else None
+        if handler is None:
+            self._reply(protocol.error_message(f"unknown op {op!r}"))
             return True
-        if op == "resume":
-            session = service.sessions.resume(request.get("session"), service.clock())
-            if session is None:
-                self._reply(
-                    protocol.error_message(
-                        f"unknown session {request.get('session')!r}",
-                        kind="session",
-                    )
-                )
-                return True
-            self.session = session
-            self._reply(
-                {
-                    "ok": True,
-                    "session": session.id,
-                    "retained": session.retained_batches(),
-                }
-            )
-            return True
-        if op == "evaluate":
-            if service.draining.is_set():
-                self._reply(
-                    protocol.error_message(
-                        "server is draining and accepts no new work",
-                        kind="draining",
-                    )
-                )
-                return True
-            try:
-                placement = protocol.decode_placement(
-                    request.get("placement"), service.environment.graph.num_ops
-                )
-            except (ProtocolError, TypeError, ValueError) as exc:
-                self._reply(protocol.error_message(f"bad placement: {exc}"))
-                return True
-            try:
-                raw, cached = service._raw_outcome(placement)
-            except PoolBusy as exc:
-                service.metrics.inc("repro_service_busy_total")
-                self._reply(protocol.error_message(str(exc), kind="busy"))
-                return True
-            except FutureTimeoutError:
-                service.metrics.inc("repro_service_deadline_total")
-                self._reply(
-                    protocol.error_message(
-                        "result not ready within the server's request deadline",
-                        kind="deadline",
-                    )
-                )
-                return True
-            except Exception as exc:  # worker failure → client-side fault
-                service.metrics.inc("repro_service_worker_errors_total")
-                self._reply(protocol.error_message(str(exc), kind="crash"))
-                return True
-            self._reply({"ok": True, "raw": protocol.encode_raw(raw), "cached": cached})
-            return True
-        if op == "evaluate_batch":
-            return self._evaluate_batch(request)
-        if op == "stats":
-            self._reply({"ok": True, "stats": service.stats()})
-            return True
-        if op == "shutdown":
-            self._reply({"ok": True})
-            service._request_shutdown()
-            return False
-        self._reply(protocol.error_message(f"unknown op {op!r}"))
+        return getattr(self, handler)(request)
+
+    def _op_hello(self, request: Dict[str, Any]) -> bool:
+        self._reply(
+            protocol.error_message("handshake already completed on this connection")
+        )
         return True
 
-    # -------------------------------------------------------------- #
-    def _evaluate_batch(self, request: Dict[str, Any]) -> bool:
+    def _op_ping(self, request: Dict[str, Any]) -> bool:
+        state = "draining" if self.service.draining.is_set() else "serving"
+        self._reply({"ok": True, "state": state})
+        return True
+
+    def _op_resume(self, request: Dict[str, Any]) -> bool:
         service = self.service
+        assert self.space is not None
+        session = self.space.sessions.resume(
+            request.get("session"), service.clock()
+        )
+        if session is None:
+            self._reply(
+                protocol.error_message(
+                    f"unknown session {request.get('session')!r}",
+                    kind="session",
+                )
+            )
+            return True
+        self.session = session
+        self._reply(
+            {
+                "ok": True,
+                "session": session.id,
+                "retained": session.retained_batches(),
+            }
+        )
+        return True
+
+    def _op_evaluate(self, request: Dict[str, Any]) -> bool:
+        service = self.service
+        space = self.space
+        assert space is not None
+        if service.draining.is_set():
+            self._reply(
+                protocol.error_message(
+                    "server is draining and accepts no new work",
+                    kind="draining",
+                )
+            )
+            return True
+        try:
+            placement = protocol.decode_placement(
+                request.get("placement"), space.environment.graph.num_ops
+            )
+        except (ProtocolError, TypeError, ValueError) as exc:
+            self._reply(protocol.error_message(f"bad placement: {exc}"))
+            return True
+        try:
+            raw, cached = service._raw_outcome(space, placement)
+        except PoolBusy as exc:
+            service.metrics.inc("repro_service_busy_total")
+            self._reply(protocol.error_message(str(exc), kind="busy"))
+            return True
+        except FutureTimeoutError:
+            service.metrics.inc("repro_service_deadline_total")
+            self._reply(
+                protocol.error_message(
+                    "result not ready within the server's request deadline",
+                    kind="deadline",
+                )
+            )
+            return True
+        except Exception as exc:  # worker failure → client-side fault
+            service.metrics.inc("repro_service_worker_errors_total")
+            self._reply(protocol.error_message(str(exc), kind="crash"))
+            return True
+        self._reply({"ok": True, "raw": protocol.encode_raw(raw), "cached": cached})
+        return True
+
+    def _op_stats(self, request: Dict[str, Any]) -> bool:
+        self._reply({"ok": True, "stats": self.service.stats()})
+        return True
+
+    def _op_spaces(self, request: Dict[str, Any]) -> bool:
+        listing = [space.stats() for space in self.service.registry.snapshot()]
+        self._reply({"ok": True, "spaces": listing})
+        return True
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> bool:
+        self._reply({"ok": True})
+        self.service._request_shutdown()
+        return False
+
+    # -------------------------------------------------------------- #
+    def _op_evaluate_batch(self, request: Dict[str, Any]) -> bool:
+        service = self.service
+        space = self.space
+        assert space is not None
         placements = request.get("placements")
         if not isinstance(placements, list):
             self._reply(protocol.error_message("placements must be a list"))
             return True
         try:
             decoded = [
-                protocol.decode_placement(p, service.environment.graph.num_ops)
+                protocol.decode_placement(p, space.environment.graph.num_ops)
                 for p in placements
             ]
         except (ProtocolError, TypeError, ValueError) as exc:
@@ -306,31 +386,55 @@ class _Handler(socketserver.StreamRequestHandler):
             record = BatchRecord(-1, len(decoded), "")
         # Tickets already resolved before this request attach as replays.
         already = {} if created else record.snapshot()
+        pending: List[Tuple[int, Any]] = []
         if created:
+            pending = list(enumerate(decoded))
+        elif record.orphaned and not record.complete:
+            # Restored from disk: the missing tickets' futures died with
+            # the previous process.  Resubmit exactly those — recorded
+            # tickets replay verbatim, so the batch stays at-most-once
+            # across the restart.
+            pending = [
+                (ticket, decoded[ticket])
+                for ticket in range(len(decoded))
+                if ticket not in already
+            ]
+            service.metrics.inc(
+                "repro_service_orphan_resubmitted_total", float(len(pending))
+            )
+        if pending:
             try:
-                self._submit_into(record, decoded)
+                self._submit_into(space, record, pending)
             except PoolBusy as exc:
-                if batch_id is not None and self.session is not None:
+                if created and batch_id is not None and self.session is not None:
                     self.session.discard(batch_id)
                 service.metrics.inc("repro_service_busy_total")
                 self._reply(protocol.error_message(str(exc), kind="busy"))
                 return True
+            record.orphaned = False
         if already:
             service.metrics.inc("repro_service_replayed_total", float(len(already)))
         self._reply({"ok": True, "tickets": list(range(len(decoded)))})
-        return self._stream_results(record, already)
+        keep = self._stream_results(record, already)
+        # Batches resolved purely from the memo never ran a done-callback,
+        # so persist here as well — both paths are idempotent writes.
+        service._maybe_persist(space, record)
+        return keep
 
-    def _submit_into(self, record: BatchRecord, decoded: List) -> None:
+    def _submit_into(
+        self, space: TenantSpace, record: BatchRecord, pending: List[Tuple[int, Any]]
+    ) -> None:
         """Resolve cache hits into the record; submit misses to the pool.
 
-        All-or-nothing on admission: if the pool is busy no future exists,
-        so the (discarded) record never waits on tickets that cannot come.
+        All-or-nothing on admission: if the pool (or the space's in-flight
+        quota) is busy no future exists, so the (discarded) record never
+        waits on tickets that cannot come.
         """
         service = self.service
         misses: List[Tuple[int, Any]] = []
-        for ticket, placement in enumerate(decoded):
+        for ticket, placement in pending:
             with service._memo_lock:
-                raw = service.memo.lookup(placement)
+                raw = space.memo.lookup(placement)
             if raw is not None:
                 record.store(
                     ticket, {"raw": protocol.encode_raw(raw), "cached": True}
@@ -339,25 +443,44 @@ class _Handler(socketserver.StreamRequestHandler):
                 misses.append((ticket, placement))
         if not misses:
             return
-        if service.vectorized and len(misses) > 1:
-            # One pool task sweeps every miss in a single vectorized pass;
-            # admission stays all-or-nothing because it is a single submit.
-            chunk = [placement for _, placement in misses]
-            future = service._pool.submit(service._simulate_chunk, chunk)
-            self._attach_chunk(record, [ticket for ticket, _ in misses], future)
-            return
-        futures = service._pool.submit_many(
-            [(service._simulate, placement) for _, placement in misses]
-        )
-        for (ticket, _), future in zip(misses, futures):
-            self._attach(record, ticket, future)
+        lanes = len(misses)
+        if not space.try_acquire(lanes):
+            service.metrics.inc("repro_service_quota_rejected_total")
+            raise PoolBusy(
+                f"tenant in-flight quota exhausted ({space.quota} lanes); "
+                "retry after in-flight work completes"
+            )
+        try:
+            if service.vectorized and len(misses) > 1:
+                # One pool task sweeps every miss in a single vectorized
+                # pass; admission stays all-or-nothing (a single submit).
+                chunk = [placement for _, placement in misses]
+                future = service._pool.submit(service._simulate_chunk, space, chunk)
+                self._attach_chunk(
+                    space, record, [ticket for ticket, _ in misses], future
+                )
+            else:
+                futures = service._pool.submit_many(
+                    [
+                        (service._simulate, space, placement)
+                        for _, placement in misses
+                    ]
+                )
+                for (ticket, _), future in zip(misses, futures):
+                    self._attach(space, record, ticket, future)
+        except PoolBusy:
+            space.release(lanes)
+            raise
 
-    def _attach(self, record: BatchRecord, ticket: int, future: Future) -> None:
+    def _attach(
+        self, space: TenantSpace, record: BatchRecord, ticket: int, future: Future
+    ) -> None:
         """Wire a worker future to the record, independent of this socket.
 
         The done-callback — not the connection — owns result delivery into
         the record, so results of a batch whose client vanished mid-stream
-        keep accumulating and can be replayed after a reconnect.
+        keep accumulating and can be replayed after a reconnect (durably,
+        when a ``spaces_dir`` is configured).
         """
         service = self.service
 
@@ -373,11 +496,17 @@ class _Handler(socketserver.StreamRequestHandler):
                     ticket,
                     {"raw": protocol.encode_raw(done.result()), "cached": False},
                 )
+            space.release(1)
+            service._maybe_persist(space, record)
 
         future.add_done_callback(_store)
 
     def _attach_chunk(
-        self, record: BatchRecord, tickets: List[int], future: Future
+        self,
+        space: TenantSpace,
+        record: BatchRecord,
+        tickets: List[int],
+        future: Future,
     ) -> None:
         """Wire one vectorized-sweep future to every ticket it resolves.
 
@@ -400,6 +529,8 @@ class _Handler(socketserver.StreamRequestHandler):
                     record.store(
                         ticket, {"raw": protocol.encode_raw(raw), "cached": False}
                     )
+            space.release(len(tickets))
+            service._maybe_persist(space, record)
 
         future.add_done_callback(_store)
 
@@ -455,23 +586,24 @@ class _TCPServer(socketserver.ThreadingTCPServer):
 
 
 class MeasurementServer:
-    """Hosts one measurement space behind a TCP endpoint.
+    """Hosts one or many measurement spaces behind a TCP endpoint.
 
     Parameters
     ----------
     environment:
-        Defines the graph/topology/cost model served.  Its RNG and clock
-        are never used — the server only runs the deterministic half of an
-        evaluation.
+        Seeds the registry with a default space (classic single-tenant
+        use).  Its RNG and clock are never used — the server only runs
+        the deterministic half of an evaluation.  Optional when
+        ``multi_tenant`` or ``space_specs`` provide the spaces instead.
     host, port:
         Bind address; ``port=0`` picks a free port (see :attr:`address`).
     workers:
-        Simulator worker threads.  Each lazily builds a private
-        :class:`Simulator` on first use.
+        Simulator worker threads, shared by every space.  Each lazily
+        builds private per-space :class:`Simulator` instances on first use.
     memo_path:
         Optional persisted cache (:meth:`MemoBackend.load` format) to warm
-        the shared table from at startup; ignored if missing, refused on a
-        fingerprint mismatch.
+        the *default* space's table from at startup; ignored if missing,
+        refused on a fingerprint mismatch.
     max_backlog:
         Queued simulations admitted before requests answer ``busy``
         backpressure; defaults to ``32 * workers``.
@@ -494,11 +626,29 @@ class MeasurementServer:
         sweep is golden-tested against the scalar loop), so clients cannot
         observe the difference except in throughput; single ``evaluate``
         requests keep the scalar path.
+    multi_tenant:
+        Accept handshakes for spaces this server does not host yet, by
+        adopting the serialized spec a v3 client offers in ``hello``.
+    spaces_dir:
+        Durability directory: specs persist as ``<fp>.space.json`` (lazily
+        loaded on handshake), per-space sessions + memo as
+        ``<fp>.state.json`` (written on batch completion, eviction and
+        drain/close) — see :mod:`repro.service.tenancy`.
+    space_specs:
+        Spaces to host from startup (in addition to ``environment``'s).
+    max_spaces:
+        Resident-space budget; the least-recently-used idle space is
+        persisted and evicted past it.
+    memo_budget:
+        Per-space memo-cache entry budget (``None`` = unbounded).
+    space_quota:
+        Per-space in-flight simulation quota for fair scheduling across
+        tenants (``None`` = pool admission only).
     """
 
     def __init__(
         self,
-        environment: PlacementEnvironment,
+        environment: Optional[PlacementEnvironment] = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -511,6 +661,12 @@ class MeasurementServer:
         housekeeping_interval: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
         vectorized: bool = False,
+        multi_tenant: bool = False,
+        spaces_dir: Optional[str] = None,
+        space_specs: Sequence[SpaceSpec] = (),
+        max_spaces: Optional[int] = None,
+        memo_budget: Optional[int] = None,
+        space_quota: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -518,32 +674,48 @@ class MeasurementServer:
             raise ValueError("request_deadline must be positive")
         if housekeeping_interval <= 0:
             raise ValueError("housekeeping_interval must be positive")
-        self.environment = environment
+        if environment is None and not multi_tenant and not space_specs:
+            raise ValueError(
+                "environment is required unless multi_tenant=True or "
+                "space_specs seed the registry"
+            )
         self.workers = workers
         self.request_deadline = request_deadline
         self.clock = clock
         self.vectorized = vectorized
+        self.multi_tenant = multi_tenant
         #: lanes evaluated by vectorized sweeps (0 unless ``vectorized``).
         self.batch_lanes = 0
-        self.fingerprint = placement_space_fingerprint(
-            environment.graph, environment.topology, environment.simulator.cost_model
-        )
-        self.memo = MemoBackend(environment)
-        if memo_path is not None:
-            import os
-
-            if os.path.exists(memo_path):
-                self.memo.load(memo_path)
         self.metrics = MetricsExporter()
-        self.sessions = SessionRegistry(
-            retention=session_retention, idle_timeout=session_idle_timeout
-        )
         self.draining = threading.Event()
         #: Exact count of simulator runs (cache hits excluded) — the
         #: quantity the at-most-once replay guarantee is asserted against.
         self.num_simulations = 0
         self._memo_lock = threading.Lock()
         self._local = threading.local()
+        self._durable = spaces_dir is not None
+        self.registry = SpaceRegistry(
+            spaces_dir=spaces_dir,
+            max_spaces=max_spaces,
+            memo_budget=memo_budget,
+            session_retention=session_retention,
+            session_idle_timeout=session_idle_timeout,
+            quota=space_quota,
+            vectorized=vectorized,
+            state_lock=self._memo_lock,
+        )
+        self._default_space: Optional[TenantSpace] = None
+        if environment is not None:
+            self._default_space = self.registry.add_environment(
+                environment, now=self.clock()
+            )
+        for spec in space_specs:
+            space = self.registry.add(spec, now=self.clock())
+            if self._default_space is None:
+                self._default_space = space
+        if memo_path is not None and self._default_space is not None:
+            if os.path.exists(memo_path):
+                self._default_space.memo.load(memo_path)
         self._pool = WorkerPool(
             workers,
             max_backlog=max_backlog if max_backlog is not None else 32 * workers,
@@ -570,27 +742,101 @@ class MeasurementServer:
         )
         self._housekeeping.start()
 
+    # -- single-tenant compatibility surface ------------------------ #
+    @property
+    def environment(self) -> Optional[PlacementEnvironment]:
+        """The default space's environment (single-tenant view)."""
+        space = self._default_space
+        return space.environment if space is not None else None
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """The default space's fingerprint (single-tenant view)."""
+        space = self._default_space
+        return space.fingerprint if space is not None else None
+
+    @property
+    def memo(self):
+        """The default space's memo table (single-tenant view)."""
+        space = self._default_space
+        return space.memo if space is not None else None
+
+    @property
+    def sessions(self):
+        """The default space's session registry (single-tenant view)."""
+        space = self._default_space
+        return space.sessions if space is not None else None
+
     # -------------------------------------------------------------- #
-    def _worker_simulator(self) -> Simulator:
-        sim = getattr(self._local, "simulator", None)
+    def _resolve_space(
+        self, fingerprint: Any, offered: Any
+    ) -> Optional[TenantSpace]:
+        """The space a handshake binds to, or None (→ unknown_fingerprint).
+
+        Resolution order: resident space → persisted spec in
+        ``spaces_dir`` (may raise :class:`SpaceLoading` while another
+        connection materialises it) → the spec the client offered, adopted
+        when ``multi_tenant``.  An offered spec whose rebuilt fingerprint
+        disagrees with the claimed one is refused — the client would only
+        reject our raws anyway.
+        """
+        now = self.clock()
+        space = self.registry.get_or_load(fingerprint, now)
+        if space is not None:
+            return space
+        if offered is not None and self.multi_tenant:
+            try:
+                spec = SpaceSpec.from_dict(offered)
+            except (ValueError, KeyError, TypeError):
+                return None
+            if isinstance(fingerprint, str) and spec.fingerprint != fingerprint:
+                return None
+            self.metrics.inc("repro_service_spaces_adopted_total")
+            return self.registry.add(spec, now=now)
+        return None
+
+    def _maybe_persist(self, space: TenantSpace, record: BatchRecord) -> None:
+        """Persist a space's durable state once a retained batch completes.
+
+        Connection-local (v1, ``batch_id=-1``) records never persist; the
+        write is an atomic whole-file replace, so concurrent completions
+        are safe (last writer wins with a superset of results).
+        """
+        if self._durable and record.batch_id >= 0 and record.complete:
+            self.registry.persist(space)
+
+    def _worker_simulator(self, space: TenantSpace) -> Simulator:
+        sims = getattr(self._local, "simulators", None)
+        if sims is None:
+            sims = {}
+            self._local.simulators = sims
+        sim = sims.get(space.fingerprint)
         if sim is None:
-            env = self.environment
+            while len(sims) >= _SIMULATORS_PER_WORKER:
+                sims.pop(next(iter(sims)))
+            env = space.environment
             sim = Simulator(env.graph, env.topology, env.simulator.cost_model)
-            self._local.simulator = sim
+            sims[space.fingerprint] = sim
         return sim
 
-    def _worker_batch_simulator(self) -> BatchSimulator:
-        batch = getattr(self._local, "batch_simulator", None)
+    def _worker_batch_simulator(self, space: TenantSpace) -> BatchSimulator:
+        batches = getattr(self._local, "batch_simulators", None)
+        if batches is None:
+            batches = {}
+            self._local.batch_simulators = batches
+        batch = batches.get(space.fingerprint)
         if batch is None:
-            batch = BatchSimulator(self._worker_simulator())
-            self._local.batch_simulator = batch
+            while len(batches) >= _SIMULATORS_PER_WORKER:
+                batches.pop(next(iter(batches)))
+            batch = BatchSimulator(self._worker_simulator(space))
+            batches[space.fingerprint] = batch
         return batch
 
-    def _simulate(self, placement) -> RawOutcome:
+    def _simulate(self, space: TenantSpace, placement) -> RawOutcome:
         """Worker-pool task: one deterministic simulation + cache insert."""
         from ..sim.simulator import OutOfMemoryError
 
-        sim = self._worker_simulator()
+        sim = self._worker_simulator(space)
         try:
             breakdown = sim.simulate(placement)
         except OutOfMemoryError as exc:
@@ -599,10 +845,11 @@ class MeasurementServer:
             raw = RawOutcome(breakdown.makespan)
         with self._memo_lock:
             self.num_simulations += 1
-            self.memo.insert(placement, raw)
+            space.num_simulations += 1
+            space.memo.insert(placement, raw)
         return raw
 
-    def _simulate_chunk(self, placements: List) -> List[RawOutcome]:
+    def _simulate_chunk(self, space: TenantSpace, placements: List) -> List[RawOutcome]:
         """Worker-pool task: one vectorized sweep over a batch's misses.
 
         Every lane counts as one simulation — the sweep performs the same
@@ -610,54 +857,115 @@ class MeasurementServer:
         so the at-most-once accounting in :attr:`num_simulations` is
         unchanged by the vectorized path.
         """
-        raws = self._worker_batch_simulator().raw_outcomes(placements)
+        raws = self._worker_batch_simulator(space).raw_outcomes(placements)
         with self._memo_lock:
             self.num_simulations += len(placements)
+            space.num_simulations += len(placements)
             self.batch_lanes += len(placements)
             for placement, raw in zip(placements, raws):
-                self.memo.insert(placement, raw)
+                space.memo.insert(placement, raw)
         return raws
 
-    def _raw_outcome(self, placement):
-        """Shared-cache lookup, falling back to a pool worker; blocking."""
+    def _raw_outcome(self, space: TenantSpace, placement):
+        """Per-space cache lookup, falling back to a pool worker; blocking."""
         with self._memo_lock:
-            raw = self.memo.lookup(placement)
+            raw = space.memo.lookup(placement)
         if raw is not None:
             return raw, True
-        future = self._pool.submit(self._simulate, placement)
+        if not space.try_acquire(1):
+            self.metrics.inc("repro_service_quota_rejected_total")
+            raise PoolBusy(
+                f"tenant in-flight quota exhausted ({space.quota} lanes); "
+                "retry after in-flight work completes"
+            )
+        try:
+            future = self._pool.submit(self._simulate, space, placement)
+        except BaseException:
+            space.release(1)
+            raise
+        future.add_done_callback(lambda _done: space.release(1))
         return future.result(timeout=self.request_deadline), False
 
     # -------------------------------------------------------------- #
     def stats(self) -> Dict[str, float]:
-        """Counters behind the ``stats`` RPC (shared cache + service)."""
-        memo_stats = {f"memo_{k}": v for k, v in self.memo.stats().items()}
+        """Counters behind the ``stats`` RPC (caches + service + fleet).
+
+        ``memo_*`` aggregate across every resident space, so single-tenant
+        servers report exactly their one space as before.
+        """
+        hits = misses = entries = 0.0
+        session_count = 0.0
+        quota_rejections = 0.0
+        spaces = self.registry.snapshot()
+        for space in spaces:
+            memo_stats = space.memo.stats()
+            hits += memo_stats["hits"]
+            misses += memo_stats["misses"]
+            entries += memo_stats["entries"]
+            session_count += len(space.sessions)
+            quota_rejections += space.quota_rejections
+        total = hits + misses
         return {
-            **memo_stats,
+            "memo_hits": hits,
+            "memo_misses": misses,
+            "memo_entries": entries,
+            "memo_hit_rate": hits / total if total else 0.0,
             **{name: float(v) for name, v in self.metrics.counters.items()},
             "workers": float(self.workers),
             "workers_alive": float(self._pool.alive_workers()),
             "workers_replaced": float(self._pool.workers_replaced),
             "backlog": float(self._pool.backlog()),
             "simulations": float(self.num_simulations),
-            "sessions": float(len(self.sessions)),
+            "sessions": session_count,
             "draining": float(self.draining.is_set()),
             "vectorized": float(self.vectorized),
             "batch_lanes": float(self.batch_lanes),
+            "spaces": float(len(self.registry)),
+            "space_evictions": float(self.registry.num_evictions),
+            "space_lazy_loads": float(self.registry.num_lazy_loads),
+            "quota_rejections": quota_rejections,
         }
 
     def render_metrics(self) -> str:
-        """Prometheus text exposition for the ``--metrics-port`` endpoint."""
-        self.metrics.counters["repro_service_simulations_total"] = float(
-            self.num_simulations
-        )
-        self.metrics.counters["repro_service_sessions"] = float(len(self.sessions))
-        self.metrics.counters["repro_service_workers_alive"] = float(
-            self._pool.alive_workers()
-        )
-        self.metrics.counters["repro_service_backlog"] = float(self._pool.backlog())
-        self.metrics.counters["repro_service_workers_replaced_total"] = float(
+        """Prometheus text exposition for the ``--metrics-port`` endpoint.
+
+        Fleet-wide ``repro_service_*`` gauges plus one ``repro_space_*``
+        series per resident tenant, labelled ``space="<fp prefix>"`` —
+        evicted tenants' series disappear with them (they are gauges over
+        live state, not monotonic counters).
+        """
+        counters = self.metrics.counters
+        for name in [key for key in counters if key.startswith("repro_space_")]:
+            del counters[name]
+        counters["repro_service_simulations_total"] = float(self.num_simulations)
+        counters["repro_service_workers_alive"] = float(self._pool.alive_workers())
+        counters["repro_service_backlog"] = float(self._pool.backlog())
+        counters["repro_service_workers_replaced_total"] = float(
             self._pool.workers_replaced
         )
+        counters["repro_service_spaces_hosted"] = float(len(self.registry))
+        counters["repro_service_space_evictions_total"] = float(
+            self.registry.num_evictions
+        )
+        session_count = 0.0
+        for space in self.registry.snapshot():
+            label = f'space="{space.fingerprint[:12]}"'
+            space_stats = space.stats()
+            session_count += space_stats["sessions"]
+            counters[f"repro_space_sessions{{{label}}}"] = space_stats["sessions"]
+            counters[f"repro_space_simulations_total{{{label}}}"] = space_stats[
+                "simulations"
+            ]
+            counters[f"repro_space_memo_hits_total{{{label}}}"] = space_stats[
+                "memo_hits"
+            ]
+            counters[f"repro_space_memo_entries{{{label}}}"] = space_stats[
+                "memo_entries"
+            ]
+            counters[f"repro_space_quota_rejected_total{{{label}}}"] = space_stats[
+                "quota_rejections"
+            ]
+        counters["repro_service_sessions"] = session_count
         return self.metrics.render_prometheus()
 
     # -------------------------------------------------------------- #
@@ -690,7 +998,7 @@ class MeasurementServer:
         return True
 
     def _housekeeping_loop(self) -> None:
-        """Supervision: reap idle sessions, resurrect dead workers.
+        """Supervision: reap idle sessions per space, resurrect workers.
 
         Workers killed by a task replace themselves inside the pool;
         :meth:`WorkerPool.heal` here is the backstop for threads that died
@@ -698,7 +1006,9 @@ class MeasurementServer:
         pool's cumulative counter at render time, covering both paths.
         """
         while not self._housekeeping_stop.wait(self._housekeeping_interval):
-            self.sessions.reap(self.clock())
+            now = self.clock()
+            for space in self.registry.snapshot():
+                space.sessions.reap(now)
             self._pool.heal()
 
     def _request_shutdown(self) -> None:
@@ -713,8 +1023,8 @@ class MeasurementServer:
         New evaluations answer ``draining`` errors the moment this is
         called (replays of already-retained batches still complete);
         queued and running simulations finish; responses still streaming
-        are given until ``timeout`` to flush; then the server closes.
-        This is what the CLI wires to SIGTERM.
+        are given until ``timeout`` to flush; every space persists; then
+        the server closes.  This is what the CLI wires to SIGTERM.
         """
         self.draining.set()
         self._pool.drain(timeout=timeout)
@@ -740,11 +1050,16 @@ class MeasurementServer:
 
         Open sockets are force-closed so clients observe a reset — the
         'server died mid-search' path their retry policy must absorb.
+        Durable registries persist every space's state on the way down
+        (batch completions already persisted incrementally; this catches
+        session/memo churn since the last completed batch).
         """
         server, self._server = getattr(self, "_server", None), None
         if server is None:
             return
         self._housekeeping_stop.set()
+        if self._durable:
+            self.registry.persist_all()
         if self._serving:
             server.shutdown()  # waits for serve_forever to drain
         server.server_close()

@@ -50,6 +50,13 @@ class BatchRecord:
         self.batch_id = batch_id
         self.expected = expected
         self.digest = digest
+        # A record restored from disk has no live futures behind its missing
+        # tickets: the server that created them died.  The flag tells the
+        # dispatch path to resubmit exactly the unresolved tickets on the
+        # next replay request instead of waiting on futures that will never
+        # complete.  Stored tickets are still replayed verbatim — at-most-once
+        # survives the restart.
+        self.orphaned = False
         self._cond = threading.Condition()
         self._results: Dict[int, Dict[str, Any]] = {}
 
@@ -80,6 +87,24 @@ class BatchRecord:
     def complete(self) -> bool:
         with self._cond:
             return len(self._results) >= self.expected
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form for per-space durability files."""
+        with self._cond:
+            return {
+                "batch": self.batch_id,
+                "expected": self.expected,
+                "digest": self.digest,
+                "results": {str(t): p for t, p in self._results.items()},
+            }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchRecord":
+        record = cls(int(data["batch"]), int(data["expected"]), str(data["digest"]))
+        for ticket, payload in data.get("results", {}).items():
+            record._results[int(ticket)] = payload
+        record.orphaned = not record.complete
+        return record
 
 
 class Session:
@@ -128,6 +153,22 @@ class Session:
     def retained_batches(self) -> List[int]:
         with self._lock:
             return sorted(self._batches)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form: id plus retained batch records, oldest first."""
+        with self._lock:
+            records = [record.to_dict() for record in self._batches.values()]
+        return {"id": self.id, "batches": records}
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], *, retention: int, now: float
+    ) -> "Session":
+        session = cls(str(data["id"]), retention=retention, now=now)
+        for entry in data.get("batches", []):
+            record = BatchRecord.from_dict(entry)
+            session._batches[record.batch_id] = record
+        return session
 
 
 class SessionRegistry:
@@ -190,3 +231,37 @@ class SessionRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise live sessions + the id counter for durability files.
+
+        The counter rides along so a restarted server never *reissues* a
+        persisted session id to a brand-new client — restored ids stay
+        resumable and fresh handshakes continue the sequence.
+        """
+        with self._lock:
+            sessions = sorted(self._sessions.values(), key=lambda s: s.id)
+            return {
+                "counter": self._counter,
+                "sessions": [session.to_dict() for session in sessions],
+            }
+
+    def load_state(self, state: Dict[str, Any], now: float) -> int:
+        """Restore sessions persisted by :meth:`state_dict`; returns count.
+
+        Restored sessions are stamped ``now`` (not their pre-crash
+        ``last_seen``) so housekeeping cannot reap them before their client
+        has had a chance to reconnect.  Incomplete restored batch records
+        come back ``orphaned`` — see :class:`BatchRecord`.
+        """
+        restored = 0
+        with self._lock:
+            self._counter = max(self._counter, int(state.get("counter", 0)))
+            for entry in state.get("sessions", []):
+                session = Session.from_dict(
+                    entry, retention=self.retention, now=now
+                )
+                if session.id not in self._sessions:
+                    self._sessions[session.id] = session
+                    restored += 1
+        return restored

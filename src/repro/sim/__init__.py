@@ -13,6 +13,12 @@ from .backends import (
     make_backend,
 )
 from .faults import EvaluationFault, FaultPlan, FaultInjectingBackend
+from .serialization import (
+    topology_to_dict,
+    topology_from_dict,
+    cost_model_to_dict,
+    cost_model_from_dict,
+)
 from .trace import chrome_trace, ascii_gantt, critical_path
 from .memory import peak_memory, PeakMemoryReport
 
@@ -37,6 +43,10 @@ __all__ = [
     "EvaluationFault",
     "FaultPlan",
     "FaultInjectingBackend",
+    "topology_to_dict",
+    "topology_from_dict",
+    "cost_model_to_dict",
+    "cost_model_from_dict",
     "chrome_trace",
     "ascii_gantt",
     "critical_path",

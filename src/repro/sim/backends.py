@@ -544,7 +544,10 @@ def make_backend(
     ``remote="host:port"`` selects a
     :class:`~repro.service.client.RemoteBackend` talking to a
     :class:`~repro.service.server.MeasurementServer` (and takes precedence
-    over ``workers``/``cache``); ``workers > 1`` selects
+    over ``workers``/``cache``); the client offers its serialized
+    measurement space in the handshake, so a multi-tenant server adopts
+    tenants it has never seen while a single-tenant server still refuses
+    mismatched fingerprints.  ``workers > 1`` selects
     :class:`ParallelBackend`; otherwise ``cache`` selects
     :class:`MemoBackend` over :class:`SerialBackend`.  All of them produce
     identical measurements on a fixed environment seed.  A ``fault_plan``
@@ -563,7 +566,7 @@ def make_backend(
         from ..service.client import RemoteBackend
 
         backend: EvaluationBackend = RemoteBackend(
-            environment, remote, timeout=remote_timeout
+            environment, remote, timeout=remote_timeout, offer_space=True
         )
     elif workers and workers > 1:
         backend = ParallelBackend(environment, workers=workers, seed=seed)

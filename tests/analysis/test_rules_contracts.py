@@ -37,12 +37,20 @@ class TestContractExtraction:
     def test_message_schema_extracted(self, contracts):
         assert set(contracts.message_schema) == {
             "hello", "ping", "resume", "evaluate", "evaluate_batch",
-            "stats", "shutdown",
+            "stats", "spaces", "shutdown",
         }
         assert "fingerprint" in contracts.request_fields["hello"]
         assert "batch" in contracts.request_fields["evaluate_batch"]
         assert "raw" in contracts.response_fields
         assert "replayed" in contracts.response_fields
+
+    def test_dispatch_and_constructors_extracted(self, contracts):
+        # every schema op dispatches and has exactly one client constructor
+        assert set(contracts.server_dispatch) == set(contracts.message_schema)
+        assert set(contracts.server_dispatch.values()) <= contracts.server_methods
+        assert contracts.client_constructors == {
+            op: 1 for op in contracts.message_schema
+        }
 
 
 class TestCallbackSignature:
@@ -175,3 +183,87 @@ class TestProtocolSchema:
     def test_non_message_dict_ignored(self, contracts):
         src = 'def f():\n    return {"makespan": 1.0, "hits": 3}\n'
         assert lint_source(src, SERVICE_PATH, contracts) == []
+
+
+class TestProtocolDispatch:
+    """The cross-file rule: findings are synthesized from doctored contract
+    tables and reported against the schema's home module."""
+
+    PROTOCOL_PATH = "src/repro/service/protocol.py"
+    #: A stand-in for protocol.py: the rule only needs the MESSAGE_SCHEMA
+    #: assignment as its finding anchor — contracts supply the tables.
+    HOME_SRC = "MESSAGE_SCHEMA = {}\n"
+
+    @staticmethod
+    def _doctor(contracts, **overrides):
+        from repro.analysis import ContractIndex
+
+        return ContractIndex(
+            contracts.callback_signatures,
+            contracts.backend_methods,
+            contracts.message_schema,
+            contracts.nested_fields,
+            server_dispatch=overrides.get(
+                "server_dispatch", contracts.server_dispatch
+            ),
+            server_methods=overrides.get(
+                "server_methods", contracts.server_methods
+            ),
+            client_constructors=overrides.get(
+                "client_constructors", contracts.client_constructors
+            ),
+        )
+
+    def test_repo_protocol_self_lints_clean(self, contracts):
+        with open(self.PROTOCOL_PATH) as fh:
+            src = fh.read()
+        assert lint_source(src, self.PROTOCOL_PATH, contracts) == []
+
+    def test_undispatched_op_flagged(self, contracts):
+        dispatch = dict(contracts.server_dispatch)
+        dispatch.pop("spaces")
+        doctored = self._doctor(contracts, server_dispatch=dispatch)
+        findings = lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "no entry in the server's _OP_HANDLERS" in findings[0].message
+
+    def test_dispatch_to_missing_method_flagged(self, contracts):
+        dispatch = dict(contracts.server_dispatch, ping="_op_misspelled")
+        doctored = self._doctor(contracts, server_dispatch=dispatch)
+        findings = lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "server.py does not define" in findings[0].message
+
+    def test_missing_client_constructor_flagged(self, contracts):
+        constructors = dict(contracts.client_constructors)
+        constructors.pop("ping")
+        doctored = self._doctor(contracts, client_constructors=constructors)
+        findings = lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "no client request constructor" in findings[0].message
+
+    def test_forked_client_constructor_flagged(self, contracts):
+        constructors = dict(contracts.client_constructors, ping=2)
+        doctored = self._doctor(contracts, client_constructors=constructors)
+        findings = lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "2 client request constructors" in findings[0].message
+
+    def test_stray_dispatch_op_flagged(self, contracts):
+        dispatch = dict(contracts.server_dispatch, frobnicate="_op_frobnicate")
+        doctored = self._doctor(contracts, server_dispatch=dispatch)
+        findings = lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "unknown op 'frobnicate'" in findings[0].message
+
+    def test_outside_home_module_ignored(self, contracts):
+        dispatch = dict(contracts.server_dispatch)
+        dispatch.pop("spaces")
+        doctored = self._doctor(contracts, server_dispatch=dispatch)
+        assert lint_source(self.HOME_SRC, SERVICE_PATH, doctored) == []
+
+    def test_fixture_trees_without_contract_sources_stay_silent(self, contracts):
+        doctored = self._doctor(
+            contracts, server_dispatch={}, client_constructors={}
+        )
+        assert lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored) == []

@@ -43,7 +43,7 @@ def _backend(server, **kwargs):
 class _RawClient:
     """A bare v2 protocol speaker for poking the server directly."""
 
-    def __init__(self, server):
+    def __init__(self, server, fingerprint=None):
         host, port = server.address.rsplit(":", 1)
         self.sock = socket.create_connection((host, int(port)), timeout=10.0)
         self.rfile = self.sock.makefile("rb")
@@ -52,7 +52,7 @@ class _RawClient:
             "op": "hello",
             "version": protocol.PROTOCOL_VERSION,
             "min_version": protocol.MIN_PROTOCOL_VERSION,
-            "fingerprint": server.fingerprint,
+            "fingerprint": fingerprint or server.fingerprint,
         })
         assert reply["ok"], reply
         self.session = reply["session"]
@@ -378,3 +378,89 @@ class TestSessionHousekeeping:
             SessionRegistry(retention=0)
         with pytest.raises(ValueError):
             SessionRegistry(idle_timeout=0.0)
+
+
+# ---------------------------------------------------------------------- #
+class TestMultiTenantRestart:
+    """Durable spaces make a server *restart* replay-transparent: the new
+    process lazily reloads the space from ``spaces_dir`` — sessions, memo
+    and retained batches included — so a resumed client replays instead of
+    re-simulating (the at-most-once guarantee, now across processes)."""
+
+    def _spec(self):
+        from repro.service.tenancy import SpaceSpec
+
+        return SpaceSpec.from_environment(_env(seed=99))
+
+    def test_restart_replays_batch_with_zero_duplicate_simulations(self, tmp_path):
+        spec = self._spec()
+        first = MeasurementServer(
+            multi_tenant=True, spaces_dir=str(tmp_path),
+            space_specs=[spec], port=0, workers=2,
+        ).start()
+        port = first.port
+        placements = _placements(_env(seed=99), 3, seed=11)
+        client = _RawClient(first)
+        results = client.submit_batch(placements, batch_id=5)
+        assert all(r["ok"] for r in results)
+        assert first.num_simulations == 3
+        session = client.session
+        client.close()
+        first.close()  # batch completion persisted the space's state
+
+        second = MeasurementServer(
+            multi_tenant=True, spaces_dir=str(tmp_path), port=port, workers=2,
+        ).start()
+        try:
+            # hello with the persisted fingerprint lazily loads the space
+            reattached = _RawClient(second, fingerprint=spec.fingerprint)
+            try:
+                resumed = reattached.request({"op": "resume", "session": session})
+                assert resumed["ok"], resumed
+                assert 5 in resumed["retained"]
+                replayed = reattached.submit_batch(placements, batch_id=5)
+                assert all(r.get("replayed") for r in replayed)
+                assert second.num_simulations == 0  # nothing re-ran
+                by_ticket = lambda rs: {r["ticket"]: r["raw"] for r in rs}
+                assert by_ticket(replayed) == by_ticket(results)
+            finally:
+                reattached.close()
+        finally:
+            second.close()
+
+    def test_backend_rides_out_a_durable_restart_via_the_memo(self, tmp_path):
+        spec = self._spec()
+        first = MeasurementServer(
+            multi_tenant=True, spaces_dir=str(tmp_path),
+            space_specs=[spec], port=0, workers=2,
+        ).start()
+        port = first.port
+        env = _env(seed=0)
+        placements = _placements(env, 3, seed=12)
+        backend = RemoteBackend(
+            env, first.address, timeout=10.0,
+            reconnect_attempts=4, backoff_base=0.01, backoff_jitter=0.0,
+        )
+        serial = SerialBackend(_env(seed=0))
+        try:
+            got_rounds = [backend.evaluate_batch(placements)]
+            first.close()
+            second = MeasurementServer(
+                multi_tenant=True, spaces_dir=str(tmp_path),
+                port=port, workers=2,
+            ).start()
+            try:
+                got_rounds.append(backend.evaluate_batch(placements))
+                # the client-side commit RNG advances per round, so the
+                # golden is a serial backend run through the same rounds
+                want_rounds = [serial.evaluate_batch(placements) for _ in range(2)]
+                for got, want in zip(got_rounds, want_rounds):
+                    assert [m.per_step_time for m in got] == [
+                        m.per_step_time for m in want
+                    ]
+                assert second.num_simulations == 0  # served from durable memo
+                assert backend.num_reconnects >= 2
+            finally:
+                second.close()
+        finally:
+            backend.close()

@@ -1,0 +1,237 @@
+"""Router tier: hash-ring determinism, routing, failover, admin stats."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro import MeasurementServer, RemoteBackend, SerialBackend
+from repro.service import protocol
+from repro.service.protocol import HandshakeError, ProtocolError
+from repro.service.router import HashRing, RouterServer, fetch_router_stats
+from repro.service.tenancy import SpaceSpec
+
+from .test_multitenant import _tenant_env
+from .test_service import _env, _placements
+
+
+@pytest.fixture
+def fleet():
+    servers = [
+        MeasurementServer(multi_tenant=True, port=0, workers=2).start()
+        for _ in range(2)
+    ]
+    router = RouterServer([s.address for s in servers]).start()
+    yield servers, router
+    router.close()
+    for server in servers:
+        server.close()
+
+
+def _dead_address():
+    """A host:port nothing listens on (reserved then released)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"
+
+
+class TestHashRing:
+    BACKENDS = ["10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"]
+
+    def test_lookup_is_deterministic_across_instances(self):
+        a, b = HashRing(self.BACKENDS), HashRing(self.BACKENDS)
+        for key in (f"fp{i}" for i in range(200)):
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_ordered_walk_visits_every_backend_once(self):
+        ring = HashRing(self.BACKENDS)
+        walk = ring.ordered("some-fingerprint")
+        assert sorted(walk) == sorted(self.BACKENDS)
+        assert walk[0] == ring.lookup("some-fingerprint")
+
+    def test_keys_spread_across_backends(self):
+        ring = HashRing(self.BACKENDS)
+        owners = {ring.lookup(f"fp{i}") for i in range(200)}
+        assert owners == set(self.BACKENDS)
+
+    def test_removing_a_backend_remaps_only_its_keys(self):
+        full = HashRing(self.BACKENDS)
+        smaller = HashRing(self.BACKENDS[:-1])
+        keys = [f"fp{i}" for i in range(300)]
+        moved = sum(
+            1
+            for k in keys
+            if full.lookup(k) != smaller.lookup(k)
+            and full.lookup(k) != self.BACKENDS[-1]
+        )
+        # consistent hashing: keys not owned by the removed backend stay put
+        assert moved == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            HashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a:1", "a:1"])
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["a:1"], replicas=0)
+        with pytest.raises(ValueError, match="host:port"):
+            HashRing(["no-port"])
+
+
+class TestRouting:
+    def test_tenants_land_on_their_ring_owner(self, fleet):
+        servers, router = fleet
+        by_address = {s.address: s for s in servers}
+        envs = [_tenant_env(graph_seed=s) for s in (51, 52, 53)]
+        for env in envs:
+            backend = RemoteBackend(env, router.address, offer_space=True, timeout=10.0)
+            try:
+                backend.evaluate_batch(_placements(env, 2))
+            finally:
+                backend.close()
+            fingerprint = SpaceSpec.from_environment(env).fingerprint
+            owner = by_address[router.ring.lookup(fingerprint)]
+            assert fingerprint in owner.registry
+
+    def test_results_through_router_match_serial(self, fleet):
+        _, router = fleet
+        remote_env, local_env = _tenant_env(seed=7), _tenant_env(seed=7)
+        remote = RemoteBackend(remote_env, router.address, offer_space=True, timeout=10.0)
+        serial = SerialBackend(local_env)
+        try:
+            placements = _placements(remote_env, 6, seed=3)
+            got = remote.evaluate_batch(placements)
+            want = serial.evaluate_batch(placements)
+            assert [m.per_step_time for m in got] == [m.per_step_time for m in want]
+            assert remote_env.env_time == local_env.env_time
+        finally:
+            remote.close()
+
+    def test_handshake_refusal_is_forwarded_verbatim(self):
+        # a single-tenant backend refuses a foreign space; the router must
+        # surface the structured code, not fail over or mask it
+        server = MeasurementServer(_env(seed=1), port=0, workers=1).start()
+        router = RouterServer([server.address]).start()
+        try:
+            env = _tenant_env()
+            backend = RemoteBackend(env, router.address, offer_space=True, timeout=10.0)
+            with pytest.raises(HandshakeError) as exc:
+                backend.evaluate_batch(_placements(env, 1))
+            assert exc.value.code == "unknown_fingerprint"
+        finally:
+            router.close()
+            server.close()
+
+
+class TestFailover:
+    def test_dead_backend_is_walked_past(self):
+        live = MeasurementServer(multi_tenant=True, port=0, workers=2).start()
+        env = _tenant_env(graph_seed=61)
+        fingerprint = SpaceSpec.from_environment(env).fingerprint
+        # ring ownership depends on the ephemeral port strings, so draw
+        # dead addresses until the tenant's ring owner IS the dead one —
+        # otherwise the walk never needs to fail over
+        while True:
+            dead = _dead_address()
+            if HashRing([dead, live.address]).lookup(fingerprint) == dead:
+                break
+        router = RouterServer([dead, live.address]).start()
+        try:
+            backend = RemoteBackend(env, router.address, offer_space=True, timeout=10.0)
+            try:
+                results = backend.evaluate_batch(_placements(env, 3))
+                assert len(results) == 3
+            finally:
+                backend.close()
+            stats = fetch_router_stats(router.address)
+            # the fingerprint hashed to the dead backend and walked on
+            assert stats["dial_failures"] + stats["failovers"] >= 1.0
+            assert stats[f"routed[{live.address}]"] >= 1.0
+        finally:
+            router.close()
+            live.close()
+
+    def test_no_live_backend_answers_busy(self):
+        router = RouterServer([_dead_address()]).start()
+        try:
+            env = _tenant_env(graph_seed=62)
+            backend = RemoteBackend(env, router.address, offer_space=True, timeout=5.0)
+            try:
+                with pytest.raises(Exception) as exc:
+                    backend.evaluate_batch(_placements(env, 1))
+                assert "no live backend" in str(exc.value)
+            finally:
+                backend.close()
+        finally:
+            router.close()
+
+    def test_search_survives_backend_death_mid_run(self):
+        """Kill the owning backend between batches: the reconnect walks
+        the ring to the survivor and the search continues (a fresh
+        session — the router is stateless, the *client* owns recovery)."""
+        servers = [
+            MeasurementServer(multi_tenant=True, port=0, workers=2).start()
+            for _ in range(2)
+        ]
+        router = RouterServer([s.address for s in servers]).start()
+        by_address = {s.address: s for s in servers}
+        try:
+            env = _tenant_env(graph_seed=63)
+            fingerprint = SpaceSpec.from_environment(env).fingerprint
+            owner = by_address[router.ring.lookup(fingerprint)]
+            backend = RemoteBackend(
+                env, router.address, offer_space=True, timeout=10.0,
+                reconnect_attempts=4, backoff_base=0.01, backoff_jitter=0.0,
+            )
+            try:
+                first = backend.evaluate_batch(_placements(env, 2, seed=1))
+                assert len(first) == 2
+                owner.close()  # the tenant's home backend dies
+                second = backend.evaluate_batch(_placements(env, 2, seed=2))
+                assert len(second) == 2
+                survivor = next(s for s in servers if s is not owner)
+                assert fingerprint in survivor.registry
+            finally:
+                backend.close()
+        finally:
+            router.close()
+            for server in servers:
+                server.close()
+
+
+class TestAdmin:
+    def test_stats_op_answers_router_counters(self, fleet):
+        servers, router = fleet
+        stats = fetch_router_stats(router.address)
+        assert stats["router"] == 1.0
+        assert stats["backends"] == 2.0
+        for server in servers:
+            assert f"routed[{server.address}]" in stats
+
+    def test_connections_are_counted(self, fleet):
+        _, router = fleet
+        before = fetch_router_stats(router.address)["connections"]
+        after = fetch_router_stats(router.address)["connections"]
+        assert after > before
+
+    def test_first_message_must_be_hello_or_stats(self, fleet):
+        _, router = fleet
+        host, port = router.address.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=5.0)
+        try:
+            rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
+            protocol.write_message(wfile, {"op": "evaluate_batch"})
+            reply = protocol.read_message(rfile)
+            assert not reply["ok"]
+            assert "hello" in reply["error"]
+        finally:
+            sock.close()
+
+    def test_stats_against_a_backend_address_fails_cleanly(self, fleet):
+        servers, _ = fleet
+        # a measurement server demands hello first — the helper must turn
+        # its refusal into a ProtocolError, not a mystery KeyError
+        with pytest.raises(ProtocolError, match="router stats failed"):
+            fetch_router_stats(servers[0].address)

@@ -181,6 +181,7 @@ class TestSharedCache:
                 with RemoteBackend(env, server.address, timeout=10.0) as remote:
                     barrier.wait(timeout=10.0)
                     remote.evaluate_batch(placements)
+                    remote.evaluate_batch(placements)  # round 2: all hits
             except Exception as exc:  # surface into the main thread
                 errors.append(exc)
 
@@ -191,10 +192,14 @@ class TestSharedCache:
             t.join(timeout=30.0)
         assert not errors
         stats = server.stats()
-        # 6 unique placements, 12 requests: at least the second client's
-        # non-raced requests must have hit the shared cache.
-        assert stats["memo_hits"] > 0
-        assert stats["memo_hits"] + stats["memo_misses"] == 12.0
+        # 6 unique placements, 24 requests over two rounds per client.
+        # Round-1 lookups may *race* (both clients miss the same placement
+        # before either insert lands), so the only deterministic bounds
+        # are: every round-2 request hits, and at least one client's
+        # round-1 misses populated the shared table.
+        assert stats["memo_hits"] >= 12.0
+        assert 6.0 <= stats["memo_misses"] <= 12.0
+        assert stats["memo_hits"] + stats["memo_misses"] == 24.0
 
     def test_stats_rpc_reports_cache_and_service_counters(self, server):
         env = _env(seed=1)

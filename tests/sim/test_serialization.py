@@ -1,0 +1,76 @@
+"""Topology/CostModel serialization round-trips (the tenant-space spec)."""
+
+import pytest
+
+from repro.graph.fingerprint import placement_space_fingerprint
+from repro.graph.models.random_graphs import build_random_layered
+from repro.sim.cost_model import CostModel
+from repro.sim.devices import Topology
+from repro.sim.serialization import (
+    cost_model_from_dict,
+    cost_model_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+def _topology():
+    return Topology.default_4gpu(num_gpus=3, gpu_memory_bytes=7 * 2**30)
+
+
+class TestTopologyRoundTrip:
+    def test_devices_and_links_survive(self):
+        topo = _topology()
+        rebuilt = topology_from_dict(topology_to_dict(topo))
+        assert len(rebuilt.devices) == len(topo.devices)
+        for a, b in zip(rebuilt.devices, topo.devices):
+            assert a.name == b.name
+            assert a.kind == b.kind
+            assert a.memory_bytes == b.memory_bytes
+            assert a.effective_gflops == b.effective_gflops
+        assert rebuilt.default_link.bandwidth_bytes_per_s == (
+            topo.default_link.bandwidth_bytes_per_s
+        )
+        assert rebuilt._links.keys() == topo._links.keys()
+        for pair in topo._links:
+            assert rebuilt.link(*pair).bandwidth_bytes_per_s == (
+                topo.link(*pair).bandwidth_bytes_per_s
+            )
+
+    def test_dict_is_json_plain(self):
+        import json
+
+        data = topology_to_dict(_topology())
+        assert json.loads(json.dumps(data)) == data
+
+    def test_format_version_checked(self):
+        data = topology_to_dict(_topology())
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            topology_from_dict(data)
+
+
+class TestCostModelRoundTrip:
+    def test_scalars_and_efficiency_tables_survive(self):
+        cm = CostModel()
+        rebuilt = cost_model_from_dict(cost_model_to_dict(cm))
+        assert cost_model_to_dict(rebuilt) == cost_model_to_dict(cm)
+
+    def test_format_version_checked(self):
+        data = cost_model_to_dict(CostModel())
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            cost_model_from_dict(data)
+
+
+class TestFingerprintExactness:
+    def test_roundtrip_preserves_space_fingerprint(self):
+        """The whole point: a spec shipped over the wire and rebuilt must
+        land in the *identical* measurement space."""
+        graph = build_random_layered(num_layers=4, width=4, seed=3)
+        topo, cm = _topology(), CostModel()
+        before = placement_space_fingerprint(graph, topo, cm)
+        rebuilt_topo = topology_from_dict(topology_to_dict(topo))
+        rebuilt_cm = cost_model_from_dict(cost_model_to_dict(cm))
+        after = placement_space_fingerprint(graph, rebuilt_topo, rebuilt_cm)
+        assert before == after

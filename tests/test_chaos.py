@@ -8,6 +8,7 @@ Run with ``pytest -m slow`` (CI has a dedicated kill-and-resume lane).
 
 import os
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -209,4 +210,85 @@ class TestServerRestartMidSearch:
         assert np.isfinite(result.best_time)
         # The restart forced at least one re-dial (session was lost with
         # the old process; the backend adopted the new server's session).
+        assert backend.num_reconnects >= 2
+
+
+def _spawn_multi_tenant_serve(port, spaces_dir):
+    """`repro serve --multi-tenant` as a real process; waits for the port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--model", "inception_v3",
+         "--multi-tenant", "--spaces-dir", str(spaces_dir),
+         "--port", str(port), "--service-workers", "2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            pytest.fail(f"serve exited early with {proc.returncode}")
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=1.0).close()
+            return proc
+        except OSError:
+            time.sleep(0.1)
+    proc.kill()
+    pytest.fail("multi-tenant server never opened its port")
+
+
+class _SigkillServerMidSearch(SearchCallback):
+    """SIGKILLs the server *process* after N updates and respawns it on the
+    same port with the same spaces_dir — no drain, no goodbye, exactly the
+    crash the durability layer exists for."""
+
+    def __init__(self, proc, port, spaces_dir, after_updates=2):
+        self.proc = proc
+        self.port = port
+        self.spaces_dir = spaces_dir
+        self.after_updates = after_updates
+        self.killed = False
+        self._updates = 0
+
+    def on_update(self, engine, stats):
+        self._updates += 1
+        if self._updates == self.after_updates and not self.killed:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=30)
+            self.proc = _spawn_multi_tenant_serve(self.port, self.spaces_dir)
+            self.killed = True
+
+
+class TestMultiTenantSigkill:
+    def test_tenant_search_survives_sigkill_of_durable_server(self, tmp_path):
+        """A client-offered tenant space must ride out a SIGKILL'd server:
+        the respawned process lazily reloads the space (spec + memo +
+        sessions) from spaces_dir and the search completes."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        proc = _spawn_multi_tenant_serve(port, tmp_path)
+
+        graph = build_random_layered(num_layers=6, width=5, seed=17)
+        topo = Topology.default_4gpu(num_gpus=2)
+        env = PlacementEnvironment(graph, topo, seed=0)
+        backend = RemoteBackend(
+            env, f"127.0.0.1:{port}", offer_space=True, timeout=15.0,
+            reconnect_attempts=8, backoff_base=0.25, backoff_jitter=0.0,
+        )
+        agent = PostAgent(graph, topo.num_devices, num_groups=6, seed=0)
+        killer = _SigkillServerMidSearch(proc, port, tmp_path)
+        try:
+            search = PlacementSearch(
+                agent, env, "ppo", SearchConfig(max_samples=60),
+                backend=backend, policy=EvaluationPolicy(max_retries=3),
+            )
+            result = search.run(callbacks=[killer])
+        finally:
+            backend.close()
+            killer.proc.kill()
+            killer.proc.wait(timeout=30)
+        assert killer.killed
+        assert result.num_samples == 60
+        assert np.isfinite(result.best_time)
         assert backend.num_reconnects >= 2
