@@ -16,26 +16,53 @@ prints it from the registry.
 from .cache import DEFAULT_CACHE_PATH, LintCache
 from .context import ContractIndex, FileContext, module_for_path
 from .findings import ERROR, SEVERITIES, WARNING, Finding
-from .linter import LintResult, discover_files, lint_file, lint_paths, lint_source
+from .fixes import Fix, TextEdit, apply_fixes
+from .linter import (
+    FileFix,
+    FixRun,
+    LintResult,
+    discover_files,
+    fix_paths,
+    fix_source,
+    lint_file,
+    lint_paths,
+    lint_source,
+    write_fix_run,
+)
 from .pragmas import PRAGMA_RULE_IDS, Pragma, PragmaSheet
 from .registry import Rule, all_rules, get_rule, known_rule_ids, register
-from .report import JSON_REPORT_VERSION, render_json, render_text, to_report_dict
+from .report import (
+    JSON_REPORT_VERSION,
+    render_diffs,
+    render_fix_summary,
+    render_json,
+    render_text,
+    to_report_dict,
+)
 
 __all__ = [
     "ERROR",
     "WARNING",
     "SEVERITIES",
     "Finding",
+    "Fix",
+    "TextEdit",
+    "apply_fixes",
     "DEFAULT_CACHE_PATH",
     "LintCache",
     "ContractIndex",
     "FileContext",
     "module_for_path",
     "LintResult",
+    "FileFix",
+    "FixRun",
     "discover_files",
+    "fix_paths",
+    "fix_source",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "write_fix_run",
     "PRAGMA_RULE_IDS",
     "Pragma",
     "PragmaSheet",
@@ -45,6 +72,8 @@ __all__ = [
     "known_rule_ids",
     "register",
     "JSON_REPORT_VERSION",
+    "render_diffs",
+    "render_fix_summary",
     "render_json",
     "render_text",
     "to_report_dict",

@@ -7,10 +7,14 @@ the source it last linted and the findings that run produced; a lookup
 hits only when the hash still matches.
 
 The whole cache is *salted* with a digest over the analysis package's own
-sources and the contract files the rules extract their tables from
-(``core/events.py``, ``sim/backends.py``, ``service/protocol.py``).
-Editing any rule or contract changes the salt and silently invalidates
-every entry, so a stale cache can never mask a new finding.
+sources (rules, pragmas, driver — and the fix engine, so editing a fixer
+invalidates cached findings that carry its edits) plus the
+:meth:`~repro.analysis.context.ContractIndex.digest` of every extracted
+contract table.  Editing any rule, fixer, or contract *input* — a hook
+signature, a dispatch site, an internal import edge — changes the salt
+and silently invalidates every entry, so a stale cache can never mask a
+new finding or suppress an applicable fix.  ``--fix`` runs skip the
+cache entirely (see :func:`repro.analysis.linter.fix_paths`).
 
 Persistence follows the repo's crash-safety discipline: the cache is
 written with :func:`repro.ioutil.atomic_write_json` (temp → fsync →
@@ -27,6 +31,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .context import ContractIndex
 from .findings import Finding
 from ..ioutil import atomic_write_json
 
@@ -35,18 +40,7 @@ __all__ = ["DEFAULT_CACHE_PATH", "LintCache", "content_hash", "rules_salt"]
 #: Where ``repro lint`` keeps its cache unless ``--cache-path`` overrides.
 DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
 
-_CACHE_VERSION = 1
-
-#: Files (relative to the ``repro`` package root) whose content feeds the
-#: salt besides the analysis package itself: the contract sources that
-#: :class:`~repro.analysis.context.ContractIndex` extracts tables from.
-_CONTRACT_SOURCES = (
-    Path("core") / "events.py",
-    Path("sim") / "backends.py",
-    Path("service") / "protocol.py",
-    Path("service") / "server.py",
-    Path("service") / "client.py",
-)
+_CACHE_VERSION = 2
 
 
 def content_hash(source: str) -> str:
@@ -55,23 +49,26 @@ def content_hash(source: str) -> str:
 
 
 def rules_salt(package_root: Optional[Path] = None) -> str:
-    """Digest over rule implementations and contract sources.
+    """Digest over rule/fixer implementations and the contract tables.
 
-    Any edit to the analysis package (rules, pragmas, driver, this module)
-    or to a contract source changes the salt, invalidating the cache
-    wholesale.  Missing files fold in as absent rather than raising so the
-    salt is always computable.
+    Two inputs: every source file of the analysis package itself (rules,
+    pragmas, driver, fix engine — ``fixes.py`` rides the same rglob), and
+    the :meth:`ContractIndex.digest` over the tables extracted from the
+    wider tree.  Any edit to a rule or fixer, and any edit that changes a
+    contract table — a hook signature, a dispatch entry, an import edge —
+    changes the salt, invalidating the cache wholesale.  Missing files
+    fold in as absent rather than raising so the salt is always
+    computable.
     """
     root = package_root or Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
-    paths = sorted((root / "analysis").rglob("*.py"), key=str)
-    paths.extend(root / rel for rel in _CONTRACT_SOURCES)
-    for path in paths:
+    for path in sorted((root / "analysis").rglob("*.py"), key=str):
         digest.update(str(path.relative_to(root)).encode())
         try:
             digest.update(path.read_bytes())
         except OSError:
             digest.update(b"<missing>")
+    digest.update(ContractIndex.load(root).digest().encode())
     return digest.hexdigest()
 
 

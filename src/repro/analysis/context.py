@@ -31,10 +31,18 @@ wire error.
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 from pathlib import Path, PurePath
 from typing import Dict, List, Optional, Set, Tuple
 
-__all__ = ["FileContext", "ContractIndex", "module_for_path", "resolve_dotted"]
+__all__ = [
+    "FileContext",
+    "ContractIndex",
+    "module_for_path",
+    "resolve_dotted",
+    "absolute_import_target",
+]
 
 
 def module_for_path(path: str) -> Optional[str]:
@@ -62,6 +70,29 @@ def module_for_path(path: str) -> Optional[str]:
     else:
         mod_parts[-1] = last[: -len(".py")]
     return ".".join(mod_parts)
+
+
+def absolute_import_target(
+    module: str, is_package: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute dotted target of an import-from, resolving relativity.
+
+    ``from ..graph import ops`` inside ``repro.sim.env`` resolves to
+    ``repro.graph``; an over-deep relative import (more dots than package
+    levels) resolves to ``None``.
+    """
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop >= len(parts):
+        return None
+    base = parts[: len(parts) - drop] if drop else parts
+    if node.module:
+        return ".".join(base + node.module.split("."))
+    return ".".join(base)
 
 
 def _attr_chain(node: ast.AST) -> Optional[List[str]]:
@@ -158,6 +189,8 @@ class ContractIndex:
         server_dispatch: Optional[Dict[str, str]] = None,
         server_methods: Optional[Set[str]] = None,
         client_constructors: Optional[Dict[str, int]] = None,
+        callback_fire_counts: Optional[Dict[str, int]] = None,
+        internal_imports: Optional[Set[Tuple[str, str]]] = None,
     ) -> None:
         self.callback_signatures = callback_signatures
         self.backend_methods = backend_methods
@@ -172,6 +205,17 @@ class ContractIndex:
         #: op → number of ``{"op": <op>, ...}`` request-literal
         #: constructors in client.py.
         self.client_constructors = dict(client_constructors or {})
+        #: hook name → number of ``<recv>.on_*(...)`` dispatch sites in
+        #: ``repro.core``/``repro.service`` (excluding events.py itself,
+        #: whose ``CallbackList`` mechanically mirrors every hook — counting
+        #: it would make the every-hook-fires check vacuous).
+        self.callback_fire_counts = dict(callback_fire_counts or {})
+        #: every ``(importer_module, imported_target)`` pair inside the
+        #: repro tree, relative imports resolved — the evidence base for
+        #: the layer-rank-unused rule.
+        self.internal_imports: Tuple[Tuple[str, str], ...] = tuple(
+            sorted(internal_imports or ())
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -220,6 +264,8 @@ class ContractIndex:
         constructors = cls._extract_client_constructors(
             root / "service" / "client.py"
         )
+        fires = cls._extract_callback_fires(root)
+        imports = cls._extract_internal_imports(root)
         return cls(
             callbacks,
             backend,
@@ -228,7 +274,31 @@ class ContractIndex:
             server_dispatch=dispatch,
             server_methods=methods,
             client_constructors=constructors,
+            callback_fire_counts=fires,
+            internal_imports=imports,
         )
+
+    # ------------------------------------------------------------------ #
+    def digest(self) -> str:
+        """Stable hash over every extracted table.
+
+        The lint cache salts itself with this, so editing any contract
+        *input* (a hook signature, a dispatch site, an import edge)
+        invalidates cached findings without hashing whole source files.
+        """
+        payload = {
+            "callback_signatures": self.callback_signatures,
+            "backend_methods": self.backend_methods,
+            "message_schema": self.message_schema,
+            "nested_fields": sorted(self.nested_fields),
+            "server_dispatch": self.server_dispatch,
+            "server_methods": sorted(self.server_methods),
+            "client_constructors": self.client_constructors,
+            "callback_fire_counts": self.callback_fire_counts,
+            "internal_imports": [list(pair) for pair in self.internal_imports],
+        }
+        blob = json.dumps(payload, sort_keys=True, default=list)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     @staticmethod
     def _extract_method_signatures(
@@ -341,3 +411,69 @@ class ContractIndex:
                 ):
                     constructors[value.value] = constructors.get(value.value, 0) + 1
         return constructors
+
+    @staticmethod
+    def _extract_callback_fires(root: Path) -> Dict[str, int]:
+        """Count ``<recv>.on_*(...)`` dispatch sites in core/ and service/.
+
+        ``core/events.py`` is excluded: its ``CallbackList`` fans every
+        hook out to subscribers, so counting it would satisfy the
+        every-hook-has-a-fire-site direction for free.
+        """
+        counts: Dict[str, int] = {}
+        for directory in ("core", "service"):
+            pkg = root / directory
+            if not pkg.is_dir():
+                continue
+            for path in sorted(pkg.glob("*.py")):
+                if directory == "core" and path.name == "events.py":
+                    continue
+                try:
+                    tree = ast.parse(path.read_text())
+                except (OSError, SyntaxError):
+                    continue
+                for node in ast.walk(tree):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr.startswith("on_")
+                    ):
+                        hook = node.func.attr
+                        counts[hook] = counts.get(hook, 0) + 1
+        return counts
+
+    @staticmethod
+    def _extract_internal_imports(root: Path) -> Set[Tuple[str, str]]:
+        """Every ``(importer_module, imported_target)`` pair in the tree.
+
+        Modules are named relative to ``root`` (the ``repro`` package
+        directory) so fixture trees work too; only targets inside the
+        repro namespace are kept.
+        """
+        pairs: Set[Tuple[str, str]] = set()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            mod_parts = ["repro"] + list(rel.parts)
+            last = mod_parts[-1]
+            if last == "__init__.py":
+                mod_parts = mod_parts[:-1]
+            else:
+                mod_parts[-1] = last[: -len(".py")]
+            module = ".".join(mod_parts)
+            is_package = path.name == "__init__.py"
+            try:
+                tree = ast.parse(path.read_text())
+            except (OSError, SyntaxError):
+                continue
+            for node in ast.walk(tree):
+                targets: List[Optional[str]] = []
+                if isinstance(node, ast.Import):
+                    targets = [item.name for item in node.names]
+                elif isinstance(node, ast.ImportFrom):
+                    targets = [absolute_import_target(module, is_package, node)]
+                for target in targets:
+                    if target is None:
+                        continue
+                    if target == "repro" or target.startswith("repro."):
+                        pairs.add((module, target))
+        return pairs

@@ -4,12 +4,21 @@ A :class:`Finding` pins one rule violation to a file position.  Findings
 are plain stdlib data (no numpy) so the lint lane stays importable in the
 leanest environments, and they sort deterministically — the linter's
 output order is part of its contract (diffs of lint runs must be stable).
+Same-line findings tie-break on ``(rule_id, col)`` so different rules
+firing on one line render in a fixed order regardless of which col each
+rule anchored to.
+
+A finding may carry a :class:`~repro.analysis.fixes.Fix` — the mechanical
+remediation ``repro lint --fix`` applies.  The fix rides along in
+``to_dict``/``from_dict`` so the incremental cache round-trips it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
+
+from .fixes import Fix
 
 __all__ = ["ERROR", "WARNING", "SEVERITIES", "Finding"]
 
@@ -30,24 +39,30 @@ class Finding:
     rule_id: str
     severity: str
     message: str
+    fix: Optional[Fix] = None
 
-    def sort_key(self) -> Tuple[str, int, int, str, str]:
-        return (self.path, self.line, self.col, self.rule_id, self.message)
+    def sort_key(self) -> Tuple[str, int, str, int, str]:
+        return (self.path, self.line, self.rule_id, self.col, self.message)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (the ``findings[]`` entry schema)."""
-        return {
+        payload: Dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
             "severity": self.severity,
             "message": self.message,
+            "fixable": self.fix is not None,
         }
+        if self.fix is not None:
+            payload["fix"] = self.fix.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
         """Inverse of :meth:`to_dict` (used by the incremental lint cache)."""
+        fix_payload = payload.get("fix")
         return cls(
             path=str(payload["path"]),
             line=int(payload["line"]),
@@ -55,6 +70,7 @@ class Finding:
             rule_id=str(payload["rule"]),
             severity=str(payload["severity"]),
             message=str(payload["message"]),
+            fix=Fix.from_dict(fix_payload) if fix_payload is not None else None,
         )
 
     def render(self) -> str:

@@ -8,6 +8,11 @@ rule id, or a pragma that suppresses nothing are findings in their own
 right (``pragma-reason`` / ``pragma-unknown-rule`` / ``pragma-unused``).
 Pragma findings cannot be suppressed by other pragmas — the allowlist
 has to stay honest about itself.
+
+``pragma-unused`` and ``pragma-unknown-rule`` carry fixes: a dead pragma
+is deleted outright (whole line when it stands alone, trailing comment
+otherwise), an unknown rule id is dropped from the bracket list — and
+when nothing remains in the list, the whole pragma goes.
 """
 
 from __future__ import annotations
@@ -16,9 +21,10 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .findings import ERROR, WARNING, Finding
+from .fixes import Fix, TextEdit
 
 __all__ = [
     "PRAGMA_RULE_IDS",
@@ -41,11 +47,39 @@ class Pragma:
     reason: str
     #: True when the pragma is alone on its line — it then covers line+1.
     own_line: bool
+    #: Character column where the comment token starts on its line.
+    col: int = 0
+    #: Full text of the pragma's line (for building removal fixes).
+    line_text: str = ""
     #: rule ids that actually suppressed a finding (filled during linting).
     used_ids: Set[str] = field(default_factory=set)
 
     def covers(self, line: int) -> bool:
         return line == self.line or (self.own_line and line == self.line + 1)
+
+    def removal_fix(self) -> Fix:
+        """Delete the pragma: its whole line when it stands alone, else
+        just the trailing comment (plus the spacing before it)."""
+        if self.own_line:
+            edit = TextEdit(self.line, 0, self.line + 1, 0, "")
+        else:
+            start = len(self.line_text[: self.col].rstrip())
+            edit = TextEdit(self.line, start, self.line, len(self.line_text), "")
+        return Fix("pragma-remove", (edit,), "delete the allow pragma")
+
+    def rewrite_fix(self, drop_rule_id: str) -> Fix:
+        """Drop one rule id from the bracket list; delete the pragma when
+        nothing would remain."""
+        keep = [r for r in self.rule_ids if r != drop_rule_id]
+        if not keep:
+            return self.removal_fix()
+        comment = f"# repro: allow[{', '.join(keep)}] {self.reason}".rstrip()
+        edit = TextEdit(
+            self.line, self.col, self.line, len(self.line_text), comment
+        )
+        return Fix(
+            "pragma-drop-rule", (edit,), f"drop unknown rule id {drop_rule_id!r}"
+        )
 
 
 class PragmaSheet:
@@ -85,7 +119,7 @@ class PragmaSheet:
             reason = match.group(2).strip()
             text = lines[lineno - 1] if lineno - 1 < len(lines) else ""
             own_line = text[:col].strip() == ""
-            pragmas.append(Pragma(lineno, ids, reason, own_line))
+            pragmas.append(Pragma(lineno, ids, reason, own_line, col, text))
         return cls(pragmas)
 
     def suppresses(self, rule_id: str, line: int) -> bool:
@@ -106,6 +140,7 @@ class PragmaSheet:
                         path, pragma.line, 0, "pragma-unknown-rule", ERROR,
                         "allow pragma names no rule id "
                         "(write `# repro: allow[rule-id] reason`)",
+                        fix=pragma.removal_fix(),
                     )
                 )
                 continue
@@ -124,6 +159,7 @@ class PragmaSheet:
                     Finding(
                         path, pragma.line, 0, "pragma-unknown-rule", ERROR,
                         f"allow pragma names unknown rule id {rule_id!r}",
+                        fix=pragma.rewrite_fix(rule_id),
                     )
                 )
             known_named = [r for r in pragma.rule_ids if r in known_rule_ids]
@@ -135,6 +171,7 @@ class PragmaSheet:
                         f"allow pragma for [{', '.join(unused)}] suppresses "
                         "nothing on its line — delete it or move it to the "
                         "offending line",
+                        fix=pragma.removal_fix(),
                     )
                 )
         return findings

@@ -12,9 +12,10 @@ and which past or latent bug class motivated it (surfaced by
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Type
+from typing import Dict, Iterator, List, Optional, Set, Type
 
 from .findings import ERROR, SEVERITIES, Finding
+from .fixes import Fix
 from .pragmas import PRAGMA_RULE_IDS
 
 __all__ = ["Rule", "register", "all_rules", "known_rule_ids", "get_rule"]
@@ -36,11 +37,16 @@ class Rule:
     def check(self, ctx) -> Iterator[Finding]:
         raise NotImplementedError
 
-    def finding(self, ctx, node, message: str) -> Finding:
+    def finding(
+        self, ctx, node, message: str, fix: Optional[Fix] = None
+    ) -> Finding:
         """A finding of this rule at ``node`` (an AST node or a line number)."""
         line = getattr(node, "lineno", node)
         col = getattr(node, "col_offset", 0)
-        return Finding(ctx.path, int(line), int(col), self.rule_id, self.severity, message)
+        return Finding(
+            ctx.path, int(line), int(col), self.rule_id, self.severity, message,
+            fix=fix,
+        )
 
 
 class _PragmaMetaRule(Rule):
@@ -118,4 +124,4 @@ def get_rule(rule_id: str) -> Rule:
 
 def _load_builtin_rules() -> None:
     """Import the rule modules (registration happens at import time)."""
-    from .rules import contracts, determinism, hygiene  # noqa: F401
+    from .rules import concurrency, contracts, determinism, hygiene  # noqa: F401

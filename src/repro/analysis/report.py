@@ -2,21 +2,35 @@
 
 Text is the human form (one finding per line plus a summary); JSON is the
 machine form consumed by the CI lane and by the JSON-schema test.  Both
-are pure functions of a :class:`~repro.analysis.linter.LintResult`, so
+are pure functions of a :class:`~repro.analysis.linter.LintResult` (plus,
+for ``--fix`` runs, the :class:`~repro.analysis.linter.FixRun`), so
 output format never influences findings.
+
+Schema version 2 adds ``"fixable"`` per finding (with the ``"fix"``
+payload when true) and a ``fixes_applied`` summary block — always
+present, all-zero on plain lint runs, so consumers need no key-existence
+probing.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-from .linter import LintResult
+from .linter import FixRun, LintResult
 
-__all__ = ["JSON_REPORT_VERSION", "render_text", "render_json", "to_report_dict"]
+__all__ = [
+    "JSON_REPORT_VERSION",
+    "render_text",
+    "render_json",
+    "render_fix_summary",
+    "render_diffs",
+    "to_report_dict",
+]
 
 #: Bumped whenever the JSON report shape changes incompatibly.
-JSON_REPORT_VERSION = 1
+#: v2: per-finding ``fixable``/``fix`` keys, top-level ``fixes_applied``.
+JSON_REPORT_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:
@@ -32,14 +46,41 @@ def render_text(result: LintResult) -> str:
     return "\n".join(lines)
 
 
-def to_report_dict(result: LintResult) -> Dict[str, Any]:
+def render_fix_summary(run: FixRun) -> str:
+    """One line per applied fix id, plus the file tally."""
+    lines = []
+    for fix_id, count in sorted(run.by_fix.items()):
+        lines.append(f"applied {fix_id} ×{count}")
+    noun = "file" if run.files_changed == 1 else "files"
+    lines.append(
+        f"autofix: {run.total_applied} fix(es) in {run.files_changed} {noun}"
+    )
+    return "\n".join(lines)
+
+
+def render_diffs(run: FixRun) -> str:
+    """Concatenated unified diffs of every changed file (``--diff``)."""
+    return "".join(f.diff() for f in run.files if f.changed)
+
+
+def to_report_dict(
+    result: LintResult, fix_run: Optional[FixRun] = None
+) -> Dict[str, Any]:
+    fixes_applied: Dict[str, Any] = {"files_changed": 0, "total": 0, "by_fix": {}}
+    if fix_run is not None:
+        fixes_applied = {
+            "files_changed": fix_run.files_changed,
+            "total": fix_run.total_applied,
+            "by_fix": fix_run.by_fix,
+        }
     return {
         "version": JSON_REPORT_VERSION,
         "files_scanned": result.files_scanned,
         "findings": [finding.to_dict() for finding in result.findings],
         "summary": {"errors": result.errors, "warnings": result.warnings},
+        "fixes_applied": fixes_applied,
     }
 
 
-def render_json(result: LintResult) -> str:
-    return json.dumps(to_report_dict(result), indent=2, sort_keys=True)
+def render_json(result: LintResult, fix_run: Optional[FixRun] = None) -> str:
+    return json.dumps(to_report_dict(result, fix_run), indent=2, sort_keys=True)

@@ -24,6 +24,7 @@ from ..registry import Rule, register
 
 __all__ = [
     "CallbackSignatureRule",
+    "CallbackHookRule",
     "BackendProtocolRule",
     "ProtocolSchemaRule",
     "ProtocolDispatchRule",
@@ -96,6 +97,91 @@ class CallbackSignatureRule(Rule):
                         f"({', '.join(expected)}) — the engine calls hooks "
                         "positionally",
                     )
+
+
+@register
+class CallbackHookRule(Rule):
+    rule_id = "callback-hook"
+    title = "engine dispatch sites and SearchCallback hooks must match both ways"
+    rationale = (
+        "callback-signature keeps *overrides* honest but says nothing "
+        "about the fire sites: an engine dispatching a misspelled hook "
+        "raises AttributeError mid-search, and a hook nothing fires is "
+        "dead API that overriders still pay to implement; the two tables "
+        "must stay in bijection."
+    )
+
+    #: Where ``on_*`` dispatch sites are checked against the hook table.
+    _SCOPE = ("repro.core", "repro.service")
+    #: The every-hook-fires direction reports deterministically from the
+    #: hook definition site, anchored at the SearchCallback class.
+    _HOME_MODULE = "repro.core.events"
+    _BASE_CLASS = "SearchCallback"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        hooks = ctx.contracts.callback_signatures
+        if not hooks:
+            return
+        if ctx.in_packages(self._SCOPE):
+            yield from self._check_dispatch_sites(ctx, hooks)
+        if ctx.module == self._HOME_MODULE:
+            yield from self._check_hooks_fire(ctx, hooks)
+
+    # ------------------------------------------------------------------ #
+    def _check_dispatch_sites(self, ctx: FileContext, hooks) -> Iterator[Finding]:
+        """Every ``<recv>.on_*(...)`` call must name a hook, at hook arity."""
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr.startswith("on_")
+            ):
+                continue
+            name = node.func.attr
+            expected = hooks.get(name)
+            if expected is None:
+                yield self.finding(
+                    ctx, node,
+                    f"dispatch of {name}() names no SearchCallback hook — "
+                    "subscribers can never receive it "
+                    f"(hooks: {', '.join(sorted(hooks))})",
+                )
+                continue
+            if node.keywords or any(isinstance(a, ast.Starred) for a in node.args):
+                continue  # computed call shape: arity not statically known
+            want = len(expected) - 1  # minus self
+            if len(node.args) != want:
+                yield self.finding(
+                    ctx, node,
+                    f"dispatch of {name}() passes {len(node.args)} "
+                    f"argument(s) but the hook takes {want} "
+                    f"({', '.join(expected[1:])}) — positional dispatch "
+                    "breaks every subscriber at once",
+                )
+
+    def _check_hooks_fire(self, ctx: FileContext, hooks) -> Iterator[Finding]:
+        """Every SearchCallback hook needs ≥1 engine fire site."""
+        fires = ctx.contracts.callback_fire_counts
+        if not fires:
+            return  # fire-site extraction had no tree to read
+        anchor = self._callback_class(ctx.tree)
+        if anchor is None:
+            return
+        for name in sorted(hooks):
+            if fires.get(name, 0) == 0:
+                yield self.finding(
+                    ctx, anchor,
+                    f"SearchCallback.{name} has no dispatch site in "
+                    "repro.core/repro.service — a hook nothing fires is "
+                    "dead API; wire it into the engine or delete it",
+                )
+
+    @staticmethod
+    def _callback_class(tree: ast.AST) -> Optional[ast.AST]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == CallbackHookRule._BASE_CLASS:
+                return node
+        return None
 
 
 @register

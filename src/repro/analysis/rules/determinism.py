@@ -17,6 +17,7 @@ from typing import Iterator, Optional, Set
 
 from ..context import FileContext
 from ..findings import Finding
+from ..fixes import wrap_node_fix
 from ..registry import Rule, register
 
 __all__ = ["DETERMINISM_PACKAGES", "WallClockRule", "UnseededRngRule", "SetIterationRule"]
@@ -208,6 +209,12 @@ class SetIterationRule(Rule):
             except Exception:
                 return "a set"
 
+        def sorted_wrap(expr: ast.AST):
+            return wrap_node_fix(
+                "set-iteration-sorted", ctx.source, expr, "sorted(", ")",
+                "iterate a sorted() copy for a defined order",
+            )
+
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.For, ast.AsyncFor)) and is_set_expr(node.iter):
                 yield self.finding(
@@ -215,6 +222,7 @@ class SetIterationRule(Rule):
                     f"iterating the set {describe(node.iter)!r} — iteration "
                     "order is unspecified; iterate a sorted() copy or an "
                     "insertion-ordered structure",
+                    fix=sorted_wrap(node.iter),
                 )
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
                 for gen in node.generators:
@@ -224,6 +232,7 @@ class SetIterationRule(Rule):
                             f"comprehension over the set {describe(gen.iter)!r} — "
                             "iteration order is unspecified; use sorted() or an "
                             "insertion-ordered structure",
+                            fix=sorted_wrap(gen.iter),
                         )
             elif isinstance(node, ast.Call):
                 resolved = ctx.resolve(node.func)
@@ -241,6 +250,7 @@ class SetIterationRule(Rule):
                             f"{sink}() over the set {describe(arg)!r} exposes "
                             "unspecified iteration order — sort first or keep "
                             "an ordered sibling structure",
+                            fix=sorted_wrap(arg),
                         )
 
     @staticmethod

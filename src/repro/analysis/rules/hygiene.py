@@ -11,13 +11,20 @@ surface as ImportErrors under specific import orders.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Tuple
 
-from ..context import FileContext
+from ..context import FileContext, absolute_import_target
 from ..findings import Finding
+from ..fixes import Fix, TextEdit, node_char_span
 from ..registry import Rule, register
 
-__all__ = ["MutableDefaultRule", "BareExceptRule", "LayerImportRule", "LAYERS"]
+__all__ = [
+    "MutableDefaultRule",
+    "BareExceptRule",
+    "LayerImportRule",
+    "LayerRankUnusedRule",
+    "LAYERS",
+]
 
 _MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque")
 
@@ -37,16 +44,75 @@ class MutableDefaultRule(Rule):
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            defaults = list(node.args.defaults) + [
-                d for d in node.args.kw_defaults if d is not None
-            ]
-            for default in defaults:
+            for arg_name, default in self._defaulted_args(node):
                 if self._is_mutable(ctx, default):
                     yield self.finding(
                         ctx, default,
                         f"mutable default in {node.name}() is shared across "
                         "calls — default to None and construct in the body",
+                        fix=self._fix(ctx, node, arg_name, default),
                     )
+
+    @staticmethod
+    def _defaulted_args(
+        node: ast.AST,
+    ) -> List[Tuple[str, ast.AST]]:
+        """``(arg_name, default_expr)`` pairs, positional and kw-only."""
+        args = node.args
+        positional = list(getattr(args, "posonlyargs", [])) + list(args.args)
+        pairs: List[Tuple[str, ast.AST]] = []
+        if args.defaults:
+            for arg, default in zip(positional[-len(args.defaults):], args.defaults):
+                pairs.append((arg.arg, default))
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                pairs.append((arg.arg, default))
+        return pairs
+
+    def _fix(
+        self, ctx: FileContext, fn: ast.AST, arg_name: str, default: ast.AST
+    ) -> Optional[Fix]:
+        """Replace the default with ``None`` and guard-construct in the body.
+
+        No fix when the body shares a line with the ``def`` or is only a
+        docstring — there is no clean line to put the guard on.
+        """
+        anchor = None
+        for stmt in fn.body:
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                continue  # docstring
+            anchor = stmt
+            break
+        if anchor is None:
+            return None
+        span = node_char_span(ctx.source, default)
+        anchor_span = node_char_span(ctx.source, anchor)
+        if span is None or anchor_span is None:
+            return None
+        lines = ctx.source.splitlines()
+        anchor_line, anchor_col = anchor_span[0], anchor_span[1]
+        if lines[anchor_line - 1][:anchor_col].strip():
+            return None  # single-line body: `def f(x=[]): return x`
+        segment = ast.get_source_segment(ctx.source, default)
+        if segment is None:
+            return None
+        indent = " " * anchor_col
+        guard = (
+            f"{indent}if {arg_name} is None:\n"
+            f"{indent}    {arg_name} = {segment}\n"
+        )
+        return Fix(
+            "mutable-default-none",
+            (
+                TextEdit(span[0], span[1], span[2], span[3], "None"),
+                TextEdit(anchor_line, 0, anchor_line, 0, guard),
+            ),
+            f"default {arg_name} to None and construct it in the body",
+        )
 
     @staticmethod
     def _is_mutable(ctx: FileContext, node: ast.AST) -> bool:
@@ -79,7 +145,22 @@ class BareExceptRule(Rule):
                     ctx, node,
                     "bare `except:` also catches KeyboardInterrupt/SystemExit "
                     "— catch Exception or a narrower type",
+                    fix=self._fix(ctx, node),
                 )
+
+    @staticmethod
+    def _fix(ctx: FileContext, node: ast.ExceptHandler) -> Optional[Fix]:
+        """Insert ``Exception`` right after the ``except`` keyword."""
+        span = node_char_span(ctx.source, node)
+        if span is None:
+            return None
+        line, col = span[0], span[1]
+        insert_at = col + len("except")
+        text = ctx.source.splitlines()[line - 1]
+        if text[col:insert_at] != "except":
+            return None
+        edit = TextEdit(line, insert_at, line, insert_at, " Exception")
+        return Fix("bare-except-exception", (edit,), "catch Exception instead")
 
 
 #: The layer order, lowest first.  An import is legal when the importing
@@ -147,7 +228,7 @@ class LayerImportRule(Rule):
                 for item in node.names:
                     yield from self._check_target(ctx, node, importer_rank, item.name)
             elif isinstance(node, ast.ImportFrom):
-                target = self._absolute_target(ctx.module, is_package, node)
+                target = absolute_import_target(ctx.module, is_package, node)
                 if target is not None:
                     yield from self._check_target(ctx, node, importer_rank, target)
 
@@ -166,20 +247,67 @@ class LayerImportRule(Rule):
             "point down the layer order",
         )
 
+    # `_absolute_target` moved to repro.analysis.context.absolute_import_target
+    # so the ContractIndex import-edge extraction shares the same resolution.
+
+
+@register
+class LayerRankUnusedRule(Rule):
+    rule_id = "layer-rank-unused"
+    title = "every layer-rank separation must be exercised by an import"
+    rationale = (
+        "a rank boundary no import crosses is a claim the dependency "
+        "graph no longer makes — it silently licenses future imports the "
+        "architecture never needed, and drifts the table away from the "
+        "tree it is supposed to describe; merge the ranks or re-justify "
+        "the separation."
+    )
+
+    #: The rule fires only on the module that owns the rank table — one
+    #: anchored finding per stale boundary, same idiom as
+    #: ``protocol-dispatch`` anchoring on ``MESSAGE_SCHEMA``.
+    _HOME_MODULE = "repro.analysis.rules.hygiene"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module != self._HOME_MODULE:
+            return
+        pairs = ctx.contracts.internal_imports
+        if not pairs:
+            return  # source tree unavailable — nothing to prove against
+        anchor = self._layers_assignment(ctx.tree)
+        if anchor is None:
+            return
+        crossings = []
+        for importer, imported in pairs:
+            importer_rank = _layer_rank(importer)
+            imported_rank = _layer_rank(imported)
+            if importer_rank is not None and imported_rank is not None:
+                crossings.append((importer_rank, imported_rank))
+        ranks = sorted(set(LAYERS.values()))
+        for low, high in zip(ranks, ranks[1:]):
+            exercised = any(
+                importer_rank >= high and imported_rank <= low
+                for importer_rank, imported_rank in crossings
+            )
+            if not exercised:
+                yield self.finding(
+                    ctx, anchor,
+                    f"no import crosses the boundary between rank {low} "
+                    f"({self._rank_members(low)}) and rank {high} "
+                    f"({self._rank_members(high)}) — the separation is "
+                    "unexercised; merge the ranks or remove the stale entry",
+                )
+
     @staticmethod
-    def _absolute_target(
-        module: str, is_package: bool, node: ast.ImportFrom
-    ) -> Optional[str]:
-        """Absolute dotted target of an import-from, resolving relativity."""
-        if node.level == 0:
-            return node.module
-        parts = module.split(".")
-        if not is_package:
-            parts = parts[:-1]
-        drop = node.level - 1
-        if drop >= len(parts):
-            return None
-        base = parts[: len(parts) - drop] if drop else parts
-        if node.module:
-            return ".".join(base + node.module.split("."))
-        return ".".join(base)
+    def _layers_assignment(tree: ast.AST) -> Optional[ast.AST]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "LAYERS":
+                        return node
+        return None
+
+    @staticmethod
+    def _rank_members(rank: int) -> str:
+        members = sorted(pkg for pkg, r in LAYERS.items() if r == rank)
+        return ", ".join(members)

@@ -313,6 +313,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: .repro-lint-cache.json; invalidated wholesale when "
              "any rule or contract source changes)",
     )
+    p.add_argument(
+        "--fix", action="store_true",
+        help="apply available autofixes (atomic writes, bottom-up per "
+             "file, to a fixpoint); the cache is skipped so fixes are "
+             "always computed against the current rules",
+    )
+    p.add_argument(
+        "--diff", action="store_true",
+        help="with --fix: print the unified diffs the fixes would apply "
+             "without writing any file",
+    )
 
     return parser
 
@@ -695,7 +706,18 @@ def cmd_gantt(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import DEFAULT_CACHE_PATH, LintCache, all_rules, lint_paths, render_json, render_text
+    from .analysis import (
+        DEFAULT_CACHE_PATH,
+        LintCache,
+        all_rules,
+        fix_paths,
+        lint_paths,
+        render_diffs,
+        render_fix_summary,
+        render_json,
+        render_text,
+        write_fix_run,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -703,6 +725,31 @@ def cmd_lint(args) -> int:
             if rule.rationale:
                 print(f"    {rule.rationale}")
         return 0
+    if args.diff and not args.fix:
+        print("error: --diff requires --fix", file=sys.stderr)
+        return 2
+    if args.fix:
+        # Fixes are never served from the cache: a stale entry could
+        # suppress an applicable fix or re-apply a retired one.
+        run = fix_paths(args.paths)
+        result = run.result
+        if result.files_scanned == 0:
+            print(f"error: no Python files found under {' '.join(args.paths)}",
+                  file=sys.stderr)
+            return 2
+        if not args.diff:
+            write_fix_run(run)
+        if args.format == "json":
+            print(render_json(result, run))
+        else:
+            if args.diff:
+                diffs = render_diffs(run)
+                if diffs:
+                    print(diffs, end="")
+            print(render_fix_summary(run))
+            print(render_text(result))
+        failed = result.errors > 0 if args.fail_on == "error" else bool(result.findings)
+        return 1 if failed else 0
     cache = None
     if not args.no_cache:
         cache = LintCache.load(args.cache_path or DEFAULT_CACHE_PATH)

@@ -298,9 +298,9 @@ class RemoteBackend:
             self._sleep(delay)
 
     def _borrow(self) -> _Connection:
-        if self._closed:
-            raise RuntimeError("RemoteBackend is closed")
         with self._lock:
+            if self._closed:
+                raise RuntimeError("RemoteBackend is closed")
             if self._idle:
                 return self._idle.pop()
         return self._dial()

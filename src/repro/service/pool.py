@@ -87,10 +87,10 @@ class WorkerPool:
         self._draining = False
         with self._cond:
             for _ in range(workers):
-                self._spawn()
+                self._spawn_locked()
 
     # ------------------------------------------------------------------ #
-    def _spawn(self) -> None:
+    def _spawn_locked(self) -> None:
         """Start one worker thread (caller holds ``_cond``)."""
         self._spawned += 1
         thread = threading.Thread(
@@ -110,7 +110,7 @@ class WorkerPool:
             for thread in dead:
                 self._threads.remove(thread)
                 self.workers_replaced += 1
-                self._spawn()
+                self._spawn_locked()
             return len(dead)
 
     def alive_workers(self) -> int:
@@ -119,6 +119,7 @@ class WorkerPool:
 
     def backlog(self) -> int:
         """Tasks admitted but not yet picked up by a worker."""
+        # repro: allow[lock-guarded-state] queue.Queue is internally synchronized; _cond only bounds admission accounting
         return self._tasks.qsize()
 
     def pending(self) -> int:
@@ -158,8 +159,10 @@ class WorkerPool:
     def _worker_loop(self) -> None:
         while True:
             try:
+                # repro: allow[lock-guarded-state] queue.Queue.get is internally synchronized; holding _cond here would serialize the workers
                 item = self._tasks.get(timeout=_POLL_INTERVAL)
             except queue.Empty:
+                # repro: allow[lock-guarded-state] monotonic stop flag: a stale read costs at most one extra poll interval
                 if self._stopping:
                     return
                 continue
@@ -186,7 +189,7 @@ class WorkerPool:
                 self._threads.remove(current)
             self.workers_replaced += 1
             if not self._stopping:
-                self._spawn()
+                self._spawn_locked()
 
     @staticmethod
     def _execute(future: Future, fn: Callable, args: Tuple) -> None:

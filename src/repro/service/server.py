@@ -915,10 +915,12 @@ class MeasurementServer:
             "workers_alive": float(self._pool.alive_workers()),
             "workers_replaced": float(self._pool.workers_replaced),
             "backlog": float(self._pool.backlog()),
+            # repro: allow[lock-guarded-state] monitoring gauge: a torn read shows a stale count for one scrape, never corrupts state
             "simulations": float(self.num_simulations),
             "sessions": session_count,
             "draining": float(self.draining.is_set()),
             "vectorized": float(self.vectorized),
+            # repro: allow[lock-guarded-state] monitoring gauge: lane count is adjusted rarely and read approximately
             "batch_lanes": float(self.batch_lanes),
             "spaces": float(len(self.registry)),
             "space_evictions": float(self.registry.num_evictions),
@@ -937,6 +939,7 @@ class MeasurementServer:
         counters = self.metrics.counters
         for name in [key for key in counters if key.startswith("repro_space_")]:
             del counters[name]
+        # repro: allow[lock-guarded-state] monitoring gauge: Prometheus scrape tolerates a one-increment-stale total
         counters["repro_service_simulations_total"] = float(self.num_simulations)
         counters["repro_service_workers_alive"] = float(self._pool.alive_workers())
         counters["repro_service_backlog"] = float(self._pool.backlog())

@@ -203,6 +203,9 @@ class TenantSpace:
 
     def stats(self) -> Dict[str, Any]:
         memo = self.memo.stats()
+        with self._quota_lock:
+            inflight = self._inflight
+            quota_rejections = self.quota_rejections
         return {
             "fingerprint": self.fingerprint,
             "sessions": float(len(self.sessions)),
@@ -210,8 +213,8 @@ class TenantSpace:
             "memo_entries": float(memo["entries"]),
             "memo_hits": float(memo["hits"]),
             "memo_misses": float(memo["misses"]),
-            "inflight": float(self.inflight),
-            "quota_rejections": float(self.quota_rejections),
+            "inflight": float(inflight),
+            "quota_rejections": float(quota_rejections),
         }
 
     def state_dict(self) -> Dict[str, Any]:

@@ -119,3 +119,54 @@ class TestCliCacheFlags:
         ]) == 1
         assert not cache_path.exists()
         capsys.readouterr()
+
+
+class TestRulesSalt:
+    """The salt must track the fix engine and the contract tables."""
+
+    @staticmethod
+    def _package(tmp_path, fixes_body):
+        root = tmp_path / "repro"
+        analysis = root / "analysis"
+        analysis.mkdir(parents=True)
+        (analysis / "__init__.py").write_text("")
+        (analysis / "fixes.py").write_text(fixes_body)
+        return root
+
+    def test_fixes_py_edit_changes_salt(self, tmp_path):
+        root = self._package(tmp_path, "FIXERS = 1\n")
+        before = rules_salt(root)
+        (root / "analysis" / "fixes.py").write_text("FIXERS = 2\n")
+        assert rules_salt(root) != before
+
+    def test_salt_is_stable_without_edits(self, tmp_path):
+        root = self._package(tmp_path, "FIXERS = 1\n")
+        assert rules_salt(root) == rules_salt(root)
+
+    def test_contract_table_edit_changes_salt(self, tmp_path):
+        root = self._package(tmp_path, "FIXERS = 1\n")
+        core = root / "core"
+        core.mkdir()
+        (core / "events.py").write_text(
+            "class SearchCallback:\n"
+            "    def on_ping(self, engine):\n        pass\n"
+        )
+        before = rules_salt(root)
+        (core / "events.py").write_text(
+            "class SearchCallback:\n"
+            "    def on_ping(self, engine, extra):\n        pass\n"
+        )
+        assert rules_salt(root) != before
+
+    def test_import_edge_changes_salt(self, tmp_path):
+        # internal_imports is a contract table: adding an import edge
+        # anywhere in the tree must invalidate cached layer findings.
+        root = self._package(tmp_path, "FIXERS = 1\n")
+        mod = root / "user.py"
+        mod.write_text("x = 1\n")
+        before = rules_salt(root)
+        mod.write_text("from repro.analysis import fixes\nx = 1\n")
+        assert rules_salt(root) != before
+
+    def test_contract_digest_is_deterministic(self, contracts):
+        assert contracts.digest() == ContractIndex.load().digest()

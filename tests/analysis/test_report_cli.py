@@ -47,11 +47,35 @@ class TestJsonReport:
         assert report["version"] == JSON_REPORT_VERSION
         assert report["files_scanned"] == 1
         assert report["summary"] == {"errors": 1, "warnings": 0}
+        # v2 schema: every run reports a fixes_applied block (all-zero
+        # outside --fix) and every finding carries a "fixable" flag.
+        assert report["fixes_applied"] == {
+            "files_changed": 0, "total": 0, "by_fix": {},
+        }
         (entry,) = report["findings"]
-        assert set(entry) == {"path", "line", "col", "rule", "severity", "message"}
+        assert set(entry) == {
+            "path", "line", "col", "rule", "severity", "message", "fixable",
+        }
         assert entry["rule"] == "wall-clock"
         assert entry["severity"] == "error"
         assert entry["line"] == 4
+        assert entry["fixable"] is False  # wall-clock has no mechanical rewrite
+
+    def test_fixable_finding_carries_fix_payload(self, contracts):
+        findings = lint_source(
+            "def f():\n    try:\n        return 1\n    except:\n        return 0\n",
+            "src/repro/sim/bad.py",
+            contracts,
+        )
+        report = to_report_dict(LintResult(findings, 1))
+        (entry,) = report["findings"]
+        assert entry["rule"] == "bare-except"
+        assert entry["fixable"] is True
+        assert entry["fix"]["id"] == "bare-except-exception"
+        edits = entry["fix"]["edits"]
+        assert edits and all(
+            set(e) == {"start", "end", "replacement"} for e in edits
+        )
 
     def test_render_json_round_trips(self, contracts):
         result = LintResult([], 3)

@@ -267,3 +267,125 @@ class TestProtocolDispatch:
             contracts, server_dispatch={}, client_constructors={}
         )
         assert lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored) == []
+
+
+class TestCallbackHook:
+    """Both directions of the dispatch↔hook bijection."""
+
+    #: Stand-in for events.py: the every-hook-fires direction anchors its
+    #: findings at the SearchCallback class definition.
+    EVENTS_PATH = "src/repro/core/events.py"
+    HOME_SRC = "class SearchCallback:\n    pass\n"
+
+    @staticmethod
+    def _doctor(contracts, **overrides):
+        from repro.analysis import ContractIndex
+
+        return ContractIndex(
+            contracts.callback_signatures,
+            contracts.backend_methods,
+            contracts.message_schema,
+            contracts.nested_fields,
+            server_dispatch=contracts.server_dispatch,
+            server_methods=contracts.server_methods,
+            client_constructors=contracts.client_constructors,
+            callback_fire_counts=overrides.get(
+                "callback_fire_counts", contracts.callback_fire_counts
+            ),
+            internal_imports=contracts.internal_imports,
+        )
+
+    # ---- direction 1: every dispatch site names a hook, at hook arity ----
+
+    def test_unknown_hook_dispatch_flagged(self, contracts):
+        src = "def run(cb, engine):\n    cb.on_measurment(engine)\n"
+        findings = lint_source(src, CORE_PATH, contracts)
+        assert rule_ids(findings) == ["callback-hook"]
+        assert "names no SearchCallback hook" in findings[0].message
+
+    def test_arity_mismatch_flagged(self, contracts):
+        # on_measurement takes (engine, sample, measurement) after self.
+        src = "def run(cb, engine, sample):\n    cb.on_measurement(engine, sample)\n"
+        findings = lint_source(src, CORE_PATH, contracts)
+        assert rule_ids(findings) == ["callback-hook"]
+        assert "passes 2 argument(s) but the hook takes 3" in findings[0].message
+
+    def test_correct_dispatch_clean(self, contracts):
+        src = (
+            "def run(cb, engine, sample, m):\n"
+            "    cb.on_measurement(engine, sample, m)\n"
+            "    cb.on_search_start(engine)\n"
+        )
+        assert lint_source(src, CORE_PATH, contracts) == []
+
+    def test_computed_call_shapes_skip_arity(self, contracts):
+        src = (
+            "def run(cb, engine, extra):\n"
+            "    cb.on_measurement(engine, *extra)\n"
+            "    cb.on_search_start(engine=engine)\n"
+        )
+        assert lint_source(src, CORE_PATH, contracts) == []
+
+    def test_dispatch_in_service_scope_checked(self, contracts):
+        src = "def run(cb, engine):\n    cb.on_no_such_hook(engine)\n"
+        assert rule_ids(lint_source(src, SERVICE_PATH, contracts)) == ["callback-hook"]
+
+    def test_outside_scope_ignored(self, contracts):
+        src = "def run(cb, engine):\n    cb.on_no_such_hook(engine)\n"
+        assert lint_source(src, "src/repro/sim/fixture.py", contracts) == []
+
+    def test_pragma_suppresses_dispatch_finding(self, contracts):
+        src = (
+            "def run(cb, engine):\n"
+            "    # repro: allow[callback-hook] legacy shim dispatches a retired hook\n"
+            "    cb.on_no_such_hook(engine)\n"
+        )
+        assert lint_source(src, CORE_PATH, contracts) == []
+
+    # ---- direction 2: every hook has at least one fire site ----
+
+    def test_dead_hook_flagged_at_definition_site(self, contracts):
+        fires = dict(contracts.callback_fire_counts)
+        dead = sorted(contracts.callback_signatures)[0]
+        fires.pop(dead, None)
+        doctored = self._doctor(contracts, callback_fire_counts=fires or {"x": 1})
+        findings = lint_source(self.HOME_SRC, self.EVENTS_PATH, doctored)
+        assert rule_ids(findings) == ["callback-hook"]
+        assert f"SearchCallback.{dead} has no dispatch site" in findings[0].message
+
+    def test_all_hooks_fired_clean(self, contracts):
+        fires = {name: 1 for name in contracts.callback_signatures}
+        doctored = self._doctor(contracts, callback_fire_counts=fires)
+        assert lint_source(self.HOME_SRC, self.EVENTS_PATH, doctored) == []
+
+    def test_fixture_trees_without_fire_sites_stay_silent(self, contracts):
+        doctored = self._doctor(contracts, callback_fire_counts={})
+        assert lint_source(self.HOME_SRC, self.EVENTS_PATH, doctored) == []
+
+    def test_fire_direction_only_reports_from_home_module(self, contracts):
+        fires = {name: 0 for name in contracts.callback_signatures}
+        doctored = self._doctor(contracts, callback_fire_counts=fires)
+        assert lint_source(self.HOME_SRC, CORE_PATH, doctored) == []
+
+    # ---- extraction sanity against the real tree ----
+
+    def test_every_real_hook_has_a_fire_site(self, contracts):
+        fired = {h for h, n in contracts.callback_fire_counts.items() if n > 0}
+        assert set(contracts.callback_signatures) <= fired
+
+    def test_fire_counts_exclude_events_py_mirror(self, contracts):
+        # CallbackList fans every hook out; if events.py were counted the
+        # check would be vacuously satisfied even with a dead engine.
+        import ast as ast_mod
+
+        tree = ast_mod.parse(open("src/repro/core/events.py").read())
+        mirror_calls = sum(
+            1
+            for node in ast_mod.walk(tree)
+            if isinstance(node, ast_mod.Call)
+            and isinstance(node.func, ast_mod.Attribute)
+            and node.func.attr.startswith("on_")
+        )
+        assert mirror_calls > 0  # the mirror exists...
+        total_counted = sum(contracts.callback_fire_counts.values())
+        assert total_counted > 0  # ...and real engine fire sites exist too
