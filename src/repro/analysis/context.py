@@ -15,9 +15,11 @@ repo's own definition sites:
 * ``repro/sim/backends.py`` — the :class:`EvaluationBackend` protocol
   surface;
 * ``repro/service/protocol.py`` — the ``MESSAGE_SCHEMA`` /
-  ``NESTED_FIELDS`` wire-message tables;
+  ``ADMIN_SCHEMA`` / ``NESTED_FIELDS`` wire-message tables;
 * ``repro/service/server.py`` — the ``_OP_HANDLERS`` dispatch table and
   the handler method names it must resolve to;
+* ``repro/service/router.py`` — the ``_ADMIN_HANDLERS`` admin-op
+  dispatch table and the router method names it must resolve to;
 * ``repro/service/client.py`` — per-op counts of request-constructor
   dict literals (each op must have exactly one client constructor).
 
@@ -191,6 +193,9 @@ class ContractIndex:
         client_constructors: Optional[Dict[str, int]] = None,
         callback_fire_counts: Optional[Dict[str, int]] = None,
         internal_imports: Optional[Set[Tuple[str, str]]] = None,
+        admin_schema: Optional[Dict[str, Dict[str, Tuple[str, ...]]]] = None,
+        router_dispatch: Optional[Dict[str, str]] = None,
+        router_methods: Optional[Set[str]] = None,
     ) -> None:
         self.callback_signatures = callback_signatures
         self.backend_methods = backend_methods
@@ -216,6 +221,14 @@ class ContractIndex:
         self.internal_imports: Tuple[Tuple[str, str], ...] = tuple(
             sorted(internal_imports or ())
         )
+        #: admin op → field spec, from protocol.py's ``ADMIN_SCHEMA``
+        #: literal (the router's stats/join/leave/membership/migrate plane).
+        self.admin_schema = dict(admin_schema or {})
+        #: admin op → handler method name, from router.py's
+        #: ``_ADMIN_HANDLERS`` literal.
+        self.router_dispatch = dict(router_dispatch or {})
+        #: every method name defined anywhere in router.py.
+        self.router_methods = set(router_methods or ())
 
     # ------------------------------------------------------------------ #
     @property
@@ -235,9 +248,33 @@ class ContractIndex:
     @property
     def all_wire_fields(self) -> Set[str]:
         fields = set(self.nested_fields) | self.response_fields
-        for spec in self.message_schema.values():
-            fields.update(spec.get("request", ()))
+        for schema in (self.message_schema, self.admin_schema):
+            for spec in schema.values():
+                fields.update(spec.get("request", ()))
+                fields.update(spec.get("response", ()))
         return fields
+
+    @property
+    def combined_schema(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """MESSAGE_SCHEMA and ADMIN_SCHEMA merged per op.
+
+        ``stats`` lives in both tables (a backend stats request and the
+        router's admin stats differ in reply shape), so overlapping ops
+        union their field tuples rather than shadowing.
+        """
+        merged: Dict[str, Dict[str, Tuple[str, ...]]] = {
+            op: dict(spec) for op, spec in self.message_schema.items()
+        }
+        for op, spec in self.admin_schema.items():
+            if op not in merged:
+                merged[op] = dict(spec)
+                continue
+            target = merged[op]
+            for part, fields in spec.items():
+                seen = dict.fromkeys(target.get(part, ()))
+                seen.update(dict.fromkeys(fields))
+                target[part] = tuple(seen)
+        return merged
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -258,8 +295,14 @@ class ContractIndex:
         schema, nested = cls._extract_message_schema(
             root / "service" / "protocol.py"
         )
+        admin = cls._extract_schema_literal(
+            root / "service" / "protocol.py", "ADMIN_SCHEMA"
+        )
         dispatch, methods = cls._extract_server_dispatch(
             root / "service" / "server.py"
+        )
+        router_dispatch, router_methods = cls._extract_server_dispatch(
+            root / "service" / "router.py", table_name="_ADMIN_HANDLERS"
         )
         constructors = cls._extract_client_constructors(
             root / "service" / "client.py"
@@ -276,6 +319,9 @@ class ContractIndex:
             client_constructors=constructors,
             callback_fire_counts=fires,
             internal_imports=imports,
+            admin_schema=admin,
+            router_dispatch=router_dispatch,
+            router_methods=router_methods,
         )
 
     # ------------------------------------------------------------------ #
@@ -296,6 +342,9 @@ class ContractIndex:
             "client_constructors": self.client_constructors,
             "callback_fire_counts": self.callback_fire_counts,
             "internal_imports": [list(pair) for pair in self.internal_imports],
+            "admin_schema": self.admin_schema,
+            "router_dispatch": self.router_dispatch,
+            "router_methods": sorted(self.router_methods),
         }
         blob = json.dumps(payload, sort_keys=True, default=list)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -360,10 +409,42 @@ class ContractIndex:
         return schema, nested
 
     @staticmethod
+    def _extract_schema_literal(
+        path: Path, name: str
+    ) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """An op → field-spec table assigned to ``name`` as a pure literal."""
+        schema: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):
+            return schema
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Name) and target.id == name):
+                    continue
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    continue
+                if isinstance(value, dict):
+                    schema = {
+                        str(op): {str(k): tuple(v) for k, v in spec.items()}
+                        for op, spec in value.items()
+                    }
+        return schema
+
+    @staticmethod
     def _extract_server_dispatch(
-        path: Path,
+        path: Path, table_name: str = "_OP_HANDLERS"
     ) -> Tuple[Dict[str, str], Set[str]]:
-        """The ``_OP_HANDLERS`` literal plus every method name in server.py."""
+        """A dispatch-table literal plus every method name in the file.
+
+        Reads server.py's ``_OP_HANDLERS`` by default; the same shape
+        extracts router.py's ``_ADMIN_HANDLERS`` (a class attribute —
+        ``ast.walk`` reaches it either way).
+        """
         dispatch: Dict[str, str] = {}
         methods: Set[str] = set()
         try:
@@ -375,7 +456,7 @@ class ContractIndex:
                 methods.add(node.name)
             elif isinstance(node, ast.Assign):
                 for target in node.targets:
-                    if isinstance(target, ast.Name) and target.id == "_OP_HANDLERS":
+                    if isinstance(target, ast.Name) and target.id == table_name:
                         try:
                             value = ast.literal_eval(node.value)
                         except ValueError:

@@ -273,9 +273,12 @@ class ProtocolSchemaRule(Rule):
     _SCOPE = ("repro.service",)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        schema = ctx.contracts.message_schema
-        if not schema or not ctx.in_packages(self._SCOPE):
+        if not ctx.contracts.message_schema or not ctx.in_packages(self._SCOPE):
             return
+        # Admin ops ride the same wire: a literal is checked against the
+        # union of MESSAGE_SCHEMA and ADMIN_SCHEMA (overlapping ops like
+        # "stats" merge their field tuples).
+        schema = ctx.contracts.combined_schema
         known_fields = ctx.contracts.all_wire_fields
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Dict):
@@ -381,7 +384,9 @@ class ProtocolDispatchRule(Rule):
         "schema but not dispatched answers 'unknown op' at runtime, a "
         "dispatch entry naming a missing method crashes the handler "
         "thread, and a second client constructor for the same op is a "
-        "fork of the wire format waiting to drift."
+        "fork of the wire format waiting to drift.  The router's admin "
+        "plane (ADMIN_SCHEMA vs router.py's _ADMIN_HANDLERS) is held to "
+        "the same bijection."
     )
 
     #: The rule cross-checks three files but must report deterministically
@@ -437,13 +442,58 @@ class ProtocolDispatchRule(Rule):
                 f"server _OP_HANDLERS dispatches unknown op {op!r} — "
                 "not in MESSAGE_SCHEMA",
             )
+        yield from self._check_admin_plane(ctx)
+
+    def _check_admin_plane(self, ctx: FileContext) -> Iterator[Finding]:
+        """ADMIN_SCHEMA ↔ router _ADMIN_HANDLERS, same bijection.
+
+        Admin ops have no client-constructor leg: :func:`router_admin`
+        forwards caller-built messages, and the CLI is outside the wire
+        layer.  Both tables empty → a fixture tree without an admin
+        plane; silence beats guessing.
+        """
+        admin = ctx.contracts.admin_schema
+        dispatch = ctx.contracts.router_dispatch
+        if not admin or not dispatch:
+            return
+        anchor = self._named_assign(ctx.tree, "ADMIN_SCHEMA") or self._schema_assign(
+            ctx.tree
+        )
+        if anchor is None:
+            return
+        methods = ctx.contracts.router_methods
+        for op in sorted(admin):
+            handler = dispatch.get(op)
+            if handler is None:
+                yield self.finding(
+                    ctx, anchor,
+                    f"admin op {op!r} has no entry in the router's "
+                    "_ADMIN_HANDLERS table — admin requests answer "
+                    "'unknown op'",
+                )
+            elif methods and handler not in methods:
+                yield self.finding(
+                    ctx, anchor,
+                    f"admin op {op!r} dispatches to {handler!r}, which "
+                    "router.py does not define",
+                )
+        for op in sorted(set(dispatch) - set(admin)):
+            yield self.finding(
+                ctx, anchor,
+                f"router _ADMIN_HANDLERS dispatches unknown op {op!r} — "
+                "not in ADMIN_SCHEMA",
+            )
 
     @staticmethod
     def _schema_assign(tree: ast.AST) -> Optional[ast.AST]:
+        return ProtocolDispatchRule._named_assign(tree, "MESSAGE_SCHEMA")
+
+    @staticmethod
+    def _named_assign(tree: ast.AST, name: str) -> Optional[ast.AST]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Assign):
                 continue
             for target in node.targets:
-                if isinstance(target, ast.Name) and target.id == "MESSAGE_SCHEMA":
+                if isinstance(target, ast.Name) and target.id == name:
                     return node
         return None

@@ -29,13 +29,13 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..graph.models.random_graphs import build_random_layered
 from ..service.client import RemoteBackend
-from ..service.router import RouterServer, fetch_router_stats
+from ..service.router import RouterServer, fetch_router_stats, router_admin
 from ..service.server import MeasurementServer
 from ..service.tenancy import SpaceSpec
 from ..sim.cost_model import CostModel
@@ -50,6 +50,7 @@ __all__ = [
     "FORMAT_VERSION",
     "make_tenant_specs",
     "LocalFleet",
+    "make_chaos_resize",
     "run_loadgen",
     "check_fleet",
     "publish_to_bench",
@@ -93,6 +94,11 @@ class LocalFleet:
 
     ``spaces_dir`` (optional) gives each server its own durability
     subdirectory, so a fleet restart replays rather than re-simulates.
+    ``shared_spaces=True`` instead points every server at the *same*
+    directory — ring routing keeps ownership exclusive, and a replacement
+    server admitted after a crash (:meth:`kill_server` + :meth:`add_server`)
+    can then adopt the victim's persisted spaces and replay instead of
+    re-simulating.
     """
 
     def __init__(
@@ -101,24 +107,29 @@ class LocalFleet:
         servers: int = 2,
         workers: int = 2,
         spaces_dir: Optional[str] = None,
+        shared_spaces: bool = False,
         space_quota: Optional[int] = None,
         max_backlog: int = 4096,
     ) -> None:
         if servers < 1:
             raise ValueError("servers must be >= 1")
+        if shared_spaces and spaces_dir is None:
+            raise ValueError("shared_spaces requires spaces_dir")
+        self._config = dict(
+            workers=workers,
+            spaces_dir=spaces_dir,
+            shared_spaces=shared_spaces,
+            space_quota=space_quota,
+            max_backlog=max_backlog,
+        )
+        self._next_index = 0
         self.servers: List[MeasurementServer] = []
+        #: Servers taken out by :meth:`kill_server` — kept so their
+        #: in-memory counters still contribute to :meth:`space_stats`.
+        self.dead: List[MeasurementServer] = []
         try:
-            for i in range(servers):
-                server_dir = f"{spaces_dir}/server{i}" if spaces_dir else None
-                self.servers.append(
-                    MeasurementServer(
-                        multi_tenant=True,
-                        workers=workers,
-                        max_backlog=max_backlog,
-                        spaces_dir=server_dir,
-                        space_quota=space_quota,
-                    ).start()
-                )
+            for _ in range(servers):
+                self.servers.append(self._spawn_server())
             self.router = RouterServer(
                 [server.address for server in self.servers]
             ).start()
@@ -127,17 +138,64 @@ class LocalFleet:
             raise
         self.address = self.router.address
 
-    def space_stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-fingerprint stats summed across the fleet's servers."""
-        merged: Dict[str, Dict[str, float]] = {}
+    def _spawn_server(self) -> MeasurementServer:
+        spaces_dir = self._config["spaces_dir"]
+        if spaces_dir and not self._config["shared_spaces"]:
+            spaces_dir = f"{spaces_dir}/server{self._next_index}"
+        self._next_index += 1
+        return MeasurementServer(
+            multi_tenant=True,
+            workers=self._config["workers"],
+            max_backlog=self._config["max_backlog"],
+            spaces_dir=spaces_dir,
+            space_quota=self._config["space_quota"],
+        ).start()
+
+    # -- live resize -----------------------------------------------------
+
+    def add_server(self) -> MeasurementServer:
+        """Start one more server (not yet in the ring — ``join`` it via
+        the router's admin plane, e.g. :func:`repro.service.router_admin`)."""
+        server = self._spawn_server()
+        self.servers.append(server)
+        return server
+
+    def kill_server(self, address: str, *, timeout: float = 30.0) -> MeasurementServer:
+        """Kill the server at ``address``: in-flight simulations land in
+        durable batch records, then its sockets die mid-conversation (no
+        goodbye to clients).  The carcass moves to :attr:`dead` so its
+        counters keep counting in :meth:`space_stats`."""
         for server in self.servers:
+            if server.address == address:
+                break
+        else:
+            raise ValueError(f"no fleet server at {address}")
+        server.kill(timeout=timeout)
+        self.servers.remove(server)
+        self.dead.append(server)
+        return server
+
+    def space_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-fingerprint stats summed across the fleet's servers.
+
+        Dead servers and migrated-out spaces are included: their counter
+        history (simulations, memo hits) is part of the fleet's total
+        even though they no longer serve traffic.
+        """
+        merged: Dict[str, Dict[str, float]] = {}
+
+        def fold(stats: Dict[str, Any]) -> None:
+            into = merged.setdefault(stats["fingerprint"], {})
+            for name, value in stats.items():
+                if name == "fingerprint":
+                    continue
+                into[name] = into.get(name, 0.0) + float(value)
+
+        for server in self.servers + self.dead:
             for space in server.registry.snapshot():
-                stats = space.stats()
-                into = merged.setdefault(stats["fingerprint"], {})
-                for name, value in stats.items():
-                    if name == "fingerprint":
-                        continue
-                    into[name] = into.get(name, 0.0) + float(value)
+                fold(space.stats())
+            for stats in server.migrated_space_stats().values():
+                fold(stats)
         return merged
 
     def router_stats(self) -> Dict[str, float]:
@@ -151,6 +209,9 @@ class LocalFleet:
         for server in self.servers:
             server.close()
         self.servers = []
+        for server in getattr(self, "dead", []):
+            server.close()
+        self.dead = []
 
     def __enter__(self) -> "LocalFleet":
         return self
@@ -162,15 +223,35 @@ class LocalFleet:
 class _SearchResult:
     """Mutable per-worker scratch, merged single-threaded afterwards."""
 
-    __slots__ = ("latencies_s", "placements", "fingerprint", "errors", "retries", "rpcs")
+    __slots__ = (
+        "latencies_s",
+        "failover_latencies_s",
+        "placements",
+        "fingerprint",
+        "errors",
+        "retries",
+        "rpcs",
+    )
 
     def __init__(self, fingerprint: str) -> None:
         self.fingerprint = fingerprint
         self.latencies_s: List[float] = []
+        #: Latencies of RPCs *begun after* the chaos hook fired — the
+        #: population ``loadgen.failover_p99_ms`` is computed over.
+        self.failover_latencies_s: List[float] = []
         self.placements: set = set()
         self.errors: List[str] = []
         self.retries = 0
         self.rpcs = 0
+
+
+class _ChaosClock:
+    """When (perf_counter time) the chaos hook finished, if it did."""
+
+    __slots__ = ("fired_at",)
+
+    def __init__(self) -> None:
+        self.fired_at: Optional[float] = None
 
 
 def _run_search(
@@ -184,6 +265,7 @@ def _run_search(
     seed: int,
     timeout: float,
     max_retries: int,
+    chaos_clock: Optional[_ChaosClock] = None,
 ) -> None:
     """One tenant search: a seeded placement stream, replayed ``rounds`` times."""
     rng = np.random.default_rng(seed)
@@ -226,7 +308,14 @@ def _run_search(
                     except Exception as exc:
                         result.errors.append(f"evaluate: {exc}")
                         return
-                    result.latencies_s.append(time.perf_counter() - began)
+                    latency = time.perf_counter() - began
+                    result.latencies_s.append(latency)
+                    if (
+                        chaos_clock is not None
+                        and chaos_clock.fired_at is not None
+                        and began >= chaos_clock.fired_at
+                    ):
+                        result.failover_latencies_s.append(latency)
                     result.rpcs += 1
                     if len(measurements) != len(chunk):
                         result.errors.append(
@@ -236,6 +325,50 @@ def _run_search(
                     break
     finally:
         backend.close()
+
+
+def make_chaos_resize(
+    fleet: LocalFleet,
+    *,
+    fingerprint: Optional[str] = None,
+    timeout: float = 30.0,
+) -> Callable[[], Dict[str, Any]]:
+    """A chaos hook for self-hosted runs: kill one backend, then resize.
+
+    The returned callable (fed to :func:`run_loadgen`'s ``chaos``)
+    executes the acceptance scenario in order:
+
+    1. pick the victim — the ring owner of ``fingerprint`` when given
+       (so the kill is guaranteed to orphan live tenant state), else the
+       first fleet server;
+    2. :meth:`LocalFleet.kill_server` it — in-flight simulations drain
+       into durable batch records, then its sockets die mid-conversation;
+    3. ``leave`` it via the router's admin plane — arcs repoint to
+       survivors, which adopt the victim's spaces from the shared
+       spaces-dir (the dead victim cannot push, so the durable format is
+       the recovery path);
+    4. start a replacement (:meth:`LocalFleet.add_server`) and ``join``
+       it — ~1/N of the arcs remap onto it, with live spaces *pushed*
+       from their (alive) previous owners.
+
+    Requires the fleet to run with ``shared_spaces=True`` for the
+    zero-duplicate guarantee to survive the hard kill.
+    """
+
+    def chaos() -> Dict[str, Any]:
+        if fingerprint is not None:
+            victim = fleet.router.ring.lookup(fingerprint)
+        else:
+            victim = fleet.servers[0].address
+        fleet.kill_server(victim, timeout=timeout)
+        router_admin(fleet.address, {"op": "leave", "backend": victim})
+        replacement = fleet.add_server()
+        router_admin(
+            fleet.address, {"op": "join", "backend": replacement.address}
+        )
+        return {"victim": victim, "replacement": replacement.address}
+
+    return chaos
 
 
 def run_loadgen(
@@ -249,6 +382,8 @@ def run_loadgen(
     seed: int = 0,
     timeout: float = 60.0,
     max_retries: int = 5,
+    chaos: Optional[Callable[[], Optional[Dict[str, Any]]]] = None,
+    chaos_at_fraction: float = 0.25,
 ) -> Dict[str, Any]:
     """Drive ``searches`` concurrent mixed-tenant searches at ``address``.
 
@@ -257,11 +392,20 @@ def run_loadgen(
     across workers (w.h.p.) and the run is reproducible end to end.
     Returns a versioned report dict; see :func:`check_fleet` for the
     correctness gate and :func:`publish_to_bench` for BENCH publication.
+
+    ``chaos`` (optional) is fired exactly once, from a side thread, after
+    roughly ``chaos_at_fraction`` of the expected RPCs have completed —
+    e.g. a kill-and-resize of the fleet under test.  Whatever dict it
+    returns lands in the report under ``"chaos"``, and RPCs begun after
+    it returns feed the ``loadgen.failover_p99_ms`` metric.
     """
     if not specs:
         raise ValueError("at least one tenant spec is required")
     if searches < 1:
         raise ValueError("searches must be >= 1")
+    if not 0.0 <= chaos_at_fraction < 1.0:
+        raise ValueError("chaos_at_fraction must be in [0, 1)")
+    chaos_clock = _ChaosClock() if chaos is not None else None
     results: List[_SearchResult] = []
     threads: List[threading.Thread] = []
     for i in range(searches):
@@ -279,15 +423,45 @@ def run_loadgen(
                     seed=seed * 100_003 + i,
                     timeout=timeout,
                     max_retries=max_retries,
+                    chaos_clock=chaos_clock,
                 ),
                 daemon=True,
             )
         )
+
+    chaos_info: Dict[str, Any] = {}
+    done = threading.Event()
+
+    def fire_chaos() -> None:
+        batches_per_search = rounds * ((samples + batch - 1) // batch)
+        threshold = chaos_at_fraction * searches * batches_per_search
+        while not done.is_set():
+            if sum(r.rpcs for r in results) >= threshold:
+                break
+            done.wait(0.01)
+        if done.is_set():
+            chaos_info["fired"] = False
+            return
+        info = chaos()
+        chaos_clock.fired_at = time.perf_counter()
+        chaos_info["fired"] = True
+        if isinstance(info, dict):
+            chaos_info.update(info)
+
+    chaos_thread: Optional[threading.Thread] = None
+    if chaos is not None:
+        chaos_thread = threading.Thread(target=fire_chaos, daemon=True)
+
     began = time.perf_counter()
     for thread in threads:
         thread.start()
+    if chaos_thread is not None:
+        chaos_thread.start()
     for thread in threads:
         thread.join()
+    done.set()
+    if chaos_thread is not None:
+        chaos_thread.join(timeout=60.0)
     elapsed = max(time.perf_counter() - began, 1e-9)
 
     latencies = sorted(lat for r in results for lat in r.latencies_s)
@@ -324,6 +498,14 @@ def run_loadgen(
         "loadgen.retries": float(retries),
         "loadgen.errors": float(len(errors)),
     }
+    if chaos is not None:
+        failover = sorted(
+            lat for r in results for lat in r.failover_latencies_s
+        )
+        metrics["loadgen.failover_p99_ms"] = (
+            float(np.percentile(failover, 99)) * 1e3 if failover else 0.0
+        )
+        metrics["loadgen.failover_rpcs"] = float(len(failover))
     return {
         "format": FORMAT,
         "format_version": FORMAT_VERSION,
@@ -338,6 +520,7 @@ def run_loadgen(
         "metrics": {name: float(value) for name, value in metrics.items()},
         "per_tenant": per_tenant,
         "tenant_fingerprints": [spec.fingerprint for spec in specs],
+        "chaos": chaos_info,
         "elapsed_s": elapsed,
         "errors": errors[:_MAX_REPORTED_ERRORS],
         "summary": [

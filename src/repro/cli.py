@@ -223,6 +223,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dial-timeout", type=float, default=5.0,
                    help="seconds per backend dial before failing over along "
                         "the ring")
+    p.add_argument("--standby", default=None, metavar="HOST:PORT",
+                   help="run as a warm standby: mirror membership from this "
+                        "primary router's admin plane and take over (start "
+                        "health-probing the ring) when it stops answering")
+    p.add_argument("--standby-interval", type=float, default=1.0,
+                   help="seconds between standby membership polls")
+    p.add_argument("--takeover-failures", type=_positive_int, default=3,
+                   help="consecutive failed polls before the standby promotes")
+    p.add_argument("--health-interval", type=float, default=0.0,
+                   help="ping-probe every backend each N seconds, driving "
+                        "ring membership up/suspect/down (0 disables)")
+    p.add_argument("--probe-timeout", type=float, default=1.0,
+                   help="deadline per health probe")
+    p.add_argument("--fail-threshold", type=_positive_int, default=3,
+                   help="consecutive probe failures marking a backend down")
+    p.add_argument("--recover-threshold", type=_positive_int, default=1,
+                   help="consecutive probe successes re-admitting a down "
+                        "backend")
+
+    p = sub.add_parser("fleet",
+                       help="inspect or resize a router-fronted fleet live")
+    fleet_sub = p.add_subparsers(dest="fleet_cmd", required=True)
+    fp = fleet_sub.add_parser(
+        "add", help="join a backend into the ring (~1/N of the hash arcs "
+                    "remap onto it, migrating their tenant spaces)")
+    fp.add_argument("backend", metavar="HOST:PORT")
+    fp.add_argument("--router", required=True, metavar="HOST:PORT",
+                    help="router admin address")
+    fp = fleet_sub.add_parser(
+        "remove", help="drop a backend from the ring, migrating its tenant "
+                       "spaces to the surviving owners")
+    fp.add_argument("backend", metavar="HOST:PORT")
+    fp.add_argument("--router", required=True, metavar="HOST:PORT",
+                    help="router admin address")
+    fp = fleet_sub.add_parser(
+        "status", help="print ring membership and per-backend health state")
+    fp.add_argument("--router", required=True, metavar="HOST:PORT",
+                    help="router admin address")
 
     p = sub.add_parser("loadgen",
                        help="drive concurrent mixed-tenant searches at a fleet")
@@ -260,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail unless the fleet shows zero duplicate "
                         "simulations and nonzero per-space memo hits "
                         "(needs --self-hosted for fleet-side counters)")
+    p.add_argument("--chaos-resize", action="store_true",
+                   help="mid-run, kill one self-hosted backend, drop it from "
+                        "the ring, and join a fresh replacement (needs "
+                        "--self-hosted, --spaces-dir and --servers >= 2); "
+                        "adds the loadgen.failover_p99_ms and "
+                        "fleet.migrations lanes")
 
     p = sub.add_parser("bench-micro", help="run the microbenchmark lane")
     p.add_argument("--out", default="BENCH_micro.json", metavar="PATH",
@@ -579,6 +623,7 @@ def cmd_serve(args) -> int:
 
 
 def cmd_route(args) -> int:
+    from .service.health import HealthMonitor, StandbyMirror
     from .service.router import RouterServer
 
     backends = [part.strip() for part in args.backends.split(",") if part.strip()]
@@ -593,12 +638,83 @@ def cmd_route(args) -> int:
           f"({args.replicas} virtual nodes each)")
     for backend in backends:
         print(f"  backend {backend}")
+
+    monitor = None
+    mirror = None
+
+    def start_monitor() -> None:
+        nonlocal monitor
+        if args.health_interval > 0 and monitor is None:
+            monitor = HealthMonitor(
+                router,
+                interval=args.health_interval,
+                probe_timeout=args.probe_timeout,
+                fail_threshold=args.fail_threshold,
+                recover_threshold=args.recover_threshold,
+                on_membership=lambda address, old, new: print(
+                    f"membership: {address} {old} -> {new}"
+                ),
+            ).start()
+            print(f"health probes every {args.health_interval:g}s "
+                  f"(down after {args.fail_threshold} failures)")
+
+    if args.standby:
+        def took_over(_mirror) -> None:
+            print(f"primary {args.standby} unreachable; standby promoted")
+            start_monitor()
+
+        mirror = StandbyMirror(
+            router,
+            args.standby,
+            interval=args.standby_interval,
+            takeover_failures=args.takeover_failures,
+            on_takeover=took_over,
+        ).start()
+        print(f"standby: mirroring membership from {args.standby}")
+    else:
+        start_monitor()
     try:
         router.serve_forever()
     except KeyboardInterrupt:
         print("interrupted")
     finally:
+        if mirror is not None:
+            mirror.close()
+        if monitor is not None:
+            monitor.close()
         router.close()
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from .service.protocol import ProtocolError
+    from .service.router import fetch_router_membership, router_admin
+
+    try:
+        if args.fleet_cmd == "add":
+            reply = router_admin(
+                args.router, {"op": "join", "backend": args.backend}
+            )
+            print(f"joined {args.backend}: "
+                  f"{len(reply.get('backends', []))} backend(s) in the ring, "
+                  f"{int(reply.get('migrations', 0))} space migration(s)")
+        elif args.fleet_cmd == "remove":
+            reply = router_admin(
+                args.router, {"op": "leave", "backend": args.backend}
+            )
+            print(f"removed {args.backend}: "
+                  f"{len(reply.get('backends', []))} backend(s) in the ring, "
+                  f"{int(reply.get('migrations', 0))} space migration(s)")
+        else:
+            membership = fetch_router_membership(args.router)
+            states = membership.get("states", {})
+            print(f"{len(membership.get('backends', []))} backend(s) behind "
+                  f"{args.router}")
+            for backend in membership.get("backends", []):
+                print(f"  {backend}  {states.get(backend, '?')}")
+    except (OSError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -606,6 +722,7 @@ def cmd_loadgen(args) -> int:
     from .bench.loadgen import (
         LocalFleet,
         check_fleet,
+        make_chaos_resize,
         make_tenant_specs,
         publish_to_bench,
         run_loadgen,
@@ -613,6 +730,12 @@ def cmd_loadgen(args) -> int:
 
     if not args.self_hosted and not args.address:
         print("error: provide --address or use --self-hosted", file=sys.stderr)
+        return 2
+    if args.chaos_resize and (
+        not args.self_hosted or not args.spaces_dir or args.servers < 2
+    ):
+        print("error: --chaos-resize needs --self-hosted, --spaces-dir and "
+              "--servers >= 2", file=sys.stderr)
         return 2
     specs = make_tenant_specs(args.tenants, base_seed=args.seed)
     fleet = None
@@ -622,6 +745,7 @@ def cmd_loadgen(args) -> int:
                 servers=args.servers,
                 workers=args.service_workers,
                 spaces_dir=args.spaces_dir,
+                shared_spaces=args.chaos_resize,
             )
             address = fleet.address
             print(f"self-hosted fleet: {args.servers} server(s) behind "
@@ -631,6 +755,13 @@ def cmd_loadgen(args) -> int:
         print(f"loadgen: {args.searches} concurrent searches x "
               f"{args.samples} placements x {args.rounds} round(s) over "
               f"{args.tenants} tenant space(s)")
+        chaos = None
+        if args.chaos_resize:
+            chaos = make_chaos_resize(
+                fleet, fingerprint=specs[0].fingerprint
+            )
+            print("chaos: will kill one backend mid-run and join a fresh "
+                  "replacement")
         report = run_loadgen(
             address,
             specs,
@@ -640,7 +771,22 @@ def cmd_loadgen(args) -> int:
             rounds=args.rounds,
             seed=args.seed,
             timeout=args.timeout,
+            chaos=chaos,
         )
+        if args.chaos_resize and fleet is not None:
+            router_stats = fleet.router_stats()
+            report["metrics"]["fleet.migrations"] = float(
+                router_stats.get("migrations", 0.0)
+            )
+            info = report.get("chaos", {})
+            if info.get("fired"):
+                print(f"chaos fired: killed {info.get('victim')}, "
+                      f"joined {info.get('replacement')}, "
+                      f"{int(report['metrics']['fleet.migrations'])} space "
+                      "migration(s)")
+            else:
+                print("warning: chaos hook never fired (run too short)",
+                      file=sys.stderr)
         for line in report["summary"]:
             print(f"  {line}")
         failures = []
@@ -771,6 +917,7 @@ def main(argv: Optional[list] = None) -> int:
         "place": cmd_place,
         "serve": cmd_serve,
         "route": cmd_route,
+        "fleet": cmd_fleet,
         "loadgen": cmd_loadgen,
         "bench-micro": cmd_bench_micro,
         "gantt": cmd_gantt,

@@ -21,21 +21,28 @@ architecture of Mirhoseini et al. '17 / GDP '19, applied to the simulator:
   (:class:`SpaceRegistry`), each with its own memo cache, sessions, and
   in-flight quota, persisted for replay-transparent restarts;
 * :mod:`~repro.service.router` — :class:`RouterServer`, a consistent-hash
-  TCP proxy spreading tenant spaces across a fleet of servers;
+  TCP proxy spreading tenant spaces across an *elastic* fleet of servers
+  (live ``join``/``leave`` admin ops, space migration on owner changes);
+* :mod:`~repro.service.health` — :class:`HealthMonitor` ping probes
+  driving ring membership (``up → suspect → down → up``) and
+  :class:`StandbyMirror`, the warm-standby router takeover;
 * :mod:`~repro.service.metrics_http` — the ``--metrics-port`` Prometheus
   plaintext endpoint.
 
 CLI: ``repro serve`` runs a server (``--multi-tenant`` hosts many spaces),
-``repro route`` fronts a fleet, ``repro place --remote HOST:PORT``
-searches against one; see DESIGN.md §8 and §12.
+``repro route`` fronts a fleet (``--standby`` mirrors another router),
+``repro fleet add|remove|status`` resizes it live, and
+``repro place --remote HOST:PORT`` searches against one; see DESIGN.md
+§8, §12 and §12.1.
 """
 
 from .protocol import MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, HandshakeError, ProtocolError
 from .server import MeasurementServer
 from .client import RemoteBackend
+from .health import HealthMonitor, StandbyMirror
 from .metrics_http import MetricsHTTPServer
 from .pool import PoolBusy, WorkerPool
-from .router import HashRing, RouterServer
+from .router import HashRing, RouterServer, fetch_router_membership, router_admin
 from .sessions import SessionRegistry
 from .tenancy import SpaceLoading, SpaceRegistry, SpaceSpec, TenantSpace
 
@@ -50,7 +57,11 @@ __all__ = [
     "PoolBusy",
     "WorkerPool",
     "HashRing",
+    "HealthMonitor",
     "RouterServer",
+    "StandbyMirror",
+    "router_admin",
+    "fetch_router_membership",
     "SessionRegistry",
     "SpaceLoading",
     "SpaceRegistry",

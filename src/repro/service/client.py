@@ -28,7 +28,11 @@ A handshake rejection is deliberately **not** a fault: a client measuring
 a different graph would never succeed on retry, so it raises immediately
 instead of burning the policy's retry budget.  v3 servers attach a
 structured code (``version_range`` / ``unknown_fingerprint`` /
-``space_loading``) that surfaces verbatim as ``HandshakeError.code``; a
+``space_loading``) that surfaces verbatim as ``HandshakeError.code``.
+``space_loading`` is the one transient code — another connection or a
+live migration is materialising the space — so ``_dial`` rides it out
+with the same seeded backoff budget as a broken connection before
+surfacing it.  A
 backend constructed with ``offer_space=True`` ships its environment's
 serialized :class:`~repro.service.tenancy.SpaceSpec` in the handshake so
 a multi-tenant server can adopt the space instead of refusing.
@@ -73,7 +77,7 @@ from .protocol import (
     ProtocolError,
 )
 
-__all__ = ["RemoteBackend"]
+__all__ = ["RemoteBackend", "migrate_space_request"]
 
 #: transport-level failures that trigger the reconnect/backoff loop when
 #: they interrupt an RPC on an established connection.
@@ -85,6 +89,31 @@ def _parse_address(address: str):
     if not sep or not host:
         raise ValueError(f"address must be 'host:port', got {address!r}")
     return host, int(port)
+
+
+def migrate_space_request(
+    fingerprint: str,
+    *,
+    target: Optional[str] = None,
+    space: Optional[dict] = None,
+    state: Optional[dict] = None,
+) -> dict:
+    """The one ``migrate_space`` line constructor, for both legs.
+
+    ``target`` makes the *push* leg (router → old owner: "serialise and
+    hand this space to ``target``"); ``space``/``state`` make the *adopt*
+    leg (old owner → new owner: "host this").  Routers and servers both
+    build their lines here so the wire shape has a single source of
+    truth next to the other op constructors.
+    """
+    message = {"op": "migrate_space", "fingerprint": fingerprint}
+    if target is not None:
+        message["target"] = target
+    if space is not None:
+        message["space"] = space
+    if state is not None:
+        message["state"] = state
+    return message
 
 
 class _Connection:
@@ -228,6 +257,7 @@ class RemoteBackend:
         self.num_session_resumes = 0
         self.num_replayed = 0
         self.num_faults = 0
+        self.num_loading_retries = 0
 
     # -------------------------------------------------------------- #
     def _dial(self) -> _Connection:
@@ -245,23 +275,36 @@ class RemoteBackend:
                     self.environment
                 ).to_dict()
             hello["space"] = self._space_payload
-        try:
-            conn = _Connection(self.host, self.port, self.timeout, hello)
-        except HandshakeError:
-            raise
-        except socket.timeout:
-            self.num_faults += 1
-            raise EvaluationFault(
-                f"measurement service {self.host}:{self.port} did not answer the "
-                f"handshake within {self.timeout:.1f}s",
-                kind="straggler",
-            ) from None
-        except (ConnectionError, ProtocolError, OSError) as exc:
-            self.num_faults += 1
-            raise EvaluationFault(
-                f"cannot reach measurement service {self.host}:{self.port}: {exc}",
-                kind="crash",
-            ) from None
+        conn: Optional[_Connection] = None
+        for attempt in range(self.reconnect_attempts + 1):
+            if attempt > 0:
+                self._backoff(attempt - 1)
+            try:
+                conn = _Connection(self.host, self.port, self.timeout, hello)
+                break
+            except HandshakeError as exc:
+                # ``space_loading`` is the one transient refusal: another
+                # connection (or a migration) is materialising the space
+                # right now, so ride it out with the reconnect budget
+                # instead of surfacing a fatal handshake error.
+                if exc.code == "space_loading" and attempt < self.reconnect_attempts:
+                    self.num_loading_retries += 1
+                    continue
+                raise
+            except socket.timeout:
+                self.num_faults += 1
+                raise EvaluationFault(
+                    f"measurement service {self.host}:{self.port} did not answer the "
+                    f"handshake within {self.timeout:.1f}s",
+                    kind="straggler",
+                ) from None
+            except (ConnectionError, ProtocolError, OSError) as exc:
+                self.num_faults += 1
+                raise EvaluationFault(
+                    f"cannot reach measurement service {self.host}:{self.port}: {exc}",
+                    kind="crash",
+                ) from None
+        assert conn is not None
         self.num_reconnects += 1
         self._attach_session(conn)
         return conn
@@ -513,6 +556,7 @@ class RemoteBackend:
             "session_resumes": float(self.num_session_resumes),
             "replayed": float(self.num_replayed),
             "faults": float(self.num_faults),
+            "loading_retries": float(self.num_loading_retries),
         }
 
     # -------------------------------------------------------------- #

@@ -39,6 +39,13 @@ Session layout::
     client → server   {"op": "shutdown"}
     server → client   {"ok": true}                           # then server exits
 
+    peer → server     {"op": "migrate_space", "fingerprint": "...",
+                       "target": "host:port"}                # push leg
+    server → peer     {"ok": true, "pushed": true}
+    peer → server     {"op": "migrate_space", "fingerprint": "...",
+                       "space": {...}, "state": {...}}       # adopt leg
+    server → peer     {"ok": true, "adopted": true}
+
 Errors are ``{"ok": false, "error": "...", "kind": "..."}``; ``kind`` is
 ``"protocol"`` for handshake/request-shape violations (the client raises
 them — misconfiguration must not be retried), ``"crash"`` for worker
@@ -107,6 +114,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MIN_PROTOCOL_VERSION",
     "MESSAGE_SCHEMA",
+    "ADMIN_SCHEMA",
     "NESTED_FIELDS",
     "HANDSHAKE_CODES",
     "ProtocolError",
@@ -176,6 +184,39 @@ MESSAGE_SCHEMA = {
     "shutdown": {
         "request": ("op",),
         "response": ("ok", "error", "kind"),
+    },
+    "migrate_space": {
+        "request": ("op", "fingerprint", "target", "space", "state"),
+        "response": ("ok", "adopted", "pushed", "error", "kind"),
+    },
+}
+
+#: Field table for the *router's* admin plane (v3 live resize).  Admin
+#: connections open with one of these ops instead of ``hello`` and stay
+#: in a request/response loop on the same socket; they are answered by
+#: the router itself, never proxied.  Like :data:`MESSAGE_SCHEMA` this
+#: must stay a plain literal — the ``protocol-dispatch`` rule
+#: AST-extracts it and cross-checks the router's admin handler table.
+ADMIN_SCHEMA = {
+    "stats": {
+        "request": ("op",),
+        "response": ("ok", "stats", "error", "kind"),
+    },
+    "join": {
+        "request": ("op", "backend"),
+        "response": ("ok", "backends", "migrations", "error", "kind"),
+    },
+    "leave": {
+        "request": ("op", "backend"),
+        "response": ("ok", "backends", "migrations", "error", "kind"),
+    },
+    "membership": {
+        "request": ("op",),
+        "response": ("ok", "backends", "states", "error", "kind"),
+    },
+    "migrate": {
+        "request": ("op", "fingerprint", "target"),
+        "response": ("ok", "migrated", "error", "kind"),
     },
 }
 

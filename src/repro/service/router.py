@@ -13,6 +13,12 @@ evolution below ``hello`` costs zero router changes.
 Failure semantics
 -----------------
 
+* **Health-checked membership.**  Each ring member carries a state —
+  ``up`` / ``suspect`` / ``down`` — driven by the
+  :class:`~repro.service.health.HealthMonitor`'s ping probes.  ``down``
+  backends sort to the *end* of the failover walk, so traffic routes
+  around a sick backend before ever paying a dial timeout, and a
+  recovered backend re-admits automatically.
 * **Dial-time death.**  The handshake is idempotent, so the router
   retries it along the ring (``HashRing.ordered``) past dead backends —
   a fleet survives a lost server with only its resident spaces' warmth.
@@ -27,10 +33,19 @@ Failure semantics
   backend), ``resume``-s its session, and re-sends the batch id, which
   is idempotent end-to-end.  The router stays stateless per connection.
 
-A first message of ``{"op": "stats"}`` short-circuits the proxy and
-answers the *router's* fleet-wide counters (connections, per-backend
-routing, dial failures, failovers) without touching a backend — see
-:func:`fetch_router_stats`.
+Admin plane (v3 live resize)
+----------------------------
+
+A first message whose op is in :data:`~repro.service.protocol.ADMIN_SCHEMA`
+short-circuits the proxy into a request/response loop answered by the
+router itself: ``stats`` (fleet-wide counters), ``join`` / ``leave``
+(incremental resize), ``membership`` (addresses + ring states, what a
+warm standby mirrors) and ``migrate`` (re-home one fingerprint).  Resize
+and state changes run under the router's membership lock and trigger a
+*rebalance*: every tracked fingerprint whose ring owner changed gets a
+``migrate_space`` push from its old owner to the new one, so a resumed
+client replays its batches against warm state instead of re-simulating
+from cold.  See :func:`router_admin` / :func:`fetch_router_membership`.
 """
 
 from __future__ import annotations
@@ -43,11 +58,24 @@ import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from . import protocol
+from .client import migrate_space_request
 from .protocol import ProtocolError
 
-__all__ = ["HashRing", "RouterServer", "fetch_router_stats"]
+__all__ = [
+    "RING_STATES",
+    "HashRing",
+    "RouterServer",
+    "router_admin",
+    "fetch_router_stats",
+    "fetch_router_membership",
+]
 
 _PUMP_CHUNK = 65536
+
+#: Ring membership states, in declining health order.  ``suspect`` still
+#: receives traffic (one failed probe may be a blip); only ``down``
+#: backends are routed around.
+RING_STATES = ("up", "suspect", "down")
 
 
 def _parse_address(address: str) -> Tuple[str, int]:
@@ -64,6 +92,15 @@ class HashRing:
     ``sha256("<addr>#<i>")``; a key routes to the first virtual node at or
     after its own hash position.  Determinism matters twice over: every
     router instance must agree on the mapping, and tests pin it.
+
+    The ring is mutable (:meth:`add_backend` / :meth:`remove_backend`
+    recompute only the joining/leaving backend's own virtual nodes) and
+    every member carries a health state (:data:`RING_STATES`).  Readers
+    are lock-free: the point table and the state map are immutable
+    snapshots swapped atomically, so a lookup racing a resize sees either
+    the old ring or the new one, never a torn mix.  *Mutations* are not
+    synchronised here — the owning :class:`RouterServer` serialises them
+    under its membership lock.
     """
 
     def __init__(self, backends: Iterable[str], replicas: int = 64) -> None:
@@ -76,35 +113,124 @@ class HashRing:
             raise ValueError("replicas must be >= 1")
         for address in addresses:
             _parse_address(address)  # validate early, not on first dial
-        self.backends = addresses
+        self.backends = list(addresses)
         self.replicas = replicas
+        self._states: Dict[str, str] = {address: "up" for address in addresses}
         points: List[Tuple[int, str]] = []
         for address in addresses:
-            for i in range(replicas):
-                points.append((self._hash(f"{address}#{i}"), address))
+            points.extend(self._replica_points(address))
         points.sort()
-        self._points = points
-        self._positions = [position for position, _ in points]
+        self._table: Tuple[Tuple[int, ...], Tuple[str, ...]] = (
+            tuple(position for position, _ in points),
+            tuple(address for _, address in points),
+        )
 
     @staticmethod
     def _hash(key: str) -> int:
         return int(hashlib.sha256(key.encode("utf-8")).hexdigest()[:16], 16)
 
+    def _replica_points(self, address: str) -> List[Tuple[int, str]]:
+        return [
+            (self._hash(f"{address}#{i}"), address) for i in range(self.replicas)
+        ]
+
+    # -- reads (lock-free) ----------------------------------------------
+
     def lookup(self, key: str) -> str:
-        """The backend owning ``key``."""
-        return self.ordered(key)[0]
+        """The backend owning ``key``: the first *live* (non-``down``)
+        backend at or after the key's ring position, falling back to the
+        raw ring owner when the whole fleet is down."""
+        positions, owners = self._table
+        states = self._states
+        start = bisect.bisect(positions, self._hash(key)) % len(owners)
+        for offset in range(len(owners)):
+            address = owners[(start + offset) % len(owners)]
+            if states.get(address) != "down":
+                return address
+        return owners[start]
 
     def ordered(self, key: str) -> List[str]:
-        """Every backend, in ring-walk (failover) order from ``key``."""
-        start = bisect.bisect(self._positions, self._hash(key)) % len(self._points)
+        """Every backend in failover order: live backends in ring-walk
+        order from ``key``, then ``down`` ones (still dialled as a last
+        resort) — each address exactly once, even when virtual nodes of
+        different backends hash-collide onto the same position."""
+        positions, owners = self._table
+        states = self._states
+        start = bisect.bisect(positions, self._hash(key)) % len(owners)
         walk: List[str] = []
-        for offset in range(len(self._points)):
-            address = self._points[(start + offset) % len(self._points)][1]
-            if address not in walk:
+        seen = set()
+        for offset in range(len(owners)):
+            address = owners[(start + offset) % len(owners)]
+            if address not in seen:
+                seen.add(address)
                 walk.append(address)
-                if len(walk) == len(self.backends):
+                if len(seen) == len(self.backends):
                     break
-        return walk
+        live = [address for address in walk if states.get(address) != "down"]
+        down = [address for address in walk if states.get(address) == "down"]
+        return live + down
+
+    def state(self, address: str) -> str:
+        """One backend's membership state."""
+        return self._states[address]
+
+    def states(self) -> Dict[str, str]:
+        """Snapshot of every backend's membership state."""
+        return dict(self._states)
+
+    # -- mutations (serialise under the owner's membership lock) --------
+
+    def set_state(self, address: str, state: str) -> str:
+        """Drive one backend's state machine; returns the previous state."""
+        if state not in RING_STATES:
+            raise ValueError(f"unknown ring state {state!r}")
+        previous = self._states.get(address)
+        if previous is None:
+            raise ValueError(f"unknown backend {address!r}")
+        states = dict(self._states)
+        states[address] = state
+        self._states = states
+        return previous
+
+    def add_backend(self, address: str) -> None:
+        """Admit ``address``, hashing only its own virtual nodes — the
+        ~1/N arcs those nodes claim are the only keys that remap."""
+        _parse_address(address)
+        if address in self._states:
+            raise ValueError(f"backend {address!r} already in the ring")
+        positions, owners = self._table
+        merged = list(zip(positions, owners))
+        for point in self._replica_points(address):
+            bisect.insort(merged, point)
+        states = dict(self._states)
+        states[address] = "up"
+        self.backends = self.backends + [address]
+        self._states = states
+        self._table = (
+            tuple(position for position, _ in merged),
+            tuple(owner for _, owner in merged),
+        )
+
+    def remove_backend(self, address: str) -> None:
+        """Retire ``address``; its arcs fall to their ring successors."""
+        if address not in self._states:
+            raise ValueError(f"unknown backend {address!r}")
+        if len(self.backends) == 1:
+            raise ValueError("cannot remove the last backend from the ring")
+        positions, owners = self._table
+        kept = [
+            (position, owner)
+            for position, owner in zip(positions, owners)
+            if owner != address
+        ]
+        states = dict(self._states)
+        states.pop(address)
+        self.backends = [a for a in self.backends if a != address]
+        self._states = states
+        self._table = (
+            tuple(position for position, _ in kept),
+            tuple(owner for _, owner in kept),
+        )
 
 
 class _RouterHandler(socketserver.StreamRequestHandler):
@@ -128,38 +254,43 @@ class _RouterHandler(socketserver.StreamRequestHandler):
             return
         op = first.get("op")
         try:
-            if op == "stats":
-                self._serve_stats()
+            if isinstance(op, str) and op in router._ADMIN_HANDLERS:
+                self._serve_admin(first)
             elif op == "hello":
                 self._proxy(first)
             else:
                 self._reply(
                     protocol.error_message(
-                        "router accepts 'hello' (proxied to a backend) or "
-                        "'stats' (router counters) as the first message"
+                        "router accepts 'hello' (proxied to a backend) or an "
+                        "admin op (stats, join, leave, membership, migrate) "
+                        "as the first message"
                     )
                 )
         except (ConnectionError, BrokenPipeError, ValueError, OSError):
             pass
 
-    def _serve_stats(self) -> None:
-        """Answer router counters; keeps answering on the same socket."""
+    def _serve_admin(self, first: Dict[str, Any]) -> None:
+        """Dispatch admin ops; keeps answering on the same socket."""
         router = self.server.router
+        message = first
         while True:
-            self._reply({"ok": True, "stats": router.stats()})
+            op = message.get("op")
+            name = router._ADMIN_HANDLERS.get(op) if isinstance(op, str) else None
+            if name is None:
+                self._reply(
+                    protocol.error_message(
+                        "router admin connections only answer admin ops "
+                        "(stats, join, leave, membership, migrate)"
+                    )
+                )
+                return
+            self._reply(getattr(router, name)(message))
             try:
-                nxt = protocol.read_message(self.rfile)
+                message = protocol.read_message(self.rfile)
             except ProtocolError as exc:
                 self._reply(protocol.error_message(str(exc)))
                 return
-            if nxt is None:
-                return
-            if nxt.get("op") != "stats":
-                self._reply(
-                    protocol.error_message(
-                        "router admin connections only answer 'stats'"
-                    )
-                )
+            if message is None:
                 return
 
     def _proxy(self, hello: Dict[str, Any]) -> None:
@@ -209,6 +340,7 @@ class _RouterHandler(socketserver.StreamRequestHandler):
                 # ring owner is authoritative for the space — failing
                 # over would just refuse again, slower.
                 return
+            router._record_owner(key, address)
             router._count(f"routed[{address}]", 1.0)
             router._count("active", 1.0)
             try:
@@ -269,14 +401,15 @@ class _RouterTCPServer(socketserver.ThreadingTCPServer):
 
 
 class RouterServer:
-    """Consistent-hash TCP proxy over a fleet of measurement servers.
+    """Consistent-hash TCP proxy over an *elastic* fleet of servers.
 
     Parameters
     ----------
     backends:
-        ``"host:port"`` addresses of the backend servers.  The set is
-        fixed per router instance (restart the router to resize the
-        fleet; consistent hashing keeps the remap surface ~1/N).
+        Initial ``"host:port"`` addresses of the backend servers; the set
+        grows and shrinks live via :meth:`join` / :meth:`leave` (the
+        ``join``/``leave`` admin ops), with consistent hashing keeping
+        the remap surface ~1/N per change.
     host, port:
         Bind address; ``port=0`` picks a free port (see :attr:`address`).
     replicas:
@@ -284,7 +417,27 @@ class RouterServer:
     dial_timeout:
         Seconds allowed for a backend dial + proxied handshake before the
         ring walks to the next candidate.
+    migrate_timeout:
+        Seconds allowed for one ``migrate_space`` push — it covers the
+        old owner's in-flight drain barrier, so it is deliberately looser
+        than the dial timeout.
+
+    Membership, the fingerprint→owner map and rebalancing all serialise
+    under one membership lock; the ring itself is read lock-free by the
+    proxy path (atomic snapshot swaps inside :class:`HashRing`).
     """
+
+    #: Admin-op dispatch table, cross-checked against
+    #: ``protocol.ADMIN_SCHEMA`` by the ``protocol-dispatch`` lint rule:
+    #: every admin op has exactly one handler here and every handler
+    #: must exist on this class.  Keep it a plain literal.
+    _ADMIN_HANDLERS = {
+        "stats": "_admin_stats",
+        "join": "_admin_join",
+        "leave": "_admin_leave",
+        "membership": "_admin_membership",
+        "migrate": "_admin_migrate",
+    }
 
     def __init__(
         self,
@@ -294,14 +447,22 @@ class RouterServer:
         port: int = 0,
         replicas: int = 64,
         dial_timeout: float = 5.0,
+        migrate_timeout: float = 30.0,
     ) -> None:
         if dial_timeout <= 0:
             raise ValueError("dial_timeout must be positive")
+        if migrate_timeout <= 0:
+            raise ValueError("migrate_timeout must be positive")
         self.ring = HashRing(backends, replicas=replicas)
-        self.backends = self.ring.backends
         self.dial_timeout = dial_timeout
+        self.migrate_timeout = migrate_timeout
         self._counters: Dict[str, float] = {}
         self._counter_lock = threading.Lock()
+        # Membership lock: ring mutations, the owner map and rebalancing
+        # serialise here so concurrent join/leave/health transitions can
+        # never interleave their migration pushes.
+        self._lock = threading.RLock()
+        self._owners: Dict[str, str] = {}
         self._serve_thread: Optional[threading.Thread] = None
         self._serving = False
         self._server = _RouterTCPServer((host, port), _RouterHandler)
@@ -309,6 +470,11 @@ class RouterServer:
         bound_host, bound_port = self._server.server_address[:2]
         self.address = f"{bound_host}:{bound_port}"
         self.port = bound_port
+
+    @property
+    def backends(self) -> List[str]:
+        """Current ring membership, in admission order."""
+        return list(self.ring.backends)
 
     def _count(self, name: str, value: float) -> None:
         with self._counter_lock:
@@ -322,11 +488,168 @@ class RouterServer:
         counters.setdefault("active", 0.0)
         counters.setdefault("dial_failures", 0.0)
         counters.setdefault("failovers", 0.0)
+        counters.setdefault("migrations", 0.0)
+        counters.setdefault("joins", 0.0)
+        counters.setdefault("leaves", 0.0)
+        counters.setdefault("standby_takeovers", 0.0)
         for address in self.backends:
             counters.setdefault(f"routed[{address}]", 0.0)
         counters["router"] = 1.0
         counters["backends"] = float(len(self.backends))
         return counters
+
+    # -- membership ------------------------------------------------------
+
+    def _record_owner(self, fingerprint: str, address: str) -> None:
+        """Learn where a fingerprint actually landed (proxy path)."""
+        if not fingerprint:
+            return
+        with self._lock:
+            self._owners[fingerprint] = address
+
+    def owners(self) -> Dict[str, str]:
+        """Snapshot of the tracked fingerprint→backend map."""
+        with self._lock:
+            return dict(self._owners)
+
+    def join(self, backend: str) -> int:
+        """Admit a backend into the live ring; returns the number of
+        spaces migrated onto it from their previous owners."""
+        with self._lock:
+            self.ring.add_backend(backend)
+            migrations = self._rebalance_locked()
+        self._count("joins", 1.0)
+        return migrations
+
+    def leave(self, backend: str) -> int:
+        """Retire a backend; its spaces migrate to their new ring owners
+        first (when it is still reachable — a dead leaver is simply
+        dropped and its spaces re-materialise from durable state)."""
+        with self._lock:
+            self.ring.remove_backend(backend)
+            migrations = self._rebalance_locked()
+        self._count("leaves", 1.0)
+        return migrations
+
+    def set_backend_state(self, address: str, state: str) -> int:
+        """Drive one backend's ring state (the health monitor's hook);
+        returns migrations issued while rebalancing around the change."""
+        with self._lock:
+            previous = self.ring.set_state(address, state)
+            if previous == state:
+                return 0
+            migrations = self._rebalance_locked()
+        self._count(f"transitions[{previous}->{state}]", 1.0)
+        return migrations
+
+    def apply_membership(
+        self,
+        backends: Iterable[str],
+        states: Optional[Dict[str, str]] = None,
+    ) -> bool:
+        """Mirror a primary's membership wholesale (the warm-standby
+        path): sync ring membership and states *without* rebalancing —
+        the primary already issued the migrations, and a mirror pushing
+        them again would double-migrate.  True when anything changed."""
+        target = [a for a in backends if isinstance(a, str)]
+        if not target:
+            raise ValueError("cannot mirror an empty backend set")
+        changed = False
+        with self._lock:
+            current = list(self.ring.backends)
+            for address in target:
+                if address not in current:
+                    self.ring.add_backend(address)
+                    changed = True
+            for address in current:
+                if address not in target:
+                    self.ring.remove_backend(address)
+                    changed = True
+            if states:
+                ring_states = self.ring.states()
+                for address, state in states.items():
+                    if address in ring_states and state in RING_STATES:
+                        if self.ring.set_state(address, state) != state:
+                            changed = True
+        return changed
+
+    def _rebalance_locked(self) -> int:
+        """Re-home every tracked fingerprint whose ring owner changed:
+        the old owner pushes its serialized space to the new one
+        (``migrate_space``).  An unreachable old owner is skipped — the
+        space re-materialises on the new owner from the durable
+        spaces-dir or from the client's own handshake spec offer."""
+        migrations = 0
+        for fingerprint, old_owner in list(self._owners.items()):
+            new_owner = self.ring.lookup(fingerprint)
+            if new_owner == old_owner:
+                continue
+            if self._send_migrate(old_owner, fingerprint, new_owner):
+                migrations += 1
+            self._owners[fingerprint] = new_owner
+        if migrations:
+            self._count("migrations", float(migrations))
+        return migrations
+
+    def _send_migrate(self, source: str, fingerprint: str, target: str) -> bool:
+        """Ask ``source`` to push one space to ``target``; False when the
+        source is unreachable or had nothing to push."""
+        request = migrate_space_request(fingerprint, target=target)
+        try:
+            reply = _backend_request(source, request, self.migrate_timeout)
+        except (OSError, ProtocolError):
+            return False
+        return bool(reply.get("ok")) and bool(reply.get("pushed"))
+
+    # -- admin-op handlers (dispatched via _ADMIN_HANDLERS) --------------
+
+    def _admin_stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "stats": self.stats()}
+
+    def _admin_join(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        backend = message.get("backend")
+        if not isinstance(backend, str):
+            return protocol.error_message("join requires a string 'backend' address")
+        try:
+            migrations = self.join(backend)
+        except ValueError as exc:
+            return protocol.error_message(str(exc))
+        return {"ok": True, "backends": self.backends, "migrations": migrations}
+
+    def _admin_leave(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        backend = message.get("backend")
+        if not isinstance(backend, str):
+            return protocol.error_message("leave requires a string 'backend' address")
+        try:
+            migrations = self.leave(backend)
+        except ValueError as exc:
+            return protocol.error_message(str(exc))
+        return {"ok": True, "backends": self.backends, "migrations": migrations}
+
+    def _admin_membership(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            backends = self.backends
+            states = self.ring.states()
+        return {"ok": True, "backends": backends, "states": states}
+
+    def _admin_migrate(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        fingerprint = message.get("fingerprint")
+        target = message.get("target")
+        if not isinstance(fingerprint, str) or not isinstance(target, str):
+            return protocol.error_message(
+                "migrate requires string 'fingerprint' and 'target'"
+            )
+        migrated = False
+        with self._lock:
+            if target not in self.ring.backends:
+                return protocol.error_message(f"unknown backend {target!r}")
+            source = self._owners.get(fingerprint)
+            if source is not None and source != target:
+                migrated = self._send_migrate(source, fingerprint, target)
+            self._owners[fingerprint] = target
+        if migrated:
+            self._count("migrations", 1.0)
+        return {"ok": True, "migrated": migrated}
 
     # -------------------------------------------------------------- #
     def serve_forever(self) -> None:
@@ -362,21 +685,58 @@ class RouterServer:
         self.close()
 
 
-def fetch_router_stats(address: str, timeout: float = 5.0) -> Dict[str, float]:
-    """The router's fleet-wide counters via its first-message ``stats`` path."""
+def _backend_request(
+    address: str, message: Dict[str, Any], timeout: float
+) -> Dict[str, Any]:
+    """One request/response round trip against ``address``."""
     host, port = _parse_address(address)
     sock = socket.create_connection((host, port), timeout=timeout)
     sock.settimeout(timeout)
     rfile = sock.makefile("rb")
     wfile = sock.makefile("wb")
     try:
-        protocol.write_message(wfile, {"op": "stats"})
+        protocol.write_message(wfile, message)
         reply = protocol.read_message(rfile)
     finally:
         rfile.close()
         wfile.close()
         sock.close()
-    if reply is None or not reply.get("ok"):
-        detail = "connection closed" if reply is None else reply.get("error")
-        raise ProtocolError(f"router stats failed: {detail}")
+    if reply is None:
+        raise ProtocolError(f"{address} closed the connection mid-request")
+    return reply
+
+
+def router_admin(
+    address: str, message: Dict[str, Any], timeout: float = 5.0
+) -> Dict[str, Any]:
+    """One admin op against a router; raises :class:`ProtocolError` on a
+    refusal (the ``repro fleet`` CLI and the standby mirror build on it)."""
+    reply = _backend_request(address, message, timeout)
+    if not reply.get("ok"):
+        raise ProtocolError(
+            f"router admin {message.get('op')!r} failed: {reply.get('error')}"
+        )
+    return reply
+
+
+def fetch_router_stats(address: str, timeout: float = 5.0) -> Dict[str, float]:
+    """The router's fleet-wide counters via its first-message ``stats`` path."""
+    try:
+        reply = _backend_request(address, {"op": "stats"}, timeout)
+    except ProtocolError as exc:
+        raise ProtocolError(f"router stats failed: {exc}") from None
+    if not reply.get("ok"):
+        raise ProtocolError(f"router stats failed: {reply.get('error')}")
     return {k: float(v) for k, v in reply.get("stats", {}).items()}
+
+
+def fetch_router_membership(
+    address: str, timeout: float = 5.0
+) -> Dict[str, Any]:
+    """Live membership — ``{"backends": [...], "states": {...}}`` — via
+    the ``membership`` admin op."""
+    reply = router_admin(address, {"op": "membership"}, timeout=timeout)
+    return {
+        "backends": list(reply.get("backends") or []),
+        "states": dict(reply.get("states") or {}),
+    }

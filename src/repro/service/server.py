@@ -78,10 +78,12 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import MetricsExporter
+from ..sim.backends import _placement_key
 from ..sim.batch import BatchSimulator
 from ..sim.environment import PlacementEnvironment, RawOutcome
 from ..sim.simulator import Simulator
 from . import protocol
+from .client import migrate_space_request
 from .pool import PoolBusy, WorkerPool
 from .protocol import MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, ProtocolError
 from .sessions import BatchRecord, Session
@@ -103,6 +105,28 @@ def _placements_digest(decoded: Sequence) -> str:
     return hasher.hexdigest()
 
 
+def _peer_request(address: str, message: Dict[str, Any], timeout: float) -> Dict[str, Any]:
+    """One request/response round trip against a peer server (the
+    migration push's adopt leg travels server→server, not via clients)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(f"peer address must be 'host:port', got {address!r}")
+    sock = socket.create_connection((host, int(port)), timeout=timeout)
+    sock.settimeout(timeout)
+    rfile = sock.makefile("rb")
+    wfile = sock.makefile("wb")
+    try:
+        protocol.write_message(wfile, message)
+        reply = protocol.read_message(rfile)
+    finally:
+        rfile.close()
+        wfile.close()
+        sock.close()
+    if reply is None:
+        raise ProtocolError(f"peer {address} closed the connection mid-request")
+    return reply
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One client session: handshake first, then a request loop."""
 
@@ -122,6 +146,7 @@ class _Handler(socketserver.StreamRequestHandler):
         "stats": "_op_stats",
         "spaces": "_op_spaces",
         "shutdown": "_op_shutdown",
+        "migrate_space": "_op_migrate_space",
     }
 
     def setup(self) -> None:
@@ -173,10 +198,23 @@ class _Handler(socketserver.StreamRequestHandler):
         self._reply(refusal)
 
     def _handshake(self) -> bool:
-        request = protocol.read_message(self.rfile)
-        if request is None:
-            return False
-        if request.get("op") != "hello":
+        # Pre-handshake loop: health probes (``ping``) and migration legs
+        # (``migrate_space``) are connection-less admin traffic — they
+        # bind to no space, so they are answered *before* the hello that
+        # every other op requires.
+        while True:
+            request = protocol.read_message(self.rfile)
+            if request is None:
+                return False
+            op = request.get("op")
+            if op == "hello":
+                break
+            if op == "ping":
+                self._op_ping(request)
+                continue
+            if op == "migrate_space":
+                self._op_migrate_space(request)
+                continue
             self._reply(protocol.error_message("first message must be 'hello'"))
             return False
         service = self.service
@@ -216,6 +254,7 @@ class _Handler(socketserver.StreamRequestHandler):
             return False
         self.version = negotiated
         self.space = space
+        service._bind_connection_space(self.connection, space.fingerprint)
         now = service.clock()
         space.touch(now)
         self.session = space.sessions.create(now)
@@ -343,6 +382,131 @@ class _Handler(socketserver.StreamRequestHandler):
         self.service._request_shutdown()
         return False
 
+    def _op_migrate_space(self, request: Dict[str, Any]) -> bool:
+        """Both legs of a space migration (accepted pre-handshake too).
+
+        The *push* leg (``target`` set, sent by the router to the old
+        owner) freezes the space, drains its in-flight simulations,
+        exports spec + durable state under the memo lock and hands them
+        to the new owner; only after the new owner acknowledged adoption
+        is the space evicted here and its client connections cut, so a
+        reconnecting client always finds its session state somewhere.
+        The *adopt* leg (``space``/``state`` set, sent old→new owner)
+        hosts the space and restores its sessions + memo, making replays
+        at-most-once across the move.
+        """
+        fingerprint = request.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            self._reply(
+                protocol.error_message("migrate_space requires a string fingerprint")
+            )
+            return True
+        target = request.get("target")
+        if isinstance(target, str):
+            return self._migrate_push(fingerprint, target)
+        return self._migrate_adopt(
+            fingerprint, request.get("space"), request.get("state")
+        )
+
+    def _migrate_push(self, fingerprint: str, target: str) -> bool:
+        service = self.service
+        space = service.registry.get(fingerprint, service.clock())
+        if space is None:
+            # Nothing resident to move: the new owner lazy-loads from the
+            # durable spaces-dir or adopts the client's own spec offer.
+            self._reply({"ok": True, "pushed": False})
+            return True
+        space.freeze()
+        try:
+            if not space.wait_idle(service.migrate_timeout):
+                space.thaw()
+                self._reply(
+                    protocol.error_message(
+                        f"space {fingerprint} did not drain within "
+                        f"{service.migrate_timeout:.1f}s; migration aborted",
+                        kind="busy",
+                    )
+                )
+                return True
+            with service._memo_lock:
+                spec_payload = space.spec.to_dict()
+                state_payload = space.state_dict()
+            adopt = migrate_space_request(
+                fingerprint, space=spec_payload, state=state_payload
+            )
+            try:
+                reply = _peer_request(target, adopt, service.migrate_timeout)
+            except (OSError, ProtocolError) as exc:
+                space.thaw()
+                self._reply(
+                    protocol.error_message(
+                        f"migration push to {target} failed: {exc}", kind="crash"
+                    )
+                )
+                return True
+            if not reply.get("ok") or not reply.get("adopted"):
+                space.thaw()
+                self._reply(
+                    protocol.error_message(
+                        f"target {target} refused the space: "
+                        f"{reply.get('error', 'no adoption acknowledged')}",
+                        kind="crash",
+                    )
+                )
+                return True
+        except BaseException:
+            space.thaw()
+            raise
+        service._remember_migrated_space(space.stats())
+        service.registry.evict(fingerprint)
+        closed = service.close_space_connections(fingerprint)
+        service.metrics.inc("repro_service_spaces_migrated_out_total")
+        service.metrics.inc(
+            "repro_service_migration_connections_closed_total", float(closed)
+        )
+        self._reply({"ok": True, "pushed": True})
+        return True
+
+    def _migrate_adopt(self, fingerprint: str, offered: Any, state: Any) -> bool:
+        service = self.service
+        if not service.multi_tenant:
+            self._reply(
+                protocol.error_message(
+                    "this server is single-tenant and does not adopt "
+                    "migrated spaces"
+                )
+            )
+            return True
+        try:
+            spec = SpaceSpec.from_dict(offered)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply(protocol.error_message(f"bad migrated space spec: {exc}"))
+            return True
+        if spec.fingerprint != fingerprint:
+            self._reply(
+                protocol.error_message(
+                    "migrated spec fingerprint mismatch: "
+                    f"claims {fingerprint}, rebuilds to {spec.fingerprint}"
+                )
+            )
+            return True
+        now = service.clock()
+        space = service.registry.add(spec, now=now)
+        if isinstance(state, dict):
+            try:
+                with service._memo_lock:
+                    space.load_state(state, now=now)
+            except ValueError as exc:
+                self._reply(
+                    protocol.error_message(f"bad migrated space state: {exc}")
+                )
+                return True
+        if service._durable:
+            service.registry.persist(space)
+        service.metrics.inc("repro_service_spaces_migrated_in_total")
+        self._reply({"ok": True, "adopted": True})
+        return True
+
     # -------------------------------------------------------------- #
     def _op_evaluate_batch(self, request: Dict[str, Any]) -> bool:
         service = self.service
@@ -429,48 +593,73 @@ class _Handler(socketserver.StreamRequestHandler):
         All-or-nothing on admission: if the pool (or the space's in-flight
         quota) is busy no future exists, so the (discarded) record never
         waits on tickets that cannot come.
+
+        Misses are *singleflighted*: a placement whose simulation is
+        already in flight (submitted by any other batch of this space)
+        attaches to the pending future instead of re-running the
+        simulator — the memo only dedupes *landed* results, so without
+        this, two batches racing the same placement would both miss and
+        simulate it twice, breaking the fleet-wide zero-duplicate
+        guarantee under failover/migration churn.
         """
         service = self.service
-        misses: List[Tuple[int, Any]] = []
-        for ticket, placement in pending:
-            with service._memo_lock:
+        hits: List[Tuple[int, Any]] = []
+        followers: List[Tuple[int, Future]] = []
+        leaders: List[Tuple[int, Any, Future]] = []
+        with service._memo_lock:
+            for ticket, placement in pending:
                 raw = space.memo.lookup(placement)
-            if raw is not None:
-                record.store(
-                    ticket, {"raw": protocol.encode_raw(raw), "cached": True}
-                )
-            else:
-                misses.append((ticket, placement))
-        if not misses:
+                if raw is not None:
+                    hits.append((ticket, raw))
+                    continue
+                key = (space.fingerprint, _placement_key(placement))
+                inflight = service._pending_sims.get(key)
+                if inflight is not None:
+                    followers.append((ticket, inflight))
+                else:
+                    adapter: Future = Future()
+                    service._pending_sims[key] = adapter
+                    leaders.append((ticket, placement, adapter))
+        for ticket, raw in hits:
+            record.store(ticket, {"raw": protocol.encode_raw(raw), "cached": True})
+        lanes = len(leaders) + len(followers)
+        if not lanes:
             return
-        lanes = len(misses)
-        if not space.try_acquire(lanes):
-            service.metrics.inc("repro_service_quota_rejected_total")
-            raise PoolBusy(
-                f"tenant in-flight quota exhausted ({space.quota} lanes); "
-                "retry after in-flight work completes"
-            )
+        admitted = False
         try:
-            if service.vectorized and len(misses) > 1:
+            if not space.try_acquire(lanes):
+                service.metrics.inc("repro_service_quota_rejected_total")
+                raise PoolBusy(
+                    f"tenant in-flight quota exhausted ({space.quota} lanes); "
+                    "retry after in-flight work completes"
+                )
+            admitted = True
+            if service.vectorized and len(leaders) > 1:
                 # One pool task sweeps every miss in a single vectorized
                 # pass; admission stays all-or-nothing (a single submit).
-                chunk = [placement for _, placement in misses]
+                chunk = [placement for _, placement, _ in leaders]
                 future = service._pool.submit(service._simulate_chunk, space, chunk)
-                self._attach_chunk(
-                    space, record, [ticket for ticket, _ in misses], future
+                service._chain_chunk(
+                    space, chunk, [adapter for _, _, adapter in leaders], future
                 )
-            else:
+            elif leaders:
                 futures = service._pool.submit_many(
                     [
                         (service._simulate, space, placement)
-                        for _, placement in misses
+                        for _, placement, _ in leaders
                     ]
                 )
-                for (ticket, _), future in zip(misses, futures):
-                    self._attach(space, record, ticket, future)
-        except PoolBusy:
-            space.release(lanes)
+                for (_, placement, adapter), future in zip(leaders, futures):
+                    service._chain(space, placement, adapter, future)
+        except PoolBusy as exc:
+            if admitted:
+                space.release(lanes)
+            service._abandon_pending(space, leaders, exc)
             raise
+        for ticket, _, adapter in leaders:
+            self._attach(space, record, ticket, adapter)
+        for ticket, future in followers:
+            self._attach(space, record, ticket, future)
 
     def _attach(
         self, space: TenantSpace, record: BatchRecord, ticket: int, future: Future
@@ -497,39 +686,6 @@ class _Handler(socketserver.StreamRequestHandler):
                     {"raw": protocol.encode_raw(done.result()), "cached": False},
                 )
             space.release(1)
-            service._maybe_persist(space, record)
-
-        future.add_done_callback(_store)
-
-    def _attach_chunk(
-        self,
-        space: TenantSpace,
-        record: BatchRecord,
-        tickets: List[int],
-        future: Future,
-    ) -> None:
-        """Wire one vectorized-sweep future to every ticket it resolves.
-
-        Same socket-independence contract as :meth:`_attach`; a sweep
-        failure answers a ``crash`` error on every ticket in the chunk
-        (the lanes share one worker, so they share its fate).
-        """
-        service = self.service
-
-        def _store(done: Future) -> None:
-            exc = done.exception()
-            if exc is not None:
-                service.metrics.inc("repro_service_worker_errors_total")
-                for ticket in tickets:
-                    record.store(
-                        ticket, {"error": {"kind": "crash", "message": str(exc)}}
-                    )
-            else:
-                for ticket, raw in zip(tickets, done.result()):
-                    record.store(
-                        ticket, {"raw": protocol.encode_raw(raw), "cached": False}
-                    )
-            space.release(len(tickets))
             service._maybe_persist(space, record)
 
         future.add_done_callback(_store)
@@ -644,6 +800,11 @@ class MeasurementServer:
     space_quota:
         Per-space in-flight simulation quota for fair scheduling across
         tenants (``None`` = pool admission only).
+    migrate_timeout:
+        Seconds allowed for one ``migrate_space`` push: the in-flight
+        drain barrier on the space plus the adopt round trip to the new
+        owner.  A space that cannot drain in time aborts its migration
+        (thawed in place) rather than risk exporting torn state.
     """
 
     def __init__(
@@ -667,6 +828,7 @@ class MeasurementServer:
         max_spaces: Optional[int] = None,
         memo_budget: Optional[int] = None,
         space_quota: Optional[int] = None,
+        migrate_timeout: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -674,6 +836,8 @@ class MeasurementServer:
             raise ValueError("request_deadline must be positive")
         if housekeeping_interval <= 0:
             raise ValueError("housekeeping_interval must be positive")
+        if migrate_timeout <= 0:
+            raise ValueError("migrate_timeout must be positive")
         if environment is None and not multi_tenant and not space_specs:
             raise ValueError(
                 "environment is required unless multi_tenant=True or "
@@ -681,6 +845,7 @@ class MeasurementServer:
             )
         self.workers = workers
         self.request_deadline = request_deadline
+        self.migrate_timeout = migrate_timeout
         self.clock = clock
         self.vectorized = vectorized
         self.multi_tenant = multi_tenant
@@ -692,6 +857,10 @@ class MeasurementServer:
         #: quantity the at-most-once replay guarantee is asserted against.
         self.num_simulations = 0
         self._memo_lock = threading.Lock()
+        #: Singleflight table: (fingerprint, placement key) → the future
+        #: of the one in-flight simulation of that placement.  Guarded by
+        #: ``_memo_lock``; entries are removed when the result lands.
+        self._pending_sims: Dict[Tuple[str, bytes], Future] = {}
         self._local = threading.local()
         self._durable = spaces_dir is not None
         self.registry = SpaceRegistry(
@@ -723,7 +892,13 @@ class MeasurementServer:
             clock=clock,
         )
         self._connections: Set[socket.socket] = set()
+        self._conn_spaces: Dict[socket.socket, str] = {}
         self._conn_lock = threading.Lock()
+        #: Final counters of spaces migrated off this server, keyed by
+        #: fingerprint — eviction must not erase their history from
+        #: fleet-level accounting (zero-duplicate checks sum these).
+        self._migrated_stats: Dict[str, Dict[str, float]] = {}
+        self._stats_lock = threading.Lock()
         self._active_requests = 0
         self._active_cond = threading.Condition()
         self._shutdown_requested = threading.Event()
@@ -866,25 +1041,105 @@ class MeasurementServer:
                 space.memo.insert(placement, raw)
         return raws
 
+    def _chain(self, space: TenantSpace, placement, adapter: Future, future: Future) -> None:
+        """Resolve a singleflight adapter from its pool future and retire
+        the pending-table entry.  The entry is popped only *after*
+        :meth:`_simulate` has inserted the result into the memo (both run
+        under ``_memo_lock``), so every lookup finds the placement in the
+        memo or the pending table — never in neither."""
+        key = (space.fingerprint, _placement_key(placement))
+
+        def _resolve(done: Future) -> None:
+            exc = done.exception()
+            with self._memo_lock:
+                self._pending_sims.pop(key, None)
+            if exc is not None:
+                adapter.set_exception(exc)
+            else:
+                adapter.set_result(done.result())
+
+        future.add_done_callback(_resolve)
+
+    def _chain_chunk(
+        self,
+        space: TenantSpace,
+        placements: List,
+        adapters: List[Future],
+        future: Future,
+    ) -> None:
+        """Vectorized counterpart of :meth:`_chain`: one sweep future fans
+        out to one adapter per lane (a sweep failure fails every lane —
+        they share one worker, so they share its fate)."""
+        keys = [(space.fingerprint, _placement_key(p)) for p in placements]
+
+        def _resolve(done: Future) -> None:
+            exc = done.exception()
+            with self._memo_lock:
+                for key in keys:
+                    self._pending_sims.pop(key, None)
+            if exc is not None:
+                for adapter in adapters:
+                    adapter.set_exception(exc)
+            else:
+                for adapter, raw in zip(adapters, done.result()):
+                    adapter.set_result(raw)
+
+        future.add_done_callback(_resolve)
+
+    def _abandon_pending(
+        self,
+        space: TenantSpace,
+        leaders: List[Tuple[int, Any, Future]],
+        exc: BaseException,
+    ) -> None:
+        """Failed admission: retire the adapters this request registered.
+        Any follower that attached in the window resolves with the
+        admission error (recorded as a fault; the client's policy
+        retries) instead of waiting on a simulation that never ran."""
+        with self._memo_lock:
+            for _, placement, _ in leaders:
+                self._pending_sims.pop(
+                    (space.fingerprint, _placement_key(placement)), None
+                )
+        for _, _, adapter in leaders:
+            adapter.set_exception(exc)
+
     def _raw_outcome(self, space: TenantSpace, placement):
-        """Per-space cache lookup, falling back to a pool worker; blocking."""
+        """Per-space cache lookup, falling back to a pool worker; blocking.
+
+        Singleflighted like the batch path: if this placement is already
+        simulating on behalf of another request, wait on that future
+        instead of re-submitting."""
+        key = (space.fingerprint, _placement_key(placement))
+        adapter: Optional[Future] = None
         with self._memo_lock:
             raw = space.memo.lookup(placement)
+            if raw is None:
+                inflight = self._pending_sims.get(key)
+                if inflight is None:
+                    adapter = Future()
+                    self._pending_sims[key] = adapter
         if raw is not None:
             return raw, True
+        if adapter is None:
+            return inflight.result(timeout=self.request_deadline), False
         if not space.try_acquire(1):
             self.metrics.inc("repro_service_quota_rejected_total")
-            raise PoolBusy(
+            busy = PoolBusy(
                 f"tenant in-flight quota exhausted ({space.quota} lanes); "
                 "retry after in-flight work completes"
             )
+            self._abandon_pending(space, [(0, placement, adapter)], busy)
+            raise busy
         try:
             future = self._pool.submit(self._simulate, space, placement)
-        except BaseException:
+        except BaseException as exc:
             space.release(1)
+            self._abandon_pending(space, [(0, placement, adapter)], exc)
             raise
+        self._chain(space, placement, adapter, future)
         future.add_done_callback(lambda _done: space.release(1))
-        return future.result(timeout=self.request_deadline), False
+        return adapter.result(timeout=self.request_deadline), False
 
     # -------------------------------------------------------------- #
     def stats(self) -> Dict[str, float]:
@@ -979,6 +1234,53 @@ class MeasurementServer:
     def _unregister_connection(self, conn: socket.socket) -> None:
         with self._conn_lock:
             self._connections.discard(conn)
+            self._conn_spaces.pop(conn, None)
+
+    def _bind_connection_space(self, conn: socket.socket, fingerprint: str) -> None:
+        """Remember which space a handshaken connection serves, so a
+        migration can cut exactly that space's clients loose."""
+        with self._conn_lock:
+            self._conn_spaces[conn] = fingerprint
+
+    def close_space_connections(self, fingerprint: str) -> int:
+        """Force-close every connection bound to a space (after its
+        migration) so clients reconnect — through the router, which now
+        points at the new owner — and resume there; returns the count."""
+        with self._conn_lock:
+            victims = [
+                conn
+                for conn, bound in self._conn_spaces.items()
+                if bound == fingerprint
+            ]
+        for conn in victims:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        return len(victims)
+
+    def _remember_migrated_space(self, stats: Dict[str, Any]) -> None:
+        """Fold a migrated-out space's final counters into this server's
+        history — eviction drops the space from the registry, but its
+        simulation/memo counts remain part of the fleet's totals."""
+        fingerprint = str(stats.get("fingerprint"))
+        with self._stats_lock:
+            into = self._migrated_stats.setdefault(
+                fingerprint, {"fingerprint": fingerprint}
+            )
+            for name, value in stats.items():
+                if name == "fingerprint":
+                    continue
+                into[name] = float(into.get(name, 0.0)) + float(value)
+
+    def migrated_space_stats(self) -> Dict[str, Dict[str, float]]:
+        """Accumulated final counters of spaces migrated off this server."""
+        with self._stats_lock:
+            return {fp: dict(stats) for fp, stats in self._migrated_stats.items()}
 
     def _begin_request(self) -> None:
         with self._active_cond:
@@ -1032,6 +1334,22 @@ class MeasurementServer:
         self.draining.set()
         self._pool.drain(timeout=timeout)
         self._wait_requests_drained(timeout)
+        self.close()
+
+    def kill(self, timeout: Optional[float] = 30.0) -> None:
+        """Chaos-harness death: durable state first, sockets last.
+
+        Ordering is what makes failover duplicate-free: (1) stop
+        admissions, (2) let running + queued simulations land in their
+        batch records, (3) ``close()`` persists every space and only
+        *then* force-closes client sockets — so by the time a client
+        observes the reset and replays elsewhere, the durable state it
+        will replay against is fully written.  Unlike :meth:`drain`,
+        in-flight response streams are not given time to flush (the
+        'server died mid-stream' path the clients must absorb).
+        """
+        self.draining.set()
+        self._pool.drain(timeout=timeout)
         self.close()
 
     # -------------------------------------------------------------- #

@@ -177,7 +177,11 @@ class TenantSpace:
         self.quota_rejections = 0
         self.last_used = now
         self._inflight = 0
-        self._quota_lock = threading.Lock()
+        self._frozen = False
+        # A Condition (its lock doubles as the plain quota mutex) so a
+        # migration drain barrier can wait for in-flight work without
+        # wall-clock polling; ``release`` notifies waiters.
+        self._quota_lock = threading.Condition()
 
     def touch(self, now: float) -> None:
         self.last_used = now
@@ -187,10 +191,18 @@ class TenantSpace:
         with self._quota_lock:
             return self._inflight
 
+    @property
+    def frozen(self) -> bool:
+        with self._quota_lock:
+            return self._frozen
+
     def try_acquire(self, lanes: int) -> bool:
         """Reserve ``lanes`` in-flight simulation slots; False when the
-        space's quota would be exceeded (counted as a rejection)."""
+        space's quota would be exceeded (counted as a rejection) or the
+        space is frozen for migration (retryable busy, not counted)."""
         with self._quota_lock:
+            if self._frozen:
+                return False
             if self.quota is not None and self._inflight + lanes > self.quota:
                 self.quota_rejections += 1
                 return False
@@ -200,6 +212,30 @@ class TenantSpace:
     def release(self, lanes: int) -> None:
         with self._quota_lock:
             self._inflight = max(0, self._inflight - lanes)
+            self._quota_lock.notify_all()
+
+    # -- migration drain barrier ----------------------------------------
+
+    def freeze(self) -> None:
+        """Stop admitting new work (admissions see retryable busy)."""
+        with self._quota_lock:
+            self._frozen = True
+
+    def thaw(self) -> None:
+        """Re-admit work after a failed/aborted migration."""
+        with self._quota_lock:
+            self._frozen = False
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no simulations are in flight (the migration drain
+        barrier); True when idle was reached.  Each wake re-arms the full
+        ``timeout`` — every wake is a ``release`` (progress), so this
+        bounds *stall* time rather than total time."""
+        with self._quota_lock:
+            while self._inflight != 0:
+                if not self._quota_lock.wait(timeout):
+                    return self._inflight == 0
+            return True
 
     def stats(self) -> Dict[str, Any]:
         memo = self.memo.stats()

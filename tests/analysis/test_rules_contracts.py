@@ -37,7 +37,7 @@ class TestContractExtraction:
     def test_message_schema_extracted(self, contracts):
         assert set(contracts.message_schema) == {
             "hello", "ping", "resume", "evaluate", "evaluate_batch",
-            "stats", "spaces", "shutdown",
+            "stats", "spaces", "shutdown", "migrate_space",
         }
         assert "fingerprint" in contracts.request_fields["hello"]
         assert "batch" in contracts.request_fields["evaluate_batch"]
@@ -51,6 +51,20 @@ class TestContractExtraction:
         assert contracts.client_constructors == {
             op: 1 for op in contracts.message_schema
         }
+
+    def test_admin_plane_extracted(self, contracts):
+        assert set(contracts.admin_schema) == {
+            "stats", "join", "leave", "membership", "migrate",
+        }
+        assert set(contracts.router_dispatch) == set(contracts.admin_schema)
+        assert set(contracts.router_dispatch.values()) <= contracts.router_methods
+        assert "backend" in contracts.admin_schema["join"]["request"]
+        # overlapping "stats" op merges rather than shadows
+        combined = contracts.combined_schema
+        assert set(contracts.message_schema["stats"]["response"]) <= set(
+            combined["stats"]["response"]
+        )
+        assert "stats" in combined["stats"]["response"]
 
 
 class TestCallbackSignature:
@@ -212,6 +226,9 @@ class TestProtocolDispatch:
             client_constructors=overrides.get(
                 "client_constructors", contracts.client_constructors
             ),
+            admin_schema=overrides.get("admin_schema", {}),
+            router_dispatch=overrides.get("router_dispatch", {}),
+            router_methods=overrides.get("router_methods", set()),
         )
 
     def test_repo_protocol_self_lints_clean(self, contracts):
@@ -267,6 +284,55 @@ class TestProtocolDispatch:
             contracts, server_dispatch={}, client_constructors={}
         )
         assert lint_source(self.HOME_SRC, self.PROTOCOL_PATH, doctored) == []
+
+    # ---- the router admin plane: ADMIN_SCHEMA ↔ _ADMIN_HANDLERS ----
+
+    #: Admin findings anchor at the ADMIN_SCHEMA assignment when present.
+    ADMIN_HOME_SRC = "MESSAGE_SCHEMA = {}\nADMIN_SCHEMA = {}\n"
+
+    def _admin_doctor(self, contracts, **overrides):
+        return self._doctor(
+            contracts,
+            admin_schema=overrides.get("admin_schema", contracts.admin_schema),
+            router_dispatch=overrides.get(
+                "router_dispatch", contracts.router_dispatch
+            ),
+            router_methods=overrides.get(
+                "router_methods", contracts.router_methods
+            ),
+        )
+
+    def test_real_admin_plane_clean(self, contracts):
+        doctored = self._admin_doctor(contracts)
+        assert lint_source(self.ADMIN_HOME_SRC, self.PROTOCOL_PATH, doctored) == []
+
+    def test_unhandled_admin_op_flagged(self, contracts):
+        dispatch = dict(contracts.router_dispatch)
+        dispatch.pop("migrate")
+        doctored = self._admin_doctor(contracts, router_dispatch=dispatch)
+        findings = lint_source(self.ADMIN_HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "no entry in the router's _ADMIN_HANDLERS" in findings[0].message
+        # anchored at the ADMIN_SCHEMA assignment, not MESSAGE_SCHEMA's
+        assert findings[0].line == 2
+
+    def test_admin_dispatch_to_missing_method_flagged(self, contracts):
+        dispatch = dict(contracts.router_dispatch, join="_admin_misspelled")
+        doctored = self._admin_doctor(contracts, router_dispatch=dispatch)
+        findings = lint_source(self.ADMIN_HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "router.py does not define" in findings[0].message
+
+    def test_stray_admin_dispatch_op_flagged(self, contracts):
+        dispatch = dict(contracts.router_dispatch, evict="_admin_evict")
+        doctored = self._admin_doctor(contracts, router_dispatch=dispatch)
+        findings = lint_source(self.ADMIN_HOME_SRC, self.PROTOCOL_PATH, doctored)
+        assert rule_ids(findings) == ["protocol-dispatch"]
+        assert "not in ADMIN_SCHEMA" in findings[0].message
+
+    def test_fixture_trees_without_admin_plane_stay_silent(self, contracts):
+        doctored = self._admin_doctor(contracts, router_dispatch={})
+        assert lint_source(self.ADMIN_HOME_SRC, self.PROTOCOL_PATH, doctored) == []
 
 
 class TestCallbackHook:

@@ -11,6 +11,7 @@ from repro.bench.loadgen import (
     FORMAT_VERSION,
     LocalFleet,
     check_fleet,
+    make_chaos_resize,
     make_tenant_specs,
     publish_to_bench,
     run_loadgen,
@@ -73,6 +74,51 @@ class TestLoadgenRun:
             run_loadgen("127.0.0.1:1", [], searches=1)
         with pytest.raises(ValueError):
             run_loadgen("127.0.0.1:1", make_tenant_specs(1), searches=0)
+
+    def test_chaos_fraction_validated(self):
+        with pytest.raises(ValueError):
+            run_loadgen(
+                "127.0.0.1:1", make_tenant_specs(1), searches=1,
+                chaos=lambda: None, chaos_at_fraction=1.0,
+            )
+
+
+class TestChaosResize:
+    def test_kill_and_replace_mid_run_stays_clean(self, tmp_path):
+        """The acceptance scenario at fast-lane scale: kill a backend
+        mid-run, remove it from the ring, join a replacement — zero
+        client-visible errors, zero duplicate simulations, failover
+        latency lanes published."""
+        with LocalFleet(
+            servers=3, workers=2,
+            spaces_dir=str(tmp_path / "spaces"), shared_spaces=True,
+        ) as fleet:
+            specs = make_tenant_specs(3)
+            chaos = make_chaos_resize(fleet, fingerprint=specs[0].fingerprint)
+            report = run_loadgen(
+                fleet.address, specs,
+                searches=8, samples=4, batch=2, rounds=2,
+                seed=0, timeout=30.0,
+                chaos=chaos, chaos_at_fraction=0.25,
+            )
+            assert report["metrics"]["loadgen.errors"] == 0.0
+            info = report["chaos"]
+            assert info is not None and info["victim"] != info["replacement"]
+            assert len(fleet.dead) == 1
+            assert fleet.dead[0].address == info["victim"]
+            assert "loadgen.failover_p99_ms" in report["metrics"]
+            assert report["metrics"]["loadgen.failover_rpcs"] >= 0.0
+            failures = check_fleet(report, fleet.space_stats())
+            assert failures == []
+
+    def test_shared_spaces_requires_spaces_dir(self):
+        with pytest.raises(ValueError, match="spaces_dir"):
+            LocalFleet(servers=2, workers=2, shared_spaces=True)
+
+    def test_kill_server_unknown_address(self, tmp_path):
+        with LocalFleet(servers=1, workers=1) as fleet:
+            with pytest.raises(ValueError, match="no fleet server"):
+                fleet.kill_server("127.0.0.1:1")
 
 
 class TestCheckFleet:

@@ -1,0 +1,282 @@
+"""Health tier: probe-driven ring membership and the warm standby mirror.
+
+Everything here runs the deterministic single-step entry points
+(``check_once`` / ``poll_once``) with injectable probes — no background
+threads, no sleeps — except the two tests that pin ``default_probe``
+against a real server.
+"""
+
+import pytest
+
+from repro import MeasurementServer, RemoteBackend
+from repro.service.health import HealthMonitor, StandbyMirror, default_probe
+from repro.service.protocol import ProtocolError
+from repro.service.router import RouterServer, fetch_router_stats
+from repro.service.tenancy import SpaceSpec
+
+from .test_multitenant import _tenant_env
+from .test_service import _placements
+
+BACKENDS = ["10.0.0.1:7000", "10.0.0.2:7000"]
+
+
+class _ScriptedProbe:
+    """Probe returning a per-address scripted healthy/unhealthy sequence
+    (last entry repeats forever)."""
+
+    def __init__(self, script):
+        self.script = {addr: list(seq) for addr, seq in script.items()}
+        self.calls = []
+
+    def __call__(self, address, timeout):
+        self.calls.append(address)
+        seq = self.script[address]
+        return seq.pop(0) if len(seq) > 1 else seq[0]
+
+
+@pytest.fixture
+def router():
+    router = RouterServer(BACKENDS)
+    yield router
+    router.close()
+
+
+class TestHealthMonitor:
+    def test_validation(self, router):
+        with pytest.raises(ValueError, match="positive"):
+            HealthMonitor(router, interval=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            HealthMonitor(router, probe_timeout=0.0)
+        with pytest.raises(ValueError, match="thresholds"):
+            HealthMonitor(router, fail_threshold=0)
+        with pytest.raises(ValueError, match="thresholds"):
+            HealthMonitor(router, recover_threshold=0)
+        with pytest.raises(ValueError, match="jitter"):
+            HealthMonitor(router, jitter=-0.1)
+
+    def test_state_machine_full_cycle(self, router):
+        """up → suspect → down on consecutive failures, down → up on
+        recover_threshold successes; the healthy backend never moves."""
+        probe = _ScriptedProbe({
+            BACKENDS[0]: [False, False, False, True, True],
+            BACKENDS[1]: [True],
+        })
+        monitor = HealthMonitor(
+            router, probe=probe, fail_threshold=3, recover_threshold=2
+        )
+        assert monitor.check_once() == [(BACKENDS[0], "up", "suspect")]
+        assert monitor.check_once() == []  # 2nd failure: still suspect
+        assert monitor.check_once() == [(BACKENDS[0], "suspect", "down")]
+        assert monitor.check_once() == []  # 1st success: still down
+        assert monitor.check_once() == [(BACKENDS[0], "down", "up")]
+        assert router.ring.state(BACKENDS[0]) == "up"
+        assert router.ring.state(BACKENDS[1]) == "up"
+
+    def test_success_resets_failure_streak(self, router):
+        probe = _ScriptedProbe({
+            BACKENDS[0]: [False, True, False, False, False],
+            BACKENDS[1]: [True],
+        })
+        monitor = HealthMonitor(router, probe=probe, fail_threshold=3)
+        monitor.check_once()  # up -> suspect
+        monitor.check_once()  # success: back up, streak reset
+        assert router.ring.state(BACKENDS[0]) == "up"
+        monitor.check_once()  # up -> suspect (streak restarted at 1)
+        monitor.check_once()
+        assert router.ring.state(BACKENDS[0]) == "suspect"
+        monitor.check_once()
+        assert router.ring.state(BACKENDS[0]) == "down"
+
+    def test_transitions_counted_and_hook_fired(self, router):
+        seen = []
+        probe = _ScriptedProbe({
+            BACKENDS[0]: [False, False, True],
+            BACKENDS[1]: [True],
+        })
+        monitor = HealthMonitor(
+            router,
+            probe=probe,
+            fail_threshold=2,
+            recover_threshold=1,
+            on_membership=lambda *event: seen.append(event),
+        )
+        for _ in range(3):
+            monitor.check_once()
+        assert seen == [
+            (BACKENDS[0], "up", "suspect"),
+            (BACKENDS[0], "suspect", "down"),
+            (BACKENDS[0], "down", "up"),
+        ]
+        stats = router.stats()
+        assert stats["transitions[up->suspect]"] == 1.0
+        assert stats["transitions[suspect->down]"] == 1.0
+        assert stats["transitions[down->up]"] == 1.0
+
+    def test_down_backend_is_routed_around(self, router):
+        probe = _ScriptedProbe({BACKENDS[0]: [False], BACKENDS[1]: [True]})
+        monitor = HealthMonitor(router, probe=probe, fail_threshold=2)
+        monitor.check_once()
+        monitor.check_once()
+        assert router.ring.state(BACKENDS[0]) == "down"
+        for key in (f"fp{i}" for i in range(100)):
+            assert router.ring.lookup(key) == BACKENDS[1]
+
+    def test_suspect_backend_still_takes_traffic(self, router):
+        probe = _ScriptedProbe({BACKENDS[0]: [False], BACKENDS[1]: [True]})
+        HealthMonitor(router, probe=probe, fail_threshold=3).check_once()
+        assert router.ring.state(BACKENDS[0]) == "suspect"
+        owners = {router.ring.lookup(f"fp{i}") for i in range(100)}
+        assert owners == set(BACKENDS)
+
+    def test_background_loop_probes_and_stops(self, router):
+        probe = _ScriptedProbe({BACKENDS[0]: [True], BACKENDS[1]: [True]})
+        with HealthMonitor(router, interval=0.01, probe=probe).start() as monitor:
+            deadline = 200
+            while not probe.calls and deadline:
+                deadline -= 1
+                monitor._stop.wait(0.01)
+        assert probe.calls
+        with pytest.raises(RuntimeError, match="already started"):
+            HealthMonitor(router, probe=probe).start().start()
+
+
+class TestDefaultProbe:
+    def test_serving_draining_and_dead(self):
+        server = MeasurementServer(multi_tenant=True, port=0, workers=2).start()
+        address = server.address
+        try:
+            assert default_probe(address, timeout=5.0) is True
+            # a draining server still answers ping but is not healthy
+            server.draining.set()
+            assert default_probe(address, timeout=5.0) is False
+        finally:
+            server.close()
+        # a closed server fails the probe instead of raising
+        assert default_probe(address, timeout=1.0) is False
+
+
+class TestMonitorEndToEnd:
+    def test_monitor_reroutes_clients_off_a_dead_backend(self):
+        """Kill one of two backends; after the monitor marks it down, a
+        new client dials straight to the survivor (zero failovers)."""
+        servers = [
+            MeasurementServer(multi_tenant=True, port=0, workers=2).start()
+            for _ in range(2)
+        ]
+        router = RouterServer([s.address for s in servers]).start()
+        monitor = HealthMonitor(router, fail_threshold=2, probe_timeout=1.0)
+        try:
+            env = _tenant_env(graph_seed=31)
+            fingerprint = SpaceSpec.from_environment(env).fingerprint
+            victim_address = router.ring.lookup(fingerprint)
+            victim = next(s for s in servers if s.address == victim_address)
+            victim.close()
+            while router.ring.state(victim_address) != "down":
+                monitor.check_once()
+            backend = RemoteBackend(env, router.address, offer_space=True, timeout=10.0)
+            try:
+                results = backend.evaluate_batch(_placements(env, 2, seed=1))
+            finally:
+                backend.close()
+            assert len(results) == 2
+            # routed around, not failed over: the dead backend was never dialed
+            assert fetch_router_stats(router.address)["failovers"] == 0.0
+        finally:
+            monitor.close()
+            router.close()
+            for server in servers:
+                server.close()
+
+
+class TestStandbyMirror:
+    def _standby(self, **kwargs):
+        return RouterServer([BACKENDS[0]]), kwargs
+
+    def test_validation(self):
+        standby = RouterServer([BACKENDS[0]])
+        with pytest.raises(ValueError, match="positive"):
+            StandbyMirror(standby, "p:1", interval=0.0)
+        with pytest.raises(ValueError, match="takeover_failures"):
+            StandbyMirror(standby, "p:1", takeover_failures=0)
+
+    def test_poll_mirrors_backends_and_states(self):
+        standby = RouterServer([BACKENDS[0]])
+        answer = {"backends": list(BACKENDS), "states": {BACKENDS[1]: "suspect"}}
+        mirror = StandbyMirror(standby, "primary:1", fetch=lambda *a, **k: answer)
+        assert mirror.poll_once() is True
+        assert standby.backends == BACKENDS
+        assert standby.ring.state(BACKENDS[1]) == "suspect"
+        # mirroring never migrates — the primary already did
+        assert standby.stats()["migrations"] == 0.0
+
+    def test_garbled_answer_never_wipes_the_ring(self):
+        standby = RouterServer(BACKENDS)
+        mirror = StandbyMirror(
+            standby, "primary:1", fetch=lambda *a, **k: {"backends": []}
+        )
+        assert mirror.poll_once() is True
+        assert standby.backends == BACKENDS
+
+    def test_takeover_after_consecutive_failures(self):
+        standby = RouterServer([BACKENDS[0]])
+        promoted = []
+
+        def dead_fetch(*args, **kwargs):
+            raise ProtocolError("primary is gone")
+
+        mirror = StandbyMirror(
+            standby,
+            "primary:1",
+            takeover_failures=3,
+            fetch=dead_fetch,
+            on_takeover=promoted.append,
+        )
+        assert mirror.poll_once() is False
+        assert mirror.poll_once() is False
+        assert not mirror.promoted
+        assert mirror.poll_once() is False
+        assert mirror.promoted
+        assert promoted == [mirror]
+        assert standby.stats()["standby_takeovers"] == 1.0
+        # promotion is terminal and idempotent
+        mirror.promote()
+        assert standby.stats()["standby_takeovers"] == 1.0
+        assert mirror.poll_once() is False
+
+    def test_success_resets_failure_streak(self):
+        standby = RouterServer([BACKENDS[0]])
+        answers = [OSError("blip"), {"backends": BACKENDS, "states": {}},
+                   OSError("blip"), OSError("blip")]
+
+        def flaky_fetch(*args, **kwargs):
+            answer = answers.pop(0)
+            if isinstance(answer, Exception):
+                raise answer
+            return answer
+
+        mirror = StandbyMirror(standby, "primary:1", takeover_failures=3,
+                               fetch=flaky_fetch)
+        mirror.poll_once()
+        mirror.poll_once()  # success resets the streak
+        mirror.poll_once()
+        mirror.poll_once()
+        assert not mirror.promoted
+
+    def test_mirror_against_a_live_primary(self):
+        """End-to-end: the standby tracks the primary's membership over
+        the real admin plane, then promotes when the primary dies."""
+        primary = RouterServer(BACKENDS).start()
+        standby = RouterServer([BACKENDS[0]])
+        mirror = StandbyMirror(standby, primary.address, takeover_failures=1)
+        try:
+            primary.join("10.0.0.3:7000")
+            primary.set_backend_state(BACKENDS[1], "down")
+            assert mirror.poll_once() is True
+            assert standby.backends == primary.backends
+            assert standby.ring.state(BACKENDS[1]) == "down"
+            primary.close()
+            assert mirror.poll_once() is False
+            assert mirror.promoted
+        finally:
+            mirror.close()
+            primary.close()

@@ -1,6 +1,7 @@
 """Multi-tenant server behaviour: adoption, codes, equivalence, metrics."""
 
 import socket
+import threading
 
 import numpy as np
 import pytest
@@ -104,6 +105,85 @@ class TestHandshakeCodes:
             assert exc.value.code == "space_loading"
         finally:
             server.registry._loading.discard(fingerprint)
+
+    def test_space_loading_is_retried_until_it_clears(self, server, tmp_path):
+        """A transient ``space_loading`` refusal rides the reconnect
+        budget: once the loader finishes, the handshake succeeds and the
+        client reports how many retries it spent waiting."""
+        env = _tenant_env()
+        fingerprint = SpaceSpec.from_environment(env).fingerprint
+        server.registry.spaces_dir = str(tmp_path)
+        spec_file = tmp_path / f"{fingerprint}.space.json"
+        spec_file.write_text("{}")
+        server.registry._loading.add(fingerprint)
+
+        def finish_loading():
+            spec_file.unlink()
+            server.registry._loading.discard(fingerprint)
+
+        timer = threading.Timer(0.2, finish_loading)
+        timer.start()
+        try:
+            backend = RemoteBackend(
+                env, server.address, offer_space=True, timeout=10.0,
+                reconnect_attempts=8, backoff_base=0.05, backoff_jitter=0.0,
+            )
+            try:
+                results = backend.evaluate_batch(_placements(env, 2))
+                assert len(results) == 2
+                assert backend.stats()["loading_retries"] >= 1.0
+            finally:
+                backend.close()
+        finally:
+            timer.cancel()
+            server.registry._loading.discard(fingerprint)
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_concurrent_same_placement_simulates_once(self, vectorized):
+        """Singleflight: two clients racing batches that share placements
+        must never simulate a placement twice — the memo dedupes landed
+        results, the pending-simulation table dedupes in-flight ones.
+        Whatever the interleaving, simulations == distinct placements."""
+        server = MeasurementServer(
+            multi_tenant=True, port=0, workers=2, vectorized=vectorized
+        ).start()
+        env = _tenant_env()
+        common = _placements(env, 3, seed=9)
+        batch_a = _placements(env, 6, seed=2) + common
+        batch_b = common + _placements(env, 6, seed=3)
+        distinct = {
+            np.asarray(p, dtype=np.int64).tobytes()
+            for p in batch_a + batch_b
+        }
+        backends = [
+            RemoteBackend(_tenant_env(), server.address,
+                          offer_space=True, timeout=10.0)
+            for _ in range(2)
+        ]
+        results = [None, None]
+        threads = [
+            threading.Thread(
+                target=lambda i=i, batch=batch: results.__setitem__(
+                    i, backends[i].evaluate_batch(batch)
+                )
+            )
+            for i, batch in enumerate((batch_a, batch_b))
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(results[0]) == len(batch_a)
+            assert len(results[1]) == len(batch_b)
+            assert server.num_simulations == len(distinct)
+            assert server._pending_sims == {}
+            stats = server.registry.snapshot()[0].stats()
+            assert stats["memo_entries"] == float(len(distinct))
+        finally:
+            for backend in backends:
+                backend.close()
+            server.close()
 
     def test_code_is_none_from_refusals_without_one(self):
         # a pre-v3 refusal (no "code" field) must surface code=None

@@ -1,14 +1,24 @@
-"""Router tier: hash-ring determinism, routing, failover, admin stats."""
+"""Router tier: hash-ring determinism, routing, failover, admin stats,
+live membership (join/leave), and space migration."""
 
 import socket
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import MeasurementServer, RemoteBackend, SerialBackend
 from repro.service import protocol
 from repro.service.protocol import HandshakeError, ProtocolError
-from repro.service.router import HashRing, RouterServer, fetch_router_stats
+from repro.service.router import (
+    RING_STATES,
+    HashRing,
+    RouterServer,
+    fetch_router_membership,
+    fetch_router_stats,
+    router_admin,
+)
 from repro.service.tenancy import SpaceSpec
 
 from .test_multitenant import _tenant_env
@@ -78,6 +88,88 @@ class TestHashRing:
             HashRing(["a:1"], replicas=0)
         with pytest.raises(ValueError, match="host:port"):
             HashRing(["no-port"])
+
+
+@st.composite
+def _random_rings(draw):
+    """A small ring with random membership and random health states."""
+    ports = sorted(draw(st.sets(st.integers(0, 4000), min_size=1, max_size=8)))
+    backends = [f"10.0.0.1:{7000 + p}" for p in ports]
+    ring = HashRing(backends, replicas=8)
+    for backend in backends:
+        ring.set_state(backend, draw(st.sampled_from(RING_STATES)))
+    return ring
+
+
+class TestRingMembership:
+    BACKENDS = TestHashRing.BACKENDS
+
+    def test_incremental_add_matches_rebuilt_ring(self):
+        ring = HashRing(self.BACKENDS[:2])
+        ring.add_backend(self.BACKENDS[2])
+        fresh = HashRing(self.BACKENDS)
+        for key in (f"fp{i}" for i in range(300)):
+            assert ring.lookup(key) == fresh.lookup(key)
+            assert ring.ordered(key) == fresh.ordered(key)
+
+    def test_incremental_remove_matches_rebuilt_ring(self):
+        ring = HashRing(self.BACKENDS)
+        ring.remove_backend(self.BACKENDS[1])
+        fresh = HashRing([self.BACKENDS[0], self.BACKENDS[2]])
+        for key in (f"fp{i}" for i in range(300)):
+            assert ring.lookup(key) == fresh.lookup(key)
+
+    def test_add_remaps_about_one_over_n(self):
+        ring = HashRing(self.BACKENDS[:2])
+        keys = [f"fp{i}" for i in range(400)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add_backend(self.BACKENDS[2])
+        moved = [k for k in keys if ring.lookup(k) != before[k]]
+        # every moved key moved ONTO the new backend (nothing reshuffles
+        # between the survivors), and roughly 1/3 of the keyspace moved
+        assert all(ring.lookup(k) == self.BACKENDS[2] for k in moved)
+        assert 0 < len(moved) < len(keys) // 2
+
+    def test_membership_validation(self):
+        ring = HashRing(self.BACKENDS)
+        with pytest.raises(ValueError, match="already in the ring"):
+            ring.add_backend(self.BACKENDS[0])
+        with pytest.raises(ValueError, match="host:port"):
+            ring.add_backend("no-port")
+        with pytest.raises(ValueError, match="unknown backend"):
+            ring.remove_backend("10.9.9.9:1")
+        small = HashRing(["a:1"])
+        with pytest.raises(ValueError, match="last backend"):
+            small.remove_backend("a:1")
+
+    def test_down_backend_is_routed_around(self):
+        ring = HashRing(self.BACKENDS)
+        keys = [f"fp{i}" for i in range(200)]
+        victim = ring.lookup(keys[0])
+        assert ring.set_state(victim, "down") == "up"
+        assert ring.state(victim) == "down"
+        for key in keys:
+            assert ring.lookup(key) != victim
+        # suspect still takes traffic; recovery restores ownership
+        assert ring.set_state(victim, "up") == "down"
+        assert ring.lookup(keys[0]) == victim
+
+    def test_state_validation(self):
+        ring = HashRing(self.BACKENDS)
+        with pytest.raises(ValueError, match="unknown ring state"):
+            ring.set_state(self.BACKENDS[0], "zombie")
+        with pytest.raises(ValueError, match="unknown backend"):
+            ring.set_state("10.9.9.9:1", "down")
+
+    @settings(max_examples=200, deadline=None)
+    @given(ring=_random_rings(), key=st.text(min_size=1, max_size=32))
+    def test_lookup_is_ordered_head(self, ring, key):
+        """The satellite property: for any ring and any key, the failover
+        walk's head IS the lookup answer, and the walk visits every
+        backend exactly once (virtual-node collisions deduplicated)."""
+        walk = ring.ordered(key)
+        assert walk[0] == ring.lookup(key)
+        assert sorted(walk) == sorted(ring.backends)
 
 
 class TestRouting:
@@ -235,3 +327,142 @@ class TestAdmin:
         # its refusal into a ProtocolError, not a mystery KeyError
         with pytest.raises(ProtocolError, match="router stats failed"):
             fetch_router_stats(servers[0].address)
+
+    def test_membership_op_reports_ring_and_states(self, fleet):
+        servers, router = fleet
+        membership = fetch_router_membership(router.address)
+        assert membership["backends"] == [s.address for s in servers]
+        assert membership["states"] == {s.address: "up" for s in servers}
+
+    def test_unknown_admin_op_is_refused(self, fleet):
+        _, router = fleet
+        with pytest.raises(ProtocolError, match="hello"):
+            router_admin(router.address, {"op": "evaluate_batch"}, timeout=5.0)
+
+
+class TestLiveResize:
+    def _populate(self, router_address, graph_seed, n=4):
+        env = _tenant_env(graph_seed=graph_seed)
+        backend = RemoteBackend(
+            env, router_address, offer_space=True, timeout=10.0,
+            backoff_base=0.01, backoff_jitter=0.0,
+        )
+        return env, backend, backend.evaluate_batch(_placements(env, n, seed=1))
+
+    def test_join_then_leave_round_trips_membership(self, fleet):
+        servers, router = fleet
+        extra = MeasurementServer(multi_tenant=True, port=0, workers=2).start()
+        try:
+            reply = router_admin(
+                router.address, {"op": "join", "backend": extra.address}
+            )
+            assert extra.address in reply["backends"]
+            assert router.ring.state(extra.address) == "up"
+            stats = fetch_router_stats(router.address)
+            assert stats["joins"] == 1.0
+            reply = router_admin(
+                router.address, {"op": "leave", "backend": extra.address}
+            )
+            assert extra.address not in reply["backends"]
+            assert fetch_router_stats(router.address)["leaves"] == 1.0
+        finally:
+            extra.close()
+
+    def test_migrate_op_moves_space_between_backends(self, fleet):
+        """The admin ``migrate`` op pushes one space to a chosen backend —
+        memo and sessions arrive intact and the source keeps the space's
+        counter history in :meth:`migrated_space_stats`."""
+        servers, router = fleet
+        by_address = {s.address: s for s in servers}
+        env, backend, _ = self._populate(router.address, graph_seed=71)
+        fingerprint = SpaceSpec.from_environment(env).fingerprint
+        old_owner = by_address[router.ring.lookup(fingerprint)]
+        target = next(s for s in servers if s is not old_owner)
+        try:
+            reply = router_admin(
+                router.address,
+                {"op": "migrate", "fingerprint": fingerprint,
+                 "target": target.address},
+            )
+            assert reply["migrated"] is True
+            assert fingerprint in target.registry
+            assert fingerprint not in old_owner.registry
+            # the old owner keeps the space's counter history
+            remembered = old_owner.migrated_space_stats()[fingerprint]
+            assert remembered["simulations"] >= 1.0
+            adopted = next(
+                s for s in target.registry.snapshot()
+                if s.fingerprint == fingerprint
+            )
+            assert adopted.stats()["memo_entries"] >= 1.0
+            assert fetch_router_stats(router.address)["migrations"] >= 1.0
+        finally:
+            backend.close()
+
+    def test_leave_migrates_spaces_with_zero_duplicates(self, fleet):
+        """Live downsize: ``leave`` pushes the departing backend's spaces
+        to the new ring owners, and replaying the same placements costs
+        zero new simulations anywhere in the fleet."""
+        servers, router = fleet
+        by_address = {s.address: s for s in servers}
+        env, backend, first = self._populate(router.address, graph_seed=72)
+        fingerprint = SpaceSpec.from_environment(env).fingerprint
+        old_owner = by_address[router.ring.lookup(fingerprint)]
+        survivor = next(s for s in servers if s is not old_owner)
+        try:
+            reply = router_admin(
+                router.address, {"op": "leave", "backend": old_owner.address}
+            )
+            assert reply["migrations"] >= 1
+            assert fingerprint in survivor.registry
+            assert fingerprint not in old_owner.registry
+            # the severed client reconnects through the router, lands on
+            # the survivor, and replays entirely from the adopted memo
+            backend.evaluate_batch(_placements(env, 4, seed=1))
+            assert backend.stats()["reconnects"] >= 1.0
+            # a fresh client with the same seed commits the same noise
+            # stream — migrated memo makes the results bit-for-bit equal
+            fresh = RemoteBackend(
+                _tenant_env(graph_seed=72), router.address,
+                offer_space=True, timeout=10.0,
+            )
+            try:
+                again = fresh.evaluate_batch(_placements(env, 4, seed=1))
+            finally:
+                fresh.close()
+            assert [m.per_step_time for m in again] == [
+                m.per_step_time for m in first
+            ]
+            adopted = next(
+                s for s in survivor.registry.snapshot()
+                if s.fingerprint == fingerprint
+            )
+            assert adopted.stats()["simulations"] == 0.0
+            assert adopted.stats()["memo_hits"] >= 8.0
+        finally:
+            backend.close()
+
+    def test_migrate_refuses_unknown_target(self, fleet):
+        _, router = fleet
+        with pytest.raises(ProtocolError, match="unknown backend"):
+            router_admin(
+                router.address,
+                {"op": "migrate", "fingerprint": "fp", "target": "10.9.9.9:1"},
+            )
+
+    def test_standby_apply_membership_never_migrates(self, fleet):
+        servers, router = fleet
+        standby = RouterServer([servers[0].address]).start()
+        try:
+            changed = standby.apply_membership(
+                [s.address for s in servers],
+                {servers[1].address: "suspect"},
+            )
+            assert changed
+            assert standby.backends == [s.address for s in servers]
+            assert standby.ring.state(servers[1].address) == "suspect"
+            assert standby.stats()["migrations"] == 0.0
+            with pytest.raises(ValueError, match="empty backend set"):
+                standby.apply_membership([])
+        finally:
+            standby.close()

@@ -292,3 +292,205 @@ class TestMultiTenantSigkill:
         assert result.num_samples == 60
         assert np.isfinite(result.best_time)
         assert backend.num_reconnects >= 2
+
+
+class _KillRingOwnerMidSearch(SearchCallback):
+    """The elastic-fleet drill: after N updates, kill the backend that owns
+    the tenant's space, `leave` it from the ring, and `join` a fresh
+    replacement on the same shared spaces_dir.  The search thread runs the
+    whole resize inside the callback, so the client's next RPC meets the
+    already-rebalanced ring."""
+
+    def __init__(self, servers, router, fingerprint, spaces_dir,
+                 after_updates=2):
+        self.servers = servers
+        self.router = router
+        self.fingerprint = fingerprint
+        self.spaces_dir = spaces_dir
+        self.after_updates = after_updates
+        self.fired = False
+        self._updates = 0
+
+    def on_update(self, engine, stats):
+        self._updates += 1
+        if self._updates == self.after_updates and not self.fired:
+            from repro.service.router import router_admin
+
+            victim_address = self.router.ring.lookup(self.fingerprint)
+            victim = next(
+                s for s in self.servers if s.address == victim_address
+            )
+            victim.kill(timeout=30.0)
+            router_admin(
+                self.router.address,
+                {"op": "leave", "backend": victim_address},
+            )
+            replacement = MeasurementServer(
+                multi_tenant=True, port=0, workers=2,
+                spaces_dir=self.spaces_dir,
+            ).start()
+            self.servers.append(replacement)
+            router_admin(
+                self.router.address,
+                {"op": "join", "backend": replacement.address},
+            )
+            self.fired = True
+
+
+class TestFleetFailoverGolden:
+    """ISSUE acceptance: kill a backend mid-search, resize the ring, and
+    the completed SearchResult is bit-for-bit the uninterrupted golden's
+    (modulo the fault counters the chaos itself produced)."""
+
+    def _fleet(self, tmp_path, tag):
+        from repro.service.router import RouterServer
+
+        spaces_dir = str(tmp_path / tag)
+        servers = [
+            MeasurementServer(
+                multi_tenant=True, port=0, workers=2, spaces_dir=spaces_dir
+            ).start()
+            for _ in range(2)
+        ]
+        router = RouterServer([s.address for s in servers]).start()
+        return servers, router, spaces_dir
+
+    def _search(self, router_address, callbacks):
+        graph = build_random_layered(num_layers=6, width=5, seed=23)
+        topo = Topology.default_4gpu(num_gpus=2)
+        env = PlacementEnvironment(graph, topo, seed=0)
+        backend = RemoteBackend(
+            env, router_address, offer_space=True, timeout=15.0,
+            reconnect_attempts=8, backoff_base=0.25, backoff_jitter=0.0,
+        )
+        agent = PostAgent(graph, topo.num_devices, num_groups=6, seed=0)
+        try:
+            search = PlacementSearch(
+                agent, env, "ppo", SearchConfig(max_samples=60),
+                backend=backend, policy=EvaluationPolicy(max_retries=3),
+            )
+            return search.run(callbacks=callbacks)
+        finally:
+            backend.close()
+
+    def test_search_result_is_golden_across_kill_and_resize(self, tmp_path):
+        from repro.service.tenancy import SpaceSpec
+
+        graph = build_random_layered(num_layers=6, width=5, seed=23)
+        topo = Topology.default_4gpu(num_gpus=2)
+        fingerprint = SpaceSpec.from_environment(
+            PlacementEnvironment(graph, topo, seed=0)
+        ).fingerprint
+
+        servers, router, _ = self._fleet(tmp_path, "golden")
+        try:
+            golden = self._search(router.address, callbacks=[])
+        finally:
+            router.close()
+            for server in servers:
+                server.close()
+
+        servers, router, spaces_dir = self._fleet(tmp_path, "chaos")
+        chaos = _KillRingOwnerMidSearch(servers, router, fingerprint, spaces_dir)
+        try:
+            survived = self._search(router.address, callbacks=[chaos])
+        finally:
+            router.close()
+            for server in servers:
+                server.close()
+
+        assert chaos.fired
+        assert survived.num_samples == golden.num_samples == 60
+        assert survived.best_time == golden.best_time
+        assert survived.final_time == golden.final_time
+        assert survived.num_invalid == golden.num_invalid
+        assert survived.env_time == golden.env_time
+        assert np.array_equal(survived.best_placement, golden.best_placement)
+        assert survived.history.per_step_time == golden.history.per_step_time
+
+
+class TestSigkillDuringMigration:
+    """SIGKILL the migration *source* process while it pushes a space to a
+    peer: every durable file in the shared spaces_dir must still parse as
+    complete JSON — the atomic-rename discipline means a crash at any
+    instant leaves either the old snapshot or the new one, never a torn
+    write — and a respawned server must still serve the space."""
+
+    def test_durable_state_never_half_written(self, tmp_path):
+        import json
+
+        from repro.service.client import migrate_space_request
+        from repro.service.router import _backend_request
+
+        ports = []
+        for _ in range(2):
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            ports.append(probe.getsockname()[1])
+            probe.close()
+        port_a, port_b = ports
+        proc_a = _spawn_multi_tenant_serve(port_a, tmp_path)
+        proc_b = _spawn_multi_tenant_serve(port_b, tmp_path)
+
+        graph = build_random_layered(num_layers=6, width=5, seed=29)
+        topo = Topology.default_4gpu(num_gpus=2)
+        env = PlacementEnvironment(graph, topo, seed=0)
+        from repro.service.tenancy import SpaceSpec
+
+        fingerprint = SpaceSpec.from_environment(env).fingerprint
+        try:
+            # populate a durable space on A (retained batches persist it)
+            backend = RemoteBackend(
+                env, f"127.0.0.1:{port_a}", offer_space=True, timeout=15.0,
+            )
+            try:
+                rng = np.random.default_rng(5)
+                for _ in range(4):
+                    placements = [
+                        rng.integers(0, topo.num_devices, env.graph.num_ops)
+                        for _ in range(8)
+                    ]
+                    backend.evaluate_batch(placements)
+            finally:
+                backend.close()
+
+            # fire the migration push and SIGKILL the source mid-flight
+            request = migrate_space_request(
+                fingerprint, target=f"127.0.0.1:{port_b}"
+            )
+
+            def push():
+                try:
+                    _backend_request(f"127.0.0.1:{port_a}", request, 15.0)
+                except Exception:
+                    pass  # the kill races the reply on purpose
+
+            import threading
+
+            pusher = threading.Thread(target=push)
+            pusher.start()
+            time.sleep(0.05)
+            proc_a.send_signal(signal.SIGKILL)
+            proc_a.wait(timeout=30)
+            pusher.join(timeout=30)
+
+            # every durable file is complete JSON, whatever the timing
+            durable = sorted(tmp_path.glob("*.json"))
+            assert durable, "expected durable space files"
+            for path in durable:
+                json.loads(path.read_text())
+
+            # a respawn over the same dir still serves the space
+            proc_a = _spawn_multi_tenant_serve(port_a, tmp_path)
+            check = RemoteBackend(env, f"127.0.0.1:{port_a}", timeout=15.0)
+            try:
+                results = check.evaluate_batch(
+                    [np.zeros(env.graph.num_ops, dtype=np.int64)]
+                )
+                assert len(results) == 1
+            finally:
+                check.close()
+        finally:
+            for proc in (proc_a, proc_b):
+                proc.kill()
+                proc.wait(timeout=30)
